@@ -1,0 +1,65 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Shared helpers for the experiment harnesses: flag parsing (--quick /
+// --full / --out=...) and result persistence. Every harness prints the
+// paper-style series to stdout and optionally writes a CSV next to it.
+
+#ifndef PLDP_BENCH_BENCH_UTIL_H_
+#define PLDP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "quality/report.h"
+
+namespace pldp {
+namespace bench {
+
+/// Effort scaling shared by the harnesses.
+enum class Effort { kQuick, kDefault, kFull };
+
+struct HarnessArgs {
+  Effort effort = Effort::kDefault;
+  /// CSV output path; empty = stdout only.
+  std::string csv_out;
+};
+
+inline HarnessArgs ParseArgs(int argc, char** argv) {
+  HarnessArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.effort = Effort::kQuick;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      args.effort = Effort::kFull;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      args.csv_out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --quick --full --out=F)\n",
+                   argv[i]);
+    }
+  }
+  return args;
+}
+
+/// Prints the table and writes the CSV when requested. Returns 0/1 for
+/// main().
+inline int EmitTable(const ResultTable& table, const HarnessArgs& args,
+                     const std::string& title) {
+  std::printf("== %s ==\n%s\n", title.c_str(), table.ToString().c_str());
+  if (!args.csv_out.empty()) {
+    Status s = table.WriteCsv(args.csv_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "CSV write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("(written to %s)\n", args.csv_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace pldp
+
+#endif  // PLDP_BENCH_BENCH_UTIL_H_

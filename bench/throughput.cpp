@@ -1,0 +1,197 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Ablation A4 / engineering benchmark: google-benchmark microbenchmarks of
+// the hot paths — pattern matching (batch and incremental), windowing,
+// stream merge, and the per-window publication cost of every mechanism.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pldp.h"
+
+namespace pldp {
+namespace {
+
+EventStream RandomStream(size_t n, size_t types, uint64_t seed) {
+  Rng rng(seed);
+  EventStream s;
+  s.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    s.AppendUnchecked(
+        Event(static_cast<EventTypeId>(rng.UniformUint64(types)),
+              static_cast<Timestamp>(i)));
+  }
+  return s;
+}
+
+Window RandomWindow(size_t n, size_t types, uint64_t seed) {
+  Window w;
+  w.start = 0;
+  w.end = static_cast<Timestamp>(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    w.events.emplace_back(
+        static_cast<EventTypeId>(rng.UniformUint64(types)),
+        static_cast<Timestamp>(i));
+  }
+  return w;
+}
+
+void BM_SequenceMatchInWindow(benchmark::State& state) {
+  Window w = RandomWindow(static_cast<size_t>(state.range(0)), 16, 1);
+  Pattern p =
+      Pattern::Create("p", {1, 2, 3}, DetectionMode::kSequence).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PatternOccursInWindow(w, p).value());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SequenceMatchInWindow)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ConjunctionMatchInWindow(benchmark::State& state) {
+  Window w = RandomWindow(static_cast<size_t>(state.range(0)), 16, 2);
+  Pattern p =
+      Pattern::Create("p", {1, 2, 3}, DetectionMode::kConjunction).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PatternOccursInWindow(w, p).value());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConjunctionMatchInWindow)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_IncrementalSequenceMatcher(benchmark::State& state) {
+  EventStream s = RandomStream(static_cast<size_t>(state.range(0)), 16, 3);
+  Pattern p =
+      Pattern::Create("p", {1, 2, 3}, DetectionMode::kSequence).value();
+  for (auto _ : state) {
+    auto m = MakeIncrementalMatcher(p, 100);
+    for (const Event& e : s) m->OnEvent(e);
+    benchmark::DoNotOptimize(m->detections().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IncrementalSequenceMatcher)->Arg(1024)->Arg(16384);
+
+void BM_TumblingWindower(benchmark::State& state) {
+  EventStream s = RandomStream(static_cast<size_t>(state.range(0)), 16, 4);
+  TumblingWindower w(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.Apply(s).value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TumblingWindower)->Arg(4096)->Arg(65536);
+
+void BM_MergeStreams(benchmark::State& state) {
+  std::vector<EventStream> streams;
+  for (uint64_t i = 0; i < 8; ++i) {
+    streams.push_back(
+        RandomStream(static_cast<size_t>(state.range(0)) / 8, 16, 10 + i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeStreams(streams).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeStreams)->Arg(8192)->Arg(65536);
+
+void BM_RandomizedResponseBit(benchmark::State& state) {
+  auto rr = RandomizedResponse::FromEpsilon(1.0).value();
+  Rng rng(5);
+  bool bit = true;
+  for (auto _ : state) {
+    bit = rr.Perturb(bit, &rng);
+    benchmark::DoNotOptimize(bit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomizedResponseBit);
+
+void BM_LaplaceNoise(benchmark::State& state) {
+  auto mech = LaplaceMechanism::Create(1.0, 1.0).value();
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.AddNoise(42.0, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LaplaceNoise);
+
+/// Per-window publication cost of each mechanism on a synthetic-like
+/// context (20 types, 3 private patterns of length 3).
+template <typename SetupFn>
+void PublishBenchBody(benchmark::State& state, SetupFn make_mechanism) {
+  SyntheticOptions opt;
+  opt.num_windows = 64;
+  auto generated = GenerateSynthetic(opt, 9).value();
+  Dataset& ds = generated.dataset;
+  auto split = ds.SplitHistory(0.5).value();
+
+  MechanismContext ctx;
+  ctx.event_types = &ds.event_types;
+  ctx.patterns = &ds.patterns;
+  ctx.private_patterns = ds.private_patterns;
+  ctx.target_patterns = ds.target_patterns;
+  ctx.epsilon = 1.0;
+  ctx.history = &split.first;
+
+  auto mech = make_mechanism();
+  if (!mech->Initialize(ctx).ok()) {
+    state.SkipWithError("initialize failed");
+    return;
+  }
+  Rng rng(11);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Window& w = split.second[i % split.second.size()];
+    benchmark::DoNotOptimize(mech->PublishWindow(w, &rng).value());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PublishUniform(benchmark::State& state) {
+  PublishBenchBody(state, [] {
+    return std::unique_ptr<PrivacyMechanism>(new UniformPatternPpm());
+  });
+}
+BENCHMARK(BM_PublishUniform);
+
+void BM_PublishBudgetDivision(benchmark::State& state) {
+  PublishBenchBody(state, [] {
+    return std::unique_ptr<PrivacyMechanism>(new BudgetDivisionPpm());
+  });
+}
+BENCHMARK(BM_PublishBudgetDivision);
+
+void BM_PublishBudgetAbsorption(benchmark::State& state) {
+  PublishBenchBody(state, [] {
+    return std::unique_ptr<PrivacyMechanism>(new BudgetAbsorptionPpm());
+  });
+}
+BENCHMARK(BM_PublishBudgetAbsorption);
+
+void BM_PublishLandmark(benchmark::State& state) {
+  PublishBenchBody(state, [] {
+    return std::unique_ptr<PrivacyMechanism>(new LandmarkPpm());
+  });
+}
+BENCHMARK(BM_PublishLandmark);
+
+void BM_EndToEndEvaluation(benchmark::State& state) {
+  SyntheticOptions opt;
+  opt.num_windows = 200;
+  auto generated = GenerateSynthetic(opt, 13).value();
+  EvaluationConfig cfg;
+  cfg.mechanism = "uniform";
+  cfg.repetitions = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunEvaluation(generated.dataset, cfg).value().mre.mean());
+  }
+}
+BENCHMARK(BM_EndToEndEvaluation);
+
+}  // namespace
+}  // namespace pldp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Shows the adaptive PPM's budget tuning (Algorithm 1) at work: a private
+// pattern whose elements matter unequally to the consumers' target query.
+// The stepwise search discovers the skew from historical data and shifts
+// budget onto the element the query depends on.
+
+#include <cstdio>
+
+#include "core/pldp.h"
+
+namespace {
+
+pldp::Status Run() {
+  // World: 6 event types. Private pattern {sensor_a, sensor_b, sensor_c};
+  // the consumers' query watches {sensor_a, alarm} — only sensor_a is
+  // shared, so its indicator accuracy dominates service quality.
+  pldp::EventTypeRegistry types;
+  pldp::EventTypeId a = types.Intern("sensor_a");
+  pldp::EventTypeId b = types.Intern("sensor_b");
+  pldp::EventTypeId c = types.Intern("sensor_c");
+  pldp::EventTypeId alarm = types.Intern("alarm");
+  types.Intern("heartbeat");
+
+  pldp::PatternRegistry patterns;
+  PLDP_ASSIGN_OR_RETURN(
+      pldp::Pattern priv,
+      pldp::Pattern::Create("private_combo", {a, b, c},
+                            pldp::DetectionMode::kConjunction));
+  PLDP_ASSIGN_OR_RETURN(pldp::PatternId priv_id,
+                        patterns.Register(std::move(priv)));
+  PLDP_ASSIGN_OR_RETURN(
+      pldp::Pattern tgt,
+      pldp::Pattern::Create("alarm_watch", {a, alarm},
+                            pldp::DetectionMode::kConjunction));
+  PLDP_ASSIGN_OR_RETURN(pldp::PatternId tgt_id,
+                        patterns.Register(std::move(tgt)));
+
+  // Historical windows the data subjects granted for tuning.
+  std::vector<pldp::Window> history;
+  pldp::Rng gen(5);
+  for (size_t i = 0; i < 250; ++i) {
+    pldp::Window w;
+    w.start = static_cast<pldp::Timestamp>(i);
+    w.end = w.start + 1;
+    for (pldp::EventTypeId t = 0; t < types.size(); ++t) {
+      if (gen.Bernoulli(0.5)) w.events.emplace_back(t, w.start);
+    }
+    history.push_back(std::move(w));
+  }
+
+  pldp::MechanismContext ctx;
+  ctx.event_types = &types;
+  ctx.patterns = &patterns;
+  ctx.private_patterns = {priv_id};
+  ctx.target_patterns = {tgt_id};
+  ctx.epsilon = 2.0;
+  ctx.alpha = 0.5;
+  ctx.history = &history;
+
+  const pldp::Pattern& private_pattern = patterns.Get(priv_id);
+
+  PLDP_ASSIGN_OR_RETURN(
+      auto uniform,
+      pldp::BudgetAllocation::Uniform(ctx.epsilon, private_pattern.length()));
+  std::printf("uniform start:   %s\n", uniform.ToString().c_str());
+
+  pldp::AdaptivePpmOptions opt;
+  opt.trials = 48;
+  opt.max_rounds = 30;
+  PLDP_ASSIGN_OR_RETURN(
+      auto tuned,
+      pldp::BidirectionalStepwiseSearch(private_pattern, ctx, opt));
+  std::printf("after tuning:    %s\n", tuned.ToString().c_str());
+  std::printf("  element 0 (sensor_a, shared with the query) got ε = %.3f\n",
+              tuned[0]);
+  std::printf("  elements 1-2 (query-irrelevant) got ε = %.3f, %.3f\n\n",
+              tuned[1], tuned[2]);
+
+  PLDP_ASSIGN_OR_RETURN(double q_uniform,
+                        pldp::EvaluateAllocationQuality(
+                            uniform, private_pattern, ctx, 256, 777));
+  PLDP_ASSIGN_OR_RETURN(double q_tuned,
+                        pldp::EvaluateAllocationQuality(
+                            tuned, private_pattern, ctx, 256, 777));
+  std::printf("service quality Q: uniform %.4f -> adaptive %.4f "
+              "(same total ε = %.1f)\n",
+              q_uniform, q_tuned, tuned.Total());
+  return pldp::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  pldp::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "adaptive_tuning failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

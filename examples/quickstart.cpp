@@ -1,0 +1,94 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Quickstart: protect one private pattern in a small event stream with the
+// uniform pattern-level PPM and answer a target query through the trusted
+// engine.
+//
+// Scenario (the paper's running example, miniaturized): taxis report zone
+// events; the private pattern is the trip fragment SEQ(downtown, hospital);
+// the consumer's target query asks whether SEQ(downtown, jam) occurred in a
+// window.
+
+#include <cstdio>
+
+#include "core/pldp.h"
+
+namespace {
+
+pldp::Status Run() {
+  pldp::PrivateCepEngine engine;
+
+  // --- Setup phase ---------------------------------------------------------
+  pldp::EventTypeId downtown = engine.InternEventType("downtown");
+  pldp::EventTypeId hospital = engine.InternEventType("hospital");
+  pldp::EventTypeId jam = engine.InternEventType("traffic_jam");
+  pldp::EventTypeId suburb = engine.InternEventType("suburb");
+
+  // Data subject: "trips that pass downtown and end at the hospital are
+  // private".
+  PLDP_ASSIGN_OR_RETURN(
+      pldp::Pattern private_pattern,
+      pldp::Pattern::Create("to_hospital", {downtown, hospital},
+                            pldp::DetectionMode::kSequence));
+  PLDP_ASSIGN_OR_RETURN(auto private_id,
+                        engine.RegisterPrivatePattern(private_pattern));
+  (void)private_id;
+
+  // Data consumer: "was there a jam after downtown traffic?".
+  PLDP_ASSIGN_OR_RETURN(
+      pldp::Pattern target_pattern,
+      pldp::Pattern::Create("downtown_jam", {downtown, jam},
+                            pldp::DetectionMode::kSequence));
+  PLDP_ASSIGN_OR_RETURN(
+      pldp::QueryId query,
+      engine.RegisterTargetQuery("jam_watch", target_pattern));
+
+  // Select the uniform pattern-level PPM with budget ε = 2.0.
+  PLDP_RETURN_IF_ERROR(engine.Activate(
+      std::make_unique<pldp::UniformPatternPpm>(), /*epsilon=*/2.0));
+
+  // --- Service phase -------------------------------------------------------
+  // A raw stream: four 10-tick windows worth of events.
+  pldp::EventStream stream;
+  auto emit = [&](pldp::EventTypeId type, pldp::Timestamp ts) {
+    stream.AppendUnchecked(pldp::Event(type, ts));
+  };
+  emit(downtown, 1);
+  emit(hospital, 4);   // window 0: private pattern occurs
+  emit(downtown, 12);
+  emit(jam, 15);       // window 1: target pattern occurs
+  emit(suburb, 23);    // window 2: nothing of interest
+  emit(downtown, 31);
+  emit(hospital, 33);
+  emit(jam, 36);       // window 3: both occur (overlap)
+
+  pldp::Rng rng(/*seed=*/42);
+  pldp::TumblingWindower windower(/*size=*/10);
+  PLDP_ASSIGN_OR_RETURN(auto results,
+                        engine.ProcessStream(stream, windower, &rng));
+
+  PLDP_ASSIGN_OR_RETURN(auto windows, windower.Apply(stream));
+  PLDP_ASSIGN_OR_RETURN(auto truth, engine.GroundTruth(windows));
+
+  std::printf("window  truth  published\n");
+  for (size_t w = 0; w < results.window_count; ++w) {
+    std::printf("%6zu  %5s  %9s\n", w,
+                truth.answers[query][w] ? "yes" : "no",
+                results.answers[query][w] ? "yes" : "no");
+  }
+  std::printf(
+      "\nThe published answers for the jam query stay close to the truth;\n"
+      "the private to-hospital pattern is what the noise actually hides.\n");
+  return pldp::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  pldp::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "quickstart failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

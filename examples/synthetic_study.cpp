@@ -1,0 +1,65 @@
+// Copyright 2026 The PLDP Authors.
+//
+// A small privacy/utility study on the Algorithm-2 synthetic workload:
+// sweeps the pattern-level budget ε for every mechanism and prints the
+// resulting MRE series (a miniature of the paper's Fig. 4, right panel),
+// then shows the privacy side of the trade-off: the empirical
+// indistinguishability of answers with and without the private pattern.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/pldp.h"
+
+namespace {
+
+pldp::Status Run() {
+  pldp::SyntheticOptions opt;
+  opt.num_windows = 400;
+  PLDP_ASSIGN_OR_RETURN(pldp::SyntheticDataset synth,
+                        pldp::GenerateSynthetic(opt, /*seed=*/21));
+
+  // --- Utility side: MRE vs ε ------------------------------------------------
+  pldp::EvaluationConfig cfg;
+  cfg.repetitions = 8;
+  cfg.mechanism_options.adaptive.trials = 16;
+  PLDP_ASSIGN_OR_RETURN(
+      pldp::SweepResult sweep,
+      pldp::SweepEpsilons(synth.dataset, pldp::AllMechanismNames(),
+                          {0.5, 1.0, 2.0, 5.0}, cfg));
+  std::printf("%s\n", sweep.ToTable().ToString().c_str());
+
+  // --- Privacy side: what the noise actually buys ----------------------------
+  // Take the private pattern, build its uniform mechanism at ε = 1, and
+  // compare the response distribution for "pattern present" vs "pattern
+  // absent" indicator vectors: the likelihood ratio of any response is
+  // bounded by e^ε (Theorem 1), verified here by exact enumeration.
+  const pldp::Pattern& priv =
+      synth.dataset.patterns.Get(synth.dataset.private_patterns[0]);
+  PLDP_ASSIGN_OR_RETURN(auto alloc,
+                        pldp::BudgetAllocation::Uniform(1.0, priv.length()));
+  PLDP_ASSIGN_OR_RETURN(auto mech,
+                        pldp::PatternRandomizedResponse::FromAllocation(alloc));
+  PLDP_ASSIGN_OR_RETURN(double worst_loss,
+                        pldp::MaxArbitraryNeighborLoss(mech));
+  std::printf(
+      "private pattern %s: worst-case privacy loss %.6f (granted ε = 1)\n",
+      priv.name().c_str(), worst_loss);
+  std::printf(
+      "=> any adversary observing the published answers can shift their\n"
+      "   belief about the private pattern by at most e^%.3f ≈ %.3fx.\n",
+      worst_loss, std::exp(worst_loss));
+  return pldp::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  pldp::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "synthetic_study failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

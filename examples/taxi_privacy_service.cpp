@@ -1,0 +1,64 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The paper's motivating scenario end-to-end: a taxi fleet streams GPS cell
+// events to the trusted CEP engine; passengers mark sensitive locations
+// private; a traffic service queries target-area presence. Compares the
+// service quality of the uniform pattern-level PPM against the Budget
+// Division stream baseline at the same pattern-level ε.
+
+#include <cstdio>
+
+#include "core/pldp.h"
+
+namespace {
+
+pldp::Status Run() {
+  // Simulate the city (substitute for the T-Drive dataset; DESIGN.md §4).
+  pldp::TaxiOptions opt;
+  opt.grid_width = 12;
+  opt.grid_height = 12;
+  opt.num_taxis = 80;
+  opt.num_ticks = 300;
+  PLDP_ASSIGN_OR_RETURN(pldp::TaxiDataset city,
+                        pldp::GenerateTaxi(opt, /*seed=*/7));
+
+  std::printf(
+      "city: %zu cells | %zu taxis | %zu GPS events | %zu windows\n"
+      "areas: %zu private cells, %zu target cells\n\n",
+      opt.grid_width * opt.grid_height, opt.num_taxis,
+      city.merged_stream.size(), city.dataset.windows.size(),
+      city.private_cells.size(), city.target_cells.size());
+
+  // Evaluate both mechanisms at the same pattern-level budget.
+  for (const std::string& mech : {std::string("uniform"), std::string("bd")}) {
+    pldp::EvaluationConfig cfg;
+    cfg.mechanism = mech;
+    cfg.epsilon = 1.0;
+    cfg.repetitions = 10;
+    PLDP_ASSIGN_OR_RETURN(pldp::EvaluationResult r,
+                          pldp::RunEvaluation(city.dataset, cfg));
+    std::printf(
+        "%-8s  precision %.3f  recall %.3f  Q %.3f  MRE %.3f (±%.3f)\n",
+        mech.c_str(), r.precision.mean(), r.recall.mean(), r.q_ppm.mean(),
+        r.mre.mean(), r.mre.sem());
+  }
+
+  std::printf(
+      "\nThe pattern-level PPM perturbs only the %zu private-cell presence\n"
+      "bits per window; the w-event baseline noises all %zu cells. At equal\n"
+      "pattern-level budget, the traffic service keeps far more utility.\n",
+      city.private_cells.size(), opt.grid_width * opt.grid_height);
+  return pldp::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  pldp::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "taxi_privacy_service failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

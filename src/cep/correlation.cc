@@ -1,0 +1,97 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "cep/correlation.h"
+
+#include <algorithm>
+
+namespace pldp {
+
+StatusOr<std::vector<EventPatternCorrelation>>
+AnalyzeEventPatternCorrelations(const std::vector<Window>& history,
+                                const PatternRegistry& patterns,
+                                size_t type_count) {
+  if (history.empty()) {
+    return Status::InvalidArgument("history must not be empty");
+  }
+  if (type_count == 0) {
+    return Status::InvalidArgument("type_count must be > 0");
+  }
+  const double n = static_cast<double>(history.size());
+
+  // One pass: per-window presence of each type and each pattern.
+  std::vector<size_t> event_hits(type_count, 0);
+  std::vector<size_t> pattern_hits(patterns.size(), 0);
+  // joint[p * type_count + t]: windows where both occur.
+  std::vector<size_t> joint(patterns.size() * type_count, 0);
+
+  std::vector<bool> present(type_count);
+  for (const Window& w : history) {
+    std::fill(present.begin(), present.end(), false);
+    for (const Event& e : w.events) {
+      if (e.type() < type_count) present[e.type()] = true;
+    }
+    for (size_t t = 0; t < type_count; ++t) {
+      if (present[t]) ++event_hits[t];
+    }
+    for (PatternId p = 0; p < patterns.size(); ++p) {
+      PLDP_ASSIGN_OR_RETURN(bool hit,
+                            PatternOccursInWindow(w, patterns.Get(p)));
+      if (!hit) continue;
+      ++pattern_hits[p];
+      for (size_t t = 0; t < type_count; ++t) {
+        if (present[t]) ++joint[p * type_count + t];
+      }
+    }
+  }
+
+  std::vector<EventPatternCorrelation> out;
+  out.reserve(patterns.size() * type_count);
+  for (PatternId p = 0; p < patterns.size(); ++p) {
+    double support_pattern = static_cast<double>(pattern_hits[p]) / n;
+    for (size_t t = 0; t < type_count; ++t) {
+      EventPatternCorrelation c;
+      c.event_type = static_cast<EventTypeId>(t);
+      c.pattern = p;
+      c.support_event = static_cast<double>(event_hits[t]) / n;
+      c.support_pattern = support_pattern;
+      if (event_hits[t] > 0) {
+        c.confidence = static_cast<double>(joint[p * type_count + t]) /
+                       static_cast<double>(event_hits[t]);
+      }
+      if (support_pattern > 0.0) {
+        c.lift = c.confidence / support_pattern;
+      }
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<EventTypeId>> SuggestRelevantEvents(
+    const std::vector<Window>& history, const Pattern& pattern,
+    size_t type_count, double min_lift, double min_confidence) {
+  PatternRegistry one;
+  PLDP_ASSIGN_OR_RETURN(
+      Pattern copy,
+      Pattern::Create(pattern.name(), pattern.elements(), pattern.mode()));
+  PLDP_RETURN_IF_ERROR(one.Register(std::move(copy)).status());
+  PLDP_ASSIGN_OR_RETURN(auto correlations,
+                        AnalyzeEventPatternCorrelations(history, one,
+                                                        type_count));
+  std::vector<EventPatternCorrelation> candidates;
+  for (const auto& c : correlations) {
+    if (pattern.ContainsType(c.event_type)) continue;  // already declared
+    if (c.lift >= min_lift && c.confidence >= min_confidence) {
+      candidates.push_back(c);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const EventPatternCorrelation& a,
+               const EventPatternCorrelation& b) { return a.lift > b.lift; });
+  std::vector<EventTypeId> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates) out.push_back(c.event_type);
+  return out;
+}
+
+}  // namespace pldp

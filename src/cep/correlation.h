@@ -1,0 +1,64 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Event <-> pattern correlation analysis (the paper's §V-C future work).
+//
+// Data subjects are not privacy experts: their list of events relevant to
+// a private pattern can be incomplete, which risks privacy leakage through
+// correlated-but-undeclared events. The paper proposes estimating these
+// latent relationships from historical data. This module implements that
+// estimation with association-rule statistics over the history windows:
+//
+//   support(e)      = P(e occurs in a window)
+//   support(P)      = P(pattern P detected in a window)
+//   confidence(e→P) = P(P | e)
+//   lift(e→P)       = confidence / support(P)
+//
+// `SuggestRelevantEvents` surfaces event types that strongly co-occur with
+// a private pattern but are not among its declared elements — candidates
+// the data subject should consider protecting too.
+
+#ifndef PLDP_CEP_CORRELATION_H_
+#define PLDP_CEP_CORRELATION_H_
+
+#include <vector>
+
+#include "cep/matcher.h"
+#include "cep/pattern.h"
+#include "common/status.h"
+#include "stream/window.h"
+
+namespace pldp {
+
+/// Association statistics of one (event type, pattern) pair.
+struct EventPatternCorrelation {
+  EventTypeId event_type = kInvalidEventType;
+  PatternId pattern = kInvalidPattern;
+  /// P(event type occurs in a window).
+  double support_event = 0.0;
+  /// P(pattern detected in a window).
+  double support_pattern = 0.0;
+  /// P(pattern | event) — 0 when the event never occurs.
+  double confidence = 0.0;
+  /// confidence / support_pattern — 1 means independence; 0 when the
+  /// pattern never occurs.
+  double lift = 0.0;
+};
+
+/// Computes the statistics for every (type, pattern) pair over `history`.
+/// `type_count` bounds the event-type space (registry size). Result is
+/// ordered by (pattern, event type).
+StatusOr<std::vector<EventPatternCorrelation>>
+AnalyzeEventPatternCorrelations(const std::vector<Window>& history,
+                                const PatternRegistry& patterns,
+                                size_t type_count);
+
+/// Event types correlated with `pattern` (lift >= min_lift and
+/// confidence >= min_confidence) that are NOT declared elements of it —
+/// the §V-C "latent relationship" candidates. Ordered by descending lift.
+StatusOr<std::vector<EventTypeId>> SuggestRelevantEvents(
+    const std::vector<Window>& history, const Pattern& pattern,
+    size_t type_count, double min_lift = 1.5, double min_confidence = 0.1);
+
+}  // namespace pldp
+
+#endif  // PLDP_CEP_CORRELATION_H_

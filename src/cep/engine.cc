@@ -1,0 +1,52 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "cep/engine.h"
+
+namespace pldp {
+
+StatusOr<QueryId> CepEngine::RegisterQuery(const std::string& name,
+                                           PatternId target) {
+  if (!patterns_.Contains(target)) {
+    return Status::NotFound("query '" + name +
+                            "' references unknown pattern id " +
+                            std::to_string(target));
+  }
+  for (const BinaryQuery& q : queries_) {
+    if (q.name == name) {
+      return Status::AlreadyExists("query already registered: " + name);
+    }
+  }
+  BinaryQuery q;
+  q.id = static_cast<QueryId>(queries_.size());
+  q.name = name;
+  q.target = target;
+  queries_.push_back(q);
+  return q.id;
+}
+
+StatusOr<AnswerSeries> CepEngine::EvaluateQuery(
+    const std::vector<Window>& windows, QueryId query) const {
+  if (query >= queries_.size()) {
+    return Status::NotFound("unknown query id " + std::to_string(query));
+  }
+  const Pattern& target = patterns_.Get(queries_[query].target);
+  AnswerSeries series;
+  for (const Window& w : windows) {
+    PLDP_ASSIGN_OR_RETURN(bool hit, PatternOccursInWindow(w, target));
+    series.Append(hit);
+  }
+  return series;
+}
+
+StatusOr<std::vector<AnswerSeries>> CepEngine::EvaluateAll(
+    const std::vector<Window>& windows) const {
+  std::vector<AnswerSeries> out;
+  out.reserve(queries_.size());
+  for (const BinaryQuery& q : queries_) {
+    PLDP_ASSIGN_OR_RETURN(auto series, EvaluateQuery(windows, q.id));
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace pldp

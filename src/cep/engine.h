@@ -1,0 +1,75 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The plain (non-private) CEP engine.
+//
+// `CepEngine` owns the event-type and pattern registries, accepts query
+// registrations, and evaluates streams window-by-window into binary answer
+// series. It is the substrate that both ground-truth evaluation and the
+// privacy-preserving engine (core/private_engine.h) build on.
+
+#ifndef PLDP_CEP_ENGINE_H_
+#define PLDP_CEP_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cep/matcher.h"
+#include "cep/pattern.h"
+#include "cep/pattern_stream.h"
+#include "cep/query.h"
+#include "common/status.h"
+#include "stream/event_stream.h"
+#include "stream/window.h"
+
+namespace pldp {
+
+/// Window-based CEP engine with binary continuous queries.
+class CepEngine {
+ public:
+  CepEngine() = default;
+
+  /// Interns an event type name.
+  EventTypeId InternEventType(const std::string& name) {
+    return event_types_.Intern(name);
+  }
+
+  const EventTypeRegistry& event_types() const { return event_types_; }
+  EventTypeRegistry* mutable_event_types() { return &event_types_; }
+
+  /// Registers a pattern type.
+  StatusOr<PatternId> RegisterPattern(Pattern pattern) {
+    return patterns_.Register(std::move(pattern));
+  }
+
+  const PatternRegistry& patterns() const { return patterns_; }
+  PatternRegistry* mutable_patterns() { return &patterns_; }
+
+  /// Registers a continuous binary query against a registered pattern.
+  StatusOr<QueryId> RegisterQuery(const std::string& name, PatternId target);
+
+  const std::vector<BinaryQuery>& queries() const { return queries_; }
+
+  /// Evaluates one query over a window sequence: answer[w] = "target
+  /// pattern occurs in window w".
+  StatusOr<AnswerSeries> EvaluateQuery(const std::vector<Window>& windows,
+                                       QueryId query) const;
+
+  /// Evaluates every registered query; result is indexed by QueryId.
+  StatusOr<std::vector<AnswerSeries>> EvaluateAll(
+      const std::vector<Window>& windows) const;
+
+  /// Abstraction of the windows into the detected pattern stream.
+  StatusOr<PatternStream> Abstract(const std::vector<Window>& windows) const {
+    return BuildPatternStream(windows, patterns_);
+  }
+
+ private:
+  EventTypeRegistry event_types_;
+  PatternRegistry patterns_;
+  std::vector<BinaryQuery> queries_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_CEP_ENGINE_H_

@@ -1,0 +1,102 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "cep/pattern.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace pldp {
+
+std::string_view DetectionModeToString(DetectionMode mode) {
+  switch (mode) {
+    case DetectionMode::kSequence:
+      return "SEQ";
+    case DetectionMode::kConjunction:
+      return "AND";
+    case DetectionMode::kDisjunction:
+      return "OR";
+  }
+  return "?";
+}
+
+StatusOr<Pattern> Pattern::Create(std::string name,
+                                  std::vector<EventTypeId> elements,
+                                  DetectionMode mode) {
+  if (elements.empty()) {
+    return Status::InvalidArgument("pattern '" + name +
+                                   "' must have at least one element");
+  }
+  return Pattern(std::move(name), std::move(elements), mode);
+}
+
+bool Pattern::ContainsType(EventTypeId type) const {
+  return std::find(elements_.begin(), elements_.end(), type) !=
+         elements_.end();
+}
+
+std::vector<EventTypeId> Pattern::DistinctTypes() const {
+  std::vector<EventTypeId> out;
+  std::unordered_set<EventTypeId> seen;
+  for (EventTypeId t : elements_) {
+    if (seen.insert(t).second) out.push_back(t);
+  }
+  return out;
+}
+
+bool Pattern::TypeOverlaps(const Pattern& other) const {
+  std::unordered_set<EventTypeId> mine(elements_.begin(), elements_.end());
+  return std::any_of(other.elements_.begin(), other.elements_.end(),
+                     [&mine](EventTypeId t) { return mine.count(t) > 0; });
+}
+
+std::string Pattern::ToString(const EventTypeRegistry* registry) const {
+  std::vector<std::string> parts;
+  parts.reserve(elements_.size());
+  for (EventTypeId t : elements_) {
+    if (registry != nullptr) {
+      auto n = registry->Name(t);
+      parts.push_back(n.ok() ? n.value() : std::to_string(t));
+    } else {
+      parts.push_back(std::to_string(t));
+    }
+  }
+  return StrFormat("%s=%s(%s)", name_.c_str(),
+                   std::string(DetectionModeToString(mode_)).c_str(),
+                   Join(parts, ',').c_str());
+}
+
+StatusOr<PatternId> PatternRegistry::Register(Pattern pattern) {
+  for (const Pattern& p : patterns_) {
+    if (p.name() == pattern.name()) {
+      return Status::AlreadyExists("pattern already registered: " +
+                                   pattern.name());
+    }
+  }
+  PatternId id = static_cast<PatternId>(patterns_.size());
+  patterns_.push_back(std::move(pattern));
+  return id;
+}
+
+StatusOr<PatternId> PatternRegistry::LookupByName(
+    const std::string& name) const {
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (patterns_[i].name() == name) return static_cast<PatternId>(i);
+  }
+  return Status::NotFound("unknown pattern: " + name);
+}
+
+std::vector<PatternId> PatternRegistry::TypeOverlapping(PatternId id) const {
+  std::vector<PatternId> out;
+  if (!Contains(id)) return out;
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (i == id) continue;
+    if (patterns_[id].TypeOverlaps(patterns_[i])) {
+      out.push_back(static_cast<PatternId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace pldp

@@ -1,0 +1,63 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "cep/pattern_stream.h"
+
+#include <algorithm>
+
+namespace pldp {
+
+std::vector<PatternMatch> PatternStream::OfPattern(PatternId id) const {
+  std::vector<PatternMatch> out;
+  for (const PatternMatch& m : matches_) {
+    if (m.pattern == id) out.push_back(m);
+  }
+  return out;
+}
+
+bool PatternStream::InstancesOverlap(size_t i, size_t j) const {
+  const PatternMatch& a = matches_[i];
+  const PatternMatch& b = matches_[j];
+  if (a.window_index != b.window_index) return false;
+  for (size_t pa : a.event_positions) {
+    if (std::find(b.event_positions.begin(), b.event_positions.end(), pa) !=
+        b.event_positions.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<size_t, size_t>> PatternStream::OverlappingPairs()
+    const {
+  std::vector<std::pair<size_t, size_t>> out;
+  // Matches are ordered by window; restrict the quadratic scan to runs of
+  // equal window_index.
+  size_t run_start = 0;
+  for (size_t i = 0; i <= matches_.size(); ++i) {
+    if (i == matches_.size() ||
+        matches_[i].window_index != matches_[run_start].window_index) {
+      for (size_t a = run_start; a < i; ++a) {
+        for (size_t b = a + 1; b < i; ++b) {
+          if (InstancesOverlap(a, b)) out.emplace_back(a, b);
+        }
+      }
+      run_start = i;
+    }
+  }
+  return out;
+}
+
+StatusOr<PatternStream> BuildPatternStream(const std::vector<Window>& windows,
+                                           const PatternRegistry& registry) {
+  PatternStream stream;
+  for (size_t w = 0; w < windows.size(); ++w) {
+    for (PatternId p = 0; p < registry.size(); ++p) {
+      PLDP_ASSIGN_OR_RETURN(
+          auto match, FindMatchInWindow(windows[w], registry.Get(p), p, w));
+      if (match.has_value()) stream.Append(std::move(*match));
+    }
+  }
+  return stream;
+}
+
+}  // namespace pldp

@@ -1,0 +1,58 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Pattern streams (paper §III-A): the abstraction of an event stream into
+// the sequence of detected pattern instances S^P = (P_1, P_2, ...).
+//
+// Instance-level overlap ("overlapping patterns") is defined here: two
+// pattern instances overlap when they share at least one concrete event
+// occurrence. The paper notes that overlapping/repeating patterns receive
+// independent mechanism applications, which only adds noise — the DP
+// guarantee is unaffected; `OverlapReport` lets callers quantify this.
+
+#ifndef PLDP_CEP_PATTERN_STREAM_H_
+#define PLDP_CEP_PATTERN_STREAM_H_
+
+#include <vector>
+
+#include "cep/matcher.h"
+#include "cep/pattern.h"
+#include "common/status.h"
+#include "stream/window.h"
+
+namespace pldp {
+
+/// Ordered sequence of detected pattern instances.
+class PatternStream {
+ public:
+  PatternStream() = default;
+
+  void Append(PatternMatch match) { matches_.push_back(std::move(match)); }
+
+  size_t size() const { return matches_.size(); }
+  bool empty() const { return matches_.empty(); }
+  const PatternMatch& operator[](size_t i) const { return matches_[i]; }
+  const std::vector<PatternMatch>& matches() const { return matches_; }
+
+  /// Instances of one pattern type.
+  std::vector<PatternMatch> OfPattern(PatternId id) const;
+
+  /// True if instances i and j share an event occurrence
+  /// (same window and same event position).
+  bool InstancesOverlap(size_t i, size_t j) const;
+
+  /// All unordered overlapping instance pairs.
+  std::vector<std::pair<size_t, size_t>> OverlappingPairs() const;
+
+ private:
+  std::vector<PatternMatch> matches_;
+};
+
+/// Detects all registered patterns in every window (first match per pattern
+/// per window; the binary-query semantics need existence only) and returns
+/// the combined pattern stream ordered by (window, pattern id).
+StatusOr<PatternStream> BuildPatternStream(const std::vector<Window>& windows,
+                                           const PatternRegistry& registry);
+
+}  // namespace pldp
+
+#endif  // PLDP_CEP_PATTERN_STREAM_H_

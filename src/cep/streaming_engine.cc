@@ -1,0 +1,49 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "cep/streaming_engine.h"
+
+namespace pldp {
+
+StatusOr<size_t> StreamingCepEngine::AddQuery(Pattern pattern,
+                                              Timestamp window) {
+  if (pattern.length() == 0) {
+    return Status::InvalidArgument("query pattern must not be empty");
+  }
+  auto matcher = MakeIncrementalMatcher(pattern, window);
+  if (matcher == nullptr) {
+    return Status::Internal("no matcher for detection mode");
+  }
+  matchers_.push_back(std::move(matcher));
+  patterns_.push_back(std::move(pattern));
+  return matchers_.size() - 1;
+}
+
+StatusOr<std::vector<Timestamp>> StreamingCepEngine::DetectionsOf(
+    size_t query_index) const {
+  if (query_index >= matchers_.size()) {
+    return Status::OutOfRange("unknown query index " +
+                              std::to_string(query_index));
+  }
+  return matchers_[query_index]->detections();
+}
+
+void StreamingCepEngine::ResetState() {
+  for (auto& m : matchers_) m->Reset();
+  total_detections_ = 0;
+  events_processed_ = 0;
+}
+
+Status StreamingCepEngine::OnEvent(const Event& event) {
+  ++events_processed_;
+  for (size_t q = 0; q < matchers_.size(); ++q) {
+    if (matchers_[q]->OnEvent(event)) {
+      ++total_detections_;
+      if (callback_) {
+        callback_(StreamingDetection{q, event.timestamp()});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pldp

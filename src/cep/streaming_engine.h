@@ -1,0 +1,81 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Online CEP engine: the production-style counterpart to the window-batch
+// evaluation path. It subscribes to a stream replay (stream/replay.h) and
+// feeds every event to one incremental matcher per registered query,
+// emitting detections the moment they complete — no window materialization.
+//
+// The window-batch engine (engine.h) is what the paper's evaluation uses
+// (per-window binary answers); this engine exists because a deployed
+// trusted CEP middleware ingests events online. A property test
+// (tests/streaming_engine_test.cc) pins the equivalence of the two paths
+// on tumbling windows.
+
+#ifndef PLDP_CEP_STREAMING_ENGINE_H_
+#define PLDP_CEP_STREAMING_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cep/matcher.h"
+#include "cep/pattern.h"
+#include "common/status.h"
+#include "stream/replay.h"
+
+namespace pldp {
+
+/// A detection emitted by the streaming engine.
+struct StreamingDetection {
+  /// Which registered query fired.
+  size_t query_index = 0;
+  /// When the completing event arrived.
+  Timestamp at = 0;
+};
+
+/// Callback invoked on every detection (optional).
+using DetectionCallback = std::function<void(const StreamingDetection&)>;
+
+/// Event-at-a-time CEP engine.
+class StreamingCepEngine : public StreamSubscriber {
+ public:
+  StreamingCepEngine() = default;
+
+  /// Registers a continuous query: detect `pattern` with all elements within
+  /// `window` time units (<= 0: unbounded). Returns the query index.
+  StatusOr<size_t> AddQuery(Pattern pattern, Timestamp window);
+
+  /// Registers a detection callback (called synchronously from OnEvent).
+  void SetCallback(DetectionCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  size_t query_count() const { return matchers_.size(); }
+
+  /// Detections of one query so far (timestamps of completion).
+  StatusOr<std::vector<Timestamp>> DetectionsOf(size_t query_index) const;
+
+  /// Total number of detections across queries.
+  size_t total_detections() const { return total_detections_; }
+
+  /// Number of events ingested.
+  size_t events_processed() const { return events_processed_; }
+
+  /// Clears all matcher state and counters (queries stay registered).
+  void ResetState();
+
+  // StreamSubscriber:
+  Status OnEvent(const Event& event) override;
+
+ private:
+  std::vector<std::unique_ptr<IncrementalMatcher>> matchers_;
+  std::vector<Pattern> patterns_;
+  DetectionCallback callback_;
+  size_t total_detections_ = 0;
+  size_t events_processed_ = 0;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_CEP_STREAMING_ENGINE_H_

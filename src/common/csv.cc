@@ -1,0 +1,129 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace pldp {
+
+namespace {
+bool NeedsQuoting(const std::string& field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+}  // namespace
+
+std::string CsvEncodeRow(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    const std::string& f = fields[i];
+    if (NeedsQuoting(f, sep)) {
+      out.push_back('"');
+      for (char c : f) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::string>> CsvDecodeRow(const std::string& line,
+                                                char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!cur.empty()) {
+        return Status::InvalidArgument("quote inside unquoted field");
+      }
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+CsvWriter::CsvWriter(const std::string& path, char sep) : sep_(sep) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return status_;
+  std::string row = CsvEncodeRow(fields, sep_);
+  row.push_back('\n');
+  if (std::fwrite(row.data(), 1, row.size(), file_) != row.size()) {
+    status_ = Status::IoError("short write");
+  }
+  return status_;
+}
+
+Status CsvWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close failed");
+    }
+    file_ = nullptr;
+  }
+  if (status_.ok()) return Status::OK();
+  return status_;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, bool skip_header, char sep) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    PLDP_ASSIGN_OR_RETURN(auto fields, CsvDecodeRow(line, sep));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace pldp

@@ -1,0 +1,56 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Minimal CSV reading/writing for dataset export and experiment reports.
+// Supports quoting of fields that contain the separator, quotes, or
+// newlines (RFC 4180 subset; no embedded CR/LF round-tripping needed by
+// PLDP's fixed schemas, but quoted fields are parsed correctly).
+
+#ifndef PLDP_COMMON_CSV_H_
+#define PLDP_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pldp {
+
+/// Serializes one CSV row, quoting fields where required.
+std::string CsvEncodeRow(const std::vector<std::string>& fields,
+                         char sep = ',');
+
+/// Parses one CSV line (no embedded newlines) into fields.
+StatusOr<std::vector<std::string>> CsvDecodeRow(const std::string& line,
+                                                char sep = ',');
+
+/// Streaming CSV writer bound to a file path.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Check `status()` before use.
+  explicit CsvWriter(const std::string& path, char sep = ',');
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  Status status() const { return status_; }
+
+  /// Appends one row. No-op (keeping the first error) if already failed.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; further writes fail.
+  Status Close();
+
+ private:
+  FILE* file_ = nullptr;
+  char sep_;
+  Status status_;
+};
+
+/// Loads a whole CSV file into memory. `skip_header` drops the first row.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, bool skip_header = false, char sep = ',');
+
+}  // namespace pldp
+
+#endif  // PLDP_COMMON_CSV_H_

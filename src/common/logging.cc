@@ -1,0 +1,65 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace pldp {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >=
+               g_min_level.load(std::memory_order_relaxed)),
+      level_(level) {
+  if (enabled_) {
+    stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace pldp

@@ -1,0 +1,217 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Status and StatusOr: exception-free error handling for the PLDP library.
+//
+// The library follows the RocksDB/Abseil convention: fallible functions
+// return `Status` (or `StatusOr<T>` when they also produce a value) instead
+// of throwing. `Status` is cheap to copy in the OK case (no allocation).
+
+#ifndef PLDP_COMMON_STATUS_H_
+#define PLDP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace pldp {
+
+/// Canonical error space, modeled after the Abseil/gRPC canonical codes that
+/// the database ecosystem (RocksDB, Arrow) converged on.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kIoError = 9,
+  kPrivacyBudgetExceeded = 10,  ///< Domain-specific: a mechanism would
+                                ///< overspend its differential-privacy budget.
+};
+
+/// Human-readable name for a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status holds either success ("OK") or an error code plus message.
+///
+/// Typical usage:
+///
+///   Status DoWork() {
+///     if (bad) return Status::InvalidArgument("bad input");
+///     return Status::OK();
+///   }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(code, std::move(message))) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status PrivacyBudgetExceeded(std::string msg) {
+    return Status(StatusCode::kPrivacyBudgetExceeded, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsPrivacyBudgetExceeded() const {
+    return code() == StatusCode::kPrivacyBudgetExceeded;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // nullptr == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// StatusOr<T> holds either a T or a non-OK Status.
+///
+/// Access the value only after checking `ok()`; accessing the value of a
+/// non-OK StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr constructed from OK status");
+  }
+
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Early-return helpers (RocksDB/Arrow idiom).
+
+#define PLDP_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::pldp::Status _pldp_status = (expr);         \
+    if (!_pldp_status.ok()) return _pldp_status;  \
+  } while (false)
+
+#define PLDP_CONCAT_IMPL(a, b) a##b
+#define PLDP_CONCAT(a, b) PLDP_CONCAT_IMPL(a, b)
+
+#define PLDP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+/// PLDP_ASSIGN_OR_RETURN(auto x, MaybeMakeX()) — assigns on success,
+/// propagates the error status otherwise.
+#define PLDP_ASSIGN_OR_RETURN(lhs, expr) \
+  PLDP_ASSIGN_OR_RETURN_IMPL(PLDP_CONCAT(_pldp_sor_, __LINE__), lhs, expr)
+
+}  // namespace pldp
+
+#endif  // PLDP_COMMON_STATUS_H_

@@ -1,0 +1,87 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The experiment pipeline behind every figure reproduction:
+//
+//   dataset → (history | evaluation windows)
+//           → mechanism initialized with pattern-level ε (and history)
+//           → repetitions: publish every evaluation window, answer every
+//             target query from the published views, accumulate the
+//             confusion matrix against ground truth
+//           → Q = α·Prec + (1−α)·Rec per repetition
+//           → MRE = (Q_ord − Q_ppm)/Q_ord   averaged over repetitions.
+//
+// Ground truth uses the same binary-query reduction as the mechanisms
+// (PatternDetectedInView over the truthful view), so the comparison
+// isolates exactly the mechanism's noise.
+
+#ifndef PLDP_CORE_EVALUATION_H_
+#define PLDP_CORE_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/math_utils.h"
+#include "common/status.h"
+#include "datasets/dataset.h"
+#include "ppm/factory.h"
+#include "quality/report.h"
+
+namespace pldp {
+
+/// One experiment configuration.
+struct EvaluationConfig {
+  /// Mechanism name understood by MakeMechanism.
+  std::string mechanism = "uniform";
+  /// Pattern-level privacy budget ε per private pattern.
+  double epsilon = 1.0;
+  /// Quality trade-off α (paper: 0.5).
+  double alpha = 0.5;
+  /// Monte-Carlo repetitions of the service phase.
+  size_t repetitions = 20;
+  /// Base seed; repetition r uses an independent fork.
+  uint64_t seed = 0x51f0a1b2c3d4e5f6ULL;
+  /// Fraction of windows used as history for adaptive tuning.
+  double history_fraction = 0.3;
+  /// Options forwarded to the mechanism factory.
+  MechanismFactoryOptions mechanism_options;
+};
+
+/// Aggregated outcome of one configuration.
+struct EvaluationResult {
+  std::string mechanism;
+  double epsilon = 0.0;
+  /// Quality without any PPM (1.0 by construction of the reduction, kept
+  /// explicit for the MRE formula).
+  double q_ordinary = 1.0;
+  RunningStats q_ppm;
+  RunningStats precision;
+  RunningStats recall;
+  RunningStats mre;
+};
+
+/// Runs one configuration against a dataset.
+StatusOr<EvaluationResult> RunEvaluation(const Dataset& dataset,
+                                         const EvaluationConfig& config);
+
+/// Sweeps mechanisms × ε values; returns rows (mechanism) × columns (ε) of
+/// mean MRE — the series of the paper's Fig. 4.
+struct SweepResult {
+  std::vector<std::string> mechanisms;
+  std::vector<double> epsilons;
+  /// mre[m][e]: mean MRE of mechanisms[m] at epsilons[e].
+  std::vector<std::vector<double>> mre;
+  /// Standard errors, same shape.
+  std::vector<std::vector<double>> mre_sem;
+
+  /// Renders as a table with one row per mechanism.
+  ResultTable ToTable(int precision = 4) const;
+};
+
+StatusOr<SweepResult> SweepEpsilons(const Dataset& dataset,
+                                    const std::vector<std::string>& mechanisms,
+                                    const std::vector<double>& epsilons,
+                                    const EvaluationConfig& base_config);
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_EVALUATION_H_

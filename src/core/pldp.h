@@ -1,0 +1,66 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Umbrella header: include <core/pldp.h> to get the whole public API.
+//
+// Library map:
+//   common/    Status/StatusOr, deterministic Rng, logging, CSV, math
+//   event/     Value, Event, EventTypeRegistry
+//   stream/    EventStream, windowing, merge, replay, CSV persistence
+//   cep/       Pattern, predicates, matchers, queries, CepEngine
+//   dp/        budgets, randomized response, Laplace, composition,
+//              budget conversion, neighbor models
+//   ppm/       PrivacyMechanism: uniform/adaptive pattern-level PPMs,
+//              BD/BA/landmark baselines, factory
+//   quality/   precision/recall/Q/MRE metrics, report tables
+//   datasets/  Algorithm-2 synthetic generator, taxi simulator
+//   core/      PrivateCepEngine facade, evaluation pipeline
+
+#ifndef PLDP_CORE_PLDP_H_
+#define PLDP_CORE_PLDP_H_
+
+#include "cep/engine.h"
+#include "cep/matcher.h"
+#include "cep/pattern.h"
+#include "cep/correlation.h"
+#include "cep/pattern_stream.h"
+#include "cep/predicate.h"
+#include "cep/query.h"
+#include "cep/streaming_engine.h"
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "core/evaluation.h"
+#include "core/private_engine.h"
+#include "datasets/dataset.h"
+#include "datasets/synthetic.h"
+#include "datasets/taxi.h"
+#include "datasets/tdrive_loader.h"
+#include "dp/budget.h"
+#include "dp/budget_conversion.h"
+#include "dp/composition.h"
+#include "dp/exponential.h"
+#include "dp/laplace.h"
+#include "dp/ledger.h"
+#include "dp/neighbors.h"
+#include "dp/randomized_response.h"
+#include "event/event.h"
+#include "event/event_type.h"
+#include "event/value.h"
+#include "ppm/adaptive.h"
+#include "ppm/factory.h"
+#include "ppm/landmark.h"
+#include "ppm/mechanism.h"
+#include "ppm/numeric.h"
+#include "ppm/pattern_level.h"
+#include "ppm/w_event.h"
+#include "quality/metrics.h"
+#include "quality/report.h"
+#include "stream/event_stream.h"
+#include "stream/replay.h"
+#include "stream/stream_io.h"
+#include "stream/window.h"
+
+#endif  // PLDP_CORE_PLDP_H_

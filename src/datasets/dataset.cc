@@ -1,0 +1,28 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "datasets/dataset.h"
+
+#include <cmath>
+
+namespace pldp {
+
+StatusOr<std::pair<std::vector<Window>, std::vector<Window>>>
+Dataset::SplitHistory(double fraction) const {
+  if (!(fraction > 0.0) || !(fraction < 1.0)) {
+    return Status::InvalidArgument("history fraction must be in (0, 1)");
+  }
+  if (windows.size() < 2) {
+    return Status::FailedPrecondition("need at least two windows to split");
+  }
+  size_t cut = static_cast<size_t>(
+      std::lround(fraction * static_cast<double>(windows.size())));
+  if (cut == 0) cut = 1;
+  if (cut >= windows.size()) cut = windows.size() - 1;
+  std::vector<Window> history(windows.begin(),
+                              windows.begin() + static_cast<ptrdiff_t>(cut));
+  std::vector<Window> evaluation(
+      windows.begin() + static_cast<ptrdiff_t>(cut), windows.end());
+  return std::make_pair(std::move(history), std::move(evaluation));
+}
+
+}  // namespace pldp

@@ -1,0 +1,39 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The common shape of an experiment dataset: an event-type space, a window
+// sequence (the evaluation points), the registered patterns, and which of
+// them are private / target. Both generators (synthetic.h, taxi.h) produce
+// this; the evaluation pipeline (core/evaluation.h) consumes it.
+
+#ifndef PLDP_DATASETS_DATASET_H_
+#define PLDP_DATASETS_DATASET_H_
+
+#include <vector>
+
+#include "cep/pattern.h"
+#include "common/status.h"
+#include "event/event_type.h"
+#include "stream/window.h"
+
+namespace pldp {
+
+/// A fully prepared experiment dataset.
+struct Dataset {
+  EventTypeRegistry event_types;
+  PatternRegistry patterns;
+  /// Evaluation windows, in temporal order.
+  std::vector<Window> windows;
+  /// Pattern ids the data subjects declared private.
+  std::vector<PatternId> private_patterns;
+  /// Pattern ids the consumers query (the paper's target patterns).
+  std::vector<PatternId> target_patterns;
+
+  /// Splits off the first `fraction` of the windows as history for adaptive
+  /// tuning; the remainder is the evaluation set. fraction in (0,1).
+  StatusOr<std::pair<std::vector<Window>, std::vector<Window>>> SplitHistory(
+      double fraction) const;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_DATASETS_DATASET_H_

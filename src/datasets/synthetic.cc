@@ -1,0 +1,101 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace pldp {
+
+StatusOr<SyntheticDataset> GenerateSynthetic(const SyntheticOptions& options,
+                                             uint64_t seed) {
+  if (options.num_event_types == 0 || options.num_windows == 0 ||
+      options.num_patterns == 0 || options.pattern_length == 0) {
+    return Status::InvalidArgument("all synthetic sizes must be > 0");
+  }
+  if (options.pattern_length > options.num_event_types) {
+    return Status::InvalidArgument(
+        "pattern length cannot exceed the number of event types");
+  }
+  if (options.num_private + (options.disjoint_roles ? options.num_target : 0) >
+      options.num_patterns) {
+    return Status::InvalidArgument(
+        "private + target exceeds the number of patterns");
+  }
+  if (options.num_target > options.num_patterns) {
+    return Status::InvalidArgument("more targets than patterns");
+  }
+  if (!(options.min_occurrence >= 0.0) ||
+      !(options.max_occurrence <= 1.0) ||
+      !(options.min_occurrence <= options.max_occurrence)) {
+    return Status::InvalidArgument("bad occurrence probability range");
+  }
+
+  Rng rng(seed);
+  SyntheticDataset out;
+  Dataset& ds = out.dataset;
+
+  // Step 1: event types e0..eN-1.
+  ds.event_types =
+      EventTypeRegistry::MakeDense(options.num_event_types, "e");
+
+  // Step 2: natural occurrence probabilities.
+  out.occurrence_probabilities.resize(options.num_event_types);
+  for (double& p : out.occurrence_probabilities) {
+    p = rng.UniformDouble(options.min_occurrence, options.max_occurrence);
+  }
+
+  // Steps 3-11: windows L_1..L_M; each event type occurs independently with
+  // its natural probability. Window m covers timestamp m.
+  ds.windows.reserve(options.num_windows);
+  for (size_t m = 0; m < options.num_windows; ++m) {
+    Window w;
+    w.start = static_cast<Timestamp>(m);
+    w.end = static_cast<Timestamp>(m) + 1;
+    for (size_t t = 0; t < options.num_event_types; ++t) {
+      if (rng.Bernoulli(out.occurrence_probabilities[t])) {
+        w.events.emplace_back(static_cast<EventTypeId>(t), w.start);
+      }
+    }
+    ds.windows.push_back(std::move(w));
+  }
+
+  // Step 14: assign `pattern_length` random (distinct) events to each
+  // pattern; detection is conjunction within a window.
+  for (size_t k = 0; k < options.num_patterns; ++k) {
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(
+        options.num_event_types, options.pattern_length);
+    std::vector<EventTypeId> elems;
+    elems.reserve(picks.size());
+    for (size_t p : picks) elems.push_back(static_cast<EventTypeId>(p));
+    PLDP_ASSIGN_OR_RETURN(
+        Pattern pattern,
+        Pattern::Create(StrFormat("P%zu", k), std::move(elems),
+                        DetectionMode::kConjunction));
+    PLDP_ASSIGN_OR_RETURN(PatternId id, ds.patterns.Register(std::move(pattern)));
+    (void)id;
+  }
+
+  // Step 13: random private / target roles.
+  std::vector<size_t> order = rng.SampleWithoutReplacement(
+      options.num_patterns, options.num_patterns);
+  for (size_t i = 0; i < options.num_private; ++i) {
+    ds.private_patterns.push_back(static_cast<PatternId>(order[i]));
+  }
+  size_t target_offset = options.disjoint_roles ? options.num_private : 0;
+  if (!options.disjoint_roles) {
+    // Redraw so targets are independent of the private selection.
+    order = rng.SampleWithoutReplacement(options.num_patterns,
+                                         options.num_patterns);
+  }
+  for (size_t i = 0; i < options.num_target; ++i) {
+    ds.target_patterns.push_back(
+        static_cast<PatternId>(order[target_offset + i]));
+  }
+  std::sort(ds.private_patterns.begin(), ds.private_patterns.end());
+  std::sort(ds.target_patterns.begin(), ds.target_patterns.end());
+  return out;
+}
+
+}  // namespace pldp

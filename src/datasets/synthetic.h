@@ -1,0 +1,63 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Synthetic dataset generator — the paper's Algorithm 2.
+//
+//   1. Define N basic event types e_0..e_{N-1} (paper: N = 20).
+//   2. Draw a natural occurrence probability Pr(e_i) ~ U(0,1) per type.
+//   3. Produce M windows (paper: M = 1000); within window L_m each type
+//      occurs independently with probability Pr(e_i).
+//   4. Define K patterns (paper: K = 20), each a random combination of
+//      `pattern_length` (paper: 3) event types; a pattern is detected in a
+//      window when all its events are contained in it (conjunction).
+//   5. Mark `num_private` patterns private and `num_target` target
+//      (paper: 3 and 5).
+//
+// All draws come from one seeded Rng, so a given (options, seed) pair
+// reproduces the dataset exactly.
+
+#ifndef PLDP_DATASETS_SYNTHETIC_H_
+#define PLDP_DATASETS_SYNTHETIC_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "datasets/dataset.h"
+
+namespace pldp {
+
+/// Parameters of Algorithm 2 (defaults = the paper's values).
+struct SyntheticOptions {
+  size_t num_event_types = 20;
+  size_t num_windows = 1000;
+  size_t num_patterns = 20;
+  size_t pattern_length = 3;
+  size_t num_private = 3;
+  size_t num_target = 5;
+  /// When true (default), target patterns are drawn from the non-private
+  /// ones (disjoint roles, as in Algorithm 2 line 13); correlation between
+  /// private and target still arises from shared *event types*. When
+  /// false, targets may also be private patterns.
+  bool disjoint_roles = true;
+  /// Occurrence probabilities Pr(e_i) are clamped into this range; the
+  /// paper draws from U(0,1), where extreme values make patterns that never
+  /// or always fire. Defaults keep the full range.
+  double min_occurrence = 0.0;
+  double max_occurrence = 1.0;
+};
+
+/// Result of the generator: a Dataset plus the generator's internals that
+/// experiments sometimes inspect.
+struct SyntheticDataset {
+  Dataset dataset;
+  /// Pr(e_i) per event type.
+  std::vector<double> occurrence_probabilities;
+};
+
+/// Runs Algorithm 2 with the given options and seed.
+StatusOr<SyntheticDataset> GenerateSynthetic(const SyntheticOptions& options,
+                                             uint64_t seed);
+
+}  // namespace pldp
+
+#endif  // PLDP_DATASETS_SYNTHETIC_H_

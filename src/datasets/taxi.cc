@@ -1,0 +1,187 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "datasets/taxi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "stream/window.h"
+
+namespace pldp {
+
+namespace {
+
+struct Cell {
+  int64_t x = 0;
+  int64_t y = 0;
+};
+
+int64_t CellId(const Cell& c, size_t width) {
+  return c.y * static_cast<int64_t>(width) + c.x;
+}
+
+/// One step of the hotspot-biased random walk.
+Cell Step(const Cell& cur, const Cell& goal, const TaxiOptions& opt,
+          Rng* rng) {
+  if (rng->Bernoulli(opt.stay_probability)) return cur;
+  Cell next = cur;
+  if (rng->Bernoulli(opt.hotspot_bias)) {
+    // Move one step toward the goal (Manhattan greedy; x first or y first
+    // at random so routes differ).
+    bool x_first = rng->Bernoulli(0.5);
+    auto step_x = [&]() {
+      if (goal.x > next.x) ++next.x;
+      else if (goal.x < next.x) --next.x;
+    };
+    auto step_y = [&]() {
+      if (goal.y > next.y) ++next.y;
+      else if (goal.y < next.y) --next.y;
+    };
+    if (x_first) {
+      step_x();
+      if (next.x == cur.x) step_y();
+    } else {
+      step_y();
+      if (next.y == cur.y) step_x();
+    }
+  } else {
+    // Uniform move among the 4 neighbours (clamped at borders).
+    switch (rng->UniformUint64(4)) {
+      case 0: ++next.x; break;
+      case 1: --next.x; break;
+      case 2: ++next.y; break;
+      default: --next.y; break;
+    }
+  }
+  next.x = std::clamp<int64_t>(next.x, 0,
+                               static_cast<int64_t>(opt.grid_width) - 1);
+  next.y = std::clamp<int64_t>(next.y, 0,
+                               static_cast<int64_t>(opt.grid_height) - 1);
+  return next;
+}
+
+}  // namespace
+
+StatusOr<TaxiDataset> GenerateTaxi(const TaxiOptions& options, uint64_t seed) {
+  if (options.grid_width == 0 || options.grid_height == 0) {
+    return Status::InvalidArgument("grid dimensions must be > 0");
+  }
+  if (options.num_taxis == 0 || options.num_ticks == 0) {
+    return Status::InvalidArgument("fleet size and ticks must be > 0");
+  }
+  if (options.sampling_interval_s <= 0) {
+    return Status::InvalidArgument("sampling interval must be > 0");
+  }
+  if (options.window_ticks == 0) {
+    return Status::InvalidArgument("window span must be > 0");
+  }
+  if (!(options.private_cell_fraction > 0.0) ||
+      options.private_cell_fraction >= 1.0 ||
+      !(options.target_cell_fraction > 0.0) ||
+      options.target_cell_fraction > 1.0 ||
+      options.private_target_overlap < 0.0 ||
+      options.private_target_overlap > 1.0) {
+    return Status::InvalidArgument("bad area fractions");
+  }
+
+  const size_t num_cells = options.grid_width * options.grid_height;
+  Rng rng(seed);
+  TaxiDataset out;
+  Dataset& ds = out.dataset;
+
+  // Event types: one per cell.
+  ds.event_types = EventTypeRegistry::MakeDense(num_cells, "cell_");
+
+  // --- Area labelling (paper's proportions) -------------------------------
+  size_t num_private = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(options.private_cell_fraction *
+                                         static_cast<double>(num_cells))));
+  std::vector<size_t> shuffled =
+      rng.SampleWithoutReplacement(num_cells, num_cells);
+  std::unordered_set<size_t> private_set(shuffled.begin(),
+                                         shuffled.begin() + num_private);
+
+  // Target = overlap share of the private area + non-private fill up to the
+  // overall target fraction.
+  size_t overlap_count = static_cast<size_t>(std::lround(
+      options.private_target_overlap * static_cast<double>(num_private)));
+  size_t total_target = static_cast<size_t>(std::lround(
+      options.target_cell_fraction * static_cast<double>(num_cells)));
+  std::unordered_set<size_t> target_set;
+  // Private cells appear first in `shuffled`; take the overlap from them.
+  for (size_t i = 0; i < overlap_count && i < num_private; ++i) {
+    target_set.insert(shuffled[i]);
+  }
+  for (size_t i = num_private;
+       i < num_cells && target_set.size() < total_target; ++i) {
+    target_set.insert(shuffled[i]);
+  }
+
+  for (size_t c : private_set) out.private_cells.push_back(
+      static_cast<int64_t>(c));
+  for (size_t c : target_set) out.target_cells.push_back(
+      static_cast<int64_t>(c));
+  std::sort(out.private_cells.begin(), out.private_cells.end());
+  std::sort(out.target_cells.begin(), out.target_cells.end());
+
+  // --- Trajectories --------------------------------------------------------
+  std::vector<Cell> hotspots;
+  hotspots.reserve(std::max<size_t>(options.num_hotspots, 1));
+  for (size_t h = 0; h < std::max<size_t>(options.num_hotspots, 1); ++h) {
+    hotspots.push_back(
+        {static_cast<int64_t>(rng.UniformUint64(options.grid_width)),
+         static_cast<int64_t>(rng.UniformUint64(options.grid_height))});
+  }
+
+  std::vector<EventStream> per_taxi(options.num_taxis);
+  for (size_t taxi = 0; taxi < options.num_taxis; ++taxi) {
+    Rng taxi_rng = rng.Fork();
+    Cell cur{static_cast<int64_t>(taxi_rng.UniformUint64(options.grid_width)),
+             static_cast<int64_t>(taxi_rng.UniformUint64(options.grid_height))};
+    Cell goal = hotspots[taxi_rng.UniformUint64(hotspots.size())];
+    for (size_t tick = 0; tick < options.num_ticks; ++tick) {
+      if (taxi_rng.Bernoulli(options.goal_change_probability)) {
+        goal = hotspots[taxi_rng.UniformUint64(hotspots.size())];
+      }
+      cur = Step(cur, goal, options, &taxi_rng);
+      int64_t cell = CellId(cur, options.grid_width);
+      Event e(static_cast<EventTypeId>(cell),
+              static_cast<Timestamp>(tick) * options.sampling_interval_s,
+              static_cast<StreamId>(taxi));
+      e.SetAttribute("cell", Value(cell));
+      per_taxi[taxi].AppendUnchecked(std::move(e));
+    }
+  }
+  out.merged_stream = MergeStreams(per_taxi);
+
+  // --- Windows --------------------------------------------------------------
+  TumblingWindower windower(static_cast<Timestamp>(options.window_ticks) *
+                            options.sampling_interval_s);
+  PLDP_ASSIGN_OR_RETURN(ds.windows, windower.Apply(out.merged_stream));
+
+  // --- Patterns --------------------------------------------------------------
+  // One single-element pattern per private cell and per target cell.
+  for (int64_t c : out.private_cells) {
+    PLDP_ASSIGN_OR_RETURN(
+        Pattern p, Pattern::Create(StrFormat("priv_cell_%lld",
+                                             static_cast<long long>(c)),
+                                   {static_cast<EventTypeId>(c)},
+                                   DetectionMode::kDisjunction));
+    PLDP_ASSIGN_OR_RETURN(PatternId id, ds.patterns.Register(std::move(p)));
+    ds.private_patterns.push_back(id);
+  }
+  for (int64_t c : out.target_cells) {
+    PLDP_ASSIGN_OR_RETURN(
+        Pattern p, Pattern::Create(StrFormat("tgt_cell_%lld",
+                                             static_cast<long long>(c)),
+                                   {static_cast<EventTypeId>(c)},
+                                   DetectionMode::kDisjunction));
+    PLDP_ASSIGN_OR_RETURN(PatternId id, ds.patterns.Register(std::move(p)));
+    ds.target_patterns.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace pldp

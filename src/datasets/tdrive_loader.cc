@@ -1,0 +1,242 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "datasets/tdrive_loader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "stream/window.h"
+
+namespace pldp {
+
+namespace {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+StatusOr<int64_t> CivilToUnixSeconds(int year, int month, int day, int hour,
+                                     int minute, int second) {
+  if (year < 1970 || month < 1 || month > 12 || day < 1 ||
+      day > DaysInMonth(year, month) || hour < 0 || hour > 23 || minute < 0 ||
+      minute > 59 || second < 0 || second > 60) {
+    return Status::InvalidArgument(
+        StrFormat("invalid civil time %04d-%02d-%02d %02d:%02d:%02d", year,
+                  month, day, hour, minute, second));
+  }
+  int64_t days = 0;
+  for (int y = 1970; y < year; ++y) days += IsLeapYear(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) days += DaysInMonth(year, m);
+  days += day - 1;
+  return ((days * 24 + hour) * 60 + minute) * 60 + second;
+}
+
+StatusOr<TDriveFix> ParseTDriveLine(const std::string& line) {
+  // taxi_id,YYYY-MM-DD HH:MM:SS,longitude,latitude
+  std::vector<std::string> fields = Split(line, ',');
+  if (fields.size() != 4) {
+    return Status::InvalidArgument("expected 4 comma-separated fields, got " +
+                                   std::to_string(fields.size()));
+  }
+  TDriveFix fix;
+  PLDP_ASSIGN_OR_RETURN(fix.taxi_id, ParseInt64(fields[0]));
+
+  const std::string& dt = std::string(Trim(fields[1]));
+  // "YYYY-MM-DD HH:MM:SS" is exactly 19 chars with fixed separators.
+  if (dt.size() != 19 || dt[4] != '-' || dt[7] != '-' || dt[10] != ' ' ||
+      dt[13] != ':' || dt[16] != ':') {
+    return Status::InvalidArgument("malformed datetime: '" + dt + "'");
+  }
+  PLDP_ASSIGN_OR_RETURN(int64_t year, ParseInt64(dt.substr(0, 4)));
+  PLDP_ASSIGN_OR_RETURN(int64_t month, ParseInt64(dt.substr(5, 2)));
+  PLDP_ASSIGN_OR_RETURN(int64_t day, ParseInt64(dt.substr(8, 2)));
+  PLDP_ASSIGN_OR_RETURN(int64_t hour, ParseInt64(dt.substr(11, 2)));
+  PLDP_ASSIGN_OR_RETURN(int64_t minute, ParseInt64(dt.substr(14, 2)));
+  PLDP_ASSIGN_OR_RETURN(int64_t second, ParseInt64(dt.substr(17, 2)));
+  PLDP_ASSIGN_OR_RETURN(
+      fix.unix_seconds,
+      CivilToUnixSeconds(static_cast<int>(year), static_cast<int>(month),
+                         static_cast<int>(day), static_cast<int>(hour),
+                         static_cast<int>(minute), static_cast<int>(second)));
+
+  PLDP_ASSIGN_OR_RETURN(fix.longitude, ParseDouble(fields[2]));
+  PLDP_ASSIGN_OR_RETURN(fix.latitude, ParseDouble(fields[3]));
+  return fix;
+}
+
+StatusOr<TaxiDataset> LoadTDriveFiles(const std::vector<std::string>& files,
+                                      const TDriveOptions& options) {
+  if (files.empty()) {
+    return Status::InvalidArgument("no T-Drive files given");
+  }
+  if (options.grid_width == 0 || options.grid_height == 0) {
+    return Status::InvalidArgument("grid dimensions must be > 0");
+  }
+  const GeoBounds& b = options.bounds;
+  if (!(b.min_longitude < b.max_longitude) ||
+      !(b.min_latitude < b.max_latitude)) {
+    return Status::InvalidArgument("degenerate bounding box");
+  }
+  if (options.window_seconds <= 0) {
+    return Status::InvalidArgument("window_seconds must be > 0");
+  }
+
+  const size_t num_cells = options.grid_width * options.grid_height;
+  TaxiDataset out;
+  Dataset& ds = out.dataset;
+  ds.event_types = EventTypeRegistry::MakeDense(num_cells, "cell_");
+
+  // --- Parse trajectories ----------------------------------------------------
+  std::vector<EventStream> per_taxi;
+  size_t loaded = 0;
+  for (const std::string& path : files) {
+    if (options.max_files > 0 && loaded >= options.max_files) break;
+    std::ifstream in(path);
+    if (!in.is_open()) {
+      return Status::IoError("cannot open T-Drive file: " + path);
+    }
+    std::vector<Event> events;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (Trim(line).empty()) continue;
+      auto fix = ParseTDriveLine(line);
+      if (!fix.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: %s", path.c_str(), line_no,
+                      fix.status().message().c_str()));
+      }
+      // Drop fixes outside the bounding box (the raw data has GPS noise).
+      if (fix->longitude < b.min_longitude ||
+          fix->longitude >= b.max_longitude ||
+          fix->latitude < b.min_latitude || fix->latitude >= b.max_latitude) {
+        continue;
+      }
+      auto grid_x = static_cast<int64_t>(
+          (fix->longitude - b.min_longitude) /
+          (b.max_longitude - b.min_longitude) *
+          static_cast<double>(options.grid_width));
+      auto grid_y = static_cast<int64_t>(
+          (fix->latitude - b.min_latitude) /
+          (b.max_latitude - b.min_latitude) *
+          static_cast<double>(options.grid_height));
+      grid_x = std::min<int64_t>(grid_x,
+                                 static_cast<int64_t>(options.grid_width) - 1);
+      grid_y = std::min<int64_t>(
+          grid_y, static_cast<int64_t>(options.grid_height) - 1);
+      int64_t cell = grid_y * static_cast<int64_t>(options.grid_width) + grid_x;
+      Event e(static_cast<EventTypeId>(cell), fix->unix_seconds,
+              static_cast<StreamId>(loaded));
+      e.SetAttribute("cell", Value(cell));
+      e.SetAttribute("taxi", Value(fix->taxi_id));
+      events.push_back(std::move(e));
+    }
+    // Raw files are usually time-ordered but contain occasional clock
+    // regressions; sort to restore the invariant.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& x, const Event& y) {
+                       return x.timestamp() < y.timestamp();
+                     });
+    EventStream stream;
+    stream.Reserve(events.size());
+    for (Event& e : events) stream.AppendUnchecked(std::move(e));
+    per_taxi.push_back(std::move(stream));
+    ++loaded;
+  }
+  out.merged_stream = MergeStreams(per_taxi);
+  if (out.merged_stream.empty()) {
+    return Status::InvalidArgument(
+        "no fixes inside the bounding box — check GeoBounds");
+  }
+
+  // --- Windows -----------------------------------------------------------------
+  TumblingWindower windower(options.window_seconds,
+                            out.merged_stream.min_timestamp());
+  PLDP_ASSIGN_OR_RETURN(ds.windows, windower.Apply(out.merged_stream));
+
+  // --- Area labelling (same construction as the simulator) ----------------------
+  Rng rng(options.area_seed);
+  size_t num_private = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(options.private_cell_fraction *
+                                         static_cast<double>(num_cells))));
+  std::vector<size_t> shuffled =
+      rng.SampleWithoutReplacement(num_cells, num_cells);
+  size_t overlap_count = static_cast<size_t>(std::lround(
+      options.private_target_overlap * static_cast<double>(num_private)));
+  size_t total_target = static_cast<size_t>(std::lround(
+      options.target_cell_fraction * static_cast<double>(num_cells)));
+
+  std::unordered_set<size_t> target_set;
+  for (size_t i = 0; i < overlap_count && i < num_private; ++i) {
+    target_set.insert(shuffled[i]);
+  }
+  for (size_t i = num_private;
+       i < num_cells && target_set.size() < total_target; ++i) {
+    target_set.insert(shuffled[i]);
+  }
+  for (size_t i = 0; i < num_private; ++i) {
+    out.private_cells.push_back(static_cast<int64_t>(shuffled[i]));
+  }
+  for (size_t c : target_set) {
+    out.target_cells.push_back(static_cast<int64_t>(c));
+  }
+  std::sort(out.private_cells.begin(), out.private_cells.end());
+  std::sort(out.target_cells.begin(), out.target_cells.end());
+
+  for (int64_t c : out.private_cells) {
+    PLDP_ASSIGN_OR_RETURN(
+        Pattern p, Pattern::Create(StrFormat("priv_cell_%lld",
+                                             static_cast<long long>(c)),
+                                   {static_cast<EventTypeId>(c)},
+                                   DetectionMode::kDisjunction));
+    PLDP_ASSIGN_OR_RETURN(PatternId id, ds.patterns.Register(std::move(p)));
+    ds.private_patterns.push_back(id);
+  }
+  for (int64_t c : out.target_cells) {
+    PLDP_ASSIGN_OR_RETURN(
+        Pattern p, Pattern::Create(StrFormat("tgt_cell_%lld",
+                                             static_cast<long long>(c)),
+                                   {static_cast<EventTypeId>(c)},
+                                   DetectionMode::kDisjunction));
+    PLDP_ASSIGN_OR_RETURN(PatternId id, ds.patterns.Register(std::move(p)));
+    ds.target_patterns.push_back(id);
+  }
+  return out;
+}
+
+StatusOr<TaxiDataset> LoadTDriveDirectory(const std::string& directory,
+                                          const TDriveOptions& options) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot list directory: " + directory + ": " +
+                           ec.message());
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == ".txt") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic taxi ordering
+  if (files.empty()) {
+    return Status::NotFound("no .txt files in " + directory);
+  }
+  return LoadTDriveFiles(files, options);
+}
+
+}  // namespace pldp

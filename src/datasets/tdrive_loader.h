@@ -1,0 +1,82 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Loader for the real T-Drive trajectory files (Yuan et al., KDD'11) —
+// the dataset the paper evaluates on. The files are not redistributable
+// with this repository, but users who obtain them from Microsoft Research
+// can reproduce the Taxi experiment on the genuine data instead of the
+// simulator.
+//
+// T-Drive format: one text file per taxi, lines of
+//   taxi_id,YYYY-MM-DD HH:MM:SS,longitude,latitude
+//
+// The loader grid-maps the GPS fixes onto `grid_width` × `grid_height`
+// cells over the data's bounding box (configurable to the paper's Beijing
+// extent), emits one cell-visit event per fix, merges all taxis into one
+// temporally ordered stream, and labels private/target cell areas with the
+// same proportions as the simulator (paper §VI-A1: 20 % private, 50 %
+// target, half the private area also target).
+
+#ifndef PLDP_DATASETS_TDRIVE_LOADER_H_
+#define PLDP_DATASETS_TDRIVE_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datasets/taxi.h"
+
+namespace pldp {
+
+/// Geographic bounding box; fixes outside it are dropped.
+struct GeoBounds {
+  double min_longitude = 116.0;  // Beijing extent (paper's dataset)
+  double max_longitude = 116.8;
+  double min_latitude = 39.6;
+  double max_latitude = 40.2;
+};
+
+/// Loader configuration.
+struct TDriveOptions {
+  GeoBounds bounds;
+  size_t grid_width = 32;
+  size_t grid_height = 32;
+  /// Evaluation window length in seconds (paper cadence: 177 s).
+  int64_t window_seconds = 177;
+  /// Area proportions (paper defaults).
+  double private_cell_fraction = 0.2;
+  double target_cell_fraction = 0.5;
+  double private_target_overlap = 0.5;
+  /// Seed for the random area labelling.
+  uint64_t area_seed = 2023;
+  /// Maximum files to load (0 = no limit) — for quick subsampled runs.
+  size_t max_files = 0;
+};
+
+/// Parses one T-Drive line into (taxi id, unix seconds, lon, lat).
+/// Exposed for tests.
+struct TDriveFix {
+  int64_t taxi_id = 0;
+  int64_t unix_seconds = 0;
+  double longitude = 0.0;
+  double latitude = 0.0;
+};
+StatusOr<TDriveFix> ParseTDriveLine(const std::string& line);
+
+/// Converts a civil datetime (UTC, no leap seconds) to unix seconds.
+/// Exposed for tests.
+StatusOr<int64_t> CivilToUnixSeconds(int year, int month, int day, int hour,
+                                     int minute, int second);
+
+/// Loads every `*.txt` file in `directory` (one taxi per file, T-Drive
+/// layout) and assembles the same `TaxiDataset` shape the simulator
+/// produces, so the fig4_taxi pipeline runs unchanged on real data.
+StatusOr<TaxiDataset> LoadTDriveDirectory(const std::string& directory,
+                                          const TDriveOptions& options);
+
+/// Loads from explicit file paths (tests use this with fixtures).
+StatusOr<TaxiDataset> LoadTDriveFiles(const std::vector<std::string>& files,
+                                      const TDriveOptions& options);
+
+}  // namespace pldp
+
+#endif  // PLDP_DATASETS_TDRIVE_LOADER_H_

@@ -1,0 +1,100 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "dp/budget_conversion.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace pldp {
+
+namespace {
+Status ValidatePositive(double v, const char* what) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    return Status::InvalidArgument(
+        StrFormat("%s must be > 0 and finite, got %g", what, v));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+StatusOr<double> AggregatePatternBudget(
+    const std::vector<double>& per_timestamp_epsilon,
+    const std::vector<size_t>& pattern_timestamps) {
+  double sum = 0.0;
+  for (size_t t : pattern_timestamps) {
+    if (t >= per_timestamp_epsilon.size()) {
+      return Status::OutOfRange(
+          StrFormat("pattern timestamp %zu beyond schedule length %zu", t,
+                    per_timestamp_epsilon.size()));
+    }
+    if (per_timestamp_epsilon[t] < 0.0 ||
+        !std::isfinite(per_timestamp_epsilon[t])) {
+      return Status::InvalidArgument("per-timestamp epsilon must be >= 0");
+    }
+    sum += per_timestamp_epsilon[t];
+  }
+  return sum;
+}
+
+StatusOr<double> WEventPatternLevelEpsilon(double eps_w, size_t w,
+                                           size_t pattern_span) {
+  PLDP_RETURN_IF_ERROR(ValidatePositive(eps_w, "w-event epsilon"));
+  if (w == 0) return Status::InvalidArgument("w must be > 0");
+  if (pattern_span == 0) {
+    return Status::InvalidArgument("pattern span must be > 0");
+  }
+  // A pattern cannot correlate with more than w timestamps of one window
+  // at the aggregation rate; beyond that the w-event guarantee renews.
+  double effective_span = static_cast<double>(pattern_span);
+  return effective_span * eps_w / static_cast<double>(w);
+}
+
+StatusOr<double> WEventBudgetForPatternLevel(double eps_pattern, size_t w,
+                                             size_t pattern_span) {
+  PLDP_RETURN_IF_ERROR(ValidatePositive(eps_pattern, "pattern-level epsilon"));
+  if (w == 0) return Status::InvalidArgument("w must be > 0");
+  if (pattern_span == 0) {
+    return Status::InvalidArgument("pattern span must be > 0");
+  }
+  return eps_pattern * static_cast<double>(w) /
+         static_cast<double>(pattern_span);
+}
+
+StatusOr<double> LandmarkPatternLevelEpsilon(double eps,
+                                             double landmark_fraction,
+                                             size_t landmark_count,
+                                             size_t pattern_span) {
+  PLDP_RETURN_IF_ERROR(ValidatePositive(eps, "epsilon"));
+  if (!(landmark_fraction > 0.0) || landmark_fraction > 1.0) {
+    return Status::InvalidArgument("landmark fraction must be in (0, 1]");
+  }
+  if (landmark_count == 0) {
+    return Status::InvalidArgument("landmark count must be > 0");
+  }
+  if (pattern_span == 0) {
+    return Status::InvalidArgument("pattern span must be > 0");
+  }
+  return static_cast<double>(pattern_span) * landmark_fraction * eps /
+         static_cast<double>(landmark_count);
+}
+
+StatusOr<double> LandmarkBudgetForPatternLevel(double eps_pattern,
+                                               double landmark_fraction,
+                                               size_t landmark_count,
+                                               size_t pattern_span) {
+  PLDP_RETURN_IF_ERROR(ValidatePositive(eps_pattern, "pattern-level epsilon"));
+  if (!(landmark_fraction > 0.0) || landmark_fraction > 1.0) {
+    return Status::InvalidArgument("landmark fraction must be in (0, 1]");
+  }
+  if (landmark_count == 0) {
+    return Status::InvalidArgument("landmark count must be > 0");
+  }
+  if (pattern_span == 0) {
+    return Status::InvalidArgument("pattern span must be > 0");
+  }
+  return eps_pattern * static_cast<double>(landmark_count) /
+         (static_cast<double>(pattern_span) * landmark_fraction);
+}
+
+}  // namespace pldp

@@ -1,0 +1,60 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Budget conversion between privacy definitions (paper §VI-A2).
+//
+// The baselines guarantee w-event DP (BD, BA) or landmark privacy, whose
+// budgets are defined per sliding window / per timestamp, not per pattern.
+// To compare at equal strength, the paper aggregates each baseline's
+// original budgets over the timestamps that relate to the private pattern:
+// that sum is the baseline's pattern-level ε. These helpers implement the
+// aggregation and its inverse (choosing the baseline's native budget so the
+// aggregate matches a requested pattern-level ε).
+
+#ifndef PLDP_DP_BUDGET_CONVERSION_H_
+#define PLDP_DP_BUDGET_CONVERSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pldp {
+
+/// Sums the per-timestamp budgets at the pattern-correlated timestamps.
+/// `pattern_timestamps` holds indices into `per_timestamp_epsilon`.
+StatusOr<double> AggregatePatternBudget(
+    const std::vector<double>& per_timestamp_epsilon,
+    const std::vector<size_t>& pattern_timestamps);
+
+/// Pattern-level ε that a w-event mechanism with total budget `eps_w`
+/// provides to a pattern spanning `pattern_span` timestamps.
+///
+/// BD and BA both spend half the budget on dissimilarity checks and half on
+/// publication, a nominal per-timestamp rate of eps_w / w; a pattern
+/// spanning k <= w timestamps aggregates k * eps_w / w.
+StatusOr<double> WEventPatternLevelEpsilon(double eps_w, size_t w,
+                                           size_t pattern_span);
+
+/// Inverse of WEventPatternLevelEpsilon: the native w-event budget that
+/// yields the requested pattern-level ε (eps_w = eps_pattern * w / span).
+StatusOr<double> WEventBudgetForPatternLevel(double eps_pattern, size_t w,
+                                             size_t pattern_span);
+
+/// Landmark privacy: budget is split between landmark timestamps (the
+/// private-pattern events, in the paper's setup) and regular ones. With
+/// `landmark_fraction` f of the budget reserved for the L landmark
+/// timestamps, a pattern whose elements are all landmarks aggregates
+/// span * f * eps / L.
+StatusOr<double> LandmarkPatternLevelEpsilon(double eps, double landmark_fraction,
+                                             size_t landmark_count,
+                                             size_t pattern_span);
+
+/// Inverse of LandmarkPatternLevelEpsilon.
+StatusOr<double> LandmarkBudgetForPatternLevel(double eps_pattern,
+                                               double landmark_fraction,
+                                               size_t landmark_count,
+                                               size_t pattern_span);
+
+}  // namespace pldp
+
+#endif  // PLDP_DP_BUDGET_CONVERSION_H_

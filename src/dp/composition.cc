@@ -1,0 +1,36 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "dp/composition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace pldp {
+
+namespace {
+Status ValidateEpsilons(const std::vector<double>& epsilons) {
+  for (double e : epsilons) {
+    if (e < 0.0 || !std::isfinite(e)) {
+      return Status::InvalidArgument("epsilons must be >= 0 and finite");
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+StatusOr<double> ComposeSequential(const std::vector<double>& epsilons) {
+  PLDP_RETURN_IF_ERROR(ValidateEpsilons(epsilons));
+  return StableSum(epsilons);
+}
+
+StatusOr<double> ComposeParallel(const std::vector<double>& epsilons) {
+  if (epsilons.empty()) {
+    return Status::InvalidArgument("parallel composition of zero mechanisms");
+  }
+  PLDP_RETURN_IF_ERROR(ValidateEpsilons(epsilons));
+  return *std::max_element(epsilons.begin(), epsilons.end());
+}
+
+}  // namespace pldp

@@ -1,0 +1,31 @@
+// Copyright 2026 The PLDP Authors.
+//
+// DP composition rules used by the accountants and the budget converters:
+//
+//  - Sequential composition: mechanisms applied to the same data compose
+//    additively (Σ ε_i).
+//  - Parallel composition: mechanisms applied to disjoint data cost
+//    max ε_i.
+//
+// Theorem 1 of the paper is sequential composition over a pattern's
+// elements; the independence of overlapping/repeating pattern applications
+// (paper §V-A closing remark) is the parallel-style argument.
+
+#ifndef PLDP_DP_COMPOSITION_H_
+#define PLDP_DP_COMPOSITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace pldp {
+
+/// Σ ε_i; entries must be >= 0 and finite.
+StatusOr<double> ComposeSequential(const std::vector<double>& epsilons);
+
+/// max ε_i; entries must be >= 0 and finite; empty input errors.
+StatusOr<double> ComposeParallel(const std::vector<double>& epsilons);
+
+}  // namespace pldp
+
+#endif  // PLDP_DP_COMPOSITION_H_

@@ -1,0 +1,62 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "dp/exponential.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace pldp {
+
+StatusOr<ExponentialMechanism> ExponentialMechanism::Create(
+    double epsilon, double utility_sensitivity) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        StrFormat("epsilon must be > 0, got %g", epsilon));
+  }
+  if (!(utility_sensitivity > 0.0) || !std::isfinite(utility_sensitivity)) {
+    return Status::InvalidArgument(
+        StrFormat("utility sensitivity must be > 0, got %g",
+                  utility_sensitivity));
+  }
+  return ExponentialMechanism(epsilon, utility_sensitivity);
+}
+
+StatusOr<std::vector<double>> ExponentialMechanism::SelectionProbabilities(
+    const std::vector<double>& utilities) const {
+  if (utilities.empty()) {
+    return Status::InvalidArgument("candidate set must not be empty");
+  }
+  for (double u : utilities) {
+    if (!std::isfinite(u)) {
+      return Status::InvalidArgument("utilities must be finite");
+    }
+  }
+  // Subtract the max before exponentiation for numerical stability.
+  double max_u = *std::max_element(utilities.begin(), utilities.end());
+  std::vector<double> weights(utilities.size());
+  double total = 0.0;
+  for (size_t i = 0; i < utilities.size(); ++i) {
+    weights[i] =
+        std::exp(epsilon_ * (utilities[i] - max_u) / (2.0 * sensitivity_));
+    total += weights[i];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+StatusOr<size_t> ExponentialMechanism::Select(
+    const std::vector<double>& utilities, Rng* rng) const {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  PLDP_ASSIGN_OR_RETURN(auto probs, SelectionProbabilities(utilities));
+  double u = rng->UniformDouble();
+  double cum = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    cum += probs[i];
+    if (u < cum) return i;
+  }
+  return probs.size() - 1;  // floating-point tail
+}
+
+}  // namespace pldp

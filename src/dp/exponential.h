@@ -1,0 +1,53 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The exponential mechanism (McSherry & Talwar 2007) — the categorical
+// counterpart of the paper's §V extension note ("binary answers can be
+// equivalent to categorical or numerical answers in some cases"; full
+// categorical support is listed as future work).
+//
+// Given candidate answers with utility scores u_i and utility sensitivity
+// Δu, sampling candidate i with probability ∝ exp(ε·u_i / (2Δu)) is ε-DP.
+// PLDP uses it to answer categorical pattern queries ("which of these
+// areas is busiest?") under a pattern-level budget.
+
+#ifndef PLDP_DP_EXPONENTIAL_H_
+#define PLDP_DP_EXPONENTIAL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace pldp {
+
+/// ε-DP exponential mechanism over a finite candidate set.
+class ExponentialMechanism {
+ public:
+  /// `utility_sensitivity` Δu > 0: the max change of any candidate's
+  /// utility between neighboring inputs. `epsilon` > 0.
+  static StatusOr<ExponentialMechanism> Create(double epsilon,
+                                               double utility_sensitivity);
+
+  double epsilon() const { return epsilon_; }
+  double utility_sensitivity() const { return sensitivity_; }
+
+  /// Samples a candidate index with probability ∝ exp(ε·u_i/(2Δu)).
+  /// `utilities` must be non-empty and finite.
+  StatusOr<size_t> Select(const std::vector<double>& utilities,
+                          Rng* rng) const;
+
+  /// The exact selection distribution (for tests): normalized weights.
+  StatusOr<std::vector<double>> SelectionProbabilities(
+      const std::vector<double>& utilities) const;
+
+ private:
+  ExponentialMechanism(double epsilon, double sensitivity)
+      : epsilon_(epsilon), sensitivity_(sensitivity) {}
+
+  double epsilon_;
+  double sensitivity_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_DP_EXPONENTIAL_H_

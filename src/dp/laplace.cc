@@ -1,0 +1,43 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "dp/laplace.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace pldp {
+
+StatusOr<LaplaceMechanism> LaplaceMechanism::Create(double sensitivity,
+                                                    double epsilon) {
+  if (!(sensitivity > 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument(
+        StrFormat("sensitivity must be > 0, got %g", sensitivity));
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        StrFormat("epsilon must be > 0, got %g", epsilon));
+  }
+  return LaplaceMechanism(sensitivity, epsilon);
+}
+
+double LaplaceMechanism::AddNoise(double value, Rng* rng) const {
+  return value + rng->Laplace(scale());
+}
+
+namespace {
+// Laplace(v, b) CDF at x.
+double LaplaceCdf(double x, double v, double b) {
+  double z = (x - v) / b;
+  return z < 0.0 ? 0.5 * std::exp(z) : 1.0 - 0.5 * std::exp(-z);
+}
+}  // namespace
+
+double LaplaceMechanism::IntervalProbability(double value, double a,
+                                             double b) const {
+  if (b <= a) return 0.0;
+  double s = scale();
+  return LaplaceCdf(b, value, s) - LaplaceCdf(a, value, s);
+}
+
+}  // namespace pldp

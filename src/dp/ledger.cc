@@ -1,0 +1,55 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "dp/ledger.h"
+
+namespace pldp {
+
+Status PatternBudgetLedger::Grant(PatternId pattern, double epsilon) {
+  if (accounts_.count(pattern) > 0) {
+    return Status::AlreadyExists("pattern " + std::to_string(pattern) +
+                                 " already has a budget grant");
+  }
+  PLDP_ASSIGN_OR_RETURN(BudgetAccountant acc,
+                        BudgetAccountant::Create(epsilon));
+  accounts_.emplace(pattern, std::move(acc));
+  return Status::OK();
+}
+
+bool PatternBudgetLedger::HasGrant(PatternId pattern) const {
+  return accounts_.count(pattern) > 0;
+}
+
+Status PatternBudgetLedger::Charge(PatternId pattern, double epsilon,
+                                   std::string note) {
+  auto it = accounts_.find(pattern);
+  if (it == accounts_.end()) {
+    return Status::NotFound("pattern " + std::to_string(pattern) +
+                            " has no budget grant");
+  }
+  PLDP_RETURN_IF_ERROR(it->second.Spend(epsilon));
+  entries_.push_back(LedgerEntry{pattern, epsilon, std::move(note)});
+  return Status::OK();
+}
+
+StatusOr<double> PatternBudgetLedger::Remaining(PatternId pattern) const {
+  auto it = accounts_.find(pattern);
+  if (it == accounts_.end()) {
+    return Status::NotFound("pattern " + std::to_string(pattern) +
+                            " has no budget grant");
+  }
+  return it->second.remaining();
+}
+
+double PatternBudgetLedger::TotalGranted() const {
+  double total = 0.0;
+  for (const auto& [id, acc] : accounts_) total += acc.total();
+  return total;
+}
+
+double PatternBudgetLedger::TotalSpent() const {
+  double total = 0.0;
+  for (const auto& [id, acc] : accounts_) total += acc.spent();
+  return total;
+}
+
+}  // namespace pldp

@@ -1,0 +1,67 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Per-pattern privacy-budget ledger.
+//
+// A deployed trusted CEP engine serves many consumers over time; each
+// mechanism activation spends part of a private pattern's lifetime budget.
+// The ledger tracks grants (by data subjects) and charges (by mechanism
+// activations) per pattern, and refuses charges that would overdraw —
+// sequential composition enforced at the system boundary, not by
+// convention.
+
+#ifndef PLDP_DP_LEDGER_H_
+#define PLDP_DP_LEDGER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cep/pattern.h"
+#include "common/status.h"
+#include "dp/budget.h"
+
+namespace pldp {
+
+/// One recorded charge.
+struct LedgerEntry {
+  PatternId pattern = kInvalidPattern;
+  double epsilon = 0.0;
+  /// Free-form label ("fig4 run", "consumer 3 activation", ...).
+  std::string note;
+};
+
+/// Tracks lifetime privacy budgets per private pattern.
+class PatternBudgetLedger {
+ public:
+  PatternBudgetLedger() = default;
+
+  /// Grants a lifetime budget to a pattern. A pattern can be granted only
+  /// once (AlreadyExists otherwise); top-ups are deliberately unsupported —
+  /// a data subject weakening their own protection should be a new ledger.
+  Status Grant(PatternId pattern, double epsilon);
+
+  /// True if the pattern has a grant.
+  bool HasGrant(PatternId pattern) const;
+
+  /// Records a spend against the pattern's grant. Fails with
+  /// PrivacyBudgetExceeded (leaving the ledger unchanged) on overdraw and
+  /// NotFound when the pattern was never granted.
+  Status Charge(PatternId pattern, double epsilon, std::string note = "");
+
+  /// Remaining budget; NotFound when never granted.
+  StatusOr<double> Remaining(PatternId pattern) const;
+
+  /// Total granted / spent across all patterns.
+  double TotalGranted() const;
+  double TotalSpent() const;
+
+  /// Audit trail in charge order.
+  const std::vector<LedgerEntry>& entries() const { return entries_; }
+
+ private:
+  std::unordered_map<PatternId, BudgetAccountant> accounts_;
+  std::vector<LedgerEntry> entries_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_DP_LEDGER_H_

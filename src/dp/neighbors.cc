@@ -1,0 +1,86 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "dp/neighbors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pldp {
+
+std::vector<std::vector<bool>> InPatternNeighbors(
+    const std::vector<bool>& indicators) {
+  std::vector<std::vector<bool>> out;
+  out.reserve(indicators.size());
+  for (size_t i = 0; i < indicators.size(); ++i) {
+    std::vector<bool> n = indicators;
+    n[i] = !n[i];
+    out.push_back(std::move(n));
+  }
+  return out;
+}
+
+namespace {
+Status CheckEnumerable(size_t m) {
+  if (m > 20) {
+    return Status::InvalidArgument(
+        "exact enumeration supports at most 20 elements, got " +
+        std::to_string(m));
+  }
+  return Status::OK();
+}
+
+std::vector<bool> BitsOf(uint32_t mask, size_t m) {
+  std::vector<bool> bits(m);
+  for (size_t i = 0; i < m; ++i) bits[i] = (mask >> i) & 1u;
+  return bits;
+}
+}  // namespace
+
+StatusOr<double> ExactPrivacyLoss(const PatternRandomizedResponse& mechanism,
+                                  const std::vector<bool>& x,
+                                  const std::vector<bool>& x_prime) {
+  const size_t m = mechanism.size();
+  PLDP_RETURN_IF_ERROR(CheckEnumerable(m));
+  if (x.size() != m || x_prime.size() != m) {
+    return Status::InvalidArgument("input length mismatch");
+  }
+  double worst = 0.0;
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    std::vector<bool> response = BitsOf(mask, m);
+    PLDP_ASSIGN_OR_RETURN(double p, mechanism.ResponseProbability(x, response));
+    PLDP_ASSIGN_OR_RETURN(double q,
+                          mechanism.ResponseProbability(x_prime, response));
+    // Flip probabilities are in (0, 1/2], so all response probabilities are
+    // strictly positive — the ratio is always defined.
+    worst = std::max(worst, std::abs(std::log(p / q)));
+  }
+  return worst;
+}
+
+StatusOr<double> MaxInPatternNeighborLoss(
+    const PatternRandomizedResponse& mechanism) {
+  const size_t m = mechanism.size();
+  PLDP_RETURN_IF_ERROR(CheckEnumerable(m));
+  // By symmetry of randomized response the loss does not depend on the base
+  // input, so fixing x = all-false loses no generality; tests sweep anyway.
+  std::vector<bool> x(m, false);
+  double worst = 0.0;
+  for (const auto& neighbor : InPatternNeighbors(x)) {
+    PLDP_ASSIGN_OR_RETURN(double loss, ExactPrivacyLoss(mechanism, x, neighbor));
+    worst = std::max(worst, loss);
+  }
+  return worst;
+}
+
+StatusOr<double> MaxArbitraryNeighborLoss(
+    const PatternRandomizedResponse& mechanism) {
+  const size_t m = mechanism.size();
+  PLDP_RETURN_IF_ERROR(CheckEnumerable(m));
+  std::vector<bool> x(m, false);
+  std::vector<bool> x_prime(m, true);
+  // The loss between product-mechanism inputs is maximized when every bit
+  // differs; all-false vs all-true achieves it.
+  return ExactPrivacyLoss(mechanism, x, x_prime);
+}
+
+}  // namespace pldp

@@ -1,0 +1,52 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Neighbor models (paper Definitions 1 and 3) and privacy-loss
+// verification.
+//
+// An in-pattern neighbor of an indicator vector differs in exactly one
+// position; pattern-level neighbors of pattern streams differ only inside
+// instances of the protected pattern type, one element per instance. This
+// header provides generators of these neighbors plus an *exact* privacy-loss
+// computation for PatternRandomizedResponse by enumeration over its
+// response space — the foundation of the library's DP property tests:
+// Theorem 1 is checked, not assumed.
+
+#ifndef PLDP_DP_NEIGHBORS_H_
+#define PLDP_DP_NEIGHBORS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dp/randomized_response.h"
+
+namespace pldp {
+
+/// All in-pattern neighbors of `indicators`: for each position, the vector
+/// with that bit flipped (flipping the existence bit is the indicator-space
+/// image of replacing the event, Definition 1).
+std::vector<std::vector<bool>> InPatternNeighbors(
+    const std::vector<bool>& indicators);
+
+/// Exact worst-case privacy loss  max_R |ln Pr[M(x)=R] − ln Pr[M(x')=R]|
+/// of the pattern mechanism between two specific inputs, by enumerating all
+/// 2^m responses. m must be <= 20.
+StatusOr<double> ExactPrivacyLoss(const PatternRandomizedResponse& mechanism,
+                                  const std::vector<bool>& x,
+                                  const std::vector<bool>& x_prime);
+
+/// Exact worst-case loss over *all* input pairs that are in-pattern
+/// neighbors: max_i max over the bit at i. By Theorem 1's per-bit argument
+/// this equals max_i ε_i; the function computes it by enumeration so tests
+/// can compare against the closed form.
+StatusOr<double> MaxInPatternNeighborLoss(
+    const PatternRandomizedResponse& mechanism);
+
+/// Exact worst-case loss between x and an arbitrary x' (all positions may
+/// differ) — the pattern-level neighbor bound for one pattern instance,
+/// which Theorem 1 bounds by Σ ε_i.
+StatusOr<double> MaxArbitraryNeighborLoss(
+    const PatternRandomizedResponse& mechanism);
+
+}  // namespace pldp
+
+#endif  // PLDP_DP_NEIGHBORS_H_

@@ -1,0 +1,94 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "dp/randomized_response.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace pldp {
+
+StatusOr<RandomizedResponse> RandomizedResponse::FromFlipProbability(
+    double p) {
+  if (!(p > 0.0) || p > 0.5 || !std::isfinite(p)) {
+    return Status::InvalidArgument(
+        StrFormat("flip probability must be in (0, 0.5], got %g", p));
+  }
+  PLDP_ASSIGN_OR_RETURN(double eps, EpsilonForFlipProbability(p));
+  return RandomizedResponse(p, eps);
+}
+
+StatusOr<RandomizedResponse> RandomizedResponse::FromEpsilon(double epsilon) {
+  PLDP_ASSIGN_OR_RETURN(double p, FlipProbabilityForEpsilon(epsilon));
+  return RandomizedResponse(p, epsilon);
+}
+
+StatusOr<double> RandomizedResponse::EpsilonForFlipProbability(double p) {
+  if (!(p > 0.0) || p > 0.5 || !std::isfinite(p)) {
+    return Status::InvalidArgument(
+        StrFormat("flip probability must be in (0, 0.5], got %g", p));
+  }
+  return std::log((1.0 - p) / p);
+}
+
+StatusOr<double> RandomizedResponse::FlipProbabilityForEpsilon(
+    double epsilon) {
+  if (epsilon < 0.0 || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        StrFormat("epsilon must be >= 0 and finite, got %g", epsilon));
+  }
+  return 1.0 / (1.0 + std::exp(epsilon));
+}
+
+bool RandomizedResponse::Perturb(bool truth, Rng* rng) const {
+  return rng->Bernoulli(p_) ? !truth : truth;
+}
+
+StatusOr<PatternRandomizedResponse> PatternRandomizedResponse::FromAllocation(
+    const BudgetAllocation& allocation) {
+  std::vector<RandomizedResponse> ms;
+  ms.reserve(allocation.size());
+  for (size_t i = 0; i < allocation.size(); ++i) {
+    PLDP_ASSIGN_OR_RETURN(auto m,
+                          RandomizedResponse::FromEpsilon(allocation[i]));
+    ms.push_back(m);
+  }
+  return PatternRandomizedResponse(std::move(ms));
+}
+
+double PatternRandomizedResponse::TotalEpsilon() const {
+  double total = 0.0;
+  for (const auto& m : mechanisms_) total += m.epsilon();
+  return total;
+}
+
+StatusOr<std::vector<bool>> PatternRandomizedResponse::Perturb(
+    const std::vector<bool>& indicators, Rng* rng) const {
+  if (indicators.size() != mechanisms_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("indicator count %zu != mechanism count %zu",
+                  indicators.size(), mechanisms_.size()));
+  }
+  std::vector<bool> out(indicators.size());
+  for (size_t i = 0; i < indicators.size(); ++i) {
+    out[i] = mechanisms_[i].Perturb(indicators[i], rng);
+  }
+  return out;
+}
+
+StatusOr<double> PatternRandomizedResponse::ResponseProbability(
+    const std::vector<bool>& indicators,
+    const std::vector<bool>& response) const {
+  if (indicators.size() != mechanisms_.size() ||
+      response.size() != mechanisms_.size()) {
+    return Status::InvalidArgument("vector length mismatch");
+  }
+  double prob = 1.0;
+  for (size_t i = 0; i < mechanisms_.size(); ++i) {
+    double p_true = mechanisms_[i].TrueOutputProbability(indicators[i]);
+    prob *= response[i] ? p_true : (1.0 - p_true);
+  }
+  return prob;
+}
+
+}  // namespace pldp

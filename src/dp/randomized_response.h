@@ -1,0 +1,94 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Randomized response over event-existence indicators (paper Definition 5).
+//
+// For an event e_i with existence indicator I(e_i) ∈ {0,1}, the mechanism
+// reports the true bit with probability 1 − p_i and flips it with
+// probability p_i. With p_i ≤ 1/2 this is ε_i-DP for the single bit with
+//
+//     ε_i = ln((1 − p_i)/p_i)    ⇔    p_i = 1 / (1 + e^{ε_i}),
+//
+// and a pattern's total guarantee is the sum over its elements (Theorem 1).
+
+#ifndef PLDP_DP_RANDOMIZED_RESPONSE_H_
+#define PLDP_DP_RANDOMIZED_RESPONSE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dp/budget.h"
+
+namespace pldp {
+
+/// Single-bit randomized response with flip probability p ∈ (0, 1/2].
+class RandomizedResponse {
+ public:
+  /// Builds from a flip probability p ∈ (0, 0.5].
+  static StatusOr<RandomizedResponse> FromFlipProbability(double p);
+
+  /// Builds from a per-event budget ε > 0 (p = 1/(1+e^ε)).
+  static StatusOr<RandomizedResponse> FromEpsilon(double epsilon);
+
+  /// ε(p) = ln((1−p)/p); requires p ∈ (0, 0.5].
+  static StatusOr<double> EpsilonForFlipProbability(double p);
+
+  /// p(ε) = 1/(1+e^ε); requires ε >= 0, finite.
+  static StatusOr<double> FlipProbabilityForEpsilon(double epsilon);
+
+  double flip_probability() const { return p_; }
+  double epsilon() const { return epsilon_; }
+
+  /// Perturbs one indicator bit.
+  bool Perturb(bool truth, Rng* rng) const;
+
+  /// Pr[output = true | truth].
+  double TrueOutputProbability(bool truth) const {
+    return truth ? 1.0 - p_ : p_;
+  }
+
+ private:
+  RandomizedResponse(double p, double epsilon) : p_(p), epsilon_(epsilon) {}
+
+  double p_ = 0.5;
+  double epsilon_ = 0.0;
+};
+
+/// Randomized response applied element-wise to a pattern's existence
+/// indicators, one single-bit mechanism per element, parameterized by a
+/// BudgetAllocation. Total guarantee = allocation.Total() (Theorem 1).
+class PatternRandomizedResponse {
+ public:
+  /// One mechanism per element of `allocation`. Elements with ε_i = 0 are
+  /// maximally noisy (p = 1/2, pure coin flip).
+  static StatusOr<PatternRandomizedResponse> FromAllocation(
+      const BudgetAllocation& allocation);
+
+  size_t size() const { return mechanisms_.size(); }
+  const RandomizedResponse& mechanism(size_t i) const {
+    return mechanisms_[i];
+  }
+
+  /// Total ε = Σ ε_i.
+  double TotalEpsilon() const;
+
+  /// Perturbs an indicator vector (one bit per pattern element).
+  StatusOr<std::vector<bool>> Perturb(const std::vector<bool>& indicators,
+                                      Rng* rng) const;
+
+  /// Pr[output = response | truth = indicators]: the product of per-bit
+  /// probabilities. Exposed so property tests can verify the DP bound
+  /// exactly rather than by sampling alone.
+  StatusOr<double> ResponseProbability(const std::vector<bool>& indicators,
+                                       const std::vector<bool>& response) const;
+
+ private:
+  explicit PatternRandomizedResponse(std::vector<RandomizedResponse> ms)
+      : mechanisms_(std::move(ms)) {}
+
+  std::vector<RandomizedResponse> mechanisms_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_DP_RANDOMIZED_RESPONSE_H_

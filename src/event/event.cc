@@ -1,0 +1,61 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "event/event.h"
+
+#include "common/strings.h"
+
+namespace pldp {
+
+void Event::SetAttribute(const std::string& name, Value value) {
+  for (auto& [key, val] : attributes_) {
+    if (key == name) {
+      val = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(name, std::move(value));
+}
+
+std::optional<Value> Event::GetAttribute(const std::string& name) const {
+  for (const auto& [key, val] : attributes_) {
+    if (key == name) return val;
+  }
+  return std::nullopt;
+}
+
+StatusOr<Value> Event::RequireAttribute(const std::string& name) const {
+  for (const auto& [key, val] : attributes_) {
+    if (key == name) return val;
+  }
+  return Status::NotFound("event has no attribute '" + name + "'");
+}
+
+bool Event::operator==(const Event& other) const {
+  return type_ == other.type_ && timestamp_ == other.timestamp_ &&
+         stream_ == other.stream_ && attributes_ == other.attributes_;
+}
+
+std::string Event::ToString(const EventTypeRegistry* registry) const {
+  std::string name;
+  if (registry != nullptr) {
+    auto n = registry->Name(type_);
+    name = n.ok() ? n.value() : ("type" + std::to_string(type_));
+  } else {
+    name = "type" + std::to_string(type_);
+  }
+  std::string out = StrFormat("%s@%lld", name.c_str(),
+                              static_cast<long long>(timestamp_));
+  if (!attributes_.empty()) {
+    out.push_back('{');
+    for (size_t i = 0; i < attributes_.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += attributes_[i].first;
+      out.push_back('=');
+      out += attributes_[i].second.ToString();
+    }
+    out.push_back('}');
+  }
+  return out;
+}
+
+}  // namespace pldp

@@ -1,0 +1,98 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The event model of the paper's Section III:
+//
+//   data stream S^D = (d_1, d_2, ...)    raw tuples from data subjects
+//   event stream S^E = (e_1, e_2, ...)   tuples of interest, in temporal order
+//
+// `Event` represents both: a raw tuple is an event whose type is whatever
+// the extraction step assigns. Events carry a timestamp, the id of the
+// stream (data subject) that produced them, a type, and optional attributes.
+
+#ifndef PLDP_EVENT_EVENT_H_
+#define PLDP_EVENT_EVENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event_type.h"
+#include "event/value.h"
+
+namespace pldp {
+
+/// Logical time. The unit is dataset-defined (seconds for the taxi
+/// simulator, window index for the synthetic generator).
+using Timestamp = int64_t;
+
+/// Identifies the originating data stream / data subject.
+using StreamId = uint32_t;
+
+inline constexpr StreamId kDefaultStream = 0;
+
+/// One event (or raw data tuple) in a stream.
+///
+/// Events are value types: cheap to copy when they carry few attributes,
+/// safely movable, and hashable by content where needed.
+class Event {
+ public:
+  Event() = default;
+  Event(EventTypeId type, Timestamp ts, StreamId stream = kDefaultStream)
+      : type_(type), timestamp_(ts), stream_(stream) {}
+
+  EventTypeId type() const { return type_; }
+  Timestamp timestamp() const { return timestamp_; }
+  StreamId stream() const { return stream_; }
+
+  void set_timestamp(Timestamp ts) { timestamp_ = ts; }
+  void set_stream(StreamId s) { stream_ = s; }
+
+  /// Sets or replaces an attribute.
+  void SetAttribute(const std::string& name, Value value);
+
+  /// Attribute lookup; nullopt when absent.
+  std::optional<Value> GetAttribute(const std::string& name) const;
+
+  /// Attribute lookup that errors when absent (for predicate evaluation).
+  StatusOr<Value> RequireAttribute(const std::string& name) const;
+
+  size_t attribute_count() const { return attributes_.size(); }
+
+  const std::vector<std::pair<std::string, Value>>& attributes() const {
+    return attributes_;
+  }
+
+  /// Equality on type, timestamp, stream, and attributes (order-sensitive;
+  /// attributes are kept in insertion order).
+  bool operator==(const Event& other) const;
+  bool operator!=(const Event& other) const { return !(*this == other); }
+
+  /// Debug rendering: `e3@17{cell=42}`.
+  std::string ToString(const EventTypeRegistry* registry = nullptr) const;
+
+ private:
+  EventTypeId type_ = kInvalidEventType;
+  Timestamp timestamp_ = 0;
+  StreamId stream_ = kDefaultStream;
+  // Small linear map: events carry at most a handful of attributes, so a
+  // vector beats a hash map on both memory and lookup time.
+  std::vector<std::pair<std::string, Value>> attributes_;
+};
+
+/// Strict-weak temporal order used when merging streams: by timestamp, ties
+/// broken by stream id then type id to keep merges deterministic (the paper
+/// notes same-timestamp order is semantically arbitrary; we fix one).
+struct EventTemporalOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.timestamp() != b.timestamp()) return a.timestamp() < b.timestamp();
+    if (a.stream() != b.stream()) return a.stream() < b.stream();
+    return a.type() < b.type();
+  }
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_EVENT_EVENT_H_

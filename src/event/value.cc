@@ -1,0 +1,72 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "event/value.h"
+
+#include "common/strings.h"
+
+namespace pldp {
+
+std::string_view ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+namespace {
+Status KindMismatch(ValueKind want, ValueKind got) {
+  return Status::InvalidArgument(
+      StrFormat("value kind mismatch: want %s, got %s",
+                std::string(ValueKindToString(want)).c_str(),
+                std::string(ValueKindToString(got)).c_str()));
+}
+}  // namespace
+
+StatusOr<bool> Value::AsBool() const {
+  if (!is_bool()) return KindMismatch(ValueKind::kBool, kind());
+  return std::get<bool>(rep_);
+}
+
+StatusOr<int64_t> Value::AsInt() const {
+  if (!is_int()) return KindMismatch(ValueKind::kInt, kind());
+  return std::get<int64_t>(rep_);
+}
+
+StatusOr<double> Value::AsDouble() const {
+  if (!is_double()) return KindMismatch(ValueKind::kDouble, kind());
+  return std::get<double>(rep_);
+}
+
+StatusOr<std::string> Value::AsString() const {
+  if (!is_string()) return KindMismatch(ValueKind::kString, kind());
+  return std::get<std::string>(rep_);
+}
+
+StatusOr<double> Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(rep_));
+  if (is_double()) return std::get<double>(rep_);
+  return Status::InvalidArgument("value is not numeric");
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kBool:
+      return std::get<bool>(rep_) ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueKind::kDouble:
+      return StrFormat("%g", std::get<double>(rep_));
+    case ValueKind::kString:
+      return "\"" + std::get<std::string>(rep_) + "\"";
+  }
+  return "<invalid>";
+}
+
+}  // namespace pldp

@@ -1,0 +1,68 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Attribute values carried by data tuples and events. A small closed
+// variant (bool / int64 / double / string) is enough for the CEP
+// predicates PLDP supports, and keeps events cheap to copy.
+
+#ifndef PLDP_EVENT_VALUE_H_
+#define PLDP_EVENT_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace pldp {
+
+/// Discriminates the alternatives of `Value`.
+enum class ValueKind : int {
+  kBool = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+std::string_view ValueKindToString(ValueKind kind);
+
+/// A dynamically typed attribute value.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(bool b) : rep_(b) {}
+  explicit Value(int64_t i) : rep_(i) {}
+  explicit Value(double d) : rep_(d) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_double() const { return kind() == ValueKind::kDouble; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+
+  /// Typed accessors; status error if the kind does not match.
+  StatusOr<bool> AsBool() const;
+  StatusOr<int64_t> AsInt() const;
+  StatusOr<double> AsDouble() const;
+  StatusOr<std::string> AsString() const;
+
+  /// Numeric view: int and double both convert; others error. Used by
+  /// comparison predicates so `speed > 30` works for either numeric kind.
+  StatusOr<double> AsNumeric() const;
+
+  /// Exact equality: kinds must match and payloads compare equal.
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Debug rendering, e.g. `42`, `3.14`, `"cell_7"`, `true`.
+  std::string ToString() const;
+
+ private:
+  std::variant<bool, int64_t, double, std::string> rep_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_EVENT_VALUE_H_

@@ -1,0 +1,37 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "ppm/factory.h"
+
+namespace pldp {
+
+StatusOr<std::unique_ptr<PrivacyMechanism>> MakeMechanism(
+    const std::string& name, const MechanismFactoryOptions& options) {
+  if (name == "passthrough") {
+    return std::unique_ptr<PrivacyMechanism>(new PassthroughMechanism());
+  }
+  if (name == "uniform") {
+    return std::unique_ptr<PrivacyMechanism>(new UniformPatternPpm());
+  }
+  if (name == "adaptive") {
+    return std::unique_ptr<PrivacyMechanism>(
+        new AdaptivePatternPpm(options.adaptive));
+  }
+  if (name == "bd") {
+    return std::unique_ptr<PrivacyMechanism>(
+        new BudgetDivisionPpm(options.w_event));
+  }
+  if (name == "ba") {
+    return std::unique_ptr<PrivacyMechanism>(
+        new BudgetAbsorptionPpm(options.w_event));
+  }
+  if (name == "landmark") {
+    return std::unique_ptr<PrivacyMechanism>(new LandmarkPpm(options.landmark));
+  }
+  return Status::NotFound("unknown mechanism: " + name);
+}
+
+std::vector<std::string> AllMechanismNames() {
+  return {"uniform", "adaptive", "bd", "ba", "landmark"};
+}
+
+}  // namespace pldp

@@ -1,0 +1,112 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Privacy-preserving mechanism (PPM) interface.
+//
+// A PPM sits between pattern detection and query answering: for each
+// evaluation window it publishes a *privacy-protected view* — which event
+// types are (claimed to be) present. Binary target queries are then
+// answered from the published view instead of the raw window.
+//
+// This is exactly the paper's binary-answer reduction (§V): presence of the
+// pattern's element types within the window decides the answer, so the
+// published view is a per-type presence vector.
+//
+//   - Pattern-level PPMs (uniform/adaptive) perturb only the presence bits
+//     of types that are elements of a private pattern; all other types pass
+//     through unchanged. This is the source of their data-quality edge.
+//   - Stream-level baselines (BD, BA, landmark) publish noisy counts for
+//     every type; presence is thresholded from the noisy counts, so noise
+//     hits the entire stream.
+//
+// Mechanisms may be stateful across windows (the w-event baselines are);
+// `Reset` restores the initial state between experiment repetitions.
+
+#ifndef PLDP_PPM_MECHANISM_H_
+#define PLDP_PPM_MECHANISM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cep/engine.h"
+#include "cep/pattern.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "stream/window.h"
+
+namespace pldp {
+
+/// Everything a mechanism needs to configure itself.
+struct MechanismContext {
+  /// Event-type space (presence vectors are indexed by type id).
+  const EventTypeRegistry* event_types = nullptr;
+  /// All registered patterns (private and target).
+  const PatternRegistry* patterns = nullptr;
+  /// The pattern types the data subjects declared private.
+  std::vector<PatternId> private_patterns;
+  /// Pattern-level privacy budget ε granted per private pattern.
+  double epsilon = 1.0;
+  /// Historical windows for adaptive tuning (may be empty).
+  const std::vector<Window>* history = nullptr;
+  /// Target patterns used by adaptive tuning to score quality.
+  std::vector<PatternId> target_patterns;
+  /// Quality trade-off hyper-parameter α of Q = α·Prec + (1−α)·Rec.
+  double alpha = 0.5;
+};
+
+/// The privacy-protected content of one window: presence per event type.
+struct PublishedView {
+  /// presence[t] == true: the mechanism claims at least one event of type t
+  /// occurred in the window. Indexed by EventTypeId; size = registry size.
+  std::vector<bool> presence;
+};
+
+/// Evaluates a pattern on a published view.
+///
+/// Under the binary reduction, kConjunction and kSequence both require all
+/// element types present (an injected presence bit carries no order, so
+/// order degenerates to co-occurrence — the paper's queries are exactly of
+/// this kind); kDisjunction requires any.
+bool PatternDetectedInView(const PublishedView& view, const Pattern& pattern);
+
+/// Builds the truthful view of a window (no privacy).
+PublishedView TrueView(const Window& window, size_t type_count);
+
+/// Abstract PPM.
+class PrivacyMechanism {
+ public:
+  virtual ~PrivacyMechanism() = default;
+
+  /// Validates the context and prepares internal state. Must be called
+  /// before the first PublishWindow.
+  virtual Status Initialize(const MechanismContext& context) = 0;
+
+  /// Publishes the protected view of the next window. Windows arrive in
+  /// temporal order; stateful mechanisms rely on that.
+  virtual StatusOr<PublishedView> PublishWindow(const Window& window,
+                                                Rng* rng) = 0;
+
+  /// Clears inter-window state (start of a new repetition / stream).
+  virtual void Reset() = 0;
+
+  /// Mechanism name for reports ("uniform", "bd", ...).
+  virtual std::string name() const = 0;
+};
+
+/// No-op mechanism: publishes the truthful view. Gives Q_ord in MRE
+/// computations and doubles as the "no privacy" control in benches.
+class PassthroughMechanism final : public PrivacyMechanism {
+ public:
+  Status Initialize(const MechanismContext& context) override;
+  StatusOr<PublishedView> PublishWindow(const Window& window,
+                                        Rng* rng) override;
+  void Reset() override {}
+  std::string name() const override { return "passthrough"; }
+
+ private:
+  size_t type_count_ = 0;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_PPM_MECHANISM_H_

@@ -1,0 +1,49 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Numeric-query extension (paper §V lists numerical/categorical answers as
+// future work; this module implements the natural first step).
+//
+// Two ways to answer "in how many of these windows did target pattern P
+// occur?" under pattern-level DP:
+//
+//  1. Post-processing (`CountViaPublishedViews`): count positives over the
+//     per-window views a pattern-level PPM already publishes. DP is closed
+//     under post-processing, so the count inherits the mechanism's
+//     pattern-level ε at no extra budget — but the per-window flips
+//     accumulate into count error.
+//
+//  2. Direct noisy count (`DirectNoisyCount`): compute the true aggregate
+//     and add Laplace(Δ/ε) once, where Δ is the number of windows a single
+//     in-pattern neighbor change can affect (1 for tumbling windows,
+//     ceil(size/slide) for sliding). One noise draw for the whole range —
+//     usually far more accurate, but it answers only the aggregate, not
+//     the per-window series.
+//
+// The trade-off between them is quantified in tests/ppm_numeric_test.cc.
+
+#ifndef PLDP_PPM_NUMERIC_H_
+#define PLDP_PPM_NUMERIC_H_
+
+#include <vector>
+
+#include "ppm/mechanism.h"
+
+namespace pldp {
+
+/// Counts windows whose *published* view contains the target pattern.
+/// `mechanism` must be initialized; windows are processed in order (the
+/// mechanism may be stateful). Pure post-processing of DP outputs.
+StatusOr<size_t> CountViaPublishedViews(PrivacyMechanism* mechanism,
+                                        const std::vector<Window>& windows,
+                                        const Pattern& target, Rng* rng);
+
+/// True count of windows containing the target pattern, plus one
+/// Laplace(sensitivity/epsilon) draw, clamped to [0, windows.size()].
+/// `sensitivity` = max windows a single event replacement can affect.
+StatusOr<double> DirectNoisyCount(const std::vector<Window>& windows,
+                                  const Pattern& target, double epsilon,
+                                  double sensitivity, Rng* rng);
+
+}  // namespace pldp
+
+#endif  // PLDP_PPM_NUMERIC_H_

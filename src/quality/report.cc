@@ -1,0 +1,79 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "quality/report.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace pldp {
+
+ResultTable::ResultTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Status ResultTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu cells, table has %zu columns", cells.size(),
+                  headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return Status::OK();
+}
+
+Status ResultTable::AddRow(const std::string& label,
+                           const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) {
+    cells.push_back(StrFormat("%.*f", precision, v));
+  }
+  return AddRow(std::move(cells));
+}
+
+std::string ResultTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+Status ResultTable::WriteCsv(const std::string& path) const {
+  CsvWriter writer(path);
+  PLDP_RETURN_IF_ERROR(writer.status());
+  PLDP_RETURN_IF_ERROR(writer.WriteRow(headers_));
+  for (const auto& row : rows_) {
+    PLDP_RETURN_IF_ERROR(writer.WriteRow(row));
+  }
+  return writer.Close();
+}
+
+}  // namespace pldp

@@ -1,0 +1,45 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tabular experiment reports. The benchmark harnesses print the same
+// rows/series the paper's figures plot; `ResultTable` renders them aligned
+// to stdout and optionally persists them as CSV next to the binaries.
+
+#ifndef PLDP_QUALITY_REPORT_H_
+#define PLDP_QUALITY_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pldp {
+
+/// A simple column-aligned table with string cells.
+class ResultTable {
+ public:
+  /// Column headers define the width of every row.
+  explicit ResultTable(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header count.
+  Status AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  Status AddRow(const std::string& label, const std::vector<double>& values,
+                int precision = 4);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with aligned columns.
+  std::string ToString() const;
+
+  /// Writes header + rows as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_QUALITY_REPORT_H_

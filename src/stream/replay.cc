@@ -1,0 +1,32 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "stream/replay.h"
+
+namespace pldp {
+
+void StreamReplayer::Subscribe(StreamSubscriber* subscriber) {
+  if (subscriber != nullptr) subscribers_.push_back(subscriber);
+}
+
+Status StreamReplayer::Run(const EventStream& stream) {
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Event& e = stream[i];
+    for (StreamSubscriber* s : subscribers_) {
+      PLDP_RETURN_IF_ERROR(s->OnEvent(e));
+    }
+    bool tick_boundary =
+        (i + 1 == stream.size()) ||
+        (stream[i + 1].timestamp() != e.timestamp());
+    if (tick_boundary) {
+      for (StreamSubscriber* s : subscribers_) {
+        PLDP_RETURN_IF_ERROR(s->OnTick(e.timestamp()));
+      }
+    }
+  }
+  for (StreamSubscriber* s : subscribers_) {
+    PLDP_RETURN_IF_ERROR(s->OnEnd());
+  }
+  return Status::OK();
+}
+
+}  // namespace pldp

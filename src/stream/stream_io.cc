@@ -1,0 +1,102 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "stream/stream_io.h"
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace pldp {
+
+std::string EncodeValueTagged(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kBool:
+      return std::string("b:") + (v.AsBool().value() ? "true" : "false");
+    case ValueKind::kInt:
+      return "i:" + std::to_string(v.AsInt().value());
+    case ValueKind::kDouble:
+      return "d:" + StrFormat("%.17g", v.AsDouble().value());
+    case ValueKind::kString:
+      return "s:" + v.AsString().value();
+  }
+  return "i:0";
+}
+
+StatusOr<Value> DecodeValueTagged(const std::string& s) {
+  if (s.size() < 2 || s[1] != ':') {
+    return Status::InvalidArgument("malformed tagged value: '" + s + "'");
+  }
+  std::string payload = s.substr(2);
+  switch (s[0]) {
+    case 'b':
+      if (payload == "true") return Value(true);
+      if (payload == "false") return Value(false);
+      return Status::InvalidArgument("malformed bool: '" + payload + "'");
+    case 'i': {
+      PLDP_ASSIGN_OR_RETURN(int64_t i, ParseInt64(payload));
+      return Value(i);
+    }
+    case 'd': {
+      PLDP_ASSIGN_OR_RETURN(double d, ParseDouble(payload));
+      return Value(d);
+    }
+    case 's':
+      return Value(std::move(payload));
+    default:
+      return Status::InvalidArgument("unknown value tag: '" + s + "'");
+  }
+}
+
+Status WriteStreamCsv(const std::string& path, const EventStream& stream,
+                      const EventTypeRegistry& registry) {
+  CsvWriter writer(path);
+  PLDP_RETURN_IF_ERROR(writer.status());
+  PLDP_RETURN_IF_ERROR(writer.WriteRow({"timestamp", "stream", "type"}));
+  for (const Event& e : stream) {
+    PLDP_ASSIGN_OR_RETURN(std::string type_name, registry.Name(e.type()));
+    std::vector<std::string> row = {std::to_string(e.timestamp()),
+                                    std::to_string(e.stream()),
+                                    std::move(type_name)};
+    for (const auto& [key, value] : e.attributes()) {
+      row.push_back(key + "=" + EncodeValueTagged(value));
+    }
+    PLDP_RETURN_IF_ERROR(writer.WriteRow(row));
+  }
+  return writer.Close();
+}
+
+StatusOr<EventStream> ReadStreamCsv(const std::string& path,
+                                    EventTypeRegistry* registry) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("registry must not be null");
+  }
+  PLDP_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path, /*skip_header=*/true));
+  EventStream stream;
+  stream.Reserve(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() < 3) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: expected >=3 fields, got %zu", r, row.size()));
+    }
+    PLDP_ASSIGN_OR_RETURN(int64_t ts, ParseInt64(row[0]));
+    PLDP_ASSIGN_OR_RETURN(int64_t sid, ParseInt64(row[1]));
+    if (sid < 0 || sid > static_cast<int64_t>(UINT32_MAX)) {
+      return Status::OutOfRange(StrFormat("row %zu: bad stream id", r));
+    }
+    Event e(registry->Intern(row[2]), ts, static_cast<StreamId>(sid));
+    for (size_t f = 3; f < row.size(); ++f) {
+      size_t eq = row[f].find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("row %zu: attribute without '=': '%s'", r,
+                      row[f].c_str()));
+      }
+      PLDP_ASSIGN_OR_RETURN(Value v, DecodeValueTagged(row[f].substr(eq + 1)));
+      e.SetAttribute(row[f].substr(0, eq), std::move(v));
+    }
+    PLDP_RETURN_IF_ERROR(stream.Append(std::move(e)));
+  }
+  return stream;
+}
+
+}  // namespace pldp

@@ -1,0 +1,35 @@
+// Copyright 2026 The PLDP Authors.
+//
+// CSV persistence of event streams.
+//
+// Format (one event per row):
+//   timestamp,stream,type_name[,key=value ...]
+// Attribute values are encoded with a one-letter kind tag so the reader can
+// restore the exact Value kind: b:true, i:42, d:3.5, s:cell_7.
+
+#ifndef PLDP_STREAM_STREAM_IO_H_
+#define PLDP_STREAM_STREAM_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "event/event_type.h"
+#include "stream/event_stream.h"
+
+namespace pldp {
+
+/// Writes `stream` to `path`; type names come from `registry`.
+Status WriteStreamCsv(const std::string& path, const EventStream& stream,
+                      const EventTypeRegistry& registry);
+
+/// Reads a stream from `path`, interning unseen type names into `registry`.
+StatusOr<EventStream> ReadStreamCsv(const std::string& path,
+                                    EventTypeRegistry* registry);
+
+/// Encoding helpers (exposed for tests).
+std::string EncodeValueTagged(const Value& v);
+StatusOr<Value> DecodeValueTagged(const std::string& s);
+
+}  // namespace pldp
+
+#endif  // PLDP_STREAM_STREAM_IO_H_

@@ -1,0 +1,158 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Unit tests for Status / StatusOr and the early-return macros.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pldp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition},
+      {Status::ResourceExhausted("f"), StatusCode::kResourceExhausted},
+      {Status::Unimplemented("g"), StatusCode::kUnimplemented},
+      {Status::Internal("h"), StatusCode::kInternal},
+      {Status::IoError("i"), StatusCode::kIoError},
+      {Status::PrivacyBudgetExceeded("j"),
+       StatusCode::kPrivacyBudgetExceeded},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::PrivacyBudgetExceeded("x").IsPrivacyBudgetExceeded());
+  EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // shares the rep
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kPrivacyBudgetExceeded),
+            "PrivacyBudgetExceeded");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, ValueOrFallsBack) {
+  StatusOr<int> err = Status::Internal("x");
+  EXPECT_EQ(err.value_or(7), 7);
+  StatusOr<int> val = 3;
+  EXPECT_EQ(val.value_or(7), 3);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> got = std::move(v).value();
+  EXPECT_EQ(*got, 5);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+namespace macros {
+
+Status FailIf(bool fail) {
+  if (fail) return Status::Internal("inner failure");
+  return Status::OK();
+}
+
+Status Outer(bool fail) {
+  PLDP_RETURN_IF_ERROR(FailIf(fail));
+  return Status::OK();
+}
+
+StatusOr<int> MaybeInt(bool fail) {
+  if (fail) return Status::NotFound("no int");
+  return 10;
+}
+
+StatusOr<int> Doubled(bool fail) {
+  PLDP_ASSIGN_OR_RETURN(int x, MaybeInt(fail));
+  return x * 2;
+}
+
+}  // namespace macros
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macros::Outer(false).ok());
+  Status s = macros::Outer(true);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnAssignsAndPropagates) {
+  StatusOr<int> ok = macros::Doubled(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 20);
+  StatusOr<int> err = macros::Doubled(true);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,167 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the trusted private CEP engine facade: setup-phase rules,
+// service-phase answering, and the passthrough/ground-truth equivalence.
+
+#include "core/private_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "ppm/adaptive.h"
+#include "ppm/pattern_level.h"
+
+namespace pldp {
+namespace {
+
+class PrivateEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = engine_.InternEventType("a");
+    b_ = engine_.InternEventType("b");
+    c_ = engine_.InternEventType("c");
+  }
+
+  Status RegisterDefaults() {
+    PLDP_ASSIGN_OR_RETURN(
+        auto priv, engine_.RegisterPrivatePattern(
+                       Pattern::Create("priv", {a_, b_},
+                                       DetectionMode::kConjunction)
+                           .value()));
+    (void)priv;
+    PLDP_ASSIGN_OR_RETURN(
+        query_, engine_.RegisterTargetQuery(
+                    "q", Pattern::Create("tgt", {c_},
+                                         DetectionMode::kConjunction)
+                             .value()));
+    return Status::OK();
+  }
+
+  EventStream MakeStream() {
+    EventStream s;
+    s.AppendUnchecked(Event(a_, 1));
+    s.AppendUnchecked(Event(c_, 5));
+    s.AppendUnchecked(Event(b_, 12));
+    s.AppendUnchecked(Event(c_, 25));
+    return s;
+  }
+
+  PrivateCepEngine engine_;
+  EventTypeId a_ = 0, b_ = 0, c_ = 0;
+  QueryId query_ = 0;
+};
+
+TEST_F(PrivateEngineTest, ActivateRequiresSetup) {
+  // No private patterns yet.
+  EXPECT_TRUE(engine_.Activate(std::make_unique<UniformPatternPpm>(), 1.0)
+                  .IsFailedPrecondition());
+  ASSERT_TRUE(engine_
+                  .RegisterPrivatePattern(
+                      Pattern::Create("p", {a_}, DetectionMode::kConjunction)
+                          .value())
+                  .ok());
+  // Still no queries.
+  EXPECT_TRUE(engine_.Activate(std::make_unique<UniformPatternPpm>(), 1.0)
+                  .IsFailedPrecondition());
+}
+
+TEST_F(PrivateEngineTest, ActivateRejectsNullMechanism) {
+  ASSERT_TRUE(RegisterDefaults().ok());
+  EXPECT_TRUE(engine_.Activate(nullptr, 1.0).IsInvalidArgument());
+}
+
+TEST_F(PrivateEngineTest, SetupPhaseClosesAfterActivate) {
+  ASSERT_TRUE(RegisterDefaults().ok());
+  ASSERT_TRUE(
+      engine_.Activate(std::make_unique<UniformPatternPpm>(), 1.0).ok());
+  // Further registrations and re-activation are rejected.
+  EXPECT_TRUE(engine_
+                  .RegisterPrivatePattern(
+                      Pattern::Create("late", {c_},
+                                      DetectionMode::kConjunction)
+                          .value())
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(engine_
+                  .RegisterTargetQuery(
+                      "late_q", Pattern::Create("late_t", {a_},
+                                                DetectionMode::kConjunction)
+                                    .value())
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(engine_.Activate(std::make_unique<UniformPatternPpm>(), 1.0)
+                  .IsFailedPrecondition());
+}
+
+TEST_F(PrivateEngineTest, ProcessRequiresActivation) {
+  ASSERT_TRUE(RegisterDefaults().ok());
+  Rng rng(1);
+  EXPECT_TRUE(engine_.ProcessWindows({}, &rng).status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(PrivateEngineTest, ProcessStreamAnswersQueries) {
+  ASSERT_TRUE(RegisterDefaults().ok());
+  ASSERT_TRUE(
+      engine_.Activate(std::make_unique<UniformPatternPpm>(), 50.0).ok());
+  Rng rng(2);
+  TumblingWindower windower(10);
+  auto results =
+      engine_.ProcessStream(MakeStream(), windower, &rng).value();
+  // Windows: [0,10) has a,c; [10,20) has b; [20,30) has c.
+  EXPECT_EQ(results.window_count, 3u);
+  ASSERT_EQ(results.answers.size(), 1u);
+  // Type c is outside the private pattern; with ε=50 the answers are
+  // essentially exact: c in windows 0 and 2.
+  EXPECT_EQ(results.answers[query_].answers(),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST_F(PrivateEngineTest, GroundTruthIsExact) {
+  ASSERT_TRUE(RegisterDefaults().ok());
+  ASSERT_TRUE(
+      engine_.Activate(std::make_unique<UniformPatternPpm>(), 1.0).ok());
+  TumblingWindower windower(10);
+  auto windows = windower.Apply(MakeStream()).value();
+  auto truth = engine_.GroundTruth(windows).value();
+  EXPECT_EQ(truth.answers[query_].answers(),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST_F(PrivateEngineTest, RejectsNullRng) {
+  ASSERT_TRUE(RegisterDefaults().ok());
+  ASSERT_TRUE(
+      engine_.Activate(std::make_unique<UniformPatternPpm>(), 1.0).ok());
+  EXPECT_TRUE(engine_.ProcessWindows({}, nullptr).status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PrivateEngineTest, MechanismAccessorExposesChoice) {
+  ASSERT_TRUE(RegisterDefaults().ok());
+  EXPECT_EQ(engine_.mechanism(), nullptr);
+  ASSERT_TRUE(
+      engine_.Activate(std::make_unique<UniformPatternPpm>(), 1.0).ok());
+  ASSERT_NE(engine_.mechanism(), nullptr);
+  EXPECT_EQ(engine_.mechanism()->name(), "uniform");
+}
+
+TEST_F(PrivateEngineTest, AlphaAndHistoryFeedAdaptiveMechanisms) {
+  ASSERT_TRUE(RegisterDefaults().ok());
+  engine_.SetAlpha(0.7);
+  std::vector<Window> history(3);
+  for (size_t i = 0; i < history.size(); ++i) {
+    history[i].start = static_cast<Timestamp>(i * 10);
+    history[i].end = history[i].start + 10;
+    history[i].events = {Event(a_, history[i].start),
+                         Event(c_, history[i].start + 1)};
+  }
+  engine_.SetHistory(history);
+  // The adaptive PPM initializes successfully (it sees history + targets).
+  AdaptivePpmOptions opt;
+  opt.trials = 4;
+  opt.max_rounds = 2;
+  EXPECT_TRUE(
+      engine_.Activate(std::make_unique<AdaptivePatternPpm>(opt), 1.0).ok());
+}
+
+}  // namespace
+}  // namespace pldp

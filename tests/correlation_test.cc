@@ -1,0 +1,143 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the §V-C correlation analysis: association statistics and the
+// latent-relevant-event suggestions.
+
+#include "cep/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace pldp {
+namespace {
+
+Window MakeWindow(size_t index, std::initializer_list<EventTypeId> types) {
+  Window w;
+  w.start = static_cast<Timestamp>(index);
+  w.end = w.start + 1;
+  for (EventTypeId t : types) w.events.emplace_back(t, w.start);
+  return w;
+}
+
+const EventPatternCorrelation& Find(
+    const std::vector<EventPatternCorrelation>& all, EventTypeId t,
+    PatternId p) {
+  for (const auto& c : all) {
+    if (c.event_type == t && c.pattern == p) return c;
+  }
+  static EventPatternCorrelation none;
+  return none;
+}
+
+TEST(CorrelationTest, ValidatesInput) {
+  PatternRegistry patterns;
+  EXPECT_FALSE(AnalyzeEventPatternCorrelations({}, patterns, 3).ok());
+  std::vector<Window> h{MakeWindow(0, {0})};
+  EXPECT_FALSE(AnalyzeEventPatternCorrelations(h, patterns, 0).ok());
+}
+
+TEST(CorrelationTest, ExactStatisticsOnHandcraftedHistory) {
+  PatternRegistry patterns;
+  PatternId p =
+      patterns
+          .Register(Pattern::Create("p", {0, 1},
+                                    DetectionMode::kConjunction)
+                        .value())
+          .value();
+  // 4 windows: {0,1}, {0,1,2}, {2}, {0}.
+  std::vector<Window> h{MakeWindow(0, {0, 1}), MakeWindow(1, {0, 1, 2}),
+                        MakeWindow(2, {2}), MakeWindow(3, {0})};
+  auto all = AnalyzeEventPatternCorrelations(h, patterns, 3).value();
+  ASSERT_EQ(all.size(), 3u);
+
+  // support(P) = 2/4; support(e2) = 2/4; joint(e2, P) = 1.
+  const auto& c2 = Find(all, 2, p);
+  EXPECT_DOUBLE_EQ(c2.support_event, 0.5);
+  EXPECT_DOUBLE_EQ(c2.support_pattern, 0.5);
+  EXPECT_DOUBLE_EQ(c2.confidence, 0.5);  // 1 of 2 windows with e2
+  EXPECT_DOUBLE_EQ(c2.lift, 1.0);        // independent
+
+  // e0 occurs in 3 windows, 2 of which have the pattern.
+  const auto& c0 = Find(all, 0, p);
+  EXPECT_DOUBLE_EQ(c0.support_event, 0.75);
+  EXPECT_NEAR(c0.confidence, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c0.lift, (2.0 / 3.0) / 0.5, 1e-12);
+}
+
+TEST(CorrelationTest, NeverOccurringEventHasZeroConfidence) {
+  PatternRegistry patterns;
+  (void)patterns.Register(
+      Pattern::Create("p", {0}, DetectionMode::kConjunction).value());
+  std::vector<Window> h{MakeWindow(0, {0}), MakeWindow(1, {0})};
+  auto all = AnalyzeEventPatternCorrelations(h, patterns, 2).value();
+  const auto& c = Find(all, 1, 0);
+  EXPECT_DOUBLE_EQ(c.support_event, 0.0);
+  EXPECT_DOUBLE_EQ(c.confidence, 0.0);
+}
+
+TEST(CorrelationTest, NeverDetectedPatternHasZeroLift) {
+  PatternRegistry patterns;
+  (void)patterns.Register(
+      Pattern::Create("p", {5}, DetectionMode::kConjunction).value());
+  std::vector<Window> h{MakeWindow(0, {0})};
+  auto all = AnalyzeEventPatternCorrelations(h, patterns, 6).value();
+  for (const auto& c : all) {
+    EXPECT_DOUBLE_EQ(c.lift, 0.0);
+  }
+}
+
+TEST(SuggestRelevantEventsTest, FindsLatentCompanionEvent) {
+  // Event 2 co-occurs with the pattern {0,1} far more often than chance:
+  // whenever the pattern fires, 2 fires too; otherwise 2 is rare.
+  Pattern p =
+      Pattern::Create("p", {0, 1}, DetectionMode::kConjunction).value();
+  std::vector<Window> h;
+  Rng rng(3);
+  for (size_t i = 0; i < 400; ++i) {
+    bool fire = rng.Bernoulli(0.3);
+    std::vector<EventTypeId> types;
+    if (fire) {
+      types = {0, 1, 2};  // pattern + companion
+    } else {
+      if (rng.Bernoulli(0.5)) types.push_back(0);
+      if (rng.Bernoulli(0.1)) types.push_back(2);  // rare otherwise
+      if (rng.Bernoulli(0.5)) types.push_back(3);  // independent noise
+    }
+    Window w;
+    w.start = static_cast<Timestamp>(i);
+    w.end = w.start + 1;
+    for (EventTypeId t : types) w.events.emplace_back(t, w.start);
+    h.push_back(std::move(w));
+  }
+  auto suggested = SuggestRelevantEvents(h, p, 4).value();
+  // The companion event 2 must be suggested; the independent event 3 not.
+  ASSERT_FALSE(suggested.empty());
+  EXPECT_EQ(suggested[0], 2u);
+  for (EventTypeId t : suggested) EXPECT_NE(t, 3u);
+}
+
+TEST(SuggestRelevantEventsTest, DeclaredElementsNeverSuggested) {
+  Pattern p =
+      Pattern::Create("p", {0, 1}, DetectionMode::kConjunction).value();
+  std::vector<Window> h;
+  for (size_t i = 0; i < 50; ++i) h.push_back(MakeWindow(i, {0, 1}));
+  auto suggested = SuggestRelevantEvents(h, p, 2).value();
+  EXPECT_TRUE(suggested.empty());
+}
+
+TEST(SuggestRelevantEventsTest, ThresholdsFilter) {
+  Pattern p = Pattern::Create("p", {0}, DetectionMode::kConjunction).value();
+  std::vector<Window> h;
+  for (size_t i = 0; i < 100; ++i) {
+    // Event 1 always co-occurs: lift = 1/support(P) = 2.
+    h.push_back(i % 2 == 0 ? MakeWindow(i, {0, 1}) : MakeWindow(i, {2}));
+  }
+  auto loose = SuggestRelevantEvents(h, p, 3, /*min_lift=*/1.5).value();
+  EXPECT_EQ(loose, (std::vector<EventTypeId>{1}));
+  auto strict = SuggestRelevantEvents(h, p, 3, /*min_lift=*/5.0).value();
+  EXPECT_TRUE(strict.empty());
+}
+
+}  // namespace
+}  // namespace pldp

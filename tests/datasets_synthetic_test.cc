@@ -1,0 +1,180 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the Algorithm-2 synthetic generator: structure, determinism,
+// the paper's default parameters, and statistical sanity of the occurrence
+// model.
+
+#include "datasets/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pldp {
+namespace {
+
+TEST(SyntheticTest, PaperDefaultsProduceExpectedShape) {
+  SyntheticOptions opt;  // 20 types, 1000 windows, 20 patterns, 3/5 roles
+  auto ds = GenerateSynthetic(opt, 1).value();
+  EXPECT_EQ(ds.dataset.event_types.size(), 20u);
+  EXPECT_EQ(ds.dataset.windows.size(), 1000u);
+  EXPECT_EQ(ds.dataset.patterns.size(), 20u);
+  EXPECT_EQ(ds.dataset.private_patterns.size(), 3u);
+  EXPECT_EQ(ds.dataset.target_patterns.size(), 5u);
+  EXPECT_EQ(ds.occurrence_probabilities.size(), 20u);
+}
+
+TEST(SyntheticTest, PatternsHaveConfiguredLengthAndConjunctionMode) {
+  auto ds = GenerateSynthetic(SyntheticOptions{}, 2).value();
+  for (PatternId p = 0; p < ds.dataset.patterns.size(); ++p) {
+    const Pattern& pat = ds.dataset.patterns.Get(p);
+    EXPECT_EQ(pat.length(), 3u);
+    EXPECT_EQ(pat.mode(), DetectionMode::kConjunction);
+    // Elements are distinct (drawn without replacement).
+    std::set<EventTypeId> uniq(pat.elements().begin(), pat.elements().end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(SyntheticTest, DisjointRolesByDefault) {
+  auto ds = GenerateSynthetic(SyntheticOptions{}, 3).value();
+  std::set<PatternId> priv(ds.dataset.private_patterns.begin(),
+                           ds.dataset.private_patterns.end());
+  for (PatternId t : ds.dataset.target_patterns) {
+    EXPECT_EQ(priv.count(t), 0u);
+  }
+}
+
+TEST(SyntheticTest, SameSeedReproducesExactly) {
+  auto a = GenerateSynthetic(SyntheticOptions{}, 42).value();
+  auto b = GenerateSynthetic(SyntheticOptions{}, 42).value();
+  ASSERT_EQ(a.dataset.windows.size(), b.dataset.windows.size());
+  for (size_t i = 0; i < a.dataset.windows.size(); ++i) {
+    ASSERT_EQ(a.dataset.windows[i].events.size(),
+              b.dataset.windows[i].events.size());
+    for (size_t j = 0; j < a.dataset.windows[i].events.size(); ++j) {
+      ASSERT_EQ(a.dataset.windows[i].events[j],
+                b.dataset.windows[i].events[j]);
+    }
+  }
+  EXPECT_EQ(a.occurrence_probabilities, b.occurrence_probabilities);
+  EXPECT_EQ(a.dataset.private_patterns, b.dataset.private_patterns);
+  EXPECT_EQ(a.dataset.target_patterns, b.dataset.target_patterns);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto a = GenerateSynthetic(SyntheticOptions{}, 1).value();
+  auto b = GenerateSynthetic(SyntheticOptions{}, 2).value();
+  EXPECT_NE(a.occurrence_probabilities, b.occurrence_probabilities);
+}
+
+TEST(SyntheticTest, EmpiricalOccurrenceMatchesProbabilities) {
+  SyntheticOptions opt;
+  opt.num_windows = 4000;
+  auto ds = GenerateSynthetic(opt, 5).value();
+  for (size_t t = 0; t < opt.num_event_types; ++t) {
+    size_t hits = 0;
+    for (const Window& w : ds.dataset.windows) {
+      if (w.ContainsType(static_cast<EventTypeId>(t))) ++hits;
+    }
+    double rate = static_cast<double>(hits) /
+                  static_cast<double>(ds.dataset.windows.size());
+    EXPECT_NEAR(rate, ds.occurrence_probabilities[t], 0.03) << "type " << t;
+  }
+}
+
+TEST(SyntheticTest, EachTypeOccursAtMostOncePerWindow) {
+  auto ds = GenerateSynthetic(SyntheticOptions{}, 6).value();
+  for (const Window& w : ds.dataset.windows) {
+    std::set<EventTypeId> seen;
+    for (const Event& e : w.events) {
+      EXPECT_TRUE(seen.insert(e.type()).second);
+    }
+  }
+}
+
+TEST(SyntheticTest, WindowTimestampsAreSequential) {
+  auto ds = GenerateSynthetic(SyntheticOptions{}, 7).value();
+  for (size_t i = 0; i < ds.dataset.windows.size(); ++i) {
+    EXPECT_EQ(ds.dataset.windows[i].start, static_cast<Timestamp>(i));
+    EXPECT_EQ(ds.dataset.windows[i].end, static_cast<Timestamp>(i + 1));
+  }
+}
+
+TEST(SyntheticTest, OccurrenceRangeClampingApplies) {
+  SyntheticOptions opt;
+  opt.min_occurrence = 0.3;
+  opt.max_occurrence = 0.7;
+  auto ds = GenerateSynthetic(opt, 8).value();
+  for (double p : ds.occurrence_probabilities) {
+    EXPECT_GE(p, 0.3);
+    EXPECT_LE(p, 0.7);
+  }
+}
+
+TEST(SyntheticTest, ValidatesOptions) {
+  SyntheticOptions zero_types;
+  zero_types.num_event_types = 0;
+  EXPECT_FALSE(GenerateSynthetic(zero_types, 1).ok());
+
+  SyntheticOptions long_pattern;
+  long_pattern.pattern_length = 25;
+  EXPECT_FALSE(GenerateSynthetic(long_pattern, 1).ok());
+
+  SyntheticOptions too_many_roles;
+  too_many_roles.num_private = 18;
+  too_many_roles.num_target = 5;  // 18+5 > 20 disjoint
+  EXPECT_FALSE(GenerateSynthetic(too_many_roles, 1).ok());
+
+  SyntheticOptions bad_range;
+  bad_range.min_occurrence = 0.8;
+  bad_range.max_occurrence = 0.2;
+  EXPECT_FALSE(GenerateSynthetic(bad_range, 1).ok());
+}
+
+TEST(SyntheticTest, OverlappingRolesAllowedWhenConfigured) {
+  SyntheticOptions opt;
+  opt.disjoint_roles = false;
+  opt.num_private = 15;
+  opt.num_target = 15;
+  // 15 + 15 > 20 is fine without disjoint roles.
+  auto ds = GenerateSynthetic(opt, 9).value();
+  EXPECT_EQ(ds.dataset.private_patterns.size(), 15u);
+  EXPECT_EQ(ds.dataset.target_patterns.size(), 15u);
+}
+
+TEST(SyntheticTest, SplitHistoryCutsWindows) {
+  auto ds = GenerateSynthetic(SyntheticOptions{}, 10).value();
+  auto [history, eval] = ds.dataset.SplitHistory(0.3).value();
+  EXPECT_EQ(history.size(), 300u);
+  EXPECT_EQ(eval.size(), 700u);
+  EXPECT_FALSE(ds.dataset.SplitHistory(0.0).ok());
+  EXPECT_FALSE(ds.dataset.SplitHistory(1.0).ok());
+}
+
+/// Seed sweep: the generator must produce structurally valid datasets for
+/// any seed.
+class SyntheticSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SyntheticSeedSweep, StructurallyValid) {
+  SyntheticOptions opt;
+  opt.num_windows = 100;
+  auto ds = GenerateSynthetic(opt, GetParam()).value();
+  EXPECT_EQ(ds.dataset.windows.size(), 100u);
+  for (PatternId p : ds.dataset.private_patterns) {
+    EXPECT_TRUE(ds.dataset.patterns.Contains(p));
+  }
+  for (PatternId p : ds.dataset.target_patterns) {
+    EXPECT_TRUE(ds.dataset.patterns.Contains(p));
+  }
+  for (double prob : ds.occurrence_probabilities) {
+    EXPECT_GE(prob, 0.0);
+    EXPECT_LE(prob, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSeedSweep,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,198 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the taxi simulator: area proportions (the paper's 20 % / 50 % /
+// 50 %-overlap construction), trajectory validity, stream structure, and
+// determinism.
+
+#include "datasets/taxi.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pldp {
+namespace {
+
+TaxiOptions SmallOptions() {
+  TaxiOptions opt;
+  opt.grid_width = 10;
+  opt.grid_height = 10;
+  opt.num_taxis = 20;
+  opt.num_ticks = 50;
+  return opt;
+}
+
+TEST(TaxiTest, AreaProportionsMatchPaper) {
+  TaxiOptions opt = SmallOptions();
+  auto ds = GenerateTaxi(opt, 1).value();
+  const size_t cells = 100;
+  // 20% private.
+  EXPECT_NEAR(static_cast<double>(ds.private_cells.size()) / cells, 0.2,
+              0.02);
+  // 50% target overall.
+  EXPECT_NEAR(static_cast<double>(ds.target_cells.size()) / cells, 0.5,
+              0.02);
+  // Half of the private cells are target.
+  std::set<int64_t> target(ds.target_cells.begin(), ds.target_cells.end());
+  size_t overlap = 0;
+  for (int64_t c : ds.private_cells) overlap += target.count(c);
+  EXPECT_NEAR(static_cast<double>(overlap) /
+                  static_cast<double>(ds.private_cells.size()),
+              0.5, 0.1);
+}
+
+TEST(TaxiTest, CellIdsWithinGrid) {
+  auto ds = GenerateTaxi(SmallOptions(), 2).value();
+  for (int64_t c : ds.private_cells) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 100);
+  }
+  for (int64_t c : ds.target_cells) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 100);
+  }
+}
+
+TEST(TaxiTest, MergedStreamIsTemporallyOrdered) {
+  auto ds = GenerateTaxi(SmallOptions(), 3).value();
+  EXPECT_TRUE(ds.merged_stream.IsTemporallyOrdered());
+  // One event per taxi per tick.
+  EXPECT_EQ(ds.merged_stream.size(), 20u * 50u);
+}
+
+TEST(TaxiTest, EventsCarryCellAttribute) {
+  auto ds = GenerateTaxi(SmallOptions(), 4).value();
+  const Event& e = ds.merged_stream[0];
+  auto cell = e.GetAttribute("cell");
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->AsInt().value(), static_cast<int64_t>(e.type()));
+}
+
+TEST(TaxiTest, TrajectoriesMoveAtMostOneCellPerTick) {
+  TaxiOptions opt = SmallOptions();
+  opt.num_taxis = 5;
+  auto ds = GenerateTaxi(opt, 5).value();
+  // Group events per taxi and check Manhattan step <= 1 per tick (the
+  // greedy step moves along one axis only).
+  for (StreamId taxi = 0; taxi < 5; ++taxi) {
+    int64_t prev_x = -1, prev_y = -1;
+    for (const Event& e : ds.merged_stream) {
+      if (e.stream() != taxi) continue;
+      int64_t cell = e.GetAttribute("cell")->AsInt().value();
+      int64_t x = cell % 10;
+      int64_t y = cell / 10;
+      if (prev_x >= 0) {
+        EXPECT_LE(std::abs(x - prev_x) + std::abs(y - prev_y), 1)
+            << "taxi " << taxi;
+      }
+      prev_x = x;
+      prev_y = y;
+    }
+  }
+}
+
+TEST(TaxiTest, WindowsCoverAllTicks) {
+  TaxiOptions opt = SmallOptions();
+  auto ds = GenerateTaxi(opt, 6).value();
+  EXPECT_EQ(ds.dataset.windows.size(), opt.num_ticks);
+  size_t total_events = 0;
+  for (const Window& w : ds.dataset.windows) total_events += w.events.size();
+  EXPECT_EQ(total_events, ds.merged_stream.size());
+}
+
+TEST(TaxiTest, MultiTickWindows) {
+  TaxiOptions opt = SmallOptions();
+  opt.window_ticks = 5;
+  auto ds = GenerateTaxi(opt, 7).value();
+  EXPECT_EQ(ds.dataset.windows.size(), opt.num_ticks / 5);
+}
+
+TEST(TaxiTest, PatternsMatchAreas) {
+  auto ds = GenerateTaxi(SmallOptions(), 8).value();
+  EXPECT_EQ(ds.dataset.private_patterns.size(), ds.private_cells.size());
+  EXPECT_EQ(ds.dataset.target_patterns.size(), ds.target_cells.size());
+  // Every private pattern is a single-element disjunction on its cell type.
+  for (size_t i = 0; i < ds.dataset.private_patterns.size(); ++i) {
+    const Pattern& p =
+        ds.dataset.patterns.Get(ds.dataset.private_patterns[i]);
+    EXPECT_EQ(p.length(), 1u);
+    EXPECT_EQ(p.mode(), DetectionMode::kDisjunction);
+    EXPECT_EQ(p.elements()[0],
+              static_cast<EventTypeId>(ds.private_cells[i]));
+  }
+}
+
+TEST(TaxiTest, SameSeedReproduces) {
+  auto a = GenerateTaxi(SmallOptions(), 42).value();
+  auto b = GenerateTaxi(SmallOptions(), 42).value();
+  ASSERT_EQ(a.merged_stream.size(), b.merged_stream.size());
+  for (size_t i = 0; i < a.merged_stream.size(); ++i) {
+    ASSERT_EQ(a.merged_stream[i], b.merged_stream[i]);
+  }
+  EXPECT_EQ(a.private_cells, b.private_cells);
+  EXPECT_EQ(a.target_cells, b.target_cells);
+}
+
+TEST(TaxiTest, DifferentSeedsDiffer) {
+  auto a = GenerateTaxi(SmallOptions(), 1).value();
+  auto b = GenerateTaxi(SmallOptions(), 2).value();
+  EXPECT_NE(a.private_cells, b.private_cells);
+}
+
+TEST(TaxiTest, SamplingIntervalSpacesTimestamps) {
+  TaxiOptions opt = SmallOptions();
+  opt.sampling_interval_s = 177;  // the paper's cadence
+  auto ds = GenerateTaxi(opt, 9).value();
+  std::set<Timestamp> stamps;
+  for (const Event& e : ds.merged_stream) stamps.insert(e.timestamp());
+  for (Timestamp t : stamps) {
+    EXPECT_EQ(t % 177, 0);
+  }
+  EXPECT_EQ(stamps.size(), opt.num_ticks);
+}
+
+TEST(TaxiTest, HotspotBiasConcentratesTraffic) {
+  // With strong hotspot attraction, visits concentrate on few cells; with
+  // no bias they spread out. Compare distinct-cell coverage.
+  TaxiOptions biased = SmallOptions();
+  biased.hotspot_bias = 0.95;
+  biased.num_hotspots = 1;
+  biased.num_ticks = 200;
+  TaxiOptions free_walk = biased;
+  free_walk.hotspot_bias = 0.0;
+
+  auto count_cells = [](const TaxiDataset& ds) {
+    std::set<EventTypeId> cells;
+    // Skip a burn-in prefix: taxis start uniformly and need time to reach
+    // the hotspot.
+    size_t skip = ds.merged_stream.size() / 2;
+    for (size_t i = skip; i < ds.merged_stream.size(); ++i) {
+      cells.insert(ds.merged_stream[i].type());
+    }
+    return cells.size();
+  };
+  size_t biased_cells = count_cells(GenerateTaxi(biased, 10).value());
+  size_t free_cells = count_cells(GenerateTaxi(free_walk, 10).value());
+  EXPECT_LT(biased_cells, free_cells);
+}
+
+TEST(TaxiTest, ValidatesOptions) {
+  TaxiOptions zero_grid = SmallOptions();
+  zero_grid.grid_width = 0;
+  EXPECT_FALSE(GenerateTaxi(zero_grid, 1).ok());
+
+  TaxiOptions zero_taxis = SmallOptions();
+  zero_taxis.num_taxis = 0;
+  EXPECT_FALSE(GenerateTaxi(zero_taxis, 1).ok());
+
+  TaxiOptions bad_interval = SmallOptions();
+  bad_interval.sampling_interval_s = 0;
+  EXPECT_FALSE(GenerateTaxi(bad_interval, 1).ok());
+
+  TaxiOptions bad_fraction = SmallOptions();
+  bad_fraction.private_cell_fraction = 1.5;
+  EXPECT_FALSE(GenerateTaxi(bad_fraction, 1).ok());
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,43 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "dp/composition.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pldp {
+namespace {
+
+TEST(ComposeSequentialTest, SumsEpsilons) {
+  EXPECT_DOUBLE_EQ(ComposeSequential({0.5, 0.25, 0.25}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(ComposeSequential({}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(ComposeSequential({2.0}).value(), 2.0);
+}
+
+TEST(ComposeSequentialTest, RejectsNegativeOrNonFinite) {
+  EXPECT_FALSE(ComposeSequential({0.5, -0.1}).ok());
+  EXPECT_FALSE(
+      ComposeSequential({std::numeric_limits<double>::infinity()}).ok());
+  EXPECT_FALSE(
+      ComposeSequential({std::numeric_limits<double>::quiet_NaN()}).ok());
+}
+
+TEST(ComposeParallelTest, TakesMaximum) {
+  EXPECT_DOUBLE_EQ(ComposeParallel({0.5, 2.0, 1.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(ComposeParallel({0.7}).value(), 0.7);
+  EXPECT_DOUBLE_EQ(ComposeParallel({0.0, 0.0}).value(), 0.0);
+}
+
+TEST(ComposeParallelTest, RejectsEmptyAndInvalid) {
+  EXPECT_FALSE(ComposeParallel({}).ok());
+  EXPECT_FALSE(ComposeParallel({-1.0}).ok());
+}
+
+TEST(CompositionTest, ParallelNeverExceedsSequential) {
+  std::vector<double> eps{0.1, 0.9, 0.4, 0.2};
+  EXPECT_LE(ComposeParallel(eps).value(), ComposeSequential(eps).value());
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,91 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the budget conversions that put the baselines on an
+// equal-strength footing with the pattern-level PPMs (paper §VI-A2).
+
+#include "dp/budget_conversion.h"
+
+#include <gtest/gtest.h>
+
+namespace pldp {
+namespace {
+
+TEST(AggregatePatternBudgetTest, SumsSelectedTimestamps) {
+  std::vector<double> schedule{0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(AggregatePatternBudget(schedule, {0, 2}).value(), 0.4);
+  EXPECT_DOUBLE_EQ(AggregatePatternBudget(schedule, {}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(AggregatePatternBudget(schedule, {1, 1}).value(), 0.4);
+}
+
+TEST(AggregatePatternBudgetTest, ValidatesInput) {
+  std::vector<double> schedule{0.1, -0.2};
+  EXPECT_TRUE(AggregatePatternBudget(schedule, {1}).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AggregatePatternBudget(schedule, {5}).status().IsOutOfRange());
+}
+
+TEST(WEventConversionTest, ForwardFormula) {
+  // span k, window w: pattern-level ε = k·ε_w/w.
+  EXPECT_DOUBLE_EQ(WEventPatternLevelEpsilon(10.0, 10, 3).value(), 3.0);
+  EXPECT_DOUBLE_EQ(WEventPatternLevelEpsilon(1.0, 4, 4).value(), 1.0);
+  EXPECT_DOUBLE_EQ(WEventPatternLevelEpsilon(2.0, 8, 1).value(), 0.25);
+}
+
+TEST(WEventConversionTest, InverseRoundTrips) {
+  for (double eps_p : {0.1, 1.0, 5.0}) {
+    for (size_t w : {1ul, 5ul, 20ul}) {
+      for (size_t span : {1ul, 3ul, 7ul}) {
+        double native =
+            WEventBudgetForPatternLevel(eps_p, w, span).value();
+        double back = WEventPatternLevelEpsilon(native, w, span).value();
+        EXPECT_NEAR(back, eps_p, 1e-12)
+            << "eps=" << eps_p << " w=" << w << " span=" << span;
+      }
+    }
+  }
+}
+
+TEST(WEventConversionTest, ValidatesArguments) {
+  EXPECT_FALSE(WEventPatternLevelEpsilon(0.0, 10, 3).ok());
+  EXPECT_FALSE(WEventPatternLevelEpsilon(1.0, 0, 3).ok());
+  EXPECT_FALSE(WEventPatternLevelEpsilon(1.0, 10, 0).ok());
+  EXPECT_FALSE(WEventBudgetForPatternLevel(-1.0, 10, 3).ok());
+}
+
+TEST(LandmarkConversionTest, ForwardFormula) {
+  // span · f · ε / L.
+  EXPECT_DOUBLE_EQ(LandmarkPatternLevelEpsilon(10.0, 0.5, 5, 2).value(), 2.0);
+  EXPECT_DOUBLE_EQ(LandmarkPatternLevelEpsilon(4.0, 1.0, 4, 1).value(), 1.0);
+}
+
+TEST(LandmarkConversionTest, InverseRoundTrips) {
+  for (double eps_p : {0.2, 1.0, 3.0}) {
+    for (double f : {0.25, 0.5, 1.0}) {
+      for (size_t L : {1ul, 10ul, 100ul}) {
+        double native =
+            LandmarkBudgetForPatternLevel(eps_p, f, L, 2).value();
+        double back = LandmarkPatternLevelEpsilon(native, f, L, 2).value();
+        EXPECT_NEAR(back, eps_p, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(LandmarkConversionTest, ValidatesArguments) {
+  EXPECT_FALSE(LandmarkPatternLevelEpsilon(1.0, 0.0, 5, 2).ok());
+  EXPECT_FALSE(LandmarkPatternLevelEpsilon(1.0, 1.5, 5, 2).ok());
+  EXPECT_FALSE(LandmarkPatternLevelEpsilon(1.0, 0.5, 0, 2).ok());
+  EXPECT_FALSE(LandmarkPatternLevelEpsilon(1.0, 0.5, 5, 0).ok());
+  EXPECT_FALSE(LandmarkBudgetForPatternLevel(0.0, 0.5, 5, 2).ok());
+}
+
+TEST(ConversionConsistencyTest, MoreTimestampsMeansWeakerNativeBudget) {
+  // To deliver the same pattern-level ε over a longer pattern span, the
+  // native w-event budget may shrink proportionally.
+  double short_span = WEventBudgetForPatternLevel(1.0, 10, 1).value();
+  double long_span = WEventBudgetForPatternLevel(1.0, 10, 5).value();
+  EXPECT_GT(short_span, long_span);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,112 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the exponential mechanism: selection distribution, the ε-DP
+// ratio bound, and empirical agreement with the analytic probabilities.
+
+#include "dp/exponential.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pldp {
+namespace {
+
+TEST(ExponentialMechanismTest, CreateValidates) {
+  EXPECT_TRUE(ExponentialMechanism::Create(1.0, 1.0).ok());
+  EXPECT_FALSE(ExponentialMechanism::Create(0.0, 1.0).ok());
+  EXPECT_FALSE(ExponentialMechanism::Create(1.0, 0.0).ok());
+  EXPECT_FALSE(ExponentialMechanism::Create(-1.0, 1.0).ok());
+}
+
+TEST(ExponentialMechanismTest, ProbabilitiesNormalizedAndOrdered) {
+  auto mech = ExponentialMechanism::Create(2.0, 1.0).value();
+  auto probs = mech.SelectionProbabilities({3.0, 1.0, 2.0}).value();
+  ASSERT_EQ(probs.size(), 3u);
+  double total = probs[0] + probs[1] + probs[2];
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Higher utility => higher probability.
+  EXPECT_GT(probs[0], probs[2]);
+  EXPECT_GT(probs[2], probs[1]);
+}
+
+TEST(ExponentialMechanismTest, EqualUtilitiesUniform) {
+  auto mech = ExponentialMechanism::Create(1.0, 1.0).value();
+  auto probs = mech.SelectionProbabilities({5.0, 5.0, 5.0, 5.0}).value();
+  for (double p : probs) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(ExponentialMechanismTest, KnownRatio) {
+  // P(i)/P(j) = exp(ε (u_i - u_j) / (2Δu)).
+  auto mech = ExponentialMechanism::Create(2.0, 1.0).value();
+  auto probs = mech.SelectionProbabilities({1.0, 0.0}).value();
+  EXPECT_NEAR(probs[0] / probs[1], std::exp(1.0), 1e-9);
+}
+
+TEST(ExponentialMechanismTest, ValidatesUtilities) {
+  auto mech = ExponentialMechanism::Create(1.0, 1.0).value();
+  EXPECT_FALSE(mech.SelectionProbabilities({}).ok());
+  EXPECT_FALSE(mech.SelectionProbabilities(
+                       {1.0, std::numeric_limits<double>::infinity()})
+                   .ok());
+  Rng rng(1);
+  EXPECT_FALSE(mech.Select({1.0}, nullptr).ok());
+}
+
+TEST(ExponentialMechanismTest, StableUnderLargeUtilities) {
+  // The max-subtraction must prevent overflow.
+  auto mech = ExponentialMechanism::Create(1.0, 1.0).value();
+  auto probs = mech.SelectionProbabilities({1e6, 1e6 - 1.0}).value();
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-12);
+  EXPECT_GT(probs[0], probs[1]);
+}
+
+TEST(ExponentialMechanismTest, EmpiricalSelectionMatchesAnalytic) {
+  auto mech = ExponentialMechanism::Create(1.5, 1.0).value();
+  std::vector<double> utilities{2.0, 0.5, 1.0};
+  auto probs = mech.SelectionProbabilities(utilities).value();
+  Rng rng(42);
+  const int n = 100000;
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < n; ++i) {
+    ++counts[mech.Select(utilities, &rng).value()];
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, probs[i], 0.01)
+        << "candidate " << i;
+  }
+}
+
+TEST(ExponentialMechanismTest, DpRatioBoundHolds) {
+  // For neighboring utility vectors (each utility moves by at most Δu),
+  // the selection probability of any candidate changes by at most e^ε.
+  const double eps = 1.0;
+  auto mech = ExponentialMechanism::Create(eps, 1.0).value();
+  std::vector<double> u1{3.0, 1.0, 2.0};
+  std::vector<double> u2{2.0, 2.0, 1.0};  // each moved by exactly Δu = 1
+  auto p1 = mech.SelectionProbabilities(u1).value();
+  auto p2 = mech.SelectionProbabilities(u2).value();
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_LE(std::abs(std::log(p1[i] / p2[i])), eps + 1e-9)
+        << "candidate " << i;
+  }
+}
+
+/// Higher ε concentrates on the argmax.
+class ExponentialEpsilonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialEpsilonSweep, ArgmaxProbabilityGrowsWithEpsilon) {
+  double eps = GetParam();
+  auto loose = ExponentialMechanism::Create(eps, 1.0).value();
+  auto tight = ExponentialMechanism::Create(eps * 4.0, 1.0).value();
+  std::vector<double> u{1.0, 0.0, 0.0};
+  double p_loose = loose.SelectionProbabilities(u).value()[0];
+  double p_tight = tight.SelectionProbabilities(u).value()[0];
+  EXPECT_GT(p_tight, p_loose);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ExponentialEpsilonSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace pldp

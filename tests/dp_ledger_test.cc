@@ -1,0 +1,85 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the per-pattern budget ledger: grants, charges, overdraft
+// protection, and the audit trail.
+
+#include "dp/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace pldp {
+namespace {
+
+TEST(LedgerTest, GrantOncePerPattern) {
+  PatternBudgetLedger ledger;
+  EXPECT_FALSE(ledger.HasGrant(0));
+  ASSERT_TRUE(ledger.Grant(0, 2.0).ok());
+  EXPECT_TRUE(ledger.HasGrant(0));
+  EXPECT_TRUE(ledger.Grant(0, 1.0).IsAlreadyExists());
+}
+
+TEST(LedgerTest, GrantValidatesEpsilon) {
+  PatternBudgetLedger ledger;
+  EXPECT_FALSE(ledger.Grant(0, 0.0).ok());
+  EXPECT_FALSE(ledger.Grant(0, -1.0).ok());
+}
+
+TEST(LedgerTest, ChargeSpendsAgainstGrant) {
+  PatternBudgetLedger ledger;
+  ASSERT_TRUE(ledger.Grant(3, 2.0).ok());
+  ASSERT_TRUE(ledger.Charge(3, 0.5, "first activation").ok());
+  EXPECT_NEAR(ledger.Remaining(3).value(), 1.5, 1e-12);
+  ASSERT_TRUE(ledger.Charge(3, 1.5).ok());
+  EXPECT_NEAR(ledger.Remaining(3).value(), 0.0, 1e-9);
+}
+
+TEST(LedgerTest, OverdraftRefusedAndLedgerUnchanged) {
+  PatternBudgetLedger ledger;
+  ASSERT_TRUE(ledger.Grant(1, 1.0).ok());
+  ASSERT_TRUE(ledger.Charge(1, 0.8).ok());
+  EXPECT_TRUE(ledger.Charge(1, 0.5).IsPrivacyBudgetExceeded());
+  EXPECT_NEAR(ledger.Remaining(1).value(), 0.2, 1e-12);
+  EXPECT_EQ(ledger.entries().size(), 1u);  // failed charge not recorded
+}
+
+TEST(LedgerTest, UnknownPatternIsNotFound) {
+  PatternBudgetLedger ledger;
+  EXPECT_TRUE(ledger.Charge(9, 0.1).IsNotFound());
+  EXPECT_TRUE(ledger.Remaining(9).status().IsNotFound());
+}
+
+TEST(LedgerTest, TotalsAggregateAcrossPatterns) {
+  PatternBudgetLedger ledger;
+  ASSERT_TRUE(ledger.Grant(0, 1.0).ok());
+  ASSERT_TRUE(ledger.Grant(1, 2.0).ok());
+  ASSERT_TRUE(ledger.Charge(0, 0.5).ok());
+  ASSERT_TRUE(ledger.Charge(1, 1.0).ok());
+  EXPECT_DOUBLE_EQ(ledger.TotalGranted(), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.TotalSpent(), 1.5);
+}
+
+TEST(LedgerTest, AuditTrailRecordsOrderAndNotes) {
+  PatternBudgetLedger ledger;
+  ASSERT_TRUE(ledger.Grant(0, 5.0).ok());
+  ASSERT_TRUE(ledger.Charge(0, 1.0, "consumer A").ok());
+  ASSERT_TRUE(ledger.Charge(0, 2.0, "consumer B").ok());
+  const auto& entries = ledger.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].note, "consumer A");
+  EXPECT_DOUBLE_EQ(entries[0].epsilon, 1.0);
+  EXPECT_EQ(entries[1].note, "consumer B");
+  EXPECT_EQ(entries[1].pattern, 0u);
+}
+
+TEST(LedgerTest, IndependentPatternsDoNotInterfere) {
+  PatternBudgetLedger ledger;
+  ASSERT_TRUE(ledger.Grant(0, 1.0).ok());
+  ASSERT_TRUE(ledger.Grant(1, 1.0).ok());
+  ASSERT_TRUE(ledger.Charge(0, 1.0).ok());
+  // Pattern 0 exhausted; pattern 1 untouched.
+  EXPECT_TRUE(ledger.Charge(0, 0.1).IsPrivacyBudgetExceeded());
+  EXPECT_TRUE(ledger.Charge(1, 0.9).ok());
+}
+
+}  // namespace
+}  // namespace pldp

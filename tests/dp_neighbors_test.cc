@@ -1,0 +1,171 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The library's central DP property tests: Theorem 1 is *verified by
+// enumeration*, not assumed.
+//
+//  - For in-pattern neighbors (one differing element), the worst-case
+//    privacy loss of the pattern randomized-response mechanism equals
+//    max_i ε_i.
+//  - For arbitrary pattern-instance neighbors (all elements may differ),
+//    the worst-case loss equals Σ ε_i — the pattern-level ε-DP bound.
+
+#include "dp/neighbors.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace pldp {
+namespace {
+
+PatternRandomizedResponse MechFor(std::vector<double> epsilons) {
+  auto alloc = BudgetAllocation::FromWeights(std::move(epsilons)).value();
+  return PatternRandomizedResponse::FromAllocation(alloc).value();
+}
+
+TEST(InPatternNeighborsTest, FlipsEachPositionOnce) {
+  std::vector<bool> x{true, false, true};
+  auto ns = InPatternNeighbors(x);
+  ASSERT_EQ(ns.size(), 3u);
+  EXPECT_EQ(ns[0], (std::vector<bool>{false, false, true}));
+  EXPECT_EQ(ns[1], (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(ns[2], (std::vector<bool>{true, false, false}));
+}
+
+TEST(ExactPrivacyLossTest, IdenticalInputsHaveZeroLoss) {
+  auto mech = MechFor({1.0, 2.0});
+  std::vector<bool> x{true, false};
+  EXPECT_DOUBLE_EQ(ExactPrivacyLoss(mech, x, x).value(), 0.0);
+}
+
+TEST(ExactPrivacyLossTest, SingleBitLossEqualsEpsilon) {
+  // A mechanism over one element with budget ε has loss exactly ε between
+  // the two inputs.
+  for (double eps : {0.2, 1.0, 3.0}) {
+    auto mech = MechFor({eps});
+    double loss = ExactPrivacyLoss(mech, {true}, {false}).value();
+    EXPECT_NEAR(loss, eps, 1e-9) << "eps=" << eps;
+  }
+}
+
+TEST(ExactPrivacyLossTest, LossIsSymmetric) {
+  auto mech = MechFor({0.7, 1.3});
+  std::vector<bool> x{true, false};
+  std::vector<bool> y{false, true};
+  EXPECT_NEAR(ExactPrivacyLoss(mech, x, y).value(),
+              ExactPrivacyLoss(mech, y, x).value(), 1e-12);
+}
+
+TEST(ExactPrivacyLossTest, LossDependsOnlyOnDifferingPositions) {
+  auto mech = MechFor({0.5, 1.5, 2.5});
+  // Differ in position 1 only, from two different base points.
+  double a = ExactPrivacyLoss(mech, {false, false, false},
+                              {false, true, false})
+                 .value();
+  double b = ExactPrivacyLoss(mech, {true, false, true},
+                              {true, true, true})
+                 .value();
+  EXPECT_NEAR(a, 1.5, 1e-9);
+  EXPECT_NEAR(b, 1.5, 1e-9);  // same single differing position, other base
+  // Two differing positions compose additively.
+  double c = ExactPrivacyLoss(mech, {false, false, false},
+                              {false, true, true})
+                 .value();
+  EXPECT_NEAR(c, 1.5 + 2.5, 1e-9);
+}
+
+TEST(ExactPrivacyLossTest, ValidatesInput) {
+  auto mech = MechFor({1.0, 1.0});
+  EXPECT_FALSE(ExactPrivacyLoss(mech, {true}, {true, false}).ok());
+}
+
+TEST(MaxInPatternNeighborLossTest, EqualsMaxElementEpsilon) {
+  auto mech = MechFor({0.4, 2.2, 1.1});
+  EXPECT_NEAR(MaxInPatternNeighborLoss(mech).value(), 2.2, 1e-9);
+}
+
+TEST(MaxArbitraryNeighborLossTest, EqualsTotalEpsilon_Theorem1) {
+  // THE Theorem 1 check: worst-case loss over pattern-instance neighbors is
+  // the sum of per-element budgets — the claimed pattern-level ε.
+  auto mech = MechFor({0.4, 2.2, 1.1});
+  EXPECT_NEAR(MaxArbitraryNeighborLoss(mech).value(), 3.7, 1e-9);
+}
+
+TEST(NeighborLossTest, EnumerationRejectsHugePatterns) {
+  std::vector<double> eps(21, 0.1);
+  auto mech = MechFor(eps);
+  EXPECT_FALSE(MaxInPatternNeighborLoss(mech).ok());
+}
+
+/// Theorem 1 sweep: for any allocation, (a) in-pattern neighbor loss equals
+/// max ε_i, (b) arbitrary-neighbor loss equals Σ ε_i, and (c) both bound
+/// the loss between *any* specific pair of inputs.
+class Theorem1Sweep : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(Theorem1Sweep, LossMatchesClosedForms) {
+  const std::vector<double>& eps = GetParam();
+  auto mech = MechFor(eps);
+
+  double max_eps = *std::max_element(eps.begin(), eps.end());
+  double sum_eps = 0.0;
+  for (double e : eps) sum_eps += e;
+
+  EXPECT_NEAR(MaxInPatternNeighborLoss(mech).value(), max_eps, 1e-9);
+  EXPECT_NEAR(MaxArbitraryNeighborLoss(mech).value(), sum_eps, 1e-9);
+}
+
+TEST_P(Theorem1Sweep, AllInputPairsBoundedBySum) {
+  const std::vector<double>& eps = GetParam();
+  auto mech = MechFor(eps);
+  double sum_eps = 0.0;
+  for (double e : eps) sum_eps += e;
+
+  const size_t m = eps.size();
+  for (uint32_t xm = 0; xm < (1u << m); ++xm) {
+    for (uint32_t ym = 0; ym < (1u << m); ++ym) {
+      std::vector<bool> x(m), y(m);
+      for (size_t i = 0; i < m; ++i) {
+        x[i] = (xm >> i) & 1;
+        y[i] = (ym >> i) & 1;
+      }
+      double loss = ExactPrivacyLoss(mech, x, y).value();
+      EXPECT_LE(loss, sum_eps + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Allocations, Theorem1Sweep,
+    ::testing::Values(std::vector<double>{1.0},
+                      std::vector<double>{0.5, 0.5},
+                      std::vector<double>{1.0, 0.0},
+                      std::vector<double>{0.3, 0.3, 0.4},
+                      std::vector<double>{2.0, 0.1, 0.9},
+                      std::vector<double>{0.25, 0.25, 0.25, 0.25},
+                      std::vector<double>{4.0, 3.0, 2.0, 1.0}));
+
+/// The uniform split makes Theorem 1's bound ε for any pattern length m:
+/// pattern-level DP holds with exactly the granted budget.
+class UniformBudgetSweep
+    : public ::testing::TestWithParam<std::pair<double, size_t>> {};
+
+TEST_P(UniformBudgetSweep, UniformAllocationAchievesPatternLevelEpsilon) {
+  auto [total, m] = GetParam();
+  auto alloc = BudgetAllocation::Uniform(total, m).value();
+  auto mech = PatternRandomizedResponse::FromAllocation(alloc).value();
+  EXPECT_NEAR(MaxArbitraryNeighborLoss(mech).value(), total, 1e-9);
+  EXPECT_NEAR(MaxInPatternNeighborLoss(mech).value(),
+              total / static_cast<double>(m), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndLengths, UniformBudgetSweep,
+    ::testing::Values(std::make_pair(1.0, size_t{1}),
+                      std::make_pair(1.0, size_t{3}),
+                      std::make_pair(2.0, size_t{5}),
+                      std::make_pair(0.1, size_t{2}),
+                      std::make_pair(10.0, size_t{8})));
+
+}  // namespace
+}  // namespace pldp

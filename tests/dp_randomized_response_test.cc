@@ -1,0 +1,169 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for randomized response: the ε ⇔ p conversions of Definition 5 /
+// Theorem 1, empirical flip rates, and the exact response-probability
+// computation the DP property tests build on.
+
+#include "dp/randomized_response.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace pldp {
+namespace {
+
+TEST(RandomizedResponseTest, ConversionsAreInverse) {
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    double p = RandomizedResponse::FlipProbabilityForEpsilon(eps).value();
+    double back = RandomizedResponse::EpsilonForFlipProbability(p).value();
+    EXPECT_NEAR(back, eps, 1e-12) << "eps=" << eps;
+  }
+}
+
+TEST(RandomizedResponseTest, KnownConversionValues) {
+  // ε = 0 ⇒ p = 1/2 (pure coin flip, no information).
+  EXPECT_DOUBLE_EQ(
+      RandomizedResponse::FlipProbabilityForEpsilon(0.0).value(), 0.5);
+  // p = 1/2 ⇒ ε = 0.
+  EXPECT_DOUBLE_EQ(
+      RandomizedResponse::EpsilonForFlipProbability(0.5).value(), 0.0);
+  // ε = ln 3 ⇒ p = 1/4.
+  EXPECT_NEAR(
+      RandomizedResponse::FlipProbabilityForEpsilon(std::log(3.0)).value(),
+      0.25, 1e-12);
+}
+
+TEST(RandomizedResponseTest, ValidationRejectsBadParameters) {
+  EXPECT_FALSE(RandomizedResponse::FromFlipProbability(0.0).ok());
+  EXPECT_FALSE(RandomizedResponse::FromFlipProbability(0.6).ok());
+  EXPECT_FALSE(RandomizedResponse::FromFlipProbability(-0.1).ok());
+  EXPECT_TRUE(RandomizedResponse::FromFlipProbability(0.5).ok());
+  EXPECT_FALSE(RandomizedResponse::FromEpsilon(-1.0).ok());
+  EXPECT_FALSE(
+      RandomizedResponse::FromEpsilon(std::numeric_limits<double>::infinity())
+          .ok());
+  EXPECT_TRUE(RandomizedResponse::FromEpsilon(0.0).ok());
+}
+
+TEST(RandomizedResponseTest, MorePrivacyMeansMoreFlipping) {
+  double p_tight = RandomizedResponse::FromEpsilon(0.1).value()
+                       .flip_probability();
+  double p_loose = RandomizedResponse::FromEpsilon(5.0).value()
+                       .flip_probability();
+  EXPECT_GT(p_tight, p_loose);
+  EXPECT_LE(p_tight, 0.5);
+  EXPECT_GT(p_loose, 0.0);
+}
+
+TEST(RandomizedResponseTest, TrueOutputProbability) {
+  auto rr = RandomizedResponse::FromFlipProbability(0.25).value();
+  EXPECT_DOUBLE_EQ(rr.TrueOutputProbability(true), 0.75);
+  EXPECT_DOUBLE_EQ(rr.TrueOutputProbability(false), 0.25);
+}
+
+TEST(RandomizedResponseTest, EmpiricalFlipRateMatchesP) {
+  auto rr = RandomizedResponse::FromFlipProbability(0.3).value();
+  Rng rng(1234);
+  const int n = 100000;
+  int flips_true = 0;
+  int flips_false = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!rr.Perturb(true, &rng)) ++flips_true;
+    if (rr.Perturb(false, &rng)) ++flips_false;
+  }
+  EXPECT_NEAR(static_cast<double>(flips_true) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(flips_false) / n, 0.3, 0.01);
+}
+
+TEST(PatternRandomizedResponseTest, FromAllocationBuildsPerElement) {
+  auto alloc = BudgetAllocation::FromWeights({0.5, 1.0, 2.0}).value();
+  auto mech = PatternRandomizedResponse::FromAllocation(alloc).value();
+  ASSERT_EQ(mech.size(), 3u);
+  EXPECT_NEAR(mech.mechanism(0).epsilon(), 0.5, 1e-12);
+  EXPECT_NEAR(mech.mechanism(2).epsilon(), 2.0, 1e-12);
+  EXPECT_NEAR(mech.TotalEpsilon(), 3.5, 1e-12);
+}
+
+TEST(PatternRandomizedResponseTest, ZeroBudgetElementIsCoinFlip) {
+  auto alloc = BudgetAllocation::FromWeights({0.0, 1.0}).value();
+  auto mech = PatternRandomizedResponse::FromAllocation(alloc).value();
+  EXPECT_DOUBLE_EQ(mech.mechanism(0).flip_probability(), 0.5);
+}
+
+TEST(PatternRandomizedResponseTest, PerturbValidatesLength) {
+  auto alloc = BudgetAllocation::Uniform(1.0, 3).value();
+  auto mech = PatternRandomizedResponse::FromAllocation(alloc).value();
+  Rng rng(1);
+  EXPECT_FALSE(mech.Perturb({true, false}, &rng).ok());
+  EXPECT_TRUE(mech.Perturb({true, false, true}, &rng).ok());
+}
+
+TEST(PatternRandomizedResponseTest, ResponseProbabilitiesSumToOne) {
+  auto alloc = BudgetAllocation::FromWeights({0.3, 1.2, 0.7}).value();
+  auto mech = PatternRandomizedResponse::FromAllocation(alloc).value();
+  std::vector<bool> input{true, false, true};
+  double total = 0.0;
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    std::vector<bool> resp{bool(mask & 1), bool(mask & 2), bool(mask & 4)};
+    total += mech.ResponseProbability(input, resp).value();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PatternRandomizedResponseTest, IdentityResponseIsMostLikely) {
+  auto alloc = BudgetAllocation::Uniform(6.0, 3).value();  // ε_i = 2 each
+  auto mech = PatternRandomizedResponse::FromAllocation(alloc).value();
+  std::vector<bool> input{true, false, true};
+  double p_identity = mech.ResponseProbability(input, input).value();
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    std::vector<bool> resp{bool(mask & 1), bool(mask & 2), bool(mask & 4)};
+    if (resp == input) continue;
+    EXPECT_GT(p_identity, mech.ResponseProbability(input, resp).value());
+  }
+}
+
+TEST(PatternRandomizedResponseTest, EmpiricalJointMatchesAnalytic) {
+  auto alloc = BudgetAllocation::FromWeights({1.0, 2.0}).value();
+  auto mech = PatternRandomizedResponse::FromAllocation(alloc).value();
+  std::vector<bool> input{true, false};
+  Rng rng(777);
+  const int n = 200000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < n; ++i) {
+    auto out = mech.Perturb(input, &rng).value();
+    counts[(out[0] ? 1 : 0) | (out[1] ? 2 : 0)]++;
+  }
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    std::vector<bool> resp{bool(mask & 1), bool(mask & 2)};
+    double analytic = mech.ResponseProbability(input, resp).value();
+    double empirical = static_cast<double>(counts[mask]) / n;
+    EXPECT_NEAR(empirical, analytic, 0.01) << "mask=" << mask;
+  }
+}
+
+/// Theorem 1 accounting: the pattern mechanism's total ε is the sum of the
+/// per-element budgets, for every allocation shape.
+class TotalEpsilonSweep
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(TotalEpsilonSweep, TotalIsSumOfParts) {
+  auto alloc = BudgetAllocation::FromWeights(GetParam()).value();
+  auto mech = PatternRandomizedResponse::FromAllocation(alloc).value();
+  double expected = 0.0;
+  for (double e : GetParam()) expected += e;
+  EXPECT_NEAR(mech.TotalEpsilon(), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Allocations, TotalEpsilonSweep,
+    ::testing::Values(std::vector<double>{1.0},
+                      std::vector<double>{0.5, 0.5},
+                      std::vector<double>{0.1, 0.2, 0.3, 0.4},
+                      std::vector<double>{0.0, 2.0},
+                      std::vector<double>{3.0, 0.01, 1.5}));
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,95 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "cep/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace pldp {
+namespace {
+
+Pattern Make(const std::string& name, std::vector<EventTypeId> elems,
+             DetectionMode mode = DetectionMode::kSequence) {
+  return Pattern::Create(name, std::move(elems), mode).value();
+}
+
+TEST(PatternTest, CreateValidatesNonEmpty) {
+  EXPECT_FALSE(Pattern::Create("p", {}, DetectionMode::kSequence).ok());
+  EXPECT_TRUE(Pattern::Create("p", {1}, DetectionMode::kSequence).ok());
+}
+
+TEST(PatternTest, BasicAccessors) {
+  Pattern p = Make("p", {3, 1, 3});
+  EXPECT_EQ(p.name(), "p");
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.mode(), DetectionMode::kSequence);
+  EXPECT_TRUE(p.ContainsType(1));
+  EXPECT_TRUE(p.ContainsType(3));
+  EXPECT_FALSE(p.ContainsType(2));
+}
+
+TEST(PatternTest, DistinctTypesPreservesFirstSeenOrder) {
+  Pattern p = Make("p", {3, 1, 3, 2, 1});
+  EXPECT_EQ(p.DistinctTypes(), (std::vector<EventTypeId>{3, 1, 2}));
+}
+
+TEST(PatternTest, TypeOverlapIsSymmetricOnSharedTypes) {
+  Pattern a = Make("a", {1, 2});
+  Pattern b = Make("b", {2, 3});
+  Pattern c = Make("c", {4, 5});
+  EXPECT_TRUE(a.TypeOverlaps(b));
+  EXPECT_TRUE(b.TypeOverlaps(a));
+  EXPECT_FALSE(a.TypeOverlaps(c));
+  EXPECT_FALSE(c.TypeOverlaps(a));
+  EXPECT_TRUE(a.TypeOverlaps(a));
+}
+
+TEST(PatternTest, ToStringRendersModeAndElements) {
+  EventTypeRegistry reg;
+  EventTypeId a = reg.Intern("a");
+  EventTypeId b = reg.Intern("b");
+  Pattern p = Make("p", {a, b}, DetectionMode::kConjunction);
+  EXPECT_EQ(p.ToString(&reg), "p=AND(a,b)");
+  EXPECT_EQ(p.ToString(), "p=AND(0,1)");
+}
+
+TEST(DetectionModeTest, Names) {
+  EXPECT_EQ(DetectionModeToString(DetectionMode::kSequence), "SEQ");
+  EXPECT_EQ(DetectionModeToString(DetectionMode::kConjunction), "AND");
+  EXPECT_EQ(DetectionModeToString(DetectionMode::kDisjunction), "OR");
+}
+
+TEST(PatternRegistryTest, RegisterAssignsDenseIds) {
+  PatternRegistry reg;
+  EXPECT_EQ(reg.Register(Make("a", {0})).value(), 0u);
+  EXPECT_EQ(reg.Register(Make("b", {1})).value(), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_TRUE(reg.Contains(1));
+  EXPECT_FALSE(reg.Contains(2));
+}
+
+TEST(PatternRegistryTest, RejectsDuplicateNames) {
+  PatternRegistry reg;
+  ASSERT_TRUE(reg.Register(Make("a", {0})).ok());
+  EXPECT_TRUE(reg.Register(Make("a", {1})).status().IsAlreadyExists());
+}
+
+TEST(PatternRegistryTest, LookupByName) {
+  PatternRegistry reg;
+  ASSERT_TRUE(reg.Register(Make("x", {0})).ok());
+  EXPECT_EQ(reg.LookupByName("x").value(), 0u);
+  EXPECT_TRUE(reg.LookupByName("y").status().IsNotFound());
+}
+
+TEST(PatternRegistryTest, TypeOverlappingFindsPeers) {
+  PatternRegistry reg;
+  PatternId a = reg.Register(Make("a", {1, 2})).value();
+  PatternId b = reg.Register(Make("b", {2, 3})).value();
+  PatternId c = reg.Register(Make("c", {7})).value();
+  EXPECT_EQ(reg.TypeOverlapping(a), (std::vector<PatternId>{b}));
+  EXPECT_EQ(reg.TypeOverlapping(b), (std::vector<PatternId>{a}));
+  EXPECT_TRUE(reg.TypeOverlapping(c).empty());
+  EXPECT_TRUE(reg.TypeOverlapping(99).empty());
+}
+
+}  // namespace
+}  // namespace pldp

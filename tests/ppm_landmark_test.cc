@@ -1,0 +1,167 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the landmark-privacy baseline: landmark classification, budget
+// split between landmark and regular timestamps, history-based estimation,
+// and the conversion from pattern-level ε.
+
+#include "ppm/landmark.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pldp {
+namespace {
+
+using testing_util::AddPattern;
+using testing_util::MakeWindow;
+using testing_util::MakeWorld;
+using testing_util::World;
+
+World LandmarkWorld(double epsilon = 2.0) {
+  World w = MakeWorld(5);
+  AddPattern(&w, "priv", {0, 1}, DetectionMode::kConjunction, true, false);
+  AddPattern(&w, "tgt", {2, 3}, DetectionMode::kConjunction, false, true);
+  w.epsilon = epsilon;
+  return w;
+}
+
+LandmarkOptions PinnedOptions(size_t horizon = 100, size_t landmarks = 20) {
+  LandmarkOptions opt;
+  opt.horizon = horizon;
+  opt.landmark_count = landmarks;
+  return opt;
+}
+
+TEST(LandmarkPpmTest, InitializeValidates) {
+  LandmarkPpm ppm(PinnedOptions());
+  MechanismContext empty;
+  EXPECT_TRUE(ppm.Initialize(empty).IsInvalidArgument());
+
+  World w = LandmarkWorld();
+  w.epsilon = -1.0;
+  EXPECT_TRUE(ppm.Initialize(w.Context()).IsInvalidArgument());
+
+  LandmarkOptions bad_frac;
+  bad_frac.landmark_fraction = 1.0;  // must be < 1
+  bad_frac.horizon = 10;
+  bad_frac.landmark_count = 5;
+  LandmarkPpm bad(bad_frac);
+  World ok = LandmarkWorld();
+  EXPECT_TRUE(bad.Initialize(ok.Context()).IsInvalidArgument());
+}
+
+TEST(LandmarkPpmTest, NeedsHintsOrHistory) {
+  World w = LandmarkWorld();
+  LandmarkPpm ppm;  // no hints, and the world has no history
+  EXPECT_TRUE(ppm.Initialize(w.Context()).IsFailedPrecondition());
+}
+
+TEST(LandmarkPpmTest, EstimatesLandmarksFromHistory) {
+  World w = LandmarkWorld();
+  // History: 4 windows, 2 contain private-pattern types.
+  w.history.push_back(MakeWindow(0, {0, 2}));  // landmark (type 0)
+  w.history.push_back(MakeWindow(1, {2, 3}));  // regular
+  w.history.push_back(MakeWindow(2, {1}));     // landmark (type 1)
+  w.history.push_back(MakeWindow(3, {4}));     // regular
+  LandmarkPpm ppm;
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  // landmark_count estimated 2, horizon 4 -> per-ts budgets both positive.
+  EXPECT_GT(ppm.landmark_epsilon_per_ts(), 0.0);
+  EXPECT_GT(ppm.regular_epsilon_per_ts(), 0.0);
+}
+
+TEST(LandmarkPpmTest, IsLandmarkDetectsPrivateTypes) {
+  World w = LandmarkWorld();
+  LandmarkPpm ppm(PinnedOptions());
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  EXPECT_TRUE(ppm.IsLandmark(MakeWindow(0, {0})));
+  EXPECT_TRUE(ppm.IsLandmark(MakeWindow(0, {1, 4})));
+  EXPECT_FALSE(ppm.IsLandmark(MakeWindow(0, {2, 3, 4})));
+  EXPECT_FALSE(ppm.IsLandmark(MakeWindow(0, {})));
+}
+
+TEST(LandmarkPpmTest, NativeBudgetMatchesConversion) {
+  // span = 2 (longest private pattern), f = 0.5, L = 20:
+  // native = ε_p · L / (span · f) = 2.0 · 20 / (2 · 0.5) = 40.
+  World w = LandmarkWorld(/*epsilon=*/2.0);
+  LandmarkPpm ppm(PinnedOptions(100, 20));
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  EXPECT_NEAR(ppm.native_epsilon(), 40.0, 1e-9);
+  // Per-landmark-timestamp: f·native/L = 1.0 = ε_p/span · span... = 1.
+  EXPECT_NEAR(ppm.landmark_epsilon_per_ts(), 1.0, 1e-9);
+  // Regular: (1-f)·native/(T-L) = 0.5·40/80 = 0.25.
+  EXPECT_NEAR(ppm.regular_epsilon_per_ts(), 0.25, 1e-9);
+}
+
+TEST(LandmarkPpmTest, PublishesPresenceForAllTypes) {
+  World w = LandmarkWorld();
+  LandmarkPpm ppm(PinnedOptions());
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  Rng rng(1);
+  PublishedView v = ppm.PublishWindow(MakeWindow(0, {0, 2}), &rng).value();
+  EXPECT_EQ(v.presence.size(), 5u);
+}
+
+TEST(LandmarkPpmTest, RequiresInitialize) {
+  LandmarkPpm ppm;
+  Rng rng(1);
+  EXPECT_TRUE(ppm.PublishWindow(Window{}, &rng).status()
+                  .IsFailedPrecondition());
+}
+
+TEST(LandmarkPpmTest, HighBudgetTracksTruth) {
+  World w = LandmarkWorld(/*epsilon=*/100.0);
+  LandmarkPpm ppm(PinnedOptions(50, 10));
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  Rng rng(3);
+  int errors = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    bool has2 = (i % 3 == 0);
+    Window win = has2 ? MakeWindow(static_cast<size_t>(i), {2})
+                      : MakeWindow(static_cast<size_t>(i), {4});
+    PublishedView v = ppm.PublishWindow(win, &rng).value();
+    if (v.presence[2] != has2) ++errors;
+  }
+  EXPECT_LT(errors, n / 5);
+}
+
+TEST(LandmarkPpmTest, TinyBudgetNoisesEverything) {
+  World w = LandmarkWorld(/*epsilon=*/0.02);
+  LandmarkPpm ppm(PinnedOptions(1000, 500));
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  Rng rng(5);
+  int errors = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    PublishedView v =
+        ppm.PublishWindow(MakeWindow(static_cast<size_t>(i), {2}), &rng)
+            .value();
+    if (v.presence[4] || !v.presence[2]) ++errors;
+  }
+  EXPECT_GT(errors, 20);
+}
+
+TEST(LandmarkPpmTest, ResetRestoresInitialState) {
+  World w = LandmarkWorld();
+  LandmarkPpm ppm(PinnedOptions());
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  Rng ra(7);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        ppm.PublishWindow(MakeWindow(static_cast<size_t>(i), {0, 2}), &ra)
+            .ok());
+  }
+  ppm.Reset();
+  // After reset, identical rng seed reproduces the original first output.
+  LandmarkPpm fresh(PinnedOptions());
+  ASSERT_TRUE(fresh.Initialize(w.Context()).ok());
+  Rng r1(9);
+  Rng r2(9);
+  EXPECT_EQ(ppm.PublishWindow(MakeWindow(0, {0, 2}), &r1).value().presence,
+            fresh.PublishWindow(MakeWindow(0, {0, 2}), &r2).value().presence);
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,166 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the numeric-query extension: post-processed counts vs direct
+// noisy counts, accuracy behaviour in ε, and input validation.
+
+#include "ppm/numeric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+#include "ppm/pattern_level.h"
+#include "test_util.h"
+
+namespace pldp {
+namespace {
+
+using testing_util::AddPattern;
+using testing_util::MakeWindow;
+using testing_util::MakeWorld;
+using testing_util::World;
+
+struct Fixture {
+  World world;
+  std::vector<Window> windows;
+  Pattern target;
+
+  static Fixture Make(size_t n = 200, uint64_t seed = 5) {
+    Fixture f;
+    f.world = MakeWorld(4);
+    AddPattern(&f.world, "priv", {0, 1}, DetectionMode::kConjunction, true,
+               false);
+    PatternId tgt_id = AddPattern(&f.world, "tgt", {0, 2},
+                                  DetectionMode::kConjunction, false, true);
+    f.target = f.world.patterns.Get(tgt_id);
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      Window w;
+      w.start = static_cast<Timestamp>(i);
+      w.end = w.start + 1;
+      for (EventTypeId t = 0; t < 4; ++t) {
+        if (rng.Bernoulli(0.5)) w.events.emplace_back(t, w.start);
+      }
+      f.windows.push_back(std::move(w));
+    }
+    return f;
+  }
+
+  size_t TrueCount() const {
+    size_t c = 0;
+    for (const Window& w : windows) {
+      if (PatternOccursInWindow(w, target).value()) ++c;
+    }
+    return c;
+  }
+};
+
+TEST(CountViaPublishedViewsTest, ValidatesArguments) {
+  Fixture f = Fixture::Make();
+  Rng rng(1);
+  EXPECT_TRUE(CountViaPublishedViews(nullptr, f.windows, f.target, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CountViaPublishedViewsTest, HighBudgetMatchesTruth) {
+  Fixture f = Fixture::Make();
+  f.world.epsilon = 50.0;
+  UniformPatternPpm ppm;
+  ASSERT_TRUE(ppm.Initialize(f.world.Context()).ok());
+  Rng rng(2);
+  size_t noisy = CountViaPublishedViews(&ppm, f.windows, f.target, &rng)
+                     .value();
+  EXPECT_EQ(noisy, f.TrueCount());
+}
+
+TEST(CountViaPublishedViewsTest, LowBudgetDeviates) {
+  Fixture f = Fixture::Make();
+  f.world.epsilon = 0.1;
+  UniformPatternPpm ppm;
+  ASSERT_TRUE(ppm.Initialize(f.world.Context()).ok());
+  Rng rng(3);
+  size_t noisy = CountViaPublishedViews(&ppm, f.windows, f.target, &rng)
+                     .value();
+  size_t truth = f.TrueCount();
+  // With per-element flip probability near 1/2, the count drifts toward
+  // the all-random baseline; it must differ noticeably from the truth.
+  EXPECT_NE(noisy, truth);
+}
+
+TEST(DirectNoisyCountTest, ValidatesArguments) {
+  Fixture f = Fixture::Make();
+  EXPECT_TRUE(DirectNoisyCount(f.windows, f.target, 1.0, 1.0, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  Rng rng(4);
+  EXPECT_FALSE(DirectNoisyCount(f.windows, f.target, 0.0, 1.0, &rng).ok());
+  EXPECT_FALSE(DirectNoisyCount(f.windows, f.target, 1.0, 0.0, &rng).ok());
+}
+
+TEST(DirectNoisyCountTest, ClampsToValidRange) {
+  Fixture f = Fixture::Make(20);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    double c = DirectNoisyCount(f.windows, f.target, 0.05, 1.0, &rng).value();
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 20.0);
+  }
+}
+
+TEST(DirectNoisyCountTest, UnbiasedAtModerateEpsilon) {
+  Fixture f = Fixture::Make();
+  double truth = static_cast<double>(f.TrueCount());
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    stats.Add(DirectNoisyCount(f.windows, f.target, 1.0, 1.0, &rng).value());
+  }
+  EXPECT_NEAR(stats.mean(), truth, 0.2);
+}
+
+TEST(DirectNoisyCountTest, ErrorShrinksWithEpsilon) {
+  Fixture f = Fixture::Make();
+  double truth = static_cast<double>(f.TrueCount());
+  auto mean_abs_err = [&](double eps) {
+    Rng rng(7);
+    RunningStats err;
+    for (int i = 0; i < 500; ++i) {
+      double c = DirectNoisyCount(f.windows, f.target, eps, 1.0, &rng).value();
+      err.Add(std::abs(c - truth));
+    }
+    return err.mean();
+  };
+  EXPECT_GT(mean_abs_err(0.1), mean_abs_err(2.0));
+}
+
+TEST(NumericComparisonTest, DirectCountBeatsPostProcessingAtLowEpsilon) {
+  // The documented trade-off: per-window flips accumulate, one Laplace draw
+  // does not. At small ε the direct aggregate is far more accurate.
+  Fixture f = Fixture::Make(400);
+  double truth = static_cast<double>(f.TrueCount());
+  const double eps = 0.5;
+
+  f.world.epsilon = eps;
+  UniformPatternPpm ppm;
+  ASSERT_TRUE(ppm.Initialize(f.world.Context()).ok());
+
+  Rng rng(8);
+  RunningStats post_err;
+  RunningStats direct_err;
+  for (int i = 0; i < 60; ++i) {
+    ppm.Reset();
+    double post = static_cast<double>(
+        CountViaPublishedViews(&ppm, f.windows, f.target, &rng).value());
+    post_err.Add(std::abs(post - truth));
+    double direct =
+        DirectNoisyCount(f.windows, f.target, eps, 1.0, &rng).value();
+    direct_err.Add(std::abs(direct - truth));
+  }
+  EXPECT_GT(post_err.mean(), direct_err.mean());
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,215 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the w-event baselines (BD and BA): budget conversion, schedule
+// behaviour (division vs absorption/nullification), reset semantics, and
+// that — unlike the pattern-level PPMs — their noise hits every event type.
+
+#include "ppm/w_event.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pldp {
+namespace {
+
+using testing_util::AddPattern;
+using testing_util::MakeWindow;
+using testing_util::MakeWorld;
+using testing_util::World;
+
+World BaselineWorld(double epsilon = 2.0) {
+  World w = MakeWorld(6);
+  AddPattern(&w, "priv", {0, 1, 2}, DetectionMode::kConjunction, true, false);
+  AddPattern(&w, "tgt", {3, 4}, DetectionMode::kConjunction, false, true);
+  w.epsilon = epsilon;
+  return w;
+}
+
+TEST(WEventPpmTest, InitializeValidates) {
+  BudgetDivisionPpm ppm;
+  MechanismContext empty;
+  EXPECT_TRUE(ppm.Initialize(empty).IsInvalidArgument());
+
+  World w = BaselineWorld();
+  w.epsilon = 0.0;
+  EXPECT_TRUE(ppm.Initialize(w.Context()).IsInvalidArgument());
+
+  WEventOptions zero_w;
+  zero_w.w = 0;
+  BudgetDivisionPpm bad(zero_w);
+  World ok = BaselineWorld();
+  EXPECT_TRUE(bad.Initialize(ok.Context()).IsInvalidArgument());
+}
+
+TEST(WEventPpmTest, NativeBudgetConversionUsesLongestPrivatePattern) {
+  // pattern span 3, w = 12: native = ε_p * 12 / 3 = 4 ε_p.
+  WEventOptions opt;
+  opt.w = 12;
+  BudgetDivisionPpm ppm(opt);
+  World w = BaselineWorld(/*epsilon=*/1.5);
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  EXPECT_NEAR(ppm.native_epsilon(), 1.5 * 12.0 / 3.0, 1e-12);
+}
+
+TEST(WEventPpmTest, FirstWindowAlwaysPublishes) {
+  BudgetDivisionPpm ppm;
+  World w = BaselineWorld();
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  Rng rng(1);
+  ASSERT_TRUE(ppm.PublishWindow(MakeWindow(0, {0, 3}), &rng).ok());
+  EXPECT_EQ(ppm.publication_count(), 1u);
+}
+
+TEST(WEventPpmTest, RequiresInitialize) {
+  BudgetDivisionPpm ppm;
+  Rng rng(1);
+  EXPECT_TRUE(ppm.PublishWindow(Window{}, &rng).status()
+                  .IsFailedPrecondition());
+}
+
+TEST(WEventPpmTest, ResetClearsPublicationState) {
+  BudgetDivisionPpm ppm;
+  World w = BaselineWorld();
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  Rng rng(2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ppm.PublishWindow(MakeWindow(static_cast<size_t>(i), {0}),
+                                  &rng)
+                    .ok());
+  }
+  size_t before = ppm.publication_count();
+  EXPECT_GE(before, 1u);
+  ppm.Reset();
+  EXPECT_EQ(ppm.publication_count(), 0u);
+}
+
+TEST(WEventPpmTest, NoiseHitsNonPrivateTypesToo) {
+  // The stream-level baselines perturb everything — with a tiny budget the
+  // published presence of a *non-private* type must err sometimes.
+  World w = BaselineWorld(/*epsilon=*/0.05);
+  BudgetDivisionPpm ppm;
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  Rng rng(3);
+  int errors = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    // Type 5 never occurs; type 3 always occurs.
+    PublishedView v =
+        ppm.PublishWindow(MakeWindow(static_cast<size_t>(i), {3}), &rng)
+            .value();
+    if (v.presence[5] || !v.presence[3]) ++errors;
+  }
+  EXPECT_GT(errors, 10);
+}
+
+TEST(WEventPpmTest, LargeBudgetTracksTruthClosely) {
+  World w = BaselineWorld(/*epsilon=*/300.0);
+  WEventOptions opt;
+  opt.w = 4;
+  BudgetDivisionPpm ppm(opt);
+  ASSERT_TRUE(ppm.Initialize(w.Context()).ok());
+  Rng rng(5);
+  int errors = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    bool has3 = (i % 2 == 0);
+    Window win = has3 ? MakeWindow(static_cast<size_t>(i), {3})
+                      : MakeWindow(static_cast<size_t>(i), {4});
+    PublishedView v = ppm.PublishWindow(win, &rng).value();
+    if (v.presence[3] != has3) ++errors;
+  }
+  EXPECT_LT(errors, n / 8);
+}
+
+TEST(BudgetAbsorptionTest, SkippedBudgetAccumulates) {
+  // With a constant stream, BA should skip (dissimilarity ~ 0) and bank
+  // budget; its publication count stays low.
+  World w = BaselineWorld(/*epsilon=*/1.0);
+  WEventOptions opt;
+  opt.w = 10;
+  BudgetAbsorptionPpm ba(opt);
+  BudgetDivisionPpm bd(opt);
+  ASSERT_TRUE(ba.Initialize(w.Context()).ok());
+  ASSERT_TRUE(bd.Initialize(w.Context()).ok());
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    Window win = MakeWindow(static_cast<size_t>(i), {3});
+    ASSERT_TRUE(ba.PublishWindow(win, &rng_a).ok());
+    ASSERT_TRUE(bd.PublishWindow(win, &rng_b).ok());
+  }
+  // Both mechanisms publish at least once and not every timestamp.
+  EXPECT_GE(ba.publication_count(), 1u);
+  EXPECT_LT(ba.publication_count(), static_cast<size_t>(n));
+}
+
+TEST(BudgetAbsorptionTest, ResetClearsBankAndNullification) {
+  World w = BaselineWorld();
+  BudgetAbsorptionPpm ba;
+  ASSERT_TRUE(ba.Initialize(w.Context()).ok());
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        ba.PublishWindow(MakeWindow(static_cast<size_t>(i), {0}), &rng).ok());
+  }
+  ba.Reset();
+  // After reset the first window publishes again (fresh state).
+  ASSERT_TRUE(ba.PublishWindow(MakeWindow(0, {0}), &rng).ok());
+  EXPECT_EQ(ba.publication_count(), 1u);
+}
+
+TEST(WEventPpmTest, DeterministicGivenSeed) {
+  World w = BaselineWorld();
+  BudgetDivisionPpm a;
+  BudgetDivisionPpm b;
+  ASSERT_TRUE(a.Initialize(w.Context()).ok());
+  ASSERT_TRUE(b.Initialize(w.Context()).ok());
+  Rng ra(13);
+  Rng rb(13);
+  for (int i = 0; i < 30; ++i) {
+    Window win = MakeWindow(static_cast<size_t>(i), {0, 3});
+    EXPECT_EQ(a.PublishWindow(win, &ra).value().presence,
+              b.PublishWindow(win, &rb).value().presence);
+  }
+}
+
+TEST(WEventPpmTest, NamesDistinguishSchemes) {
+  EXPECT_EQ(BudgetDivisionPpm().name(), "bd");
+  EXPECT_EQ(BudgetAbsorptionPpm().name(), "ba");
+}
+
+/// Conversion sweep: whatever (w, span) combination, initializing with
+/// pattern-level ε must produce native = ε·w/span.
+class WEventConversionSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(WEventConversionSweep, NativeBudgetMatchesFormula) {
+  auto [w_param, span] = GetParam();
+  World world = MakeWorld(span + 2);
+  std::vector<EventTypeId> elems;
+  for (size_t i = 0; i < span; ++i) elems.push_back(static_cast<EventTypeId>(i));
+  AddPattern(&world, "priv", elems, DetectionMode::kConjunction, true, false);
+  AddPattern(&world, "tgt", {static_cast<EventTypeId>(span)},
+             DetectionMode::kConjunction, false, true);
+  world.epsilon = 0.8;
+
+  WEventOptions opt;
+  opt.w = w_param;
+  BudgetDivisionPpm ppm(opt);
+  ASSERT_TRUE(ppm.Initialize(world.Context()).ok());
+  EXPECT_NEAR(ppm.native_epsilon(),
+              0.8 * static_cast<double>(w_param) / static_cast<double>(span),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndSpans, WEventConversionSweep,
+    ::testing::Values(std::make_pair(size_t{1}, size_t{1}),
+                      std::make_pair(size_t{10}, size_t{3}),
+                      std::make_pair(size_t{20}, size_t{5}),
+                      std::make_pair(size_t{5}, size_t{5})));
+
+}  // namespace
+}  // namespace pldp

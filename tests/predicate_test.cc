@@ -1,0 +1,110 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "cep/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace pldp {
+namespace {
+
+Event MakeEvent(EventTypeId type, double speed, int64_t cell,
+                const std::string& zone) {
+  Event e(type, 0);
+  e.SetAttribute("speed", Value(speed));
+  e.SetAttribute("cell", Value(cell));
+  e.SetAttribute("zone", Value(zone));
+  return e;
+}
+
+TEST(PredicateTest, TrueAlwaysHolds) {
+  EXPECT_TRUE(MakeTrue()->Eval(Event(0, 0)).value());
+}
+
+TEST(PredicateTest, TypeIs) {
+  auto p = MakeTypeIs(3);
+  EXPECT_TRUE(p->Eval(Event(3, 0)).value());
+  EXPECT_FALSE(p->Eval(Event(4, 0)).value());
+}
+
+TEST(PredicateTest, NumericCompareAllOps) {
+  Event e = MakeEvent(0, 50.0, 7, "a");
+  EXPECT_TRUE(MakeNumericCompare("speed", CompareOp::kEq, 50)->Eval(e).value());
+  EXPECT_TRUE(MakeNumericCompare("speed", CompareOp::kNe, 49)->Eval(e).value());
+  EXPECT_TRUE(MakeNumericCompare("speed", CompareOp::kLt, 51)->Eval(e).value());
+  EXPECT_TRUE(MakeNumericCompare("speed", CompareOp::kLe, 50)->Eval(e).value());
+  EXPECT_TRUE(MakeNumericCompare("speed", CompareOp::kGt, 49)->Eval(e).value());
+  EXPECT_TRUE(MakeNumericCompare("speed", CompareOp::kGe, 50)->Eval(e).value());
+  EXPECT_FALSE(
+      MakeNumericCompare("speed", CompareOp::kLt, 50)->Eval(e).value());
+}
+
+TEST(PredicateTest, NumericCompareOnIntAttribute) {
+  Event e = MakeEvent(0, 1.0, 42, "a");
+  EXPECT_TRUE(MakeNumericCompare("cell", CompareOp::kEq, 42)->Eval(e).value());
+}
+
+TEST(PredicateTest, NumericCompareMissingAttributeIsFalse) {
+  EXPECT_FALSE(
+      MakeNumericCompare("nope", CompareOp::kEq, 1)->Eval(Event(0, 0)).value());
+}
+
+TEST(PredicateTest, NumericCompareOnStringAttributeErrors) {
+  Event e = MakeEvent(0, 1.0, 1, "zone9");
+  EXPECT_FALSE(MakeNumericCompare("zone", CompareOp::kEq, 1)->Eval(e).ok());
+}
+
+TEST(PredicateTest, StringCompare) {
+  Event e = MakeEvent(0, 1.0, 1, "downtown");
+  EXPECT_TRUE(
+      MakeStringCompare("zone", CompareOp::kEq, "downtown")->Eval(e).value());
+  EXPECT_FALSE(
+      MakeStringCompare("zone", CompareOp::kEq, "suburb")->Eval(e).value());
+  EXPECT_TRUE(
+      MakeStringCompare("zone", CompareOp::kNe, "suburb")->Eval(e).value());
+  EXPECT_FALSE(MakeStringCompare("missing", CompareOp::kEq, "x")
+                   ->Eval(e)
+                   .value());
+}
+
+TEST(PredicateTest, IntSetMember) {
+  Event e = MakeEvent(0, 1.0, 7, "a");
+  auto p = MakeIntSetMember("cell", {3, 7, 11});
+  EXPECT_TRUE(p->Eval(e).value());
+  auto q = MakeIntSetMember("cell", {1, 2});
+  EXPECT_FALSE(q->Eval(e).value());
+  EXPECT_FALSE(MakeIntSetMember("gone", {7})->Eval(e).value());
+}
+
+TEST(PredicateTest, AndOrNotCombinators) {
+  Event e = MakeEvent(2, 50.0, 7, "a");
+  auto is_type2 = MakeTypeIs(2);
+  auto fast = MakeNumericCompare("speed", CompareOp::kGt, 40);
+  auto slow = MakeNumericCompare("speed", CompareOp::kLt, 40);
+
+  EXPECT_TRUE(MakeAnd({is_type2, fast})->Eval(e).value());
+  EXPECT_FALSE(MakeAnd({is_type2, slow})->Eval(e).value());
+  EXPECT_TRUE(MakeOr({slow, fast})->Eval(e).value());
+  EXPECT_FALSE(MakeOr({slow, MakeTypeIs(9)})->Eval(e).value());
+  EXPECT_TRUE(MakeNot(slow)->Eval(e).value());
+  EXPECT_FALSE(MakeNot(fast)->Eval(e).value());
+}
+
+TEST(PredicateTest, EmptyAndIsTrueEmptyOrIsFalse) {
+  Event e(0, 0);
+  EXPECT_TRUE(MakeAnd({})->Eval(e).value());
+  EXPECT_FALSE(MakeOr({})->Eval(e).value());
+}
+
+TEST(PredicateTest, ToStringRendersTree) {
+  auto p = MakeAnd({MakeTypeIs(1),
+                    MakeNot(MakeNumericCompare("x", CompareOp::kLt, 2))});
+  EXPECT_EQ(p->ToString(), "(type==1&!x < 2)");
+}
+
+TEST(CompareOpTest, Names) {
+  EXPECT_EQ(CompareOpToString(CompareOp::kEq), "==");
+  EXPECT_EQ(CompareOpToString(CompareOp::kGe), ">=");
+}
+
+}  // namespace
+}  // namespace pldp

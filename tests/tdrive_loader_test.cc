@@ -1,0 +1,194 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the real-data T-Drive loader, using fixture files written in
+// the genuine format.
+
+#include "datasets/tdrive_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+namespace pldp {
+namespace {
+
+class TDriveFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each TEST in its own parallel process; the directory must
+    // be unique per test to avoid SetUp/TearDown races.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("pldp_tdrive_") + info->name() + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteFile(const std::string& name,
+                        const std::string& contents) {
+    std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << contents;
+    return path;
+  }
+
+  TDriveOptions SmallOptions() {
+    TDriveOptions opt;
+    opt.grid_width = 4;
+    opt.grid_height = 4;
+    opt.window_seconds = 300;
+    return opt;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST(ParseTDriveLineTest, ParsesGenuineFormat) {
+  auto fix = ParseTDriveLine("1131,2008-02-02 13:35:55,116.35743,39.88957")
+                 .value();
+  EXPECT_EQ(fix.taxi_id, 1131);
+  EXPECT_NEAR(fix.longitude, 116.35743, 1e-9);
+  EXPECT_NEAR(fix.latitude, 39.88957, 1e-9);
+  // 2008-02-02 13:35:55 UTC.
+  EXPECT_EQ(fix.unix_seconds, 1201959355);
+}
+
+TEST(ParseTDriveLineTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseTDriveLine("").ok());
+  EXPECT_FALSE(ParseTDriveLine("1,2,3").ok());
+  EXPECT_FALSE(ParseTDriveLine("x,2008-02-02 13:35:55,116.3,39.8").ok());
+  EXPECT_FALSE(ParseTDriveLine("1,2008/02/02 13:35:55,116.3,39.8").ok());
+  EXPECT_FALSE(ParseTDriveLine("1,2008-13-02 13:35:55,116.3,39.8").ok());
+  EXPECT_FALSE(ParseTDriveLine("1,2008-02-02 13:35:55,abc,39.8").ok());
+}
+
+TEST(CivilToUnixSecondsTest, KnownValues) {
+  EXPECT_EQ(CivilToUnixSeconds(1970, 1, 1, 0, 0, 0).value(), 0);
+  EXPECT_EQ(CivilToUnixSeconds(1970, 1, 2, 0, 0, 0).value(), 86400);
+  EXPECT_EQ(CivilToUnixSeconds(2000, 1, 1, 0, 0, 0).value(), 946684800);
+  // Leap-year day: 2008-02-29 exists.
+  EXPECT_TRUE(CivilToUnixSeconds(2008, 2, 29, 0, 0, 0).ok());
+  EXPECT_FALSE(CivilToUnixSeconds(2007, 2, 29, 0, 0, 0).ok());
+  EXPECT_FALSE(CivilToUnixSeconds(1969, 1, 1, 0, 0, 0).ok());
+}
+
+TEST_F(TDriveFixture, LoadsAndGridMapsFixes) {
+  // Two taxis; fixes at known positions inside the default Beijing box.
+  std::string f1 = WriteFile(
+      "1.txt",
+      "1,2008-02-02 13:30:00,116.1,39.7\n"
+      "1,2008-02-02 13:35:00,116.3,39.7\n"
+      "1,2008-02-02 13:40:00,116.3,39.9\n");
+  std::string f2 = WriteFile(
+      "2.txt", "2,2008-02-02 13:32:00,116.7,40.1\n");
+  auto ds = LoadTDriveFiles({f1, f2}, SmallOptions()).value();
+  EXPECT_EQ(ds.merged_stream.size(), 4u);
+  EXPECT_TRUE(ds.merged_stream.IsTemporallyOrdered());
+  // Grid 4x4 over lon [116, 116.8), lat [39.6, 40.2):
+  // (116.1, 39.7) -> x=0, y=0 -> cell 0.
+  EXPECT_EQ(ds.merged_stream[0].GetAttribute("cell")->AsInt().value(), 0);
+  EXPECT_EQ(ds.dataset.event_types.size(), 16u);
+  EXPECT_FALSE(ds.dataset.windows.empty());
+  EXPECT_FALSE(ds.dataset.private_patterns.empty());
+  EXPECT_FALSE(ds.dataset.target_patterns.empty());
+}
+
+TEST_F(TDriveFixture, DropsOutOfBoundsFixes) {
+  std::string f = WriteFile(
+      "1.txt",
+      "1,2008-02-02 13:30:00,0.0,0.0\n"          // far outside Beijing
+      "1,2008-02-02 13:35:00,116.3,39.9\n");
+  auto ds = LoadTDriveFiles({f}, SmallOptions()).value();
+  EXPECT_EQ(ds.merged_stream.size(), 1u);
+}
+
+TEST_F(TDriveFixture, AllOutOfBoundsIsAnError) {
+  std::string f = WriteFile("1.txt", "1,2008-02-02 13:30:00,0.0,0.0\n");
+  EXPECT_TRUE(
+      LoadTDriveFiles({f}, SmallOptions()).status().IsInvalidArgument());
+}
+
+TEST_F(TDriveFixture, SortsClockRegressions) {
+  // Real files occasionally contain out-of-order timestamps.
+  std::string f = WriteFile(
+      "1.txt",
+      "1,2008-02-02 13:40:00,116.3,39.9\n"
+      "1,2008-02-02 13:30:00,116.1,39.7\n");
+  auto ds = LoadTDriveFiles({f}, SmallOptions()).value();
+  EXPECT_TRUE(ds.merged_stream.IsTemporallyOrdered());
+}
+
+TEST_F(TDriveFixture, MalformedLineReportsFileAndLine) {
+  std::string f = WriteFile("7.txt",
+                            "1,2008-02-02 13:30:00,116.1,39.7\n"
+                            "garbage line\n");
+  Status s = LoadTDriveFiles({f}, SmallOptions()).status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("7.txt:2"), std::string::npos);
+}
+
+TEST_F(TDriveFixture, DirectoryLoaderFindsTxtFiles) {
+  WriteFile("1.txt", "1,2008-02-02 13:30:00,116.1,39.7\n");
+  WriteFile("2.txt", "2,2008-02-02 13:31:00,116.2,39.8\n");
+  WriteFile("ignore.csv", "not,a,taxi,file\n");
+  auto ds = LoadTDriveDirectory(dir_.string(), SmallOptions()).value();
+  EXPECT_EQ(ds.merged_stream.size(), 2u);
+}
+
+TEST_F(TDriveFixture, DirectoryLoaderErrors) {
+  EXPECT_TRUE(LoadTDriveDirectory("/no/such/dir", SmallOptions())
+                  .status()
+                  .IsIoError());
+  // Empty dir: no .txt files.
+  auto empty = dir_ / "empty";
+  std::filesystem::create_directories(empty);
+  EXPECT_TRUE(LoadTDriveDirectory(empty.string(), SmallOptions())
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(TDriveFixture, MaxFilesLimitsLoad) {
+  WriteFile("1.txt", "1,2008-02-02 13:30:00,116.1,39.7\n");
+  WriteFile("2.txt", "2,2008-02-02 13:31:00,116.2,39.8\n");
+  TDriveOptions opt = SmallOptions();
+  opt.max_files = 1;
+  auto ds = LoadTDriveDirectory(dir_.string(), opt).value();
+  EXPECT_EQ(ds.merged_stream.size(), 1u);
+}
+
+TEST_F(TDriveFixture, AreaProportionsMatchSimulator) {
+  WriteFile("1.txt", "1,2008-02-02 13:30:00,116.1,39.7\n");
+  TDriveOptions opt = SmallOptions();
+  opt.grid_width = 10;
+  opt.grid_height = 10;
+  auto ds = LoadTDriveDirectory(dir_.string(), opt).value();
+  EXPECT_NEAR(static_cast<double>(ds.private_cells.size()) / 100.0, 0.2,
+              0.03);
+  EXPECT_NEAR(static_cast<double>(ds.target_cells.size()) / 100.0, 0.5,
+              0.03);
+}
+
+TEST_F(TDriveFixture, ValidatesOptions) {
+  std::string f = WriteFile("1.txt", "1,2008-02-02 13:30:00,116.1,39.7\n");
+  TDriveOptions zero_grid = SmallOptions();
+  zero_grid.grid_width = 0;
+  EXPECT_FALSE(LoadTDriveFiles({f}, zero_grid).ok());
+
+  TDriveOptions bad_box = SmallOptions();
+  bad_box.bounds.min_longitude = 117.0;  // > max
+  EXPECT_FALSE(LoadTDriveFiles({f}, bad_box).ok());
+
+  TDriveOptions bad_window = SmallOptions();
+  bad_window.window_seconds = 0;
+  EXPECT_FALSE(LoadTDriveFiles({f}, bad_window).ok());
+
+  EXPECT_FALSE(LoadTDriveFiles({}, SmallOptions()).ok());
+}
+
+}  // namespace
+}  // namespace pldp
