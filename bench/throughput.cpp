@@ -71,6 +71,31 @@ void BM_IncrementalSequenceMatcher(benchmark::State& state) {
 }
 BENCHMARK(BM_IncrementalSequenceMatcher)->Arg(1024)->Arg(16384);
 
+void BM_SpscQueuePushPop(benchmark::State& state) {
+  // Single-threaded laps over the runtime's SPSC ring buffer: the floor of
+  // the per-event handoff cost on the sharded ingest path (no contention).
+  SpscQueue<Event> q(static_cast<size_t>(state.range(0)));
+  const Event e(3, 17, /*stream=*/5);
+  for (auto _ : state) {
+    Event out;
+    benchmark::DoNotOptimize(q.TryPush(e));
+    benchmark::DoNotOptimize(q.TryPop(out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueuePushPop)->Arg(64)->Arg(4096);
+
+void BM_EventRouterShardOf(benchmark::State& state) {
+  // The router's hash + range reduction, once per ingested event.
+  EventRouter router(static_cast<size_t>(state.range(0)));
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.ShardOfKey(key++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventRouterShardOf)->Arg(4)->Arg(16);
+
 void BM_TumblingWindower(benchmark::State& state) {
   EventStream s = RandomStream(static_cast<size_t>(state.range(0)), 16, 4);
   TumblingWindower w(32);

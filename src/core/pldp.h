@@ -13,6 +13,8 @@
 //              BD/BA/landmark baselines, factory
 //   quality/   precision/recall/Q/MRE metrics, report tables
 //   datasets/  Algorithm-2 synthetic generator, taxi simulator
+//   runtime/   sharded parallel streaming runtime (SPSC queues, router,
+//              shards, ParallelStreamingEngine)
 //   core/      PrivateCepEngine facade, evaluation pipeline
 
 #ifndef PLDP_CORE_PLDP_H_
@@ -58,6 +60,10 @@
 #include "ppm/w_event.h"
 #include "quality/metrics.h"
 #include "quality/report.h"
+#include "runtime/parallel_engine.h"
+#include "runtime/router.h"
+#include "runtime/shard.h"
+#include "runtime/spsc_queue.h"
 #include "stream/event_stream.h"
 #include "stream/replay.h"
 #include "stream/stream_io.h"

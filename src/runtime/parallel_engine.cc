@@ -1,0 +1,119 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "runtime/parallel_engine.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace pldp {
+namespace {
+
+size_t ResolveShardCount(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace
+
+ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
+    : router_(ResolveShardCount(options.shard_count), options.key_fn) {
+  const size_t n = router_.shard_count();
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(i, options.queue_capacity, options.seed));
+  }
+}
+
+ParallelStreamingEngine::~ParallelStreamingEngine() { (void)Stop(); }
+
+StatusOr<size_t> ParallelStreamingEngine::AddQuery(Pattern pattern,
+                                                   Timestamp window) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "ParallelStreamingEngine::AddQuery must precede Start()");
+  }
+  size_t index = 0;
+  for (auto& shard : shards_) {
+    StatusOr<size_t> result = shard->AddQuery(pattern, window);
+    if (!result.ok()) return result;
+    index = result.value();
+  }
+  query_count_ = index + 1;
+  return index;
+}
+
+Status ParallelStreamingEngine::Start() {
+  if (running_) {
+    return Status::FailedPrecondition("engine already running");
+  }
+  for (auto& shard : shards_) {
+    Status s = shard->Start();
+    if (!s.ok()) return s;
+  }
+  running_ = true;
+  return Status::OK();
+}
+
+Status ParallelStreamingEngine::Drain() {
+  if (!running_) return Status::OK();
+  for (auto& shard : shards_) {
+    Status s = shard->Drain();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ParallelStreamingEngine::Stop() {
+  if (!running_) return Status::OK();
+  Status result = Status::OK();
+  for (auto& shard : shards_) {
+    Status s = shard->Stop();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  running_ = false;
+  return result;
+}
+
+Status ParallelStreamingEngine::OnEvent(const Event& event) {
+  if (!running_) {
+    return Status::FailedPrecondition(
+        "ParallelStreamingEngine::OnEvent before Start()");
+  }
+  ++events_ingested_;
+  return shards_[router_.ShardOf(event)]->Push(event);
+}
+
+StatusOr<std::vector<Timestamp>> ParallelStreamingEngine::DetectionsOf(
+    size_t query_index) const {
+  std::vector<Timestamp> merged;
+  for (const auto& shard : shards_) {
+    StatusOr<std::vector<Timestamp>> part =
+        shard->engine().DetectionsOf(query_index);
+    if (!part.ok()) return part.status();
+    merged.insert(merged.end(), part.value().begin(), part.value().end());
+  }
+  // Per-shard vectors are in arrival order but shards interleave; sort into
+  // the canonical multiset representation.
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+size_t ParallelStreamingEngine::total_detections() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->engine().total_detections();
+  }
+  return total;
+}
+
+std::vector<ShardStats> ParallelStreamingEngine::ShardStatsSnapshot() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.push_back(shard->stats());
+  return stats;
+}
+
+}  // namespace pldp

@@ -1,0 +1,121 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Sharded parallel streaming CEP engine.
+//
+// `ParallelStreamingEngine` scales `StreamingCepEngine` across cores: it
+// hash-partitions incoming events by subject key (runtime/router.h) onto N
+// worker shards (runtime/shard.h), each owning a private engine with the
+// same registered queries, connected by bounded lock-free SPSC queues with
+// backpressure. It implements `StreamSubscriber`, so it drops into the
+// existing `StreamReplayer` wherever a `StreamingCepEngine` did.
+//
+//     caller / StreamReplayer
+//            │ OnEvent
+//            ▼
+//       EventRouter ── hash(subject) % N ──► SpscQueue ─► Shard 0 worker
+//                                            SpscQueue ─► Shard 1 worker
+//                                            ...               │
+//                                                              ▼
+//                                            per-shard StreamingCepEngine
+//            merged detections / stats  ◄────────── Drain barrier
+//
+// Semantics: detection is *partition-local* — each shard matches over the
+// substream routed to it. Because routing is by subject and per-subject
+// order is preserved (single producer, FIFO queues), this equals the
+// single-engine result exactly whenever pattern matches are subject-local,
+// which is the paper's setting: private/target patterns are properties of
+// one data subject's stream (Fig. 2). Matches spanning two subjects that
+// hash to different shards are not detected; callers needing cross-subject
+// correlation keep the sequential engine (or supply a coarser key via
+// ParallelEngineOptions::key_fn, e.g. a tenant or region key).
+
+#ifndef PLDP_RUNTIME_PARALLEL_ENGINE_H_
+#define PLDP_RUNTIME_PARALLEL_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cep/streaming_engine.h"
+#include "common/status.h"
+#include "runtime/router.h"
+#include "runtime/shard.h"
+#include "stream/replay.h"
+
+namespace pldp {
+
+/// Construction-time knobs of the runtime.
+struct ParallelEngineOptions {
+  /// Worker shards. 0 = one per available hardware thread.
+  size_t shard_count = 0;
+  /// Per-shard queue capacity (rounded up to a power of two). Bounds
+  /// memory and converts overload into router-side backpressure.
+  size_t queue_capacity = 1024;
+  /// Partition key; default = subject (Event::stream()).
+  ShardKeyFn key_fn;
+  /// Seed for the per-shard Rngs (deterministic per shard).
+  uint64_t seed = 0x51a9d5ULL;
+};
+
+/// Multi-threaded drop-in for StreamingCepEngine (see file comment for the
+/// exact semantics). Lifecycle: AddQuery* → Start → OnEvent* → Drain/Stop →
+/// read detections/stats. OnEnd (from StreamReplayer) drains, so results
+/// are consistent right after StreamReplayer::Run returns.
+class ParallelStreamingEngine : public StreamSubscriber {
+ public:
+  explicit ParallelStreamingEngine(ParallelEngineOptions options = {});
+  ~ParallelStreamingEngine() override;
+
+  ParallelStreamingEngine(const ParallelStreamingEngine&) = delete;
+  ParallelStreamingEngine& operator=(const ParallelStreamingEngine&) = delete;
+
+  size_t shard_count() const { return shards_.size(); }
+  const EventRouter& router() const { return router_; }
+
+  /// Registers a continuous query on every shard (same index everywhere).
+  /// Must precede Start(). Returns the query index.
+  StatusOr<size_t> AddQuery(Pattern pattern, Timestamp window);
+
+  size_t query_count() const { return query_count_; }
+
+  /// Launches all shard workers.
+  Status Start();
+
+  /// Waits until every ingested event has been fully processed. Workers
+  /// stay alive; ingestion may continue afterwards.
+  Status Drain();
+
+  /// Drains and joins all workers. Idempotent; called by the destructor.
+  Status Stop();
+
+  bool running() const { return running_; }
+
+  // StreamSubscriber — the ingest path (single producer thread):
+  Status OnEvent(const Event& event) override;
+  Status OnEnd() override { return Drain(); }
+
+  // Results. Valid after Drain() or Stop() (and before further OnEvent).
+
+  /// Merged detections of one query across shards, sorted by timestamp
+  /// (a canonical multiset representation).
+  StatusOr<std::vector<Timestamp>> DetectionsOf(size_t query_index) const;
+
+  /// Total detections across queries and shards.
+  size_t total_detections() const;
+
+  /// Events ingested (== sum of per-shard events_processed after Drain).
+  size_t events_processed() const { return events_ingested_; }
+
+  /// Per-shard counters, indexed by shard.
+  std::vector<ShardStats> ShardStatsSnapshot() const;
+
+ private:
+  EventRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t query_count_ = 0;
+  size_t events_ingested_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_RUNTIME_PARALLEL_ENGINE_H_

@@ -1,0 +1,61 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Subject-key routing for the sharded runtime.
+//
+// The paper's system model (Fig. 2) has the trusted CEP middleware ingest
+// one event stream per data subject; private patterns are properties of an
+// individual subject's stream. That makes the subject key (Event::stream())
+// the natural partition axis: all events of one subject land on one shard,
+// so a shard-local matcher sees exactly the substream it needs and
+// per-subject event order is preserved end-to-end.
+//
+// Assignment is a pure function of (key, shard_count) — deterministic
+// across runs and platforms — so replaying a stream reproduces the exact
+// same placement, and tests can pin it.
+
+#ifndef PLDP_RUNTIME_ROUTER_H_
+#define PLDP_RUNTIME_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "event/event.h"
+
+namespace pldp {
+
+/// Extracts the partition key from an event. The default extracts the
+/// subject (stream id); workloads keyed differently (e.g. by a tenant
+/// attribute) supply their own.
+using ShardKeyFn = std::function<uint64_t(const Event&)>;
+
+/// Hash-partitions events onto `shard_count` shards by subject key.
+class EventRouter {
+ public:
+  /// `shard_count` must be >= 1 (clamped). Default key: Event::stream().
+  explicit EventRouter(size_t shard_count, ShardKeyFn key_fn = nullptr);
+
+  size_t shard_count() const { return shard_count_; }
+
+  /// The partition key of `event`.
+  uint64_t KeyOf(const Event& event) const;
+
+  /// Deterministic shard assignment: MixKey(KeyOf(event)) mapped onto
+  /// [0, shard_count) by multiply-shift range reduction (see ShardOfKey).
+  size_t ShardOf(const Event& event) const;
+
+  /// Shard assignment for a raw key (exposed so tests and capacity planners
+  /// can reason about placement without building events).
+  size_t ShardOfKey(uint64_t key) const;
+
+  /// SplitMix64 — scrambles dense subject ids (0,1,2,...) into well-spread
+  /// hashes so range-reduced placement stays balanced.
+  static uint64_t MixKey(uint64_t key);
+
+ private:
+  size_t shard_count_;
+  ShardKeyFn key_fn_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_RUNTIME_ROUTER_H_

@@ -1,0 +1,125 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "runtime/shard.h"
+
+#include <chrono>
+#include <utility>
+
+namespace pldp {
+namespace {
+
+// Escalating wait used by both the producer (queue full) and the worker
+// (queue empty): burn a few iterations, then yield, then sleep. Keeps
+// latency low under load without pinning a core when idle.
+class Backoff {
+ public:
+  void Wait() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+    } else if (spins_ < kSpinLimit + kYieldLimit) {
+      ++spins_;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  void Reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  static constexpr int kYieldLimit = 64;
+  int spins_ = 0;
+};
+
+}  // namespace
+
+Shard::Shard(size_t index, size_t queue_capacity, uint64_t seed)
+    : index_(index),
+      queue_(queue_capacity),
+      rng_(SplitMix64(seed ^ (0xdecaf000ULL + index)).Next()) {}
+
+Shard::~Shard() { (void)Stop(); }
+
+StatusOr<size_t> Shard::AddQuery(Pattern pattern, Timestamp window) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "Shard::AddQuery must precede Start()");
+  }
+  return engine_.AddQuery(std::move(pattern), window);
+}
+
+Status Shard::Start() {
+  if (running_) {
+    return Status::FailedPrecondition("shard already running");
+  }
+  stop_requested_.store(false, std::memory_order_relaxed);
+  worker_ = std::thread([this] { RunLoop(); });
+  running_ = true;
+  return Status::OK();
+}
+
+Status Shard::Push(Event event) {
+  if (!running_) {
+    return Status::FailedPrecondition("shard not running");
+  }
+  Backoff backoff;
+  bool waited = false;
+  while (!queue_.TryPush(std::move(event))) {
+    waited = true;
+    backoff.Wait();
+  }
+  if (waited) ++backpressure_waits_;
+  ++pushed_;
+  return Status::OK();
+}
+
+Status Shard::Drain() {
+  if (!running_) return Status::OK();
+  Backoff backoff;
+  while (processed_.load(std::memory_order_acquire) < pushed_) {
+    backoff.Wait();
+  }
+  return Status::OK();
+}
+
+Status Shard::Stop() {
+  if (!running_) return Status::OK();
+  Status drained = Drain();
+  stop_requested_.store(true, std::memory_order_release);
+  if (worker_.joinable()) worker_.join();
+  running_ = false;
+  return drained;
+}
+
+ShardStats Shard::stats() const {
+  ShardStats s;
+  s.shard_index = index_;
+  s.events_processed =
+      static_cast<size_t>(processed_.load(std::memory_order_acquire));
+  s.detections = engine_.total_detections();
+  s.backpressure_waits = static_cast<size_t>(backpressure_waits_);
+  return s;
+}
+
+void Shard::RunLoop() {
+  Backoff backoff;
+  Event event;
+  for (;;) {
+    if (queue_.TryPop(event)) {
+      backoff.Reset();
+      // The engine's status is always OK today (OnEvent cannot fail); if a
+      // future engine surfaces errors we will carry them to Drain().
+      (void)engine_.OnEvent(event);
+      processed_.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    if (stop_requested_.load(std::memory_order_acquire) &&
+        queue_.ApproxEmpty()) {
+      return;
+    }
+    backoff.Wait();
+  }
+}
+
+}  // namespace pldp

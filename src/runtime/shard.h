@@ -1,0 +1,110 @@
+// Copyright 2026 The PLDP Authors.
+//
+// One worker shard of the parallel streaming runtime.
+//
+// A shard owns a worker thread, a bounded SPSC queue feeding it, a private
+// `StreamingCepEngine` (never touched by any other thread while running),
+// and a deterministic per-shard `Rng` reserved for shard-local stochastic
+// work (e.g. PLDP perturbation moved onto the shard in a later PR).
+//
+// Threading contract:
+//   - Exactly one thread (the router / ParallelStreamingEngine caller) may
+//     call Push / Drain / Stop; the worker thread is the only consumer.
+//   - AddQuery must happen before Start.
+//   - engine() and stats() are safe after Drain() or Stop() returned: the
+//     worker publishes each processed event with a release store that
+//     Drain observes with an acquire load, which orders all engine mutations
+//     before the caller's reads.
+
+#ifndef PLDP_RUNTIME_SHARD_H_
+#define PLDP_RUNTIME_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "cep/streaming_engine.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "event/event.h"
+#include "runtime/spsc_queue.h"
+
+namespace pldp {
+
+/// Counters one shard exposes to the orchestrator.
+struct ShardStats {
+  size_t shard_index = 0;
+  /// Events delivered to this shard's engine.
+  size_t events_processed = 0;
+  /// Detections across this shard's queries.
+  size_t detections = 0;
+  /// Times the producer found the queue full and had to wait — a direct
+  /// measure of backpressure on this shard.
+  size_t backpressure_waits = 0;
+};
+
+/// Worker thread + queue + per-shard engine.
+class Shard {
+ public:
+  /// `queue_capacity` is rounded up to a power of two. `seed` derives the
+  /// per-shard Rng (deterministic per shard across runs).
+  Shard(size_t index, size_t queue_capacity, uint64_t seed);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  size_t index() const { return index_; }
+
+  /// Registers a query on this shard's engine. Must precede Start().
+  StatusOr<size_t> AddQuery(Pattern pattern, Timestamp window);
+
+  /// Launches the worker thread. Returns FailedPrecondition if running.
+  Status Start();
+
+  /// Enqueues one event, blocking (spin + yield) while the queue is full.
+  /// Producer thread only; requires a running worker (else the wait could
+  /// never end — returns FailedPrecondition).
+  Status Push(Event event);
+
+  /// Blocks until every pushed event has been processed. Producer thread
+  /// only. The worker stays alive; more events may be pushed after.
+  Status Drain();
+
+  /// Drains, stops, and joins the worker. Idempotent.
+  Status Stop();
+
+  bool running() const { return running_; }
+
+  /// The shard-local engine. Read-only access for the orchestrator; only
+  /// valid when the shard is stopped or drained (see threading contract).
+  const StreamingCepEngine& engine() const { return engine_; }
+
+  /// Shard-local deterministic Rng (future perturbation hooks).
+  Rng& rng() { return rng_; }
+
+  ShardStats stats() const;
+
+ private:
+  void RunLoop();
+
+  const size_t index_;
+  SpscQueue<Event> queue_;
+  StreamingCepEngine engine_;
+  Rng rng_;
+  std::thread worker_;
+  bool running_ = false;
+
+  // Producer-side counters (written by the producer thread only).
+  uint64_t pushed_ = 0;
+  uint64_t backpressure_waits_ = 0;
+
+  // Worker → producer publication point: incremented (release) after the
+  // engine has absorbed an event; Drain spins on it (acquire).
+  std::atomic<uint64_t> processed_{0};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_RUNTIME_SHARD_H_

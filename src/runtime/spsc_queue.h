@@ -1,0 +1,107 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Bounded lock-free single-producer / single-consumer ring buffer.
+//
+// This is the only channel between the runtime's router thread and a shard
+// worker (runtime/shard.h): exactly one thread calls TryPush and exactly one
+// thread calls TryPop, which lets the queue get away with two atomic indices
+// and no CAS loops. Capacity is fixed at construction (rounded up to a power
+// of two) so a slow shard exerts backpressure on the router instead of
+// growing without bound.
+//
+// Memory ordering: the producer publishes a slot with a release store of
+// `tail_`; the consumer observes it with an acquire load, and vice versa for
+// `head_` when freeing a slot. Each side additionally caches the other
+// side's index so the common fast path touches only its own cache line
+// (the classic Lamport queue + cached-index refinement).
+
+#ifndef PLDP_RUNTIME_SPSC_QUEUE_H_
+#define PLDP_RUNTIME_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pldp {
+
+/// Rounds `n` up to the next power of two (minimum 2).
+constexpr size_t NextPowerOfTwo(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Fixed-capacity wait-free SPSC queue. `T` must be default-constructible
+/// and movable. Not safe for more than one producer or consumer thread.
+template <typename T>
+class SpscQueue {
+ public:
+  /// Usable capacity is `NextPowerOfTwo(capacity)` (the implementation
+  /// keeps one index lap in reserve via the full/empty test, not a slot,
+  /// so all slots are usable).
+  explicit SpscQueue(size_t capacity)
+      : mask_(NextPowerOfTwo(capacity) - 1), slots_(mask_ + 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the queue is full.
+  bool TryPush(T&& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      // Looks full; refresh the consumer index and re-check.
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPush(const T& value) {
+    T copy = value;
+    return TryPush(std::move(copy));
+  }
+
+  /// Consumer side. Returns false when the queue is empty.
+  bool TryPop(T& out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate — exact only when both sides are quiescent.
+  size_t ApproxSize() const {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  bool ApproxEmpty() const { return ApproxSize() == 0; }
+
+ private:
+  static constexpr size_t kCacheLine = 64;
+
+  const size_t mask_;
+  std::vector<T> slots_;
+
+  // Producer-owned line: its index plus a cache of the consumer's.
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};
+  size_t cached_head_ = 0;
+
+  // Consumer-owned line.
+  alignas(kCacheLine) std::atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_RUNTIME_SPSC_QUEUE_H_

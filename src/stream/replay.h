@@ -30,7 +30,7 @@ class StreamSubscriber {
 
   /// Called after all events with timestamp <= tick have been delivered and
   /// before any event with a later timestamp. Default: no-op.
-  virtual Status OnTick(Timestamp tick) { return Status::OK(); }
+  virtual Status OnTick(Timestamp /*tick*/) { return Status::OK(); }
 
   /// Called once after the final event. Default: no-op.
   virtual Status OnEnd() { return Status::OK(); }
