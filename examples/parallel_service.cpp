@@ -60,9 +60,13 @@ pldp::Status Run() {
                         engine.AddQuery(came_home, /*window=*/10));
   PLDP_RETURN_IF_ERROR(engine.Start());
 
+  // Per-tick batch delivery: the replayer hands the engine one span per
+  // tick and OnEventBatch bulk-pushes per shard — the cheap ingest path.
+  // Run ends with OnEnd → Drain, so results are stable immediately after.
   pldp::StreamReplayer replayer;
   replayer.Subscribe(&engine);
-  PLDP_RETURN_IF_ERROR(replayer.Run(arrivals));  // OnEnd drains
+  PLDP_RETURN_IF_ERROR(
+      replayer.Run(arrivals, pldp::ReplayMode::kBatchPerTick));
 
   PLDP_ASSIGN_OR_RETURN(std::vector<pldp::Timestamp> detections,
                         engine.DetectionsOf(query));

@@ -1,0 +1,182 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "core/parallel_private_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pldp {
+namespace {
+
+/// Adapts a SubjectViewPublisher to the shard worker's sink interface.
+class PublisherSink final : public ShardEventSink {
+ public:
+  explicit PublisherSink(SubjectPublisherOptions options)
+      : publisher_(std::move(options)) {}
+
+  void OnShardEvent(const Event& event) override { publisher_.Absorb(event); }
+
+  SubjectViewPublisher* publisher() { return &publisher_; }
+
+ private:
+  SubjectViewPublisher publisher_;
+};
+
+}  // namespace
+
+ParallelPrivateEngine::ParallelPrivateEngine(ParallelPrivateOptions options)
+    : options_(options) {}
+
+ParallelPrivateEngine::~ParallelPrivateEngine() { (void)Stop(); }
+
+StatusOr<PatternId> ParallelPrivateEngine::RegisterPrivatePattern(
+    Pattern pattern) {
+  if (active()) {
+    return Status::FailedPrecondition(
+        "setup phase is over (Activate was called)");
+  }
+  return setup_.RegisterPrivatePattern(std::move(pattern));
+}
+
+StatusOr<QueryId> ParallelPrivateEngine::RegisterTargetQuery(
+    const std::string& query_name, Pattern pattern) {
+  if (active()) {
+    return Status::FailedPrecondition(
+        "setup phase is over (Activate was called)");
+  }
+  return setup_.RegisterTargetQuery(query_name, std::move(pattern));
+}
+
+SubjectPublisherOptions ParallelPrivateEngine::MakePublisherOptions() const {
+  SubjectPublisherOptions opts;
+  opts.context = setup_.BuildContext(epsilon_);
+  opts.factory = factory_;
+  opts.queries = setup_.queries();
+  opts.window_size = options_.window_size;
+  opts.window_origin = options_.window_origin;
+  opts.seed = options_.seed;
+  return opts;
+}
+
+Status ParallelPrivateEngine::Activate(MechanismFactory factory,
+                                       double epsilon) {
+  if (active()) return Status::FailedPrecondition("already active");
+  if (!factory) return Status::InvalidArgument("factory must not be null");
+  if (options_.window_size <= 0) {
+    return Status::InvalidArgument("options.window_size must be > 0");
+  }
+  if (setup_.private_patterns().empty()) {
+    return Status::FailedPrecondition(
+        "no private patterns registered; use the plain runtime when nothing "
+        "needs protection");
+  }
+  if (setup_.queries().empty()) {
+    return Status::FailedPrecondition("no target queries registered");
+  }
+  factory_ = std::move(factory);
+  epsilon_ = epsilon;
+
+  // Validate the mechanism configuration eagerly (like
+  // PrivateCepEngine::Activate) instead of surfacing the error on the first
+  // event of some shard.
+  PLDP_ASSIGN_OR_RETURN(std::unique_ptr<PrivacyMechanism> probe, factory_());
+  if (probe == nullptr) {
+    return Status::InvalidArgument("factory returned a null mechanism");
+  }
+  PLDP_RETURN_IF_ERROR(probe->Initialize(setup_.BuildContext(epsilon_)));
+
+  ParallelEngineOptions runtime_options;
+  runtime_options.shard_count = options_.shard_count;
+  runtime_options.queue_capacity = options_.queue_capacity;
+  runtime_options.seed = options_.seed;
+  runtime_options.sink_factory = [this](size_t) {
+    auto sink = std::make_unique<PublisherSink>(MakePublisherOptions());
+    publishers_.push_back(sink->publisher());
+    return std::unique_ptr<ShardEventSink>(std::move(sink));
+  };
+  runtime_ = std::make_unique<ParallelStreamingEngine>(runtime_options);
+  return runtime_->Start();
+}
+
+Status ParallelPrivateEngine::OnEvent(const Event& event) {
+  if (!active()) return Status::FailedPrecondition("Activate() not called");
+  if (finished_) {
+    return Status::FailedPrecondition("ingestion after Finish()");
+  }
+  return runtime_->OnEvent(event);
+}
+
+Status ParallelPrivateEngine::OnEventBatch(EventSpan events) {
+  if (!active()) return Status::FailedPrecondition("Activate() not called");
+  if (finished_) {
+    return Status::FailedPrecondition("ingestion after Finish()");
+  }
+  return runtime_->OnEventBatch(events);
+}
+
+Status ParallelPrivateEngine::Finish() {
+  if (!active()) return Status::FailedPrecondition("Activate() not called");
+  if (finished_) return finish_status_;
+  // Drain orders every worker-side publisher mutation before the
+  // orchestrator's Finalize below (release/acquire on the shard counters).
+  PLDP_RETURN_IF_ERROR(runtime_->Drain());
+  finished_ = true;
+  for (SubjectViewPublisher* publisher : publishers_) {
+    const Status s = publisher->Finalize();
+    if (finish_status_.ok() && !s.ok()) finish_status_ = s;
+  }
+  return finish_status_;
+}
+
+Status ParallelPrivateEngine::Stop() {
+  if (!active()) return Status::OK();
+  return runtime_->Stop();
+}
+
+std::vector<StreamId> ParallelPrivateEngine::SubjectIds() const {
+  std::vector<StreamId> ids;
+  if (!finished_) return ids;  // publisher state is worker-owned until then
+  for (const SubjectViewPublisher* publisher : publishers_) {
+    const std::vector<StreamId> part = publisher->SubjectIds();
+    ids.insert(ids.end(), part.begin(), part.end());
+  }
+  std::sort(ids.begin(), ids.end());  // publishers hold disjoint subjects
+  return ids;
+}
+
+StatusOr<SubjectResults> ParallelPrivateEngine::ResultsFor(
+    StreamId subject) const {
+  if (!finished_) {
+    return Status::FailedPrecondition(
+        "results are only stable after Finish()/OnEnd");
+  }
+  for (const SubjectViewPublisher* publisher : publishers_) {
+    const SubjectResults* results = publisher->ResultsFor(subject);
+    if (results != nullptr) return *results;
+  }
+  return Status::NotFound("subject never emitted an event");
+}
+
+size_t ParallelPrivateEngine::total_windows() const {
+  size_t total = 0;
+  if (!finished_) return total;  // worker-owned until the Finish barrier
+  for (const SubjectViewPublisher* publisher : publishers_) {
+    total += publisher->total_windows();
+  }
+  return total;
+}
+
+size_t ParallelPrivateEngine::events_processed() const {
+  return runtime_ == nullptr ? 0 : runtime_->events_processed();
+}
+
+size_t ParallelPrivateEngine::shard_count() const {
+  return runtime_ == nullptr ? 0 : runtime_->shard_count();
+}
+
+std::vector<ShardStats> ParallelPrivateEngine::ShardStatsSnapshot() const {
+  return runtime_ == nullptr ? std::vector<ShardStats>{}
+                             : runtime_->ShardStatsSnapshot();
+}
+
+}  // namespace pldp

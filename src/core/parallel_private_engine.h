@@ -1,0 +1,145 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Sharded end-to-end service phase: the paper's trusted middleware (Fig. 2)
+// scaled across cores with shard-local PLDP perturbation.
+//
+// `ParallelPrivateEngine` mirrors `PrivateCepEngine`'s setup phase (private
+// patterns, target queries, α, history, a pattern-level budget ε), then
+// runs the service phase on the sharded runtime: events are routed by
+// subject onto N shards, and each shard worker feeds its substream into a
+// `SubjectViewPublisher` that windows every subject's stream, publishes
+// protected views through a per-subject mechanism instance, and answers
+// every registered query from the views — raw events never leave the
+// middleware. After `Finish()` (or `OnEnd` from a `StreamReplayer`), the
+// per-shard protected answers are merged by subject.
+//
+//     caller / StreamReplayer
+//        │ OnEvent / OnEventBatch
+//        ▼
+//     ParallelStreamingEngine ── subject hash ──► Shard worker
+//                                                   │ ShardEventSink
+//                                                   ▼
+//                                         SubjectViewPublisher
+//                                     (per-subject tumbling windows,
+//                                      per-subject mechanism + Rng,
+//                                      protected answers)
+//        merged per-subject answers  ◄──── Finish(): Drain + Finalize
+//
+// Determinism: per-subject Rngs derive from (seed, subject id) — see
+// SubjectSeed — so results are bit-identical across shard counts and equal
+// to a sequential `PrivateCepEngine::ProcessStream` over each subject's
+// substream with the same per-subject seed (pinned by
+// tests/core_parallel_private_test.cc).
+
+#ifndef PLDP_CORE_PARALLEL_PRIVATE_ENGINE_H_
+#define PLDP_CORE_PARALLEL_PRIVATE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/private_engine.h"
+#include "ppm/subject_publisher.h"
+#include "runtime/parallel_engine.h"
+
+namespace pldp {
+
+/// Knobs of the sharded private service phase.
+struct ParallelPrivateOptions {
+  /// Worker shards. 0 = one per available hardware thread.
+  size_t shard_count = 0;
+  /// Per-shard queue capacity (see ParallelEngineOptions).
+  size_t queue_capacity = 1024;
+  /// Base seed: per-shard Rngs and per-subject mechanism Rngs derive from
+  /// it deterministically.
+  uint64_t seed = 0x9d11a7eULL;
+  /// Tumbling evaluation window applied to every subject's stream. Must be
+  /// > 0 at Activate.
+  Timestamp window_size = 0;
+  Timestamp window_origin = 0;
+};
+
+/// Sharded drop-in for the PrivateCepEngine service phase. Lifecycle:
+/// registrations → Activate(factory, ε) → OnEvent*/OnEventBatch* →
+/// Finish()/OnEnd → read per-subject results → Stop().
+class ParallelPrivateEngine : public StreamSubscriber {
+ public:
+  explicit ParallelPrivateEngine(ParallelPrivateOptions options);
+  ~ParallelPrivateEngine() override;
+
+  ParallelPrivateEngine(const ParallelPrivateEngine&) = delete;
+  ParallelPrivateEngine& operator=(const ParallelPrivateEngine&) = delete;
+
+  // --- Setup phase (delegates to an embedded PrivateCepEngine) ------------
+
+  EventTypeId InternEventType(const std::string& name) {
+    return setup_.InternEventType(name);
+  }
+  const EventTypeRegistry& event_types() const { return setup_.event_types(); }
+  const std::vector<BinaryQuery>& queries() const { return setup_.queries(); }
+
+  StatusOr<PatternId> RegisterPrivatePattern(Pattern pattern);
+  StatusOr<QueryId> RegisterTargetQuery(const std::string& query_name,
+                                        Pattern pattern);
+  void SetAlpha(double alpha) { setup_.SetAlpha(alpha); }
+  void SetHistory(std::vector<Window> history) {
+    setup_.SetHistory(std::move(history));
+  }
+
+  /// Validates the setup, grants the pattern-level budget ε, builds the
+  /// sharded runtime, and starts the shard workers. `factory` creates one
+  /// fresh mechanism per data subject (see MechanismFactory).
+  Status Activate(MechanismFactory factory, double epsilon);
+
+  bool active() const { return runtime_ != nullptr; }
+
+  // --- Service phase (single ingest thread) -------------------------------
+
+  Status OnEvent(const Event& event) override;
+  Status OnEventBatch(EventSpan events) override;
+
+  /// Drains the shards and finalizes every publisher (closing each
+  /// subject's open window). Terminal for ingestion: further OnEvent calls
+  /// are refused. Idempotent. Results are valid once this returns.
+  Status Finish();
+  Status OnEnd() override { return Finish(); }
+
+  /// Joins the shard workers. Idempotent; called by the destructor.
+  Status Stop();
+
+  // --- Results (valid after Finish(); publisher state is worker-owned
+  // until the Finish barrier, so these refuse to read it early) -----------
+
+  /// All data subjects observed, ascending. Empty before Finish().
+  std::vector<StreamId> SubjectIds() const;
+
+  /// Protected answers of one subject (indexed by query id). NotFound for
+  /// subjects that never emitted an event; FailedPrecondition before
+  /// Finish().
+  StatusOr<SubjectResults> ResultsFor(StreamId subject) const;
+
+  /// Windows published across all subjects and shards. 0 before Finish().
+  size_t total_windows() const;
+
+  size_t events_processed() const;
+  size_t shard_count() const;
+  std::vector<ShardStats> ShardStatsSnapshot() const;
+
+ private:
+  SubjectPublisherOptions MakePublisherOptions() const;
+
+  ParallelPrivateOptions options_;
+  PrivateCepEngine setup_;
+  MechanismFactory factory_;
+  double epsilon_ = 0.0;
+  std::unique_ptr<ParallelStreamingEngine> runtime_;
+  /// One publisher per shard, owned by the shards (via their sinks).
+  std::vector<SubjectViewPublisher*> publishers_;
+  bool finished_ = false;
+  /// First Finalize error, re-returned by every later Finish().
+  Status finish_status_ = Status::OK();
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_CORE_PARALLEL_PRIVATE_ENGINE_H_

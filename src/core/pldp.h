@@ -14,8 +14,9 @@
 //   quality/   precision/recall/Q/MRE metrics, report tables
 //   datasets/  Algorithm-2 synthetic generator, taxi simulator
 //   runtime/   sharded parallel streaming runtime (SPSC queues, router,
-//              shards, ParallelStreamingEngine)
-//   core/      PrivateCepEngine facade, evaluation pipeline
+//              shards, ParallelStreamingEngine, batched ingest)
+//   core/      PrivateCepEngine facade, ParallelPrivateEngine (sharded
+//              service phase), evaluation pipeline
 
 #ifndef PLDP_CORE_PLDP_H_
 #define PLDP_CORE_PLDP_H_
@@ -35,6 +36,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "core/evaluation.h"
+#include "core/parallel_private_engine.h"
 #include "core/private_engine.h"
 #include "datasets/dataset.h"
 #include "datasets/synthetic.h"
@@ -57,6 +59,7 @@
 #include "ppm/mechanism.h"
 #include "ppm/numeric.h"
 #include "ppm/pattern_level.h"
+#include "ppm/subject_publisher.h"
 #include "ppm/w_event.h"
 #include "quality/metrics.h"
 #include "quality/report.h"

@@ -42,6 +42,14 @@ Status PrivateCepEngine::Activate(std::unique_ptr<PrivacyMechanism> mechanism,
     return Status::FailedPrecondition("no target queries registered");
   }
 
+  PLDP_RETURN_IF_ERROR(mechanism->Initialize(BuildContext(epsilon)));
+  mechanism_ = std::move(mechanism);
+  epsilon_ = epsilon;
+  active_ = true;
+  return Status::OK();
+}
+
+MechanismContext PrivateCepEngine::BuildContext(double epsilon) const {
   MechanismContext ctx;
   ctx.event_types = &cep_.event_types();
   ctx.patterns = &cep_.patterns();
@@ -50,12 +58,7 @@ Status PrivateCepEngine::Activate(std::unique_ptr<PrivacyMechanism> mechanism,
   ctx.epsilon = epsilon;
   ctx.alpha = alpha_;
   ctx.history = history_.empty() ? nullptr : &history_;
-
-  PLDP_RETURN_IF_ERROR(mechanism->Initialize(ctx));
-  mechanism_ = std::move(mechanism);
-  epsilon_ = epsilon;
-  active_ = true;
-  return Status::OK();
+  return ctx;
 }
 
 StatusOr<PrivateQueryResults> PrivateCepEngine::ProcessStream(

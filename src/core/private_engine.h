@@ -52,6 +52,12 @@ class PrivateCepEngine {
   const EventTypeRegistry& event_types() const { return cep_.event_types(); }
   const PatternRegistry& patterns() const { return cep_.patterns(); }
   const std::vector<BinaryQuery>& queries() const { return cep_.queries(); }
+  const std::vector<PatternId>& private_patterns() const {
+    return private_patterns_;
+  }
+  const std::vector<PatternId>& target_patterns() const {
+    return target_patterns_;
+  }
 
   /// Data subject declares a private pattern.
   StatusOr<PatternId> RegisterPrivatePattern(Pattern pattern);
@@ -73,6 +79,13 @@ class PrivateCepEngine {
   /// the setup phase (calls mechanism->Initialize with the assembled
   /// context). Must come after all pattern/query registrations.
   Status Activate(std::unique_ptr<PrivacyMechanism> mechanism, double epsilon);
+
+  /// Assembles the MechanismContext Activate hands to the mechanism. Public
+  /// so ParallelPrivateEngine can configure its shard-local mechanism
+  /// instances with the exact same view of the setup phase. The returned
+  /// context borrows from this engine (registries, history) and must not
+  /// outlive it.
+  MechanismContext BuildContext(double epsilon) const;
 
   const PrivacyMechanism* mechanism() const { return mechanism_.get(); }
 

@@ -34,4 +34,9 @@ std::vector<std::string> AllMechanismNames() {
   return {"uniform", "adaptive", "bd", "ba", "landmark"};
 }
 
+MechanismFactory NamedMechanismFactory(const std::string& name,
+                                       MechanismFactoryOptions options) {
+  return [name, options] { return MakeMechanism(name, options); };
+}
+
 }  // namespace pldp

@@ -33,6 +33,12 @@ StatusOr<std::unique_ptr<PrivacyMechanism>> MakeMechanism(
 /// The mechanism names in canonical report order.
 std::vector<std::string> AllMechanismNames();
 
+/// Wraps MakeMechanism(name, options) as a reusable factory — the form the
+/// per-subject publisher (ppm/subject_publisher.h) and ParallelPrivateEngine
+/// consume.
+MechanismFactory NamedMechanismFactory(const std::string& name,
+                                       MechanismFactoryOptions options = {});
+
 }  // namespace pldp
 
 #endif  // PLDP_PPM_FACTORY_H_

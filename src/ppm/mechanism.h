@@ -24,6 +24,7 @@
 #ifndef PLDP_PPM_MECHANISM_H_
 #define PLDP_PPM_MECHANISM_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,6 +93,13 @@ class PrivacyMechanism {
   /// Mechanism name for reports ("uniform", "bd", ...).
   virtual std::string name() const = 0;
 };
+
+/// Creates fresh, un-Initialized mechanism instances. The sharded service
+/// path (ppm/subject_publisher.h) instantiates one mechanism per data
+/// subject from a factory, so stateful mechanisms never share inter-window
+/// state across subjects.
+using MechanismFactory =
+    std::function<StatusOr<std::unique_ptr<PrivacyMechanism>>()>;
 
 /// No-op mechanism: publishes the truthful view. Gives Q_ord in MRE
 /// computations and doubles as the "no privacy" control in benches.

@@ -1,0 +1,132 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Streaming per-subject protected-view publication (the paper's service
+// phase, Fig. 2: one protected view series per data subject's stream).
+//
+// `SubjectViewPublisher` consumes a temporally ordered event sequence that
+// may interleave many data subjects, maintains one tumbling-window state
+// machine per subject, and — every time a subject's window closes — lets a
+// per-subject `PrivacyMechanism` instance publish the protected view and
+// answers every registered binary query from that view. It is the
+// incremental equivalent of `PrivateCepEngine::ProcessStream` run on each
+// subject's substream with `TumblingWindower`, and a fixed-seed test pins
+// that equivalence exactly.
+//
+// Determinism is shard-topology-independent: each subject's Rng derives
+// from (base seed, subject id) via `SubjectSeed`, and each subject gets a
+// fresh mechanism instance from the factory, so the published answers do
+// not depend on which worker absorbed the subject or on how subjects
+// interleave. This is what lets ParallelPrivateEngine produce identical
+// results at any shard count.
+
+#ifndef PLDP_PPM_SUBJECT_PUBLISHER_H_
+#define PLDP_PPM_SUBJECT_PUBLISHER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cep/query.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "event/event.h"
+#include "ppm/mechanism.h"
+#include "stream/window.h"
+
+namespace pldp {
+
+/// Deterministic per-subject seed derivation: a pure function of the base
+/// seed and the subject id, independent of shard placement and arrival
+/// interleaving. Exposed so sequential reference runs can reproduce the
+/// sharded results bit-for-bit.
+inline uint64_t SubjectSeed(uint64_t base_seed, StreamId subject) {
+  return SplitMix64(base_seed ^ (0xa11ce500ULL + subject)).Next();
+}
+
+/// Protected answers for one data subject (mirrors PrivateQueryResults,
+/// which lives in core/ and cannot be named from ppm/).
+struct SubjectResults {
+  /// answers[q] aligns with the registered query ids.
+  std::vector<AnswerSeries> answers;
+  /// Windows published for this subject.
+  size_t window_count = 0;
+};
+
+/// Configuration of a SubjectViewPublisher.
+struct SubjectPublisherOptions {
+  /// The setup-phase context handed to every per-subject mechanism (as
+  /// built by PrivateCepEngine::BuildContext). Borrowed registries must
+  /// outlive the publisher.
+  MechanismContext context;
+  /// Creates one fresh mechanism per subject.
+  MechanismFactory factory;
+  /// Queries answered per window, indexed by BinaryQuery::id.
+  std::vector<BinaryQuery> queries;
+  /// Tumbling window size (> 0) and alignment origin — must match the
+  /// TumblingWindower of the sequential path being reproduced.
+  Timestamp window_size = 0;
+  Timestamp window_origin = 0;
+  /// Base seed; per-subject Rngs derive via SubjectSeed.
+  uint64_t seed = 0;
+};
+
+/// Per-subject windowing + protected-view publication state machine.
+/// Single-threaded: one publisher is owned by one shard worker (or used
+/// directly for sequential runs).
+class SubjectViewPublisher {
+ public:
+  explicit SubjectViewPublisher(SubjectPublisherOptions options);
+
+  /// Absorbs one event. Events of one subject must arrive in non-decreasing
+  /// timestamp order (the stream contract). Errors (mechanism creation or
+  /// publication failures) latch: the first one is kept and returned by
+  /// Finalize, and further events are ignored.
+  void Absorb(const Event& event);
+
+  /// Publishes every subject's open window (the window containing its last
+  /// event) and seals the publisher. Idempotent. Returns the first error
+  /// encountered by Absorb/Finalize, if any.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Subjects seen so far, ascending.
+  std::vector<StreamId> SubjectIds() const;
+
+  /// Results of one subject; nullptr when the subject was never seen.
+  /// Stable only after Finalize().
+  const SubjectResults* ResultsFor(StreamId subject) const;
+
+  size_t subject_count() const { return subjects_.size(); }
+
+  /// Windows published across all subjects.
+  size_t total_windows() const { return total_windows_; }
+
+ private:
+  struct SubjectState {
+    explicit SubjectState(Rng r) : rng(r) {}
+    std::unique_ptr<PrivacyMechanism> mechanism;
+    Rng rng;
+    /// The open window: [current.start, current.end) accumulating events.
+    Window current;
+    SubjectResults results;
+  };
+
+  StatusOr<SubjectState*> GetOrCreate(const Event& event);
+
+  /// Publishes the open window and advances to the next one.
+  Status PublishCurrent(SubjectState* state);
+
+  SubjectPublisherOptions options_;
+  /// targets_[i] is queries[i]'s target pattern, resolved once (the query
+  /// set is frozen at construction; this runs on the worker's hot path).
+  std::vector<const Pattern*> targets_;
+  std::unordered_map<StreamId, SubjectState> subjects_;
+  size_t total_windows_ = 0;
+  Status error_ = Status::OK();
+  bool finalized_ = false;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_PPM_SUBJECT_PUBLISHER_H_

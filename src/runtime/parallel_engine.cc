@@ -21,9 +21,13 @@ ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
     : router_(ResolveShardCount(options.shard_count), options.key_fn) {
   const size_t n = router_.shard_count();
   shards_.reserve(n);
+  staging_.resize(n);
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(
         std::make_unique<Shard>(i, options.queue_capacity, options.seed));
+    if (options.sink_factory) {
+      (void)shards_.back()->SetEventSink(options.sink_factory(i));
+    }
   }
 }
 
@@ -82,8 +86,33 @@ Status ParallelStreamingEngine::OnEvent(const Event& event) {
     return Status::FailedPrecondition(
         "ParallelStreamingEngine::OnEvent before Start()");
   }
+  PLDP_RETURN_IF_ERROR(shards_[router_.ShardOf(event)]->Push(event));
   ++events_ingested_;
-  return shards_[router_.ShardOf(event)]->Push(event);
+  return Status::OK();
+}
+
+Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
+  if (!running_) {
+    return Status::FailedPrecondition(
+        "ParallelStreamingEngine::OnEventBatch before Start()");
+  }
+  if (events.empty()) return Status::OK();
+  for (auto& buf : staging_) buf.clear();
+  for (const Event& e : events) {
+    staging_[router_.ShardOf(e)].push_back(e);
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (staging_[i].empty()) continue;
+    // Count exactly what each queue accepted: on a failed push (e.g.
+    // racing Stop) events_ingested_ must still reconcile with the
+    // per-shard pushed/processed counters.
+    size_t accepted = 0;
+    const Status s =
+        shards_[i]->PushN(staging_[i].data(), staging_[i].size(), &accepted);
+    events_ingested_ += accepted;
+    PLDP_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
 }
 
 StatusOr<std::vector<Timestamp>> ParallelStreamingEngine::DetectionsOf(

@@ -10,13 +10,14 @@
 // existing `StreamReplayer` wherever a `StreamingCepEngine` did.
 //
 //     caller / StreamReplayer
-//            │ OnEvent
+//            │ OnEvent / OnEventBatch (staged per shard, bulk-pushed)
 //            ▼
 //       EventRouter ── hash(subject) % N ──► SpscQueue ─► Shard 0 worker
 //                                            SpscQueue ─► Shard 1 worker
 //                                            ...               │
 //                                                              ▼
 //                                            per-shard StreamingCepEngine
+//                                              (+ optional ShardEventSink)
 //            merged detections / stats  ◄────────── Drain barrier
 //
 // Semantics: detection is *partition-local* — each shard matches over the
@@ -32,6 +33,8 @@
 #ifndef PLDP_RUNTIME_PARALLEL_ENGINE_H_
 #define PLDP_RUNTIME_PARALLEL_ENGINE_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -54,12 +57,19 @@ struct ParallelEngineOptions {
   ShardKeyFn key_fn;
   /// Seed for the per-shard Rngs (deterministic per shard).
   uint64_t seed = 0x51a9d5ULL;
+  /// Optional per-shard event sink factory, called once per shard at
+  /// construction. The sink runs on the shard's worker thread (see
+  /// Shard::SetEventSink) — this is how shard-local PLDP perturbation
+  /// attaches (core/parallel_private_engine.h).
+  std::function<std::unique_ptr<ShardEventSink>(size_t shard_index)>
+      sink_factory;
 };
 
 /// Multi-threaded drop-in for StreamingCepEngine (see file comment for the
-/// exact semantics). Lifecycle: AddQuery* → Start → OnEvent* → Drain/Stop →
-/// read detections/stats. OnEnd (from StreamReplayer) drains, so results
-/// are consistent right after StreamReplayer::Run returns.
+/// exact semantics). Lifecycle: AddQuery* → Start → OnEvent*/OnEventBatch*
+/// → Drain/Stop → read detections/stats. DetectionsOf and stats are only
+/// stable after that barrier; OnEnd (from StreamReplayer) drains, so
+/// results are consistent right after StreamReplayer::Run returns.
 class ParallelStreamingEngine : public StreamSubscriber {
  public:
   explicit ParallelStreamingEngine(ParallelEngineOptions options = {});
@@ -87,10 +97,20 @@ class ParallelStreamingEngine : public StreamSubscriber {
   /// Drains and joins all workers. Idempotent; called by the destructor.
   Status Stop();
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_relaxed); }
 
   // StreamSubscriber — the ingest path (single producer thread):
   Status OnEvent(const Event& event) override;
+
+  /// Bulk ingest: partitions the span into per-shard staging buffers and
+  /// bulk-pushes each (one queue release store per shard burst instead of
+  /// one per event). Equivalent to calling OnEvent on each event, several
+  /// times cheaper on the router thread.
+  Status OnEventBatch(EventSpan events) override;
+
+  /// Drains, so DetectionsOf/stats are consistent the moment
+  /// StreamReplayer::Run returns — without this, results read right after
+  /// Run() could silently miss events still queued on the shards.
   Status OnEnd() override { return Drain(); }
 
   // Results. Valid after Drain() or Stop() (and before further OnEvent).
@@ -108,12 +128,21 @@ class ParallelStreamingEngine : public StreamSubscriber {
   /// Per-shard counters, indexed by shard.
   std::vector<ShardStats> ShardStatsSnapshot() const;
 
+  /// The sink attached to a shard (nullptr when none); index < shard_count.
+  ShardEventSink* shard_sink(size_t shard_index) const {
+    return shards_[shard_index]->event_sink();
+  }
+
  private:
   EventRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Per-shard staging buffers reused across OnEventBatch calls.
+  std::vector<std::vector<Event>> staging_;
   size_t query_count_ = 0;
   size_t events_ingested_ = 0;
-  bool running_ = false;
+  // Written only by Start/Stop (single orchestrating thread); atomic so
+  // Drain from another thread reads it race-free.
+  std::atomic<bool> running_{false};
 };
 
 }  // namespace pldp

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <utility>
+#include <vector>
 
 namespace pldp {
 namespace {
@@ -32,12 +33,21 @@ class Backoff {
   int spins_ = 0;
 };
 
+// Worker-side pop burst size: large enough to amortize the release store
+// and the backoff bookkeeping, small enough to keep the drain latency of a
+// partially filled queue negligible.
+constexpr size_t kPopBatch = 256;
+
 }  // namespace
 
 Shard::Shard(size_t index, size_t queue_capacity, uint64_t seed)
     : index_(index),
       queue_(queue_capacity),
-      rng_(SplitMix64(seed ^ (0xdecaf000ULL + index)).Next()) {}
+      rng_(SplitMix64(seed ^ (0xdecaf000ULL + index)).Next()) {
+  engine_.SetCallback([this](const StreamingDetection&) {
+    detections_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
 
 Shard::~Shard() { (void)Stop(); }
 
@@ -47,6 +57,15 @@ StatusOr<size_t> Shard::AddQuery(Pattern pattern, Timestamp window) {
         "Shard::AddQuery must precede Start()");
   }
   return engine_.AddQuery(std::move(pattern), window);
+}
+
+Status Shard::SetEventSink(std::unique_ptr<ShardEventSink> sink) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "Shard::SetEventSink must precede Start()");
+  }
+  sink_ = std::move(sink);
+  return Status::OK();
 }
 
 Status Shard::Start() {
@@ -60,24 +79,48 @@ Status Shard::Start() {
 }
 
 Status Shard::Push(Event event) {
+  return PushN(&event, 1);
+}
+
+Status Shard::PushN(Event* events, size_t count, size_t* accepted) {
+  if (accepted != nullptr) *accepted = 0;
   if (!running_) {
     return Status::FailedPrecondition("shard not running");
   }
   Backoff backoff;
   bool waited = false;
-  while (!queue_.TryPush(std::move(event))) {
-    waited = true;
-    backoff.Wait();
+  size_t done = 0;
+  while (done < count) {
+    // Fail fast instead of spinning forever when the worker is gone (a
+    // Push racing Stop(), or a producer outliving the shard's shutdown).
+    // Events enqueued before the cutoff still count as pushed; Stop()
+    // processes any queue leftovers after joining the worker, so Drain
+    // stays consistent even if the worker missed them.
+    if (stop_requested_.load(std::memory_order_relaxed)) {
+      if (done > 0) pushed_.fetch_add(done, std::memory_order_relaxed);
+      if (accepted != nullptr) *accepted = done;
+      return Status::FailedPrecondition("push after shard stop");
+    }
+    const size_t n = queue_.TryPushN(events + done, count - done);
+    if (n == 0) {
+      waited = true;
+      backoff.Wait();
+    } else {
+      done += n;
+      backoff.Reset();
+    }
   }
-  if (waited) ++backpressure_waits_;
-  ++pushed_;
+  if (waited) backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+  pushed_.fetch_add(count, std::memory_order_relaxed);
+  if (accepted != nullptr) *accepted = count;
   return Status::OK();
 }
 
 Status Shard::Drain() {
   if (!running_) return Status::OK();
+  const uint64_t target = pushed_.load(std::memory_order_relaxed);
   Backoff backoff;
-  while (processed_.load(std::memory_order_acquire) < pushed_) {
+  while (processed_.load(std::memory_order_acquire) < target) {
     backoff.Wait();
   }
   return Status::OK();
@@ -88,6 +131,16 @@ Status Shard::Stop() {
   Status drained = Drain();
   stop_requested_.store(true, std::memory_order_release);
   if (worker_.joinable()) worker_.join();
+  // A push racing the stop flag can land an event after the worker's final
+  // empty-queue check. The join above makes this thread the sole owner, so
+  // absorb any leftovers here — no pushed event is ever silently dropped,
+  // and a concurrent Drain() waiting on processed_ is released.
+  Event leftover;
+  while (queue_.TryPop(leftover)) {
+    (void)engine_.OnEvent(leftover);
+    if (sink_ != nullptr) sink_->OnShardEvent(leftover);
+    processed_.fetch_add(1, std::memory_order_release);
+  }
   running_ = false;
   return drained;
 }
@@ -97,21 +150,28 @@ ShardStats Shard::stats() const {
   s.shard_index = index_;
   s.events_processed =
       static_cast<size_t>(processed_.load(std::memory_order_acquire));
-  s.detections = engine_.total_detections();
-  s.backpressure_waits = static_cast<size_t>(backpressure_waits_);
+  s.detections =
+      static_cast<size_t>(detections_.load(std::memory_order_relaxed));
+  s.backpressure_waits = static_cast<size_t>(
+      backpressure_waits_.load(std::memory_order_relaxed));
   return s;
 }
 
 void Shard::RunLoop() {
   Backoff backoff;
-  Event event;
+  std::vector<Event> batch(kPopBatch);
   for (;;) {
-    if (queue_.TryPop(event)) {
+    const size_t n = queue_.TryPopN(batch.data(), batch.size());
+    if (n > 0) {
       backoff.Reset();
-      // The engine's status is always OK today (OnEvent cannot fail); if a
-      // future engine surfaces errors we will carry them to Drain().
-      (void)engine_.OnEvent(event);
-      processed_.fetch_add(1, std::memory_order_release);
+      for (size_t i = 0; i < n; ++i) {
+        // The engine's status is always OK today (OnEvent cannot fail); if
+        // a future engine surfaces errors we will carry them to Drain().
+        (void)engine_.OnEvent(batch[i]);
+        if (sink_ != nullptr) sink_->OnShardEvent(batch[i]);
+      }
+      // One release store per burst: the publication point Drain acquires.
+      processed_.fetch_add(n, std::memory_order_release);
       continue;
     }
     if (stop_requested_.load(std::memory_order_acquire) &&

@@ -4,23 +4,32 @@
 //
 // A shard owns a worker thread, a bounded SPSC queue feeding it, a private
 // `StreamingCepEngine` (never touched by any other thread while running),
-// and a deterministic per-shard `Rng` reserved for shard-local stochastic
-// work (e.g. PLDP perturbation moved onto the shard in a later PR).
+// a deterministic per-shard `Rng`, and optionally a `ShardEventSink` the
+// worker feeds every event to after the engine — the hook the shard-local
+// PLDP perturbation pipeline (core/parallel_private_engine.h) plugs into.
 //
 // Threading contract:
 //   - Exactly one thread (the router / ParallelStreamingEngine caller) may
-//     call Push / Drain / Stop; the worker thread is the only consumer.
-//   - AddQuery must happen before Start.
-//   - engine() and stats() are safe after Drain() or Stop() returned: the
-//     worker publishes each processed event with a release store that
-//     Drain observes with an acquire load, which orders all engine mutations
-//     before the caller's reads.
+//     call Push / PushN at a time; the worker thread is the only consumer.
+//   - AddQuery / SetEventSink must happen before Start. Start and Stop must
+//     not race each other or a pushing producer (they manage the worker
+//     thread), but Push racing a Stop fails fast instead of hanging.
+//   - Drain() and stats() may be called from any thread, including while a
+//     producer is pushing: the counters (and the running flag) are atomics,
+//     so the calls are race-free. A Drain that races a producer waits for
+//     the events pushed at the moment it reads `pushed_` (best effort by
+//     construction).
+//   - engine() and event_sink() contents are safe to read after Drain() or
+//     Stop() returned: the worker publishes each processed batch with a
+//     release store that Drain observes with an acquire load, which orders
+//     all engine/sink mutations before the caller's reads.
 
 #ifndef PLDP_RUNTIME_SHARD_H_
 #define PLDP_RUNTIME_SHARD_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
 
 #include "cep/streaming_engine.h"
@@ -43,11 +52,22 @@ struct ShardStats {
   size_t backpressure_waits = 0;
 };
 
+/// Receives every event the shard worker processes, after the shard engine
+/// saw it, on the worker thread, in arrival order. Implementations own any
+/// state they need (it is worker-local while running; see the threading
+/// contract above for when the orchestrator may read it).
+class ShardEventSink {
+ public:
+  virtual ~ShardEventSink() = default;
+  virtual void OnShardEvent(const Event& event) = 0;
+};
+
 /// Worker thread + queue + per-shard engine.
 class Shard {
  public:
-  /// `queue_capacity` is rounded up to a power of two. `seed` derives the
-  /// per-shard Rng (deterministic per shard across runs).
+  /// `queue_capacity` is rounded up to a power of two (and clamped to
+  /// kMaxSpscCapacity). `seed` derives the per-shard Rng (deterministic per
+  /// shard across runs).
   Shard(size_t index, size_t queue_capacity, uint64_t seed);
   ~Shard();
 
@@ -59,30 +79,44 @@ class Shard {
   /// Registers a query on this shard's engine. Must precede Start().
   StatusOr<size_t> AddQuery(Pattern pattern, Timestamp window);
 
+  /// Installs the worker-side event sink. Must precede Start().
+  Status SetEventSink(std::unique_ptr<ShardEventSink> sink);
+
+  ShardEventSink* event_sink() const { return sink_.get(); }
+
   /// Launches the worker thread. Returns FailedPrecondition if running.
   Status Start();
 
   /// Enqueues one event, blocking (spin + yield) while the queue is full.
-  /// Producer thread only; requires a running worker (else the wait could
-  /// never end — returns FailedPrecondition).
+  /// Producer thread only; requires a running worker — fails fast with
+  /// FailedPrecondition when the shard is stopped or stopping, instead of
+  /// spinning forever on a queue nobody drains.
   Status Push(Event event);
 
-  /// Blocks until every pushed event has been processed. Producer thread
-  /// only. The worker stays alive; more events may be pushed after.
+  /// Bulk enqueue: moves `count` events out of `events` into the queue,
+  /// blocking while it is full. Same preconditions as Push; one release
+  /// store per queue burst instead of one per event. When `accepted` is
+  /// non-null it receives the number of events actually enqueued (== count
+  /// on success, possibly fewer when failing fast on a stop).
+  Status PushN(Event* events, size_t count, size_t* accepted = nullptr);
+
+  /// Blocks until every event pushed so far has been processed. The worker
+  /// stays alive; more events may be pushed after.
   Status Drain();
 
   /// Drains, stops, and joins the worker. Idempotent.
   Status Stop();
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_relaxed); }
 
   /// The shard-local engine. Read-only access for the orchestrator; only
   /// valid when the shard is stopped or drained (see threading contract).
   const StreamingCepEngine& engine() const { return engine_; }
 
-  /// Shard-local deterministic Rng (future perturbation hooks).
+  /// Shard-local deterministic Rng (shard-local stochastic work).
   Rng& rng() { return rng_; }
 
+  /// Safe from any thread at any time (all counters are atomics).
   ShardStats stats() const;
 
  private:
@@ -92,16 +126,23 @@ class Shard {
   SpscQueue<Event> queue_;
   StreamingCepEngine engine_;
   Rng rng_;
+  std::unique_ptr<ShardEventSink> sink_;
   std::thread worker_;
-  bool running_ = false;
+  // Written only by Start/Stop; atomic so Drain/stats from other threads
+  // read it race-free.
+  std::atomic<bool> running_{false};
 
-  // Producer-side counters (written by the producer thread only).
-  uint64_t pushed_ = 0;
-  uint64_t backpressure_waits_ = 0;
+  // Producer-side counters. Written by the producer thread only (relaxed),
+  // but read from arbitrary threads by Drain()/stats(), hence atomic.
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> backpressure_waits_{0};
 
   // Worker → producer publication point: incremented (release) after the
-  // engine has absorbed an event; Drain spins on it (acquire).
+  // engine has absorbed a batch; Drain spins on it (acquire).
   std::atomic<uint64_t> processed_{0};
+  // Worker-side detection counter (fed by the engine callback) so stats()
+  // never has to touch the non-atomic engine internals.
+  std::atomic<uint64_t> detections_{0};
   std::atomic<bool> stop_requested_{false};
 };
 

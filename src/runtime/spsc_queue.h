@@ -25,12 +25,22 @@
 
 namespace pldp {
 
-/// Rounds `n` up to the next power of two (minimum 2).
+/// Rounds `n` up to the next power of two (minimum 2). Inputs above the
+/// highest representable power of two cannot round up; they saturate there
+/// instead of looping forever on `p <<= 1` overflowing to zero.
 constexpr size_t NextPowerOfTwo(size_t n) {
+  constexpr size_t kHighBit = size_t{1} << (8 * sizeof(size_t) - 1);
+  if (n >= kHighBit) return kHighBit;
   size_t p = 2;
   while (p < n) p <<= 1;
   return p;
 }
+
+/// Upper bound on SpscQueue capacity (slots). A bounded queue exists to
+/// exert backpressure; requests beyond this are treated as configuration
+/// errors and clamped so a bogus capacity cannot demand a near-2^64
+/// allocation.
+inline constexpr size_t kMaxSpscCapacity = size_t{1} << 20;
 
 /// Fixed-capacity wait-free SPSC queue. `T` must be default-constructible
 /// and movable. Not safe for more than one producer or consumer thread.
@@ -39,9 +49,12 @@ class SpscQueue {
  public:
   /// Usable capacity is `NextPowerOfTwo(capacity)` (the implementation
   /// keeps one index lap in reserve via the full/empty test, not a slot,
-  /// so all slots are usable).
+  /// so all slots are usable), clamped to `kMaxSpscCapacity`.
   explicit SpscQueue(size_t capacity)
-      : mask_(NextPowerOfTwo(capacity) - 1), slots_(mask_ + 1) {}
+      : mask_(NextPowerOfTwo(capacity < kMaxSpscCapacity ? capacity
+                                                         : kMaxSpscCapacity) -
+              1),
+        slots_(mask_ + 1) {}
 
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
@@ -66,6 +79,26 @@ class SpscQueue {
     return TryPush(std::move(copy));
   }
 
+  /// Bulk producer path: moves up to `count` items out of `items` into the
+  /// queue and publishes them with a single release store (vs one per item
+  /// for TryPush — the atomic amortization batched ingest is built on).
+  /// Returns the number pushed; 0 when full. Items beyond the return value
+  /// are left untouched.
+  size_t TryPushN(T* items, size_t count) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t free = capacity() - (tail - cached_head_);
+    if (free < count) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity() - (tail - cached_head_);
+    }
+    const size_t n = count < free ? count : free;
+    for (size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = std::move(items[i]);
+    }
+    if (n > 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   /// Consumer side. Returns false when the queue is empty.
   bool TryPop(T& out) {
     const size_t head = head_.load(std::memory_order_relaxed);
@@ -76,6 +109,24 @@ class SpscQueue {
     out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Bulk consumer path: moves up to `max_count` items into `out`, freeing
+  /// all of their slots with a single release store. Returns the number
+  /// popped; 0 when empty.
+  size_t TryPopN(T* out, size_t max_count) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    size_t avail = cached_tail_ - head;
+    if (avail < max_count) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+    }
+    const size_t n = max_count < avail ? max_count : avail;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    }
+    if (n > 0) head_.store(head + n, std::memory_order_release);
+    return n;
   }
 
   /// Racy size estimate — exact only when both sides are quiescent.

@@ -8,18 +8,39 @@ void StreamReplayer::Subscribe(StreamSubscriber* subscriber) {
   if (subscriber != nullptr) subscribers_.push_back(subscriber);
 }
 
-Status StreamReplayer::Run(const EventStream& stream) {
-  for (size_t i = 0; i < stream.size(); ++i) {
-    const Event& e = stream[i];
-    for (StreamSubscriber* s : subscribers_) {
-      PLDP_RETURN_IF_ERROR(s->OnEvent(e));
-    }
-    bool tick_boundary =
-        (i + 1 == stream.size()) ||
-        (stream[i + 1].timestamp() != e.timestamp());
-    if (tick_boundary) {
+Status StreamReplayer::Run(const EventStream& stream, ReplayMode mode) {
+  if (mode == ReplayMode::kBatchPerTick) {
+    // One span per tick: the events of a tick are contiguous because the
+    // stream is temporally ordered.
+    size_t i = 0;
+    while (i < stream.size()) {
+      size_t j = i + 1;
+      while (j < stream.size() &&
+             stream[j].timestamp() == stream[i].timestamp()) {
+        ++j;
+      }
+      const EventSpan tick(&stream[i], j - i);
       for (StreamSubscriber* s : subscribers_) {
-        PLDP_RETURN_IF_ERROR(s->OnTick(e.timestamp()));
+        PLDP_RETURN_IF_ERROR(s->OnEventBatch(tick));
+      }
+      for (StreamSubscriber* s : subscribers_) {
+        PLDP_RETURN_IF_ERROR(s->OnTick(stream[i].timestamp()));
+      }
+      i = j;
+    }
+  } else {
+    for (size_t i = 0; i < stream.size(); ++i) {
+      const Event& e = stream[i];
+      for (StreamSubscriber* s : subscribers_) {
+        PLDP_RETURN_IF_ERROR(s->OnEvent(e));
+      }
+      bool tick_boundary =
+          (i + 1 == stream.size()) ||
+          (stream[i + 1].timestamp() != e.timestamp());
+      if (tick_boundary) {
+        for (StreamSubscriber* s : subscribers_) {
+          PLDP_RETURN_IF_ERROR(s->OnTick(e.timestamp()));
+        }
       }
     }
   }

@@ -19,6 +19,27 @@
 
 namespace pldp {
 
+/// Non-owning view of a contiguous run of events (C++17 stand-in for
+/// std::span<const Event>). The batched ingest path hands these out so
+/// bulk delivery never copies.
+class EventSpan {
+ public:
+  constexpr EventSpan() = default;
+  constexpr EventSpan(const Event* data, size_t size)
+      : data_(data), size_(size) {}
+
+  const Event* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Event& operator[](size_t i) const { return data_[i]; }
+  const Event* begin() const { return data_; }
+  const Event* end() const { return data_ + size_; }
+
+ private:
+  const Event* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// Receives replayed events. Implementations: the CEP engine, stream-DP
 /// baseline mechanisms, statistics collectors.
 class StreamSubscriber {
@@ -28,12 +49,31 @@ class StreamSubscriber {
   /// Called once per event, in temporal order.
   virtual Status OnEvent(const Event& event) = 0;
 
+  /// Bulk delivery: a contiguous run of events in temporal order,
+  /// equivalent to calling OnEvent on each (the default does exactly that).
+  /// Subscribers with a cheaper bulk path (ParallelStreamingEngine) override
+  /// this to amortize per-event synchronization.
+  virtual Status OnEventBatch(EventSpan events) {
+    for (const Event& e : events) PLDP_RETURN_IF_ERROR(OnEvent(e));
+    return Status::OK();
+  }
+
   /// Called after all events with timestamp <= tick have been delivered and
   /// before any event with a later timestamp. Default: no-op.
   virtual Status OnTick(Timestamp /*tick*/) { return Status::OK(); }
 
   /// Called once after the final event. Default: no-op.
   virtual Status OnEnd() { return Status::OK(); }
+};
+
+/// How StreamReplayer::Run hands events to subscribers.
+enum class ReplayMode {
+  /// One OnEvent call per event (the historical default).
+  kPerEvent,
+  /// One OnEventBatch call per timestamp tick (all events of the tick in a
+  /// single span). Semantically identical for subscribers that keep the
+  /// default OnEventBatch; much cheaper for bulk-aware subscribers.
+  kBatchPerTick,
 };
 
 /// Replays a finite stream into subscribers.
@@ -48,8 +88,10 @@ class StreamReplayer {
 
   /// Delivers every event of `stream` to every subscriber in order, firing
   /// OnTick at each timestamp change and OnEnd at the end. Stops and returns
-  /// the first non-OK status from any callback.
-  Status Run(const EventStream& stream);
+  /// the first non-OK status from any callback. `mode` selects per-event or
+  /// per-tick-batch delivery (see ReplayMode).
+  Status Run(const EventStream& stream,
+             ReplayMode mode = ReplayMode::kPerEvent);
 
  private:
   std::vector<StreamSubscriber*> subscribers_;

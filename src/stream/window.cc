@@ -28,13 +28,9 @@ StatusOr<std::vector<Window>> TumblingWindower::Apply(
   std::vector<Window> windows;
   if (stream.empty()) return windows;
 
-  // First window start aligned to origin_ + k*size_ at or before the first
-  // event.
   Timestamp first = stream.min_timestamp();
   Timestamp last = stream.max_timestamp();
-  Timestamp k = (first - origin_) / size_;
-  if (origin_ + k * size_ > first) --k;  // handle negative timestamps
-  Timestamp start = origin_ + k * size_;
+  Timestamp start = AlignWindowStart(first, origin_, size_);
 
   size_t pos = 0;
   for (; start <= last; start += size_) {

@@ -36,6 +36,18 @@ struct Window {
   size_t CountType(EventTypeId type) const;
 };
 
+/// Largest window start aligned to `origin + k*size` at or before `ts`
+/// (correct for negative timestamps). The single source of truth for
+/// tumbling-window alignment: TumblingWindower::Apply and the streaming
+/// per-subject windower (ppm/subject_publisher.h) must agree bit-for-bit
+/// or their fixed-seed equivalence breaks. `size` must be > 0.
+inline Timestamp AlignWindowStart(Timestamp ts, Timestamp origin,
+                                  Timestamp size) {
+  Timestamp k = (ts - origin) / size;
+  if (origin + k * size > ts) --k;
+  return origin + k * size;
+}
+
 /// Strategy interface: slices a stream into windows.
 class Windower {
  public:

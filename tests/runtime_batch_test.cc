@@ -1,0 +1,228 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Property tests for the batched ingest path: OnEventBatch through
+// ParallelStreamingEngine (any shard count, any batch shape) must produce
+// exactly the per-query detection multiset of the sequential per-event
+// StreamingCepEngine on keyed streams — including empty batches and
+// maximally skewed (single-subject) streams. Also pins the per-tick batch
+// mode of StreamReplayer against per-event replay for default subscribers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cep/streaming_engine.h"
+#include "common/random.h"
+#include "runtime/parallel_engine.h"
+#include "stream/event_stream.h"
+#include "stream/replay.h"
+
+namespace pldp {
+namespace {
+
+constexpr size_t kTypesPerSubject = 3;
+
+Pattern MakePattern(const char* name, std::vector<EventTypeId> elems,
+                    DetectionMode mode) {
+  return Pattern::Create(name, std::move(elems), mode).value();
+}
+
+EventStream KeyedStream(size_t subjects, size_t num_events, uint64_t seed) {
+  Rng rng(seed);
+  EventStream stream;
+  stream.Reserve(num_events);
+  for (size_t i = 0; i < num_events; ++i) {
+    const auto subject = static_cast<StreamId>(rng.UniformUint64(subjects));
+    const auto type = static_cast<EventTypeId>(
+        subject * kTypesPerSubject + rng.UniformUint64(kTypesPerSubject));
+    stream.AppendUnchecked(
+        Event(type, static_cast<Timestamp>(i / 4), subject));
+  }
+  return stream;
+}
+
+template <typename EngineT>
+void RegisterKeyedQueries(EngineT& engine, size_t subjects,
+                          Timestamp window) {
+  for (size_t k = 0; k < subjects; ++k) {
+    const auto base = static_cast<EventTypeId>(k * kTypesPerSubject);
+    ASSERT_TRUE(engine
+                    .AddQuery(MakePattern("seq", {base, base + 1, base + 2},
+                                          DetectionMode::kSequence),
+                              window)
+                    .ok());
+    ASSERT_TRUE(engine
+                    .AddQuery(MakePattern("conj", {base + 2, base},
+                                          DetectionMode::kConjunction),
+                              window)
+                    .ok());
+  }
+}
+
+/// Sequential per-event reference results for `stream`.
+std::vector<std::vector<Timestamp>> ReferenceDetections(
+    const EventStream& stream, size_t subjects, Timestamp window) {
+  StreamingCepEngine reference;
+  RegisterKeyedQueries(reference, subjects, window);
+  for (const Event& e : stream) EXPECT_TRUE(reference.OnEvent(e).ok());
+  std::vector<std::vector<Timestamp>> detections;
+  for (size_t q = 0; q < reference.query_count(); ++q) {
+    detections.push_back(reference.DetectionsOf(q).value());
+  }
+  return detections;
+}
+
+void ExpectEngineMatches(const ParallelStreamingEngine& engine,
+                         const std::vector<std::vector<Timestamp>>& expected,
+                         const char* label) {
+  ASSERT_EQ(engine.query_count(), expected.size()) << label;
+  for (size_t q = 0; q < expected.size(); ++q) {
+    EXPECT_EQ(engine.DetectionsOf(q).value(), expected[q])
+        << label << " query=" << q;
+  }
+}
+
+TEST(BatchedIngestTest, FixedChunkBatchesMatchSequentialEngine) {
+  constexpr size_t kSubjects = 16;
+  constexpr Timestamp kWindow = 6;
+  const EventStream stream = KeyedStream(kSubjects, 20000, /*seed=*/13);
+  const auto expected = ReferenceDetections(stream, kSubjects, kWindow);
+
+  // Batch sizes chosen to hit: sub-queue-capacity, exactly-capacity,
+  // larger-than-capacity (forcing PushN to chunk), and a ragged tail.
+  for (size_t batch : {1u, 7u, 64u, 100u, 1000u}) {
+    for (size_t shards : {1u, 2u, 4u}) {
+      ParallelEngineOptions options;
+      options.shard_count = shards;
+      options.queue_capacity = 64;
+      ParallelStreamingEngine engine(options);
+      RegisterKeyedQueries(engine, kSubjects, kWindow);
+      ASSERT_TRUE(engine.Start().ok());
+
+      const std::vector<Event>& events = stream.events();
+      for (size_t i = 0; i < events.size(); i += batch) {
+        const size_t n =
+            batch < events.size() - i ? batch : events.size() - i;
+        ASSERT_TRUE(engine.OnEventBatch(EventSpan(events.data() + i, n)).ok());
+      }
+      ASSERT_TRUE(engine.Drain().ok());
+
+      EXPECT_EQ(engine.events_processed(), stream.size());
+      ExpectEngineMatches(engine, expected, "fixed-chunk");
+      ASSERT_TRUE(engine.Stop().ok());
+    }
+  }
+}
+
+TEST(BatchedIngestTest, TickBatchedReplayMatchesSequentialEngine) {
+  constexpr size_t kSubjects = 12;
+  constexpr Timestamp kWindow = 6;
+  const EventStream stream = KeyedStream(kSubjects, 20000, /*seed=*/29);
+  const auto expected = ReferenceDetections(stream, kSubjects, kWindow);
+
+  for (size_t shards : {1u, 3u, 4u}) {
+    ParallelEngineOptions options;
+    options.shard_count = shards;
+    options.queue_capacity = 128;
+    ParallelStreamingEngine engine(options);
+    RegisterKeyedQueries(engine, kSubjects, kWindow);
+    ASSERT_TRUE(engine.Start().ok());
+
+    StreamReplayer replayer;
+    replayer.Subscribe(&engine);
+    ASSERT_TRUE(replayer.Run(stream, ReplayMode::kBatchPerTick).ok());
+
+    EXPECT_EQ(engine.events_processed(), stream.size());
+    ExpectEngineMatches(engine, expected, "tick-batched");
+    ASSERT_TRUE(engine.Stop().ok());
+  }
+}
+
+TEST(BatchedIngestTest, EmptyBatchesAreNoOps) {
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  ParallelStreamingEngine engine(options);
+  ASSERT_TRUE(engine
+                  .AddQuery(MakePattern("p", {0, 1}, DetectionMode::kSequence),
+                            /*window=*/10)
+                  .ok());
+  ASSERT_TRUE(engine.Start().ok());
+  ASSERT_TRUE(engine.OnEventBatch(EventSpan()).ok());
+  Event one(0, 1);
+  ASSERT_TRUE(engine.OnEventBatch(EventSpan(&one, 1)).ok());
+  ASSERT_TRUE(engine.OnEventBatch(EventSpan()).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  EXPECT_EQ(engine.events_processed(), 1u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+// Maximal skew: every event belongs to one subject, so every batch lands on
+// a single shard's queue (smaller than the batches), exercising the
+// chunked bulk-push path end to end.
+TEST(BatchedIngestTest, SingleSubjectSkewMatchesSequentialEngine) {
+  constexpr Timestamp kWindow = 6;
+  const EventStream stream = KeyedStream(/*subjects=*/1, 20000, /*seed=*/31);
+  const auto expected = ReferenceDetections(stream, 1, kWindow);
+
+  ParallelEngineOptions options;
+  options.shard_count = 4;
+  options.queue_capacity = 32;  // far smaller than the 512-event batches
+  ParallelStreamingEngine engine(options);
+  RegisterKeyedQueries(engine, 1, kWindow);
+  ASSERT_TRUE(engine.Start().ok());
+
+  const std::vector<Event>& events = stream.events();
+  for (size_t i = 0; i < events.size(); i += 512) {
+    const size_t n = 512 < events.size() - i ? 512 : events.size() - i;
+    ASSERT_TRUE(engine.OnEventBatch(EventSpan(events.data() + i, n)).ok());
+  }
+  ASSERT_TRUE(engine.Drain().ok());
+
+  EXPECT_EQ(engine.events_processed(), stream.size());
+  ExpectEngineMatches(engine, expected, "single-subject");
+
+  // Only one shard did any work.
+  size_t loaded_shards = 0;
+  for (const ShardStats& s : engine.ShardStatsSnapshot()) {
+    if (s.events_processed > 0) ++loaded_shards;
+  }
+  EXPECT_EQ(loaded_shards, 1u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+// Per-tick batch replay must be observationally identical to per-event
+// replay for subscribers that keep the default OnEventBatch (loop over
+// OnEvent), including tick callback ordering.
+TEST(BatchedIngestTest, BatchReplayEqualsPerEventReplayForDefaultSubscribers) {
+  const EventStream stream = KeyedStream(/*subjects=*/4, 500, /*seed=*/3);
+
+  struct Recorder : StreamSubscriber {
+    std::vector<std::pair<char, Timestamp>> log;
+    Status OnEvent(const Event& e) override {
+      log.emplace_back('e', e.timestamp());
+      return Status::OK();
+    }
+    Status OnTick(Timestamp t) override {
+      log.emplace_back('t', t);
+      return Status::OK();
+    }
+    Status OnEnd() override {
+      log.emplace_back('z', 0);
+      return Status::OK();
+    }
+  };
+
+  Recorder per_event;
+  Recorder batched;
+  StreamReplayer r1;
+  r1.Subscribe(&per_event);
+  ASSERT_TRUE(r1.Run(stream).ok());
+  StreamReplayer r2;
+  r2.Subscribe(&batched);
+  ASSERT_TRUE(r2.Run(stream, ReplayMode::kBatchPerTick).ok());
+  EXPECT_EQ(per_event.log, batched.log);
+}
+
+}  // namespace
+}  // namespace pldp

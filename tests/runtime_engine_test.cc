@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "cep/streaming_engine.h"
@@ -164,6 +166,86 @@ TEST(ParallelEngineTest, EquivalentToSequentialEngineOnKeyedStreams) {
   }
 }
 
+// Regression (ISSUE 2): StreamReplayer::Run ends with OnEnd, which must
+// drain the shard queues — otherwise results read right after Run() can
+// silently miss events still in flight. With the OnEnd → Drain override
+// removed, the worker lags the router and the processed-count check below
+// fails with overwhelming probability.
+TEST(ParallelEngineTest, OnEndDrainsBeforeResultsAreRead) {
+  constexpr size_t kSubjects = 4;
+  const EventStream stream = KeyedStream(kSubjects, 50000, /*seed=*/11);
+
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 65536;  // roomy: the router never has to wait
+  ParallelStreamingEngine engine(options);
+  RegisterKeyedQueries(engine, kSubjects, /*window=*/6);
+  ASSERT_TRUE(engine.Start().ok());
+
+  StreamReplayer replayer;
+  replayer.Subscribe(&engine);
+  ASSERT_TRUE(replayer.Run(stream).ok());
+
+  // No explicit Drain(): Run's OnEnd must have done it.
+  size_t processed = 0;
+  for (const ShardStats& s : engine.ShardStatsSnapshot()) {
+    processed += s.events_processed;
+  }
+  EXPECT_EQ(processed, stream.size());
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+// Regression (ISSUE 2): Drain()/stats() from a thread other than the pusher
+// raced on the non-atomic pushed_/backpressure_waits_ counters. They are
+// atomics now; this test runs a dedicated producer thread while the main
+// thread drains and snapshots stats concurrently, so the TSan CI job pins
+// the fix.
+TEST(ParallelEngineTest, DrainAndStatsFromSecondThread) {
+  constexpr size_t kSubjects = 8;
+  const EventStream stream = KeyedStream(kSubjects, 20000, /*seed=*/5);
+
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 64;  // small: force backpressure waits
+  ParallelStreamingEngine engine(options);
+  RegisterKeyedQueries(engine, kSubjects, /*window=*/6);
+  ASSERT_TRUE(engine.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> push_failed{false};
+  std::thread producer([&] {
+    // Always set `done` on exit, even on a push error — otherwise the main
+    // thread's poll loop below would hang instead of failing the test.
+    for (const Event& e : stream) {
+      if (!engine.OnEvent(e).ok()) {
+        push_failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Concurrent drains and stat snapshots from this (non-pusher) thread.
+  while (!done.load(std::memory_order_acquire)) {
+    ASSERT_TRUE(engine.Drain().ok());
+    size_t seen = 0;
+    for (const ShardStats& s : engine.ShardStatsSnapshot()) {
+      seen += s.events_processed + s.backpressure_waits;
+    }
+    EXPECT_LE(seen, stream.size() * 2);  // monotone, never garbage
+  }
+  producer.join();
+  ASSERT_FALSE(push_failed.load(std::memory_order_relaxed));
+
+  ASSERT_TRUE(engine.Drain().ok());
+  size_t processed = 0;
+  for (const ShardStats& s : engine.ShardStatsSnapshot()) {
+    processed += s.events_processed;
+  }
+  EXPECT_EQ(processed, stream.size());
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
 TEST(ParallelEngineTest, ShardStatsAccountForEveryEvent) {
   constexpr size_t kSubjects = 8;
   const EventStream stream = KeyedStream(kSubjects, 5000, /*seed=*/21);
@@ -188,6 +270,46 @@ TEST(ParallelEngineTest, ShardStatsAccountForEveryEvent) {
   EXPECT_EQ(total_events, stream.size());
   EXPECT_EQ(total_detections, engine.total_detections());
   ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(ShardTest, PushAfterStopFailsFastInsteadOfSpinning) {
+  Shard shard(/*index=*/0, /*queue_capacity=*/16, /*seed=*/1);
+  ASSERT_TRUE(shard.AddQuery(MakePattern("p", {0, 1},
+                                         DetectionMode::kSequence),
+                             /*window=*/10)
+                  .ok());
+  ASSERT_TRUE(shard.Start().ok());
+  ASSERT_TRUE(shard.Push(Event(0, 1)).ok());
+  ASSERT_TRUE(shard.Stop().ok());
+  // If this spun on the dead worker's full queue the test would time out;
+  // the contract is an immediate FailedPrecondition.
+  EXPECT_FALSE(shard.Push(Event(1, 2)).ok());
+  Event batch[2] = {Event(0, 3), Event(1, 4)};
+  EXPECT_FALSE(shard.PushN(batch, 2).ok());
+  EXPECT_EQ(shard.stats().events_processed, 1u);
+}
+
+TEST(ShardTest, BulkPushDeliversEverythingInOrder) {
+  Shard shard(/*index=*/0, /*queue_capacity=*/8, /*seed=*/1);
+  ASSERT_TRUE(shard.AddQuery(MakePattern("p", {0, 1},
+                                         DetectionMode::kSequence),
+                             /*window=*/10)
+                  .ok());
+  ASSERT_TRUE(shard.Start().ok());
+  // Larger than the queue: PushN must chunk through backpressure.
+  std::vector<Event> events;
+  for (int i = 0; i < 1000; ++i) {
+    events.push_back(Event(static_cast<EventTypeId>(i % 2),
+                           static_cast<Timestamp>(i)));
+  }
+  ASSERT_TRUE(shard.PushN(events.data(), events.size()).ok());
+  ASSERT_TRUE(shard.Drain().ok());
+  EXPECT_EQ(shard.stats().events_processed, 1000u);
+  // Alternating 0,1 within window 10 → the sequence completes repeatedly;
+  // exact multiplicity is the matcher's business, but it must detect.
+  EXPECT_GT(shard.stats().detections, 0u);
+  EXPECT_EQ(shard.stats().detections, shard.engine().total_detections());
+  ASSERT_TRUE(shard.Stop().ok());
 }
 
 TEST(ParallelEngineTest, IngestionMayContinueAfterDrain) {

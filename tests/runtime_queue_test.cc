@@ -25,6 +25,120 @@ TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(SpscQueue<int>(8).capacity(), 8u);
 }
 
+TEST(SpscQueueTest, NextPowerOfTwoSaturatesInsteadOfLooping) {
+  // Above 2^63 there is no next power of two; the guard saturates rather
+  // than spinning forever on an overflowed shift.
+  constexpr size_t kHighBit = size_t{1} << 63;
+  static_assert(NextPowerOfTwo(kHighBit) == kHighBit, "exact high bit");
+  static_assert(NextPowerOfTwo(kHighBit + 1) == kHighBit, "above high bit");
+  static_assert(NextPowerOfTwo(SIZE_MAX) == kHighBit, "SIZE_MAX");
+  EXPECT_EQ(NextPowerOfTwo(kHighBit - 1), kHighBit);
+}
+
+TEST(SpscQueueTest, AbsurdCapacityRequestIsClamped) {
+  // A bogus capacity must not demand a near-2^64 allocation.
+  SpscQueue<int> q(SIZE_MAX);
+  EXPECT_EQ(q.capacity(), kMaxSpscCapacity);
+  EXPECT_TRUE(q.TryPush(7));
+  int out = 0;
+  EXPECT_TRUE(q.TryPop(out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(SpscQueueTest, BulkPushPopSingleThreaded) {
+  SpscQueue<int> q(8);
+  int in[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(q.TryPushN(in, 6), 6u);
+  EXPECT_EQ(q.ApproxSize(), 6u);
+
+  // Partial push when nearly full: only 2 slots remain.
+  int more[5] = {6, 7, 8, 9, 10};
+  EXPECT_EQ(q.TryPushN(more, 5), 2u);
+  EXPECT_EQ(q.ApproxSize(), 8u);
+  EXPECT_EQ(q.TryPushN(more, 5), 0u);  // full
+
+  int out[16] = {0};
+  EXPECT_EQ(q.TryPopN(out, 3), 3u);  // partial pop
+  EXPECT_EQ(q.TryPopN(out + 3, 16), 5u);  // rest, bounded by occupancy
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(q.TryPopN(out, 16), 0u);  // empty
+
+  // Zero-count calls are no-ops.
+  EXPECT_EQ(q.TryPushN(in, 0), 0u);
+  EXPECT_EQ(q.TryPopN(out, 0), 0u);
+}
+
+TEST(SpscQueueTest, BulkOpsWrapAround) {
+  SpscQueue<uint64_t> q(4);
+  uint64_t buf[3];
+  uint64_t out[3];
+  uint64_t next = 0;
+  uint64_t expected = 0;
+  for (int lap = 0; lap < 500; ++lap) {
+    for (auto& v : buf) v = next++;
+    ASSERT_EQ(q.TryPushN(buf, 3), 3u);
+    ASSERT_EQ(q.TryPopN(out, 3), 3u);
+    for (uint64_t v : out) ASSERT_EQ(v, expected++);
+  }
+  EXPECT_TRUE(q.ApproxEmpty());
+}
+
+TEST(SpscQueueTest, BulkOpsMoveOnlyPayload) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  std::unique_ptr<int> in[3];
+  for (int i = 0; i < 3; ++i) in[i] = std::make_unique<int>(i);
+  ASSERT_EQ(q.TryPushN(in, 3), 3u);
+  for (const auto& p : in) EXPECT_EQ(p, nullptr);  // moved out
+  std::unique_ptr<int> out[3];
+  ASSERT_EQ(q.TryPopN(out, 3), 3u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(out[i], nullptr);
+    EXPECT_EQ(*out[i], i);
+  }
+}
+
+// Bulk producer races bulk consumer through a tiny queue; every value must
+// arrive exactly once, in order, regardless of burst fragmentation. TSan
+// covers the single-release-store-per-burst publication.
+TEST(SpscQueueTest, BulkProducerConsumerThreadPairPreservesSequence) {
+  constexpr uint64_t kCount = 200000;
+  constexpr size_t kBurst = 17;  // deliberately not a divisor of capacity
+  SpscQueue<uint64_t> q(16);
+
+  std::thread producer([&q] {
+    uint64_t buf[kBurst];
+    uint64_t next = 0;
+    while (next < kCount) {
+      size_t want = kBurst;
+      if (kCount - next < want) want = static_cast<size_t>(kCount - next);
+      for (size_t i = 0; i < want; ++i) buf[i] = next + i;
+      size_t done = 0;
+      while (done < want) {
+        const size_t n = q.TryPushN(buf + done, want - done);
+        if (n == 0) {
+          std::this_thread::yield();
+        } else {
+          done += n;
+        }
+      }
+      next += want;
+    }
+  });
+
+  uint64_t out[kBurst];
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    const size_t n = q.TryPopN(out, kBurst);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], expected++);
+  }
+  producer.join();
+  EXPECT_TRUE(q.ApproxEmpty());
+}
+
 TEST(SpscQueueTest, FifoOrderSingleThreaded) {
   SpscQueue<int> q(4);
   for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(int{i}));
