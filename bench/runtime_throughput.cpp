@@ -1,13 +1,23 @@
 // Copyright 2026 The PLDP Authors.
 //
-// Scaling benchmark for the sharded parallel streaming runtime: ingest a
-// keyed synthetic stream (many data subjects, per-subject event-type
-// alphabets, one sequence + one conjunction query per subject) through
-// ParallelStreamingEngine at shard counts 1/2/4/8 — once per-event
-// (OnEvent) and once batched (OnEventBatch in fixed chunks) — report
-// events/sec for both, the batched-vs-per-event ratio, and speedup vs
-// 1 shard, cross-checking every configuration against the sequential
-// StreamingCepEngine's detection count.
+// Scaling benchmark for the sharded parallel streaming runtime, in two
+// sections sharing one result table (rows labeled "N" vs "NxN"):
+//
+//   1. Subject-local workload: ingest a keyed synthetic stream (many data
+//      subjects, per-subject event-type alphabets, one sequence + one
+//      conjunction query per subject) through ParallelStreamingEngine at
+//      shard counts 1/2/4/8 — once per-event (OnEvent) and once batched
+//      (OnEventBatch in fixed chunks) — reporting events/sec for both, the
+//      batched-vs-per-event ratio, and speedup vs 1 shard.
+//   2. Cross-subject workload: the same alphabet structure keyed by a
+//      *group* attribute uncorrelated with the subject, so every match
+//      spans subjects and must ride the repartition/exchange stage onto
+//      NxN merge shards.
+//
+// Every configuration is cross-checked against the sequential
+// StreamingCepEngine's detection count; the bench exits non-zero on a
+// mismatch. `--json FILE` persists the table machine-readably (CI uploads
+// it as the perf-trajectory artifact).
 //
 // Acceptance targets: > 1.5x events/sec at 4 shards vs 1 shard (ISSUE 1)
 // and batched >= 2x per-event at 4 shards (ISSUE 2) — both on a multi-core
@@ -41,17 +51,41 @@ EventStream KeyedStream(size_t subjects, size_t num_events, uint64_t seed) {
   return stream;
 }
 
-template <typename EngineT>
-int RegisterQueries(EngineT& engine, size_t subjects, Timestamp window) {
-  for (size_t k = 0; k < subjects; ++k) {
+/// Cross-subject variant: the type is drawn from a *group* alphabet while
+/// the subject is drawn independently, so group matches span subjects.
+/// The correlation key is recoverable from the type (group = type /
+/// kTypesPerSubject), which keeps the hot path attribute-free.
+EventStream CrossKeyedStream(size_t groups, size_t subjects,
+                             size_t num_events, uint64_t seed) {
+  Rng rng(seed);
+  EventStream stream;
+  stream.Reserve(num_events);
+  for (size_t i = 0; i < num_events; ++i) {
+    const auto group = rng.UniformUint64(groups);
+    const auto type = static_cast<EventTypeId>(
+        group * kTypesPerSubject + rng.UniformUint64(kTypesPerSubject));
+    const auto subject = static_cast<StreamId>(rng.UniformUint64(subjects));
+    stream.AppendUnchecked(
+        Event(type, static_cast<Timestamp>(i / 8), subject));
+  }
+  return stream;
+}
+
+uint64_t GroupOfType(const Event& e) {
+  return static_cast<uint64_t>(e.type()) / kTypesPerSubject;
+}
+
+template <typename AddQueryFn>
+int RegisterAlphabetQueries(AddQueryFn add, size_t groups, Timestamp window) {
+  for (size_t k = 0; k < groups; ++k) {
     const auto base = static_cast<EventTypeId>(k * kTypesPerSubject);
     auto seq = Pattern::Create("seq", {base, base + 1, base + 2},
                                DetectionMode::kSequence);
     auto conj = Pattern::Create("conj", {base + 2, base},
                                 DetectionMode::kConjunction);
     if (!seq.ok() || !conj.ok() ||
-        !engine.AddQuery(std::move(seq).value(), window).ok() ||
-        !engine.AddQuery(std::move(conj).value(), window).ok()) {
+        !add(std::move(seq).value(), window).ok() ||
+        !add(std::move(conj).value(), window).ok()) {
       return 1;
     }
   }
@@ -65,39 +99,114 @@ double Seconds(std::chrono::steady_clock::time_point start,
 
 enum class IngestMode { kPerEvent, kBatched };
 
+Status IngestTimed(ParallelStreamingEngine& engine, const EventStream& stream,
+                   IngestMode mode) {
+  const std::vector<Event>& events = stream.events();
+  if (mode == IngestMode::kPerEvent) {
+    for (const Event& e : events) PLDP_RETURN_IF_ERROR(engine.OnEvent(e));
+    return Status::OK();
+  }
+  for (size_t i = 0; i < events.size(); i += kIngestBatch) {
+    const size_t n =
+        kIngestBatch < events.size() - i ? kIngestBatch : events.size() - i;
+    PLDP_RETURN_IF_ERROR(engine.OnEventBatch(EventSpan(events.data() + i, n)));
+  }
+  return Status::OK();
+}
+
 /// Ingests `stream` into a fresh engine; returns events/sec, or a negative
-/// value on error. `waits`/`detections` report the run's counters.
-double TimedIngest(const EventStream& stream, size_t subjects,
-                   Timestamp window, size_t shards, IngestMode mode,
-                   size_t* waits, size_t* detections) {
+/// value on error. With `exchange`, the queries run as cross queries on an
+/// NxN exchange pipeline keyed by group. `waits`/`detections` report the
+/// run's counters (waits = stage-1 queue + exchange lane backpressure).
+double TimedIngest(const EventStream& stream, size_t groups,
+                   Timestamp window, size_t shards, bool exchange,
+                   IngestMode mode, size_t* waits, size_t* detections) {
   ParallelEngineOptions options;
   options.shard_count = shards;
   options.queue_capacity = 4096;
+  if (exchange) {
+    options.exchange.enabled = true;
+    options.exchange.shard_count = shards;
+    options.exchange.lane_capacity = 4096;
+    options.exchange.key_fn = GroupOfType;
+  }
   ParallelStreamingEngine engine(options);
-  if (RegisterQueries(engine, subjects, window) != 0) return -1.0;
+  const auto add = [&engine, exchange](Pattern p, Timestamp w) {
+    return exchange ? engine.AddCrossQuery(std::move(p), w)
+                    : engine.AddQuery(std::move(p), w);
+  };
+  if (RegisterAlphabetQueries(add, groups, window) != 0) return -1.0;
   if (!engine.Start().ok()) return -1.0;
 
-  const std::vector<Event>& events = stream.events();
   const auto t0 = std::chrono::steady_clock::now();
-  if (mode == IngestMode::kPerEvent) {
-    for (const Event& e : events) (void)engine.OnEvent(e);
-  } else {
-    for (size_t i = 0; i < events.size(); i += kIngestBatch) {
-      const size_t n = kIngestBatch < events.size() - i ? kIngestBatch
-                                                        : events.size() - i;
-      (void)engine.OnEventBatch(EventSpan(events.data() + i, n));
-    }
-  }
+  if (!IngestTimed(engine, stream, mode).ok()) return -1.0;
   if (!engine.Drain().ok()) return -1.0;
   const auto t1 = std::chrono::steady_clock::now();
 
   *waits = 0;
   for (const ShardStats& s : engine.ShardStatsSnapshot()) {
-    *waits += s.backpressure_waits;
+    *waits += s.backpressure_waits + s.exchange_backpressure_waits;
   }
-  *detections = engine.total_detections();
+  *detections =
+      exchange ? engine.total_cross_detections() : engine.total_detections();
   if (!engine.Stop().ok()) return -1.0;
   return static_cast<double>(stream.size()) / Seconds(t0, t1);
+}
+
+/// Sequential detection-count ground truth + baseline rate.
+double SequentialReference(const EventStream& stream, size_t groups,
+                           Timestamp window, size_t* detections) {
+  StreamingCepEngine reference;
+  const auto add = [&reference](Pattern p, Timestamp w) {
+    return reference.AddQuery(std::move(p), w);
+  };
+  if (RegisterAlphabetQueries(add, groups, window) != 0) return -1.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Event& e : stream) (void)reference.OnEvent(e);
+  const auto t1 = std::chrono::steady_clock::now();
+  *detections = reference.total_detections();
+  return static_cast<double>(stream.size()) / Seconds(t0, t1);
+}
+
+/// Benches one workload (plain or exchange) into `table`; returns false on
+/// a detection mismatch.
+bool BenchWorkload(const EventStream& stream, size_t groups,
+                   Timestamp window, bool exchange, size_t reference_count,
+                   ResultTable* table) {
+  double one_shard_batched = 0.0;
+  bool ok = true;
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    size_t pe_waits = 0, pe_detections = 0;
+    const double per_event_eps =
+        TimedIngest(stream, groups, window, shards, exchange,
+                    IngestMode::kPerEvent, &pe_waits, &pe_detections);
+    size_t b_waits = 0, b_detections = 0;
+    const double batched_eps =
+        TimedIngest(stream, groups, window, shards, exchange,
+                    IngestMode::kBatched, &b_waits, &b_detections);
+    if (per_event_eps < 0 || batched_eps < 0) return false;
+    if (shards == 1) one_shard_batched = batched_eps;
+
+    for (size_t detections : {pe_detections, b_detections}) {
+      if (detections != reference_count) {
+        std::fprintf(
+            stderr,
+            "DETECTION MISMATCH (%s) at %zu shards: %zu vs %zu (sequential)\n",
+            exchange ? "exchange" : "plain", shards, detections,
+            reference_count);
+        ok = false;
+      }
+    }
+    const std::string label = exchange
+                                  ? StrFormat("%zux%zu", shards, shards)
+                                  : StrFormat("%zu", shards);
+    (void)table->AddRow(label,
+                        {per_event_eps, batched_eps,
+                         batched_eps / per_event_eps,
+                         batched_eps / one_shard_batched,
+                         static_cast<double>(pe_waits + b_waits)});
+  }
+  return ok;
 }
 
 int Run(const bench::HarnessArgs& args) {
@@ -109,7 +218,7 @@ int Run(const bench::HarnessArgs& args) {
   // every event visits all of its shard's matchers) dominates the routing
   // cost — the regime sharding is for. With few queries the single router
   // thread is the bottleneck and extra shards cannot help.
-  const size_t subjects = 256;
+  const size_t groups = 256;
   const Timestamp window = 4;
 
   const unsigned cores = std::thread::hardware_concurrency();
@@ -120,56 +229,41 @@ int Run(const bench::HarnessArgs& args) {
         "core, so expect speedup ~1.0x (the run then measures runtime "
         "overhead, not scaling).\n");
   }
-  std::printf("generating keyed stream: %zu events, %zu subjects...\n",
-              num_events, subjects);
-  const EventStream stream = KeyedStream(subjects, num_events, 42);
+  std::printf("generating streams: %zu events x 2 workloads, %zu %s...\n",
+              num_events, groups, "subjects/groups");
+  const EventStream keyed = KeyedStream(groups, num_events, 42);
+  const EventStream crossed =
+      CrossKeyedStream(groups, /*subjects=*/groups, num_events, 43);
 
-  // Sequential reference: detection-count ground truth + baseline rate.
-  StreamingCepEngine reference;
-  if (RegisterQueries(reference, subjects, window) != 0) return 1;
-  auto t0 = std::chrono::steady_clock::now();
-  for (const Event& e : stream) (void)reference.OnEvent(e);
-  auto t1 = std::chrono::steady_clock::now();
-  const double seq_eps = static_cast<double>(num_events) / Seconds(t0, t1);
-  std::printf("sequential StreamingCepEngine: %.0f events/sec, %zu detections\n",
-              seq_eps, reference.total_detections());
+  size_t plain_reference = 0;
+  const double seq_eps =
+      SequentialReference(keyed, groups, window, &plain_reference);
+  std::printf(
+      "sequential StreamingCepEngine (subject-local): %.0f events/sec, %zu "
+      "detections\n",
+      seq_eps, plain_reference);
+  size_t cross_reference = 0;
+  const double cross_seq_eps =
+      SequentialReference(crossed, groups, window, &cross_reference);
+  std::printf(
+      "sequential StreamingCepEngine (cross-subject): %.0f events/sec, %zu "
+      "detections\n",
+      cross_seq_eps, cross_reference);
+  if (seq_eps < 0 || cross_seq_eps < 0) return 1;
 
   ResultTable table({"shards", "per_event_eps", "batched_eps",
                      "batched_vs_per_event", "batched_speedup_vs_1",
                      "backpressure_waits"});
-  double one_shard_batched = 0.0;
-  bool ok = true;
-  for (size_t shards : {1u, 2u, 4u, 8u}) {
-    size_t pe_waits = 0, pe_detections = 0;
-    const double per_event_eps =
-        TimedIngest(stream, subjects, window, shards, IngestMode::kPerEvent,
-                    &pe_waits, &pe_detections);
-    size_t b_waits = 0, b_detections = 0;
-    const double batched_eps =
-        TimedIngest(stream, subjects, window, shards, IngestMode::kBatched,
-                    &b_waits, &b_detections);
-    if (per_event_eps < 0 || batched_eps < 0) return 1;
-    if (shards == 1) one_shard_batched = batched_eps;
-
-    for (size_t detections : {pe_detections, b_detections}) {
-      if (detections != reference.total_detections()) {
-        std::fprintf(
-            stderr,
-            "DETECTION MISMATCH at %zu shards: %zu vs %zu (sequential)\n",
-            shards, detections, reference.total_detections());
-        ok = false;
-      }
-    }
-    (void)table.AddRow(StrFormat("%zu", shards),
-                       {per_event_eps, batched_eps,
-                        batched_eps / per_event_eps,
-                        batched_eps / one_shard_batched,
-                        static_cast<double>(pe_waits + b_waits)});
-  }
+  bool ok = BenchWorkload(keyed, groups, window, /*exchange=*/false,
+                          plain_reference, &table);
+  ok = BenchWorkload(crossed, groups, window, /*exchange=*/true,
+                     cross_reference, &table) &&
+       ok;
 
   const int rc = bench::EmitTable(
       table, args,
-      "Runtime throughput: per-event vs batched ingest, by shard count");
+      "Runtime throughput: per-event vs batched ingest; N = subject-local "
+      "shards, NxN = exchange pipeline (stage1 x stage2)");
   return ok ? rc : 1;
 }
 

@@ -1,0 +1,120 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "cep/correlation_key.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/random.h"
+
+namespace pldp {
+namespace {
+
+// 64-bit FNV-1a over raw bytes: deterministic across platforms, good
+// avalanche once finished below.
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Final mix so dense payloads spread over the full key space before the
+// router's range reduction — the same stateless scrambling router.cc uses.
+uint64_t Finish(uint64_t h) { return SplitMix64(h).Next(); }
+
+}  // namespace
+
+Status ValidateCorrelationKeySpec(const CorrelationKeySpec& spec) {
+  const bool wants_attribute =
+      spec.kind == CorrelationKeySpec::Kind::kAttribute;
+  if (wants_attribute && spec.attribute.empty()) {
+    return Status::InvalidArgument(
+        "correlation spec kAttribute requires a non-empty attribute name");
+  }
+  if (!wants_attribute && !spec.attribute.empty()) {
+    return Status::InvalidArgument(
+        "correlation spec carries an attribute name its kind ignores");
+  }
+  return Status::OK();
+}
+
+uint64_t CorrelationValueKey(const Value& value) {
+  uint64_t h = kFnvOffset;
+  const auto tag = static_cast<unsigned char>(value.kind());
+  h = FnvBytes(h, &tag, 1);
+  switch (value.kind()) {
+    case ValueKind::kBool: {
+      const unsigned char b = value.AsBool().value() ? 1 : 0;
+      h = FnvBytes(h, &b, 1);
+      break;
+    }
+    case ValueKind::kInt: {
+      const int64_t i = value.AsInt().value();
+      h = FnvBytes(h, &i, sizeof(i));
+      break;
+    }
+    case ValueKind::kDouble: {
+      // Normalize -0.0 to 0.0 so values that compare equal share a key.
+      double d = value.AsDouble().value();
+      if (d == 0.0) d = 0.0;
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      h = FnvBytes(h, &bits, sizeof(bits));
+      break;
+    }
+    case ValueKind::kString: {
+      const std::string s = value.AsString().value();
+      h = FnvBytes(h, s.data(), s.size());
+      break;
+    }
+  }
+  return Finish(h);
+}
+
+StatusOr<CorrelationKeyFn> MakeCorrelationKeyFn(
+    const CorrelationKeySpec& spec) {
+  PLDP_RETURN_IF_ERROR(ValidateCorrelationKeySpec(spec));
+  switch (spec.kind) {
+    case CorrelationKeySpec::Kind::kGlobal:
+      return CorrelationKeyFn([](const Event&) { return uint64_t{0}; });
+    case CorrelationKeySpec::Kind::kSubject:
+      return CorrelationKeyFn([](const Event& e) {
+        return static_cast<uint64_t>(e.stream());
+      });
+    case CorrelationKeySpec::Kind::kEventType:
+      return CorrelationKeyFn([](const Event& e) {
+        return static_cast<uint64_t>(e.type());
+      });
+    case CorrelationKeySpec::Kind::kAttribute:
+      return CorrelationKeyFn(
+          [name = spec.attribute](const Event& e) -> uint64_t {
+            const std::optional<Value> v = e.GetAttribute(name);
+            // Missing attribute: key 0, co-located with the global
+            // partition so such events are never silently dropped.
+            return v.has_value() ? CorrelationValueKey(*v) : 0;
+          });
+  }
+  return Status::InvalidArgument("unknown correlation key kind");
+}
+
+StatusOr<CorrelationKeySpec> SuggestCorrelationSpec(
+    const std::vector<Pattern>& cross_patterns) {
+  if (cross_patterns.empty()) {
+    return Status::InvalidArgument(
+        "cannot suggest a correlation spec for zero patterns");
+  }
+  for (const Pattern& p : cross_patterns) {
+    if (p.DistinctTypes().size() != 1) {
+      return CorrelationKeySpec::Global();
+    }
+  }
+  return CorrelationKeySpec::ByEventType();
+}
+
+}  // namespace pldp

@@ -1,0 +1,95 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Correlation keys for cross-subject pattern matching.
+//
+// The sharded runtime partitions events by data subject, which makes every
+// per-subject pattern shard-local — but a pattern that correlates events
+// *across* subjects ("three distinct vehicles enter the area within a
+// minute") sees only fragments of its matches on any one shard. The
+// standard dataflow fix is a repartition/exchange stage: re-key each event
+// by a *correlation key* chosen so that all events of one potential match
+// share the key, then route by that key onto a second shard layer where
+// matching is key-local again.
+//
+// This header defines the key vocabulary: a `CorrelationKeySpec` describes
+// how to derive the key from an event (a named attribute, the event type,
+// the subject, or one global key), `MakeCorrelationKeyFn` compiles the spec
+// into the hot-path extractor, and `SuggestCorrelationSpec` derives the
+// finest safe spec from the registered cross-patterns themselves — the
+// "query needs" analysis: keying by event type is only sound when every
+// pattern's elements collapse to a single distinct type; anything wider
+// needs an attribute the caller knows about, or the global key (all events
+// to one correlation partition — always sound, never parallel).
+
+#ifndef PLDP_CEP_CORRELATION_KEY_H_
+#define PLDP_CEP_CORRELATION_KEY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cep/pattern.h"
+#include "common/status.h"
+#include "event/event.h"
+
+namespace pldp {
+
+/// Extracts the correlation key from an event. Same shape as the runtime's
+/// ShardKeyFn, declared here so cep/ stays independent of runtime/.
+using CorrelationKeyFn = std::function<uint64_t(const Event&)>;
+
+/// How to derive the correlation key of an event.
+struct CorrelationKeySpec {
+  enum class Kind {
+    /// Every event maps to key 0: one correlation partition handles all
+    /// cross-subject matching. Always correct; the fallback when nothing
+    /// finer is safe.
+    kGlobal,
+    /// Key = subject id (Event::stream()). Degenerates to the stage-1
+    /// partitioning; only useful for diagnostics and tests.
+    kSubject,
+    /// Key = event type id. Sound only when every cross pattern has one
+    /// distinct element type (see SuggestCorrelationSpec).
+    kEventType,
+    /// Key = hash of a named attribute's value (e.g. a region or tenant
+    /// attribute shared by all events of a potential match). Events lacking
+    /// the attribute map to key 0 and co-locate with the global partition.
+    kAttribute,
+  };
+
+  Kind kind = Kind::kGlobal;
+  /// Attribute name; required iff kind == kAttribute.
+  std::string attribute;
+
+  static CorrelationKeySpec Global() { return {Kind::kGlobal, {}}; }
+  static CorrelationKeySpec Subject() { return {Kind::kSubject, {}}; }
+  static CorrelationKeySpec ByEventType() { return {Kind::kEventType, {}}; }
+  static CorrelationKeySpec ByAttribute(std::string name) {
+    return {Kind::kAttribute, std::move(name)};
+  }
+};
+
+/// InvalidArgument when the spec is malformed (kAttribute without a name,
+/// or a name on a kind that ignores it).
+Status ValidateCorrelationKeySpec(const CorrelationKeySpec& spec);
+
+/// Deterministic, platform-independent hash of an attribute value.
+/// Equal values (including int/bool payloads that compare equal and both
+/// zeros of double) produce equal keys.
+uint64_t CorrelationValueKey(const Value& value);
+
+/// Compiles the spec into the per-event extractor used on the shard
+/// workers' hot path. Fails on malformed specs.
+StatusOr<CorrelationKeyFn> MakeCorrelationKeyFn(const CorrelationKeySpec& spec);
+
+/// The finest correlation spec that keeps every given pattern's matches
+/// key-local without attribute knowledge: kEventType when every pattern
+/// collapses to exactly one distinct element type, kGlobal otherwise.
+/// (An attribute-based spec is finer still, but only the caller knows which
+/// attribute all match participants share.) Fails on an empty pattern set.
+StatusOr<CorrelationKeySpec> SuggestCorrelationSpec(
+    const std::vector<Pattern>& cross_patterns);
+
+}  // namespace pldp
+
+#endif  // PLDP_CEP_CORRELATION_KEY_H_

@@ -8,18 +8,64 @@
 namespace pldp {
 namespace {
 
-/// Adapts a SubjectViewPublisher to the shard worker's sink interface.
+/// Adapts a SubjectViewPublisher to the shard worker's sink interface and
+/// taps its protected views for the exchange: every published view is
+/// flattened into presence events (one per present type, timestamped at
+/// the window start, attributed to the subject) and emitted downstream.
+/// Raw events never reach the emitter — only post-perturbation views do.
 class PublisherSink final : public ShardEventSink {
  public:
   explicit PublisherSink(SubjectPublisherOptions options)
-      : publisher_(std::move(options)) {}
+      : publisher_(std::move(options)) {
+    publisher_.SetViewCallback(
+        [this](StreamId subject, const Window& window,
+               const PublishedView& view) {
+          ForwardView(subject, window, view);
+        });
+  }
 
   void OnShardEvent(const Event& event) override { publisher_.Absorb(event); }
+
+  void AttachExchangeEmitter(ExchangeEmitter* emitter) override {
+    emitter_ = emitter;
+  }
+
+  void OnShardFinish(uint64_t finish_seq) override {
+    // Publisher finalization runs here, on the worker, so the final views
+    // flow through the exchange before the terminal watermark closes the
+    // lanes. Errors latch inside the publisher; Finish() collects them.
+    finalizing_ = true;
+    finish_seq_ = finish_seq;
+    (void)publisher_.Finalize();
+    finalizing_ = false;
+  }
 
   SubjectViewPublisher* publisher() { return &publisher_; }
 
  private:
+  void ForwardView(StreamId subject, const Window& window,
+                   const PublishedView& view) {
+    if (emitter_ == nullptr) return;
+    if (finalizing_) {
+      // Finalize-time views share one trigger (the finish bound) across
+      // all producers; sub-keys by subject keep the merged order globally
+      // deterministic — ascending subject, matching a sequential
+      // publisher's ordered Finalize — because subjects are disjoint
+      // across shards.
+      emitter_->BeginTrigger(finish_seq_,
+                             static_cast<uint64_t>(subject) << 32);
+    }
+    for (size_t t = 0; t < view.presence.size(); ++t) {
+      if (!view.presence[t]) continue;
+      (void)emitter_->Emit(
+          Event(static_cast<EventTypeId>(t), window.start, subject));
+    }
+  }
+
   SubjectViewPublisher publisher_;
+  ExchangeEmitter* emitter_ = nullptr;
+  bool finalizing_ = false;
+  uint64_t finish_seq_ = 0;
 };
 
 }  // namespace
@@ -45,6 +91,20 @@ StatusOr<QueryId> ParallelPrivateEngine::RegisterTargetQuery(
         "setup phase is over (Activate was called)");
   }
   return setup_.RegisterTargetQuery(query_name, std::move(pattern));
+}
+
+StatusOr<size_t> ParallelPrivateEngine::RegisterCrossTargetQuery(
+    const std::string& query_name, Pattern pattern, Timestamp window) {
+  if (active()) {
+    return Status::FailedPrecondition(
+        "setup phase is over (Activate was called)");
+  }
+  CrossQuery query;
+  query.name = query_name;
+  query.pattern = std::move(pattern);
+  query.window = window;
+  cross_queries_.push_back(std::move(query));
+  return cross_queries_.size() - 1;
 }
 
 SubjectPublisherOptions ParallelPrivateEngine::MakePublisherOptions() const {
@@ -94,8 +154,29 @@ Status ParallelPrivateEngine::Activate(MechanismFactory factory,
     publishers_.push_back(sink->publisher());
     return std::unique_ptr<ShardEventSink>(std::move(sink));
   };
+  if (!cross_queries_.empty() || options_.exchange.enabled) {
+    runtime_options.exchange = options_.exchange;
+    runtime_options.exchange.enabled = true;
+    // Privacy invariant of this facade: nothing but protected views may
+    // cross the exchange, whatever the caller configured.
+    runtime_options.exchange.forward_raw_events = false;
+  }
   runtime_ = std::make_unique<ParallelStreamingEngine>(runtime_options);
-  return runtime_->Start();
+  for (const CrossQuery& query : cross_queries_) {
+    StatusOr<size_t> added =
+        runtime_->AddCrossQuery(query.pattern, query.window);
+    if (!added.ok()) {
+      runtime_.reset();
+      publishers_.clear();
+      return added.status();
+    }
+  }
+  Status started = runtime_->Start();
+  if (!started.ok()) {
+    runtime_.reset();
+    publishers_.clear();
+  }
+  return started;
 }
 
 Status ParallelPrivateEngine::OnEvent(const Event& event) {
@@ -117,11 +198,14 @@ Status ParallelPrivateEngine::OnEventBatch(EventSpan events) {
 Status ParallelPrivateEngine::Finish() {
   if (!active()) return Status::FailedPrecondition("Activate() not called");
   if (finished_) return finish_status_;
-  // Drain orders every worker-side publisher mutation before the
-  // orchestrator's Finalize below (release/acquire on the shard counters).
-  PLDP_RETURN_IF_ERROR(runtime_->Drain());
+  // The runtime's Finish runs every publisher's Finalize on its own worker
+  // (forwarding the final views through the exchange) and seals the
+  // stage-2 side; its barrier orders every worker-side mutation before the
+  // orchestrator's reads below.
+  PLDP_RETURN_IF_ERROR(runtime_->Finish());
   finished_ = true;
   for (SubjectViewPublisher* publisher : publishers_) {
+    // Already finalized on the worker; this just collects latched errors.
     const Status s = publisher->Finalize();
     if (finish_status_.ok() && !s.ok()) finish_status_ = s;
   }
@@ -157,6 +241,20 @@ StatusOr<SubjectResults> ParallelPrivateEngine::ResultsFor(
   return Status::NotFound("subject never emitted an event");
 }
 
+StatusOr<std::vector<Timestamp>> ParallelPrivateEngine::CrossDetectionsOf(
+    size_t cross_query_index) const {
+  if (!finished_) {
+    return Status::FailedPrecondition(
+        "cross detections are only stable after Finish()/OnEnd");
+  }
+  return runtime_->CrossDetectionsOf(cross_query_index);
+}
+
+size_t ParallelPrivateEngine::total_cross_detections() const {
+  if (!finished_ || runtime_ == nullptr) return 0;
+  return runtime_->total_cross_detections();
+}
+
 size_t ParallelPrivateEngine::total_windows() const {
   size_t total = 0;
   if (!finished_) return total;  // worker-owned until the Finish barrier
@@ -177,6 +275,12 @@ size_t ParallelPrivateEngine::shard_count() const {
 std::vector<ShardStats> ParallelPrivateEngine::ShardStatsSnapshot() const {
   return runtime_ == nullptr ? std::vector<ShardStats>{}
                              : runtime_->ShardStatsSnapshot();
+}
+
+std::vector<ShardStats> ParallelPrivateEngine::CrossShardStatsSnapshot()
+    const {
+  return runtime_ == nullptr ? std::vector<ShardStats>{}
+                             : runtime_->CrossShardStatsSnapshot();
 }
 
 }  // namespace pldp

@@ -13,6 +13,13 @@
 // middleware. After `Finish()` (or `OnEnd` from a `StreamReplayer`), the
 // per-shard protected answers are merged by subject.
 //
+// Cross-subject target queries ride the repartition/exchange stage
+// (runtime/exchange.h): each published protected view is flattened into
+// presence events (one per present type, stamped with the subject and the
+// window start) and re-keyed over the exchange onto stage-2 merge shards,
+// which run the cross-subject queries over the *protected* event stream —
+// so even cross-subject correlation only ever sees post-perturbation data.
+//
 //     caller / StreamReplayer
 //        │ OnEvent / OnEventBatch
 //        ▼
@@ -23,13 +30,21 @@
 //                                     (per-subject tumbling windows,
 //                                      per-subject mechanism + Rng,
 //                                      protected answers)
-//        merged per-subject answers  ◄──── Finish(): Drain + Finalize
+//                                                   │ protected views
+//                                                   ▼
+//                                    exchange lanes ─► MergeShards
+//                                    (cross-subject queries on views)
+//        merged per-subject answers  ◄──── Finish(): Drain + worker-side
+//        + cross-subject detections        Finalize + exchange seal
 //
 // Determinism: per-subject Rngs derive from (seed, subject id) — see
 // SubjectSeed — so results are bit-identical across shard counts and equal
 // to a sequential `PrivateCepEngine::ProcessStream` over each subject's
 // substream with the same per-subject seed (pinned by
-// tests/core_parallel_private_test.cc).
+// tests/core_parallel_private_test.cc). Cross-subject detections are
+// likewise shard-count-invariant: view events carry exchange merge keys
+// that reproduce the sequential publication order exactly (pinned by
+// tests/core_parallel_private_cross_test.cc).
 
 #ifndef PLDP_CORE_PARALLEL_PRIVATE_ENGINE_H_
 #define PLDP_CORE_PARALLEL_PRIVATE_ENGINE_H_
@@ -57,6 +72,11 @@ struct ParallelPrivateOptions {
   /// > 0 at Activate.
   Timestamp window_size = 0;
   Timestamp window_origin = 0;
+  /// Exchange stage configuration for cross-subject target queries.
+  /// Enabled automatically when any cross query is registered;
+  /// forward_raw_events is always forced off — only protected views may
+  /// cross the exchange.
+  RuntimeExchangeOptions exchange;
 };
 
 /// Sharded drop-in for the PrivateCepEngine service phase. Lifecycle:
@@ -81,14 +101,24 @@ class ParallelPrivateEngine : public StreamSubscriber {
   StatusOr<PatternId> RegisterPrivatePattern(Pattern pattern);
   StatusOr<QueryId> RegisterTargetQuery(const std::string& query_name,
                                         Pattern pattern);
+
+  /// Registers a cross-subject target query: `pattern` is matched over the
+  /// exchanged protected-view stream (presence events across all subjects)
+  /// with all elements within `window` time units. Returns the cross-query
+  /// index (its own index space). Must precede Activate.
+  StatusOr<size_t> RegisterCrossTargetQuery(const std::string& query_name,
+                                            Pattern pattern,
+                                            Timestamp window);
+
   void SetAlpha(double alpha) { setup_.SetAlpha(alpha); }
   void SetHistory(std::vector<Window> history) {
     setup_.SetHistory(std::move(history));
   }
 
   /// Validates the setup, grants the pattern-level budget ε, builds the
-  /// sharded runtime, and starts the shard workers. `factory` creates one
-  /// fresh mechanism per data subject (see MechanismFactory).
+  /// sharded runtime (with the exchange stage when cross queries exist),
+  /// and starts the workers. `factory` creates one fresh mechanism per
+  /// data subject (see MechanismFactory).
   Status Activate(MechanismFactory factory, double epsilon);
 
   bool active() const { return runtime_ != nullptr; }
@@ -98,8 +128,9 @@ class ParallelPrivateEngine : public StreamSubscriber {
   Status OnEvent(const Event& event) override;
   Status OnEventBatch(EventSpan events) override;
 
-  /// Drains the shards and finalizes every publisher (closing each
-  /// subject's open window). Terminal for ingestion: further OnEvent calls
+  /// Drains the shards, finalizes every publisher on its worker (closing
+  /// each subject's open window and forwarding the final protected views),
+  /// and seals the exchange. Terminal for ingestion: further OnEvent calls
   /// are refused. Idempotent. Results are valid once this returns.
   Status Finish();
   Status OnEnd() override { return Finish(); }
@@ -118,20 +149,39 @@ class ParallelPrivateEngine : public StreamSubscriber {
   /// Finish().
   StatusOr<SubjectResults> ResultsFor(StreamId subject) const;
 
+  /// Detections of one cross-subject query over the protected-view stream,
+  /// merged across merge shards and sorted by timestamp (window starts).
+  /// FailedPrecondition before Finish().
+  StatusOr<std::vector<Timestamp>> CrossDetectionsOf(
+      size_t cross_query_index) const;
+
+  size_t cross_query_count() const { return cross_queries_.size(); }
+
+  /// Total cross-subject detections. 0 before Finish().
+  size_t total_cross_detections() const;
+
   /// Windows published across all subjects and shards. 0 before Finish().
   size_t total_windows() const;
 
   size_t events_processed() const;
   size_t shard_count() const;
   std::vector<ShardStats> ShardStatsSnapshot() const;
+  std::vector<ShardStats> CrossShardStatsSnapshot() const;
 
  private:
+  struct CrossQuery {
+    std::string name;
+    Pattern pattern;
+    Timestamp window = 0;
+  };
+
   SubjectPublisherOptions MakePublisherOptions() const;
 
   ParallelPrivateOptions options_;
   PrivateCepEngine setup_;
   MechanismFactory factory_;
   double epsilon_ = 0.0;
+  std::vector<CrossQuery> cross_queries_;
   std::unique_ptr<ParallelStreamingEngine> runtime_;
   /// One publisher per shard, owned by the shards (via their sinks).
   std::vector<SubjectViewPublisher*> publishers_;

@@ -32,7 +32,8 @@ StatusOr<SubjectViewPublisher::SubjectState*> SubjectViewPublisher::GetOrCreate(
                         options_.factory());
   PLDP_RETURN_IF_ERROR(mechanism->Initialize(options_.context));
 
-  SubjectState state(Rng(SubjectSeed(options_.seed, event.stream())));
+  SubjectState state(event.stream(),
+                     Rng(SubjectSeed(options_.seed, event.stream())));
   state.mechanism = std::move(mechanism);
   state.current.start = AlignWindowStart(
       event.timestamp(), options_.window_origin, options_.window_size);
@@ -49,6 +50,9 @@ Status SubjectViewPublisher::PublishCurrent(SubjectState* state) {
   for (size_t i = 0; i < options_.queries.size(); ++i) {
     state->results.answers[options_.queries[i].id].Append(
         PatternDetectedInView(view, *targets_[i]));
+  }
+  if (view_callback_) {
+    view_callback_(state->subject, state->current, view);
   }
   ++state->results.window_count;
   ++total_windows_;
@@ -83,11 +87,15 @@ Status SubjectViewPublisher::Finalize() {
   if (finalized_) return error_;
   finalized_ = true;
   if (!error_.ok()) return error_;
-  for (auto& entry : subjects_) {
+  // Ascending subject order, not hash-map order: downstream observers
+  // (ViewCallback, the exchange's finalize merge keys) rely on finalize
+  // publication order being a pure function of the stream content.
+  std::vector<StreamId> ids = SubjectIds();
+  for (StreamId id : ids) {
     // The open window holds the subject's last event (events are only ever
     // appended to the open window), so one publication closes the series at
     // the same window TumblingWindower ends on.
-    Status s = PublishCurrent(&entry.second);
+    Status s = PublishCurrent(&subjects_.at(id));
     if (!s.ok()) {
       error_ = s;
       return error_;

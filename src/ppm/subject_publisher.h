@@ -22,6 +22,7 @@
 #ifndef PLDP_PPM_SUBJECT_PUBLISHER_H_
 #define PLDP_PPM_SUBJECT_PUBLISHER_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -70,12 +71,28 @@ struct SubjectPublisherOptions {
   uint64_t seed = 0;
 };
 
+/// Observes every protected view the moment it is published: the subject,
+/// the window it covers, and the view itself. Runs synchronously on the
+/// publishing thread, in publication order — deterministic given the input
+/// stream, because windows close on subject-local triggers and Finalize
+/// publishes in ascending subject order. This is how the exchange pipeline
+/// taps protected output for cross-subject correlation without raw events
+/// ever leaving the shard.
+using ViewCallback = std::function<void(
+    StreamId subject, const Window& window, const PublishedView& view)>;
+
 /// Per-subject windowing + protected-view publication state machine.
 /// Single-threaded: one publisher is owned by one shard worker (or used
 /// directly for sequential runs).
 class SubjectViewPublisher {
  public:
   explicit SubjectViewPublisher(SubjectPublisherOptions options);
+
+  /// Registers the protected-view observer (see ViewCallback). Call before
+  /// the first Absorb.
+  void SetViewCallback(ViewCallback callback) {
+    view_callback_ = std::move(callback);
+  }
 
   /// Absorbs one event. Events of one subject must arrive in non-decreasing
   /// timestamp order (the stream contract). Errors (mechanism creation or
@@ -104,7 +121,8 @@ class SubjectViewPublisher {
 
  private:
   struct SubjectState {
-    explicit SubjectState(Rng r) : rng(r) {}
+    SubjectState(StreamId s, Rng r) : subject(s), rng(r) {}
+    StreamId subject = kDefaultStream;
     std::unique_ptr<PrivacyMechanism> mechanism;
     Rng rng;
     /// The open window: [current.start, current.end) accumulating events.
@@ -118,6 +136,7 @@ class SubjectViewPublisher {
   Status PublishCurrent(SubjectState* state);
 
   SubjectPublisherOptions options_;
+  ViewCallback view_callback_;
   /// targets_[i] is queries[i]'s target pattern, resolved once (the query
   /// set is frozen at construction; this runs on the worker's hot path).
   std::vector<const Pattern*> targets_;

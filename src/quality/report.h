@@ -29,6 +29,12 @@ class ResultTable {
 
   size_t row_count() const { return rows_.size(); }
 
+  /// Column headers, in order.
+  const std::vector<std::string>& headers() const { return headers_; }
+
+  /// Row cells, in insertion order (machine-readable exports iterate these).
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Renders with aligned columns.
   std::string ToString() const;
 

@@ -1,0 +1,39 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Escalating wait shared by every spin site of the runtime: producers on a
+// full queue, workers on an empty queue, drain barriers on a lagging
+// counter. Burn a few iterations, then yield, then sleep — low latency
+// under load without pinning a core when idle.
+
+#ifndef PLDP_RUNTIME_BACKOFF_H_
+#define PLDP_RUNTIME_BACKOFF_H_
+
+#include <chrono>
+#include <thread>
+
+namespace pldp {
+
+class Backoff {
+ public:
+  void Wait() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+    } else if (spins_ < kSpinLimit + kYieldLimit) {
+      ++spins_;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  void Reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  static constexpr int kYieldLimit = 64;
+  int spins_ = 0;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_RUNTIME_BACKOFF_H_

@@ -1,0 +1,92 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "runtime/exchange.h"
+
+#include <utility>
+
+#include "runtime/backoff.h"
+
+namespace pldp {
+
+ExchangeFabric::ExchangeFabric(size_t producers, size_t consumers,
+                               size_t lane_capacity)
+    : producers_(producers < 1 ? 1 : producers),
+      consumers_(consumers < 1 ? 1 : consumers) {
+  lanes_.reserve(producers_ * consumers_);
+  for (size_t i = 0; i < producers_ * consumers_; ++i) {
+    lanes_.push_back(std::make_unique<ExchangeLane>(lane_capacity));
+  }
+}
+
+std::vector<ExchangeLane*> ExchangeFabric::Row(size_t producer) {
+  std::vector<ExchangeLane*> row;
+  row.reserve(consumers_);
+  for (size_t c = 0; c < consumers_; ++c) row.push_back(&lane(producer, c));
+  return row;
+}
+
+std::vector<ExchangeLane*> ExchangeFabric::Column(size_t consumer) {
+  std::vector<ExchangeLane*> column;
+  column.reserve(producers_);
+  for (size_t p = 0; p < producers_; ++p) {
+    column.push_back(&lane(p, consumer));
+  }
+  return column;
+}
+
+ExchangeEmitter::ExchangeEmitter(std::vector<ExchangeLane*> row,
+                                 ShardKeyFn key_fn, ExchangeFabric* fabric)
+    : row_(std::move(row)),
+      router_(row_.size(), std::move(key_fn)),
+      fabric_(fabric) {}
+
+Status ExchangeEmitter::PushToLane(size_t consumer, ExchangeItem item) {
+  Backoff backoff;
+  bool waited = false;
+  while (!row_[consumer]->queue.TryPush(std::move(item))) {
+    if (fabric_->aborted()) {
+      return Status::FailedPrecondition("exchange fabric aborted");
+    }
+    waited = true;
+    backoff.Wait();
+  }
+  if (waited) backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ExchangeEmitter::Emit(const Event& event) {
+  ExchangeItem item;
+  item.key = ExchangeKey{trigger_, sub_next_++};
+  item.event = event;
+  const size_t consumer = router_.ShardOf(item.event);
+  PLDP_RETURN_IF_ERROR(PushToLane(consumer, std::move(item)));
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ExchangeEmitter::Broadcast(uint64_t bound) {
+  if (broadcast_any_ && bound <= last_broadcast_) return Status::OK();
+  for (size_t c = 0; c < row_.size(); ++c) {
+    ExchangeItem item;
+    item.key = ExchangeKey{bound, 0};
+    item.watermark = true;
+    PLDP_RETURN_IF_ERROR(PushToLane(c, std::move(item)));
+  }
+  last_broadcast_ = bound;
+  broadcast_any_ = true;
+  watermarks_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+ExchangeEmitterStats ExchangeEmitter::stats() const {
+  ExchangeEmitterStats s;
+  s.forwarded =
+      static_cast<size_t>(forwarded_.load(std::memory_order_relaxed));
+  s.watermarks =
+      static_cast<size_t>(watermarks_.load(std::memory_order_relaxed));
+  s.backpressure_waits = static_cast<size_t>(
+      backpressure_waits_.load(std::memory_order_relaxed));
+  return s;
+}
+
+}  // namespace pldp

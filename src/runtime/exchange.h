@@ -1,0 +1,184 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The repartition/exchange fabric between the two shard stages.
+//
+// Stage-1 shards partition by data subject; a pattern that correlates
+// events *across* subjects needs its events re-keyed by a correlation key
+// (cep/correlation_key.h) and re-partitioned so all participants of one
+// potential match meet on one stage-2 shard. The fabric is the classic
+// dataflow exchange: an N1×N2 matrix of the runtime's bounded SPSC queues,
+// where lane (p, c) is written only by stage-1 worker p and read only by
+// stage-2 worker c — every lane keeps the proven single-producer /
+// single-consumer discipline, and the matrix as a whole is the
+// multi-producer ingest primitive the stage-2 side needs.
+//
+//   stage-1 shard p ──ExchangeEmitter── lane(p,0) ──► merge shard 0
+//                  │                    lane(p,1) ──► merge shard 1
+//                  │                       ...
+//                  └─ BeginTrigger(seq) stamps every emission with an
+//                     ExchangeKey; Broadcast(bound) sends watermarks.
+//
+// Ordering is restored downstream by merging on `ExchangeKey`, a global
+// sequence stamp: (primary, sub) where `primary` is the ingest-order
+// sequence number of the event whose processing caused the emission and
+// `sub` counts emissions within that trigger. Each lane carries strictly
+// increasing keys, so a stage-2 k-way merge by key reproduces exactly the
+// order a sequential engine would have seen — detection equivalence holds
+// bit-for-bit, not just as a multiset.
+//
+// Watermarks solve the empty-lane problem: a merge cannot release an event
+// until every other lane is known to be past its key. A producer therefore
+// broadcasts `watermark(b)` ("every future item on this lane has key >=
+// (b, 0)") when idle and at drain barriers; `kExchangeSeqEnd` is the
+// terminal watermark closing a lane at end of stream.
+
+#ifndef PLDP_RUNTIME_EXCHANGE_H_
+#define PLDP_RUNTIME_EXCHANGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event.h"
+#include "runtime/router.h"
+#include "runtime/spsc_queue.h"
+
+namespace pldp {
+
+/// Terminal watermark bound: no item ever carries a primary this large, so
+/// a lane whose bound reached it is closed forever.
+inline constexpr uint64_t kExchangeSeqEnd = ~uint64_t{0};
+
+/// Global merge stamp: lexicographic (primary, sub). `primary` is the
+/// ingest sequence number of the triggering event; `sub` disambiguates
+/// multiple emissions of one trigger (and, at finalize time, one producer
+/// from another — see ExchangeEmitter::BeginTrigger's sub_base overload).
+struct ExchangeKey {
+  uint64_t primary = 0;
+  uint64_t sub = 0;
+
+  bool operator<(const ExchangeKey& o) const {
+    return primary != o.primary ? primary < o.primary : sub < o.sub;
+  }
+  bool operator<=(const ExchangeKey& o) const { return !(o < *this); }
+  bool operator==(const ExchangeKey& o) const {
+    return primary == o.primary && sub == o.sub;
+  }
+};
+
+/// One slot of an exchange lane: a keyed event, or a watermark whose key
+/// lower-bounds every later item on the lane.
+struct ExchangeItem {
+  ExchangeKey key;
+  bool watermark = false;
+  Event event;
+};
+
+/// One SPSC lane of the matrix.
+struct ExchangeLane {
+  explicit ExchangeLane(size_t capacity) : queue(capacity) {}
+  SpscQueue<ExchangeItem> queue;
+};
+
+/// The N1×N2 lane matrix. Constructed before the shards on either side and
+/// destroyed after them (it owns the queues both sides touch).
+class ExchangeFabric {
+ public:
+  /// `producers`/`consumers` must be >= 1; `lane_capacity` bounds each lane
+  /// like any runtime queue (rounded up to a power of two, clamped).
+  ExchangeFabric(size_t producers, size_t consumers, size_t lane_capacity);
+
+  size_t producer_count() const { return producers_; }
+  size_t consumer_count() const { return consumers_; }
+
+  ExchangeLane& lane(size_t producer, size_t consumer) {
+    return *lanes_[producer * consumers_ + consumer];
+  }
+
+  /// All lanes written by one producer, indexed by consumer.
+  std::vector<ExchangeLane*> Row(size_t producer);
+  /// All lanes read by one consumer, indexed by producer.
+  std::vector<ExchangeLane*> Column(size_t consumer);
+
+  /// Emergency brake: makes every blocked or future Emit fail fast instead
+  /// of spinning on a lane nobody will ever drain (torn-down consumers).
+  void Abort() { abort_.store(true, std::memory_order_release); }
+  bool aborted() const { return abort_.load(std::memory_order_acquire); }
+
+ private:
+  size_t producers_;
+  size_t consumers_;
+  std::vector<std::unique_ptr<ExchangeLane>> lanes_;
+  std::atomic<bool> abort_{false};
+};
+
+/// Counters one emitter exposes (readable from any thread).
+struct ExchangeEmitterStats {
+  /// Events emitted into the fabric.
+  size_t forwarded = 0;
+  /// Watermark broadcasts (each reaches every lane of the row).
+  size_t watermarks = 0;
+  /// Times a full lane made the producer wait.
+  size_t backpressure_waits = 0;
+};
+
+/// The stage-1 side of the fabric: owned by one shard, driven only by that
+/// shard's worker thread (single producer per lane). Routes each emitted
+/// event to its consumer lane by correlation key and stamps it with the
+/// current trigger's ExchangeKey.
+class ExchangeEmitter {
+ public:
+  /// `row` is the producer's lane row (one lane per consumer); `key_fn`
+  /// extracts the correlation key (nullptr = subject key, see EventRouter).
+  ExchangeEmitter(std::vector<ExchangeLane*> row, ShardKeyFn key_fn,
+                  ExchangeFabric* fabric);
+
+  ExchangeEmitter(const ExchangeEmitter&) = delete;
+  ExchangeEmitter& operator=(const ExchangeEmitter&) = delete;
+
+  size_t consumer_count() const { return row_.size(); }
+
+  /// Opens the emission scope of one trigger: subsequent Emit calls stamp
+  /// (primary, sub_base + n) for n = 0, 1, ... Keys must be opened in
+  /// strictly increasing order per emitter; the worker opens one scope per
+  /// processed event (primary = the event's ingest sequence number).
+  void BeginTrigger(uint64_t primary, uint64_t sub_base = 0) {
+    trigger_ = primary;
+    sub_next_ = sub_base;
+  }
+
+  /// Routes `event` to its consumer lane, blocking (with backoff) while the
+  /// lane is full. Fails fast when the fabric was aborted.
+  Status Emit(const Event& event);
+
+  /// Sends `watermark(bound)` — every future item on this row has key >=
+  /// (bound, 0) — to all lanes. Monotone: bounds at or below the last
+  /// broadcast are skipped. Same blocking/abort behavior as Emit.
+  Status Broadcast(uint64_t bound);
+
+  ExchangeEmitterStats stats() const;
+
+ private:
+  Status PushToLane(size_t consumer, ExchangeItem item);
+
+  std::vector<ExchangeLane*> row_;
+  EventRouter router_;
+  ExchangeFabric* fabric_;
+
+  // Worker-local emission state.
+  uint64_t trigger_ = 0;
+  uint64_t sub_next_ = 0;
+  uint64_t last_broadcast_ = 0;
+  bool broadcast_any_ = false;
+
+  // Stats written by the worker (relaxed), read from any thread.
+  std::atomic<uint64_t> forwarded_{0};
+  std::atomic<uint64_t> watermarks_{0};
+  std::atomic<uint64_t> backpressure_waits_{0};
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_RUNTIME_EXCHANGE_H_

@@ -1,0 +1,171 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "runtime/merge_shard.h"
+
+#include <utility>
+
+#include "runtime/backoff.h"
+
+namespace pldp {
+namespace {
+
+// Per-lane receive burst: amortizes the queue's release store without
+// letting one busy lane starve the merge of the others.
+constexpr size_t kReceiveBatch = 128;
+
+}  // namespace
+
+MergeShard::MergeShard(size_t index, std::vector<ExchangeLane*> inputs)
+    : index_(index) {
+  lanes_.reserve(inputs.size());
+  for (ExchangeLane* lane : inputs) lanes_.emplace_back(lane);
+  engine_.SetCallback([this](const StreamingDetection&) {
+    detections_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+MergeShard::~MergeShard() { (void)Stop(); }
+
+StatusOr<size_t> MergeShard::AddQuery(Pattern pattern, Timestamp window) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "MergeShard::AddQuery must precede Start()");
+  }
+  return engine_.AddQuery(std::move(pattern), window);
+}
+
+Status MergeShard::Start() {
+  if (running_) {
+    return Status::FailedPrecondition("merge shard already running");
+  }
+  if (lanes_.empty()) {
+    return Status::FailedPrecondition("merge shard has no input lanes");
+  }
+  stop_requested_.store(false, std::memory_order_relaxed);
+  worker_ = std::thread([this] { RunLoop(); });
+  running_ = true;
+  return Status::OK();
+}
+
+Status MergeShard::WaitSafe(uint64_t bound) {
+  Backoff backoff;
+  while (safe_primary_.load(std::memory_order_acquire) < bound) {
+    backoff.Wait();
+  }
+  return Status::OK();
+}
+
+Status MergeShard::Stop() {
+  if (!running_) return Status::OK();
+  stop_requested_.store(true, std::memory_order_release);
+  if (worker_.joinable()) worker_.join();
+  // The worker is gone and (by the orchestrator's teardown order) so are
+  // the producers; this thread is the sole owner now. Absorb anything a
+  // skipped barrier left behind, still in key order so the result is a
+  // deterministic function of what arrived.
+  (void)ReceiveAvailable();
+  (void)MergePass(/*force=*/true);
+  safe_primary_.store(kExchangeSeqEnd, std::memory_order_release);
+  running_ = false;
+  return Status::OK();
+}
+
+ShardStats MergeShard::stats() const {
+  ShardStats s;
+  s.shard_index = index_;
+  s.events_processed =
+      static_cast<size_t>(merged_.load(std::memory_order_acquire));
+  s.detections =
+      static_cast<size_t>(detections_.load(std::memory_order_relaxed));
+  return s;
+}
+
+bool MergeShard::ReceiveAvailable() {
+  bool any = false;
+  ExchangeItem burst[kReceiveBatch];
+  for (LaneState& lane : lanes_) {
+    for (;;) {
+      const size_t n = lane.lane->queue.TryPopN(burst, kReceiveBatch);
+      if (n == 0) break;
+      any = true;
+      for (size_t i = 0; i < n; ++i) {
+        ExchangeItem& item = burst[i];
+        if (item.watermark) {
+          // Watermarks only advance the lane's future lower bound.
+          if (lane.bound < item.key) lane.bound = item.key;
+        } else {
+          // Events bound the future strictly: later keys exceed this one.
+          lane.bound = ExchangeKey{item.key.primary, item.key.sub + 1};
+          lane.buffer.push_back(std::move(item));
+        }
+      }
+      if (n < kReceiveBatch) break;
+    }
+  }
+  return any;
+}
+
+bool MergeShard::MergePass(bool force) {
+  size_t released = 0;
+  for (;;) {
+    // Candidate: the globally smallest buffered key.
+    LaneState* best = nullptr;
+    for (LaneState& lane : lanes_) {
+      if (lane.buffer.empty()) continue;
+      if (best == nullptr ||
+          lane.buffer.front().key < best->buffer.front().key) {
+        best = &lane;
+      }
+    }
+    if (best == nullptr) break;
+    if (!force) {
+      // Release only when every silent lane provably passed the candidate.
+      const ExchangeKey& key = best->buffer.front().key;
+      bool safe = true;
+      for (const LaneState& lane : lanes_) {
+        if (lane.buffer.empty() && lane.bound <= key) {
+          safe = false;
+          break;
+        }
+      }
+      if (!safe) break;
+    }
+    // The engine's status is always OK today (see Shard::RunLoop); a future
+    // failing engine would latch the error for the drain barrier.
+    (void)engine_.OnEvent(best->buffer.front().event);
+    best->buffer.pop_front();
+    ++released;
+  }
+  if (released > 0) merged_.fetch_add(released, std::memory_order_release);
+  return released > 0;
+}
+
+void MergeShard::PublishSafeBound() {
+  uint64_t frontier = kExchangeSeqEnd;
+  for (const LaneState& lane : lanes_) {
+    const uint64_t lane_frontier = lane.buffer.empty()
+                                       ? lane.bound.primary
+                                       : lane.buffer.front().key.primary;
+    if (lane_frontier < frontier) frontier = lane_frontier;
+  }
+  if (frontier > safe_primary_.load(std::memory_order_relaxed)) {
+    safe_primary_.store(frontier, std::memory_order_release);
+  }
+}
+
+void MergeShard::RunLoop() {
+  Backoff backoff;
+  for (;;) {
+    const bool received = ReceiveAvailable();
+    const bool merged = MergePass(/*force=*/false);
+    PublishSafeBound();
+    if (received || merged) {
+      backoff.Reset();
+      continue;
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) return;
+    backoff.Wait();
+  }
+}
+
+}  // namespace pldp

@@ -1,0 +1,132 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Stage-2 worker of the exchange pipeline: one correlation partition.
+//
+// A merge shard owns a worker thread, one exchange lane per stage-1
+// producer (the consumer column of the fabric), and a private
+// `StreamingCepEngine` holding the cross-subject queries. The worker
+// restores global order with a watermark-gated k-way merge:
+//
+//   - every lane delivers strictly increasing `ExchangeKey`s; received
+//     events are staged in a per-lane reorder buffer, received watermarks
+//     only advance the lane's lower bound;
+//   - the smallest buffered key is released to the engine exactly when
+//     every other lane is known to be past it (a buffered head or a
+//     watermark bound proves it) — so the engine sees the events of this
+//     correlation partition in precisely the order a sequential engine
+//     processing the whole stream would have seen them;
+//   - after each pass the worker publishes `safe_primary`, the sequence
+//     number through which everything has been merged and processed. Drain
+//     barriers wait on it; `kExchangeSeqEnd` means the pipeline is sealed.
+//
+// The reorder buffers are unbounded; in steady state they hold at most a
+// few lane bursts, because every producer keeps watermarking its lanes
+// when idle — even one that receives no traffic at all (the router
+// periodically publishes a producer floor for exactly that case). A
+// producer that stalls mid-burst still lets the other buffers grow until
+// the next barrier (see ROADMAP: credit-based exchange flow control).
+//
+// Threading contract: AddQuery before Start; exactly one orchestrator
+// thread calls Start/Stop; WaitSafe/stats may be called from any thread.
+// engine() is safe to read after WaitSafe observed the bound covering
+// everything of interest (release/acquire on safe_primary), or after
+// Stop().
+
+#ifndef PLDP_RUNTIME_MERGE_SHARD_H_
+#define PLDP_RUNTIME_MERGE_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "cep/streaming_engine.h"
+#include "common/status.h"
+#include "runtime/exchange.h"
+#include "runtime/shard.h"
+
+namespace pldp {
+
+/// Worker thread + lane column + per-partition engine.
+class MergeShard {
+ public:
+  /// `inputs` is the fabric column this shard consumes (one lane per
+  /// stage-1 producer), fixed for the shard's lifetime.
+  MergeShard(size_t index, std::vector<ExchangeLane*> inputs);
+  ~MergeShard();
+
+  MergeShard(const MergeShard&) = delete;
+  MergeShard& operator=(const MergeShard&) = delete;
+
+  size_t index() const { return index_; }
+
+  /// Registers a cross-partition query. Must precede Start().
+  StatusOr<size_t> AddQuery(Pattern pattern, Timestamp window);
+
+  /// Launches the worker thread. Returns FailedPrecondition if running.
+  Status Start();
+
+  /// Blocks until everything with sequence number < `bound` has been merged
+  /// and processed (i.e. safe_primary() >= bound). The caller must have
+  /// arranged for every producer to pass `bound` (drain + watermark
+  /// broadcast), or this spins until they do.
+  Status WaitSafe(uint64_t bound);
+
+  /// The published merge frontier (acquire; see file comment).
+  uint64_t safe_primary() const {
+    return safe_primary_.load(std::memory_order_acquire);
+  }
+
+  /// Stops and joins the worker, then absorbs any leftover lane items in
+  /// key order (there are none after a proper drain barrier). Idempotent.
+  Status Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// The partition-local engine. Read-only for the orchestrator; valid
+  /// after WaitSafe's bound covers the reads, or after Stop().
+  const StreamingCepEngine& engine() const { return engine_; }
+
+  /// Safe from any thread (atomics). events_processed counts events
+  /// released to the engine; backpressure_waits stays 0 (producer-side
+  /// waits are counted by the emitters).
+  ShardStats stats() const;
+
+ private:
+  struct LaneState {
+    explicit LaneState(ExchangeLane* l) : lane(l) {}
+    ExchangeLane* lane;
+    /// Events received but not yet safe to release, in key order.
+    std::deque<ExchangeItem> buffer;
+    /// Lower bound on every future key of this lane (from the last
+    /// received item or watermark).
+    ExchangeKey bound{0, 0};
+  };
+
+  void RunLoop();
+  /// Drains whatever the lanes currently hold into the reorder buffers.
+  bool ReceiveAvailable();
+  /// Releases every safe buffered event to the engine, in key order.
+  /// When `force` (only after the producers are joined), gating by lane
+  /// bounds is skipped and everything buffered is released.
+  bool MergePass(bool force);
+  void PublishSafeBound();
+
+  const size_t index_;
+  std::vector<LaneState> lanes_;
+  StreamingCepEngine engine_;
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  /// Merge frontier: everything with primary < safe_primary_ is done.
+  /// Published with release after the engine absorbed the events.
+  std::atomic<uint64_t> safe_primary_{0};
+  std::atomic<uint64_t> merged_{0};
+  std::atomic<uint64_t> detections_{0};
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_RUNTIME_MERGE_SHARD_H_

@@ -15,11 +15,40 @@ size_t ResolveShardCount(size_t requested) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+// How often the per-event ingest path refreshes every shard's producer
+// floor (power of two; amortizes the O(shards) stores).
+constexpr uint64_t kProducerFloorPeriod = 1024;
+
 }  // namespace
 
 ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
     : router_(ResolveShardCount(options.shard_count), options.key_fn) {
   const size_t n = router_.shard_count();
+
+  ShardKeyFn exchange_key;
+  if (options.exchange.enabled) {
+    const size_t n2 = options.exchange.shard_count > 0
+                          ? options.exchange.shard_count
+                          : n;
+    exchange_key = options.exchange.key_fn;
+    if (!exchange_key) {
+      StatusOr<CorrelationKeyFn> key_or =
+          MakeCorrelationKeyFn(options.exchange.key);
+      if (!key_or.ok()) {
+        init_error_ = key_or.status();
+      } else {
+        exchange_key = std::move(key_or).value();
+      }
+    }
+    fabric_ = std::make_unique<ExchangeFabric>(
+        n, n2, options.exchange.lane_capacity);
+    merge_shards_.reserve(n2);
+    for (size_t c = 0; c < n2; ++c) {
+      merge_shards_.push_back(
+          std::make_unique<MergeShard>(c, fabric_->Column(c)));
+    }
+  }
+
   shards_.reserve(n);
   staging_.resize(n);
   for (size_t i = 0; i < n; ++i) {
@@ -27,6 +56,12 @@ ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
         std::make_unique<Shard>(i, options.queue_capacity, options.seed));
     if (options.sink_factory) {
       (void)shards_.back()->SetEventSink(options.sink_factory(i));
+    }
+    if (fabric_ != nullptr) {
+      auto emitter = std::make_unique<ExchangeEmitter>(
+          fabric_->Row(i), exchange_key, fabric_.get());
+      (void)shards_.back()->SetExchange(std::move(emitter),
+                                        options.exchange.forward_raw_events);
     }
   }
 }
@@ -49,14 +84,42 @@ StatusOr<size_t> ParallelStreamingEngine::AddQuery(Pattern pattern,
   return index;
 }
 
+StatusOr<size_t> ParallelStreamingEngine::AddCrossQuery(Pattern pattern,
+                                                        Timestamp window) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "ParallelStreamingEngine::AddCrossQuery must precede Start()");
+  }
+  if (fabric_ == nullptr) {
+    return Status::FailedPrecondition(
+        "cross queries need the exchange stage (options.exchange.enabled)");
+  }
+  size_t index = 0;
+  for (auto& merge_shard : merge_shards_) {
+    StatusOr<size_t> result = merge_shard->AddQuery(pattern, window);
+    if (!result.ok()) return result;
+    index = result.value();
+  }
+  cross_query_count_ = index + 1;
+  return index;
+}
+
 Status ParallelStreamingEngine::Start() {
   if (running_) {
     return Status::FailedPrecondition("engine already running");
+  }
+  PLDP_RETURN_IF_ERROR(init_error_);
+  // Consumers before producers: a stage-1 worker may block on a full lane
+  // the moment it starts, and only a live merge shard ever frees one.
+  for (auto& merge_shard : merge_shards_) {
+    Status s = merge_shard->Start();
+    if (!s.ok()) return s;
   }
   for (auto& shard : shards_) {
     Status s = shard->Start();
     if (!s.ok()) return s;
   }
+  finished_.store(false, std::memory_order_relaxed);
   running_ = true;
   return Status::OK();
 }
@@ -67,15 +130,72 @@ Status ParallelStreamingEngine::Drain() {
     Status s = shard->Drain();
     if (!s.ok()) return s;
   }
+  if (fabric_ != nullptr) {
+    // Two-phase barrier: every producer flushes a watermark asserting it
+    // forwarded everything below `bound` it will ever see, then every
+    // merge shard is waited past that bound. Inherits Drain's best-effort
+    // semantics when a producer keeps pushing concurrently.
+    const uint64_t bound = next_seq_.load(std::memory_order_relaxed);
+    for (auto& shard : shards_) {
+      Status s = shard->RequestFlushWatermark(bound);
+      if (!s.ok()) return s;
+    }
+    for (auto& merge_shard : merge_shards_) {
+      Status s = merge_shard->WaitSafe(bound);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status ParallelStreamingEngine::Finish() {
+  if (!running_) {
+    return Status::FailedPrecondition("engine not running");
+  }
+  // One-shot: a failed finish leaves the pipeline in an undefined terminal
+  // state, so the first outcome — success or error — latches and is
+  // re-returned forever instead of a retry silently reporting OK.
+  if (finished_.load(std::memory_order_relaxed)) return finish_status_;
+  // Close the ingest gate before any worker finalizes: OnEvent after this
+  // point is refused, so finalize-time output is really last.
+  finished_.store(true, std::memory_order_relaxed);
+  finish_status_ = FinishInternal();
+  return finish_status_;
+}
+
+Status ParallelStreamingEngine::FinishInternal() {
+  for (auto& shard : shards_) {
+    PLDP_RETURN_IF_ERROR(shard->Drain());
+  }
+  const uint64_t bound = next_seq_.load(std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    PLDP_RETURN_IF_ERROR(shard->RequestFinish(bound));
+  }
+  for (auto& merge_shard : merge_shards_) {
+    PLDP_RETURN_IF_ERROR(merge_shard->WaitSafe(kExchangeSeqEnd));
+  }
   return Status::OK();
 }
 
 Status ParallelStreamingEngine::Stop() {
   if (!running_) return Status::OK();
   Status result = Status::OK();
+  if (fabric_ != nullptr && !finished_.load(std::memory_order_relaxed)) {
+    // Make sure stage-2 holds everything before the producers go away.
+    result = Drain();
+  }
   for (auto& shard : shards_) {
     Status s = shard->Stop();
     if (result.ok() && !s.ok()) result = s;
+  }
+  if (fabric_ != nullptr) {
+    // Producers are joined; nothing can block on a lane anymore, and any
+    // straggler Emit (there should be none) must fail fast.
+    fabric_->Abort();
+    for (auto& merge_shard : merge_shards_) {
+      Status s = merge_shard->Stop();
+      if (result.ok() && !s.ok()) result = s;
+    }
   }
   running_ = false;
   return result;
@@ -86,8 +206,22 @@ Status ParallelStreamingEngine::OnEvent(const Event& event) {
     return Status::FailedPrecondition(
         "ParallelStreamingEngine::OnEvent before Start()");
   }
-  PLDP_RETURN_IF_ERROR(shards_[router_.ShardOf(event)]->Push(event));
-  ++events_ingested_;
+  if (finished_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("ingestion after Finish()");
+  }
+  StampedEvent stamped;
+  stamped.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  stamped.event = event;
+  const size_t target = router_.ShardOf(event);
+  PLDP_RETURN_IF_ERROR(shards_[target]->PushStampedN(&stamped, 1));
+  events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  // Periodically tell every shard how far the stream has advanced, so
+  // shards starved by routing skew keep watermarking their lanes (see
+  // Shard::NoteProducerFloor).
+  if ((stamped.seq & (kProducerFloorPeriod - 1)) ==
+      kProducerFloorPeriod - 1) {
+    PublishProducerFloor(stamped.seq + 1);
+  }
   return Status::OK();
 }
 
@@ -96,10 +230,16 @@ Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
     return Status::FailedPrecondition(
         "ParallelStreamingEngine::OnEventBatch before Start()");
   }
+  if (finished_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("ingestion after Finish()");
+  }
   if (events.empty()) return Status::OK();
   for (auto& buf : staging_) buf.clear();
   for (const Event& e : events) {
-    staging_[router_.ShardOf(e)].push_back(e);
+    StampedEvent stamped;
+    stamped.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    stamped.event = e;
+    staging_[router_.ShardOf(e)].push_back(std::move(stamped));
   }
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (staging_[i].empty()) continue;
@@ -107,12 +247,19 @@ Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
     // racing Stop) events_ingested_ must still reconcile with the
     // per-shard pushed/processed counters.
     size_t accepted = 0;
-    const Status s =
-        shards_[i]->PushN(staging_[i].data(), staging_[i].size(), &accepted);
-    events_ingested_ += accepted;
+    const Status s = shards_[i]->PushStampedN(staging_[i].data(),
+                                              staging_[i].size(), &accepted);
+    events_ingested_.fetch_add(accepted, std::memory_order_relaxed);
     PLDP_RETURN_IF_ERROR(s);
   }
+  // Every staged event is now pushed; the whole batch is a safe floor.
+  PublishProducerFloor(next_seq_.load(std::memory_order_relaxed));
   return Status::OK();
+}
+
+void ParallelStreamingEngine::PublishProducerFloor(uint64_t floor) {
+  if (fabric_ == nullptr) return;
+  for (auto& shard : shards_) shard->NoteProducerFloor(floor);
 }
 
 StatusOr<std::vector<Timestamp>> ParallelStreamingEngine::DetectionsOf(
@@ -130,6 +277,22 @@ StatusOr<std::vector<Timestamp>> ParallelStreamingEngine::DetectionsOf(
   return merged;
 }
 
+StatusOr<std::vector<Timestamp>> ParallelStreamingEngine::CrossDetectionsOf(
+    size_t cross_query_index) const {
+  if (fabric_ == nullptr) {
+    return Status::FailedPrecondition("exchange stage is not enabled");
+  }
+  std::vector<Timestamp> merged;
+  for (const auto& merge_shard : merge_shards_) {
+    StatusOr<std::vector<Timestamp>> part =
+        merge_shard->engine().DetectionsOf(cross_query_index);
+    if (!part.ok()) return part.status();
+    merged.insert(merged.end(), part.value().begin(), part.value().end());
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
 size_t ParallelStreamingEngine::total_detections() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
@@ -138,10 +301,28 @@ size_t ParallelStreamingEngine::total_detections() const {
   return total;
 }
 
+size_t ParallelStreamingEngine::total_cross_detections() const {
+  size_t total = 0;
+  for (const auto& merge_shard : merge_shards_) {
+    total += merge_shard->engine().total_detections();
+  }
+  return total;
+}
+
 std::vector<ShardStats> ParallelStreamingEngine::ShardStatsSnapshot() const {
   std::vector<ShardStats> stats;
   stats.reserve(shards_.size());
   for (const auto& shard : shards_) stats.push_back(shard->stats());
+  return stats;
+}
+
+std::vector<ShardStats> ParallelStreamingEngine::CrossShardStatsSnapshot()
+    const {
+  std::vector<ShardStats> stats;
+  stats.reserve(merge_shards_.size());
+  for (const auto& merge_shard : merge_shards_) {
+    stats.push_back(merge_shard->stats());
+  }
   return stats;
 }
 

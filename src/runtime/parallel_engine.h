@@ -9,26 +9,40 @@
 // backpressure. It implements `StreamSubscriber`, so it drops into the
 // existing `StreamReplayer` wherever a `StreamingCepEngine` did.
 //
-//     caller / StreamReplayer
-//            │ OnEvent / OnEventBatch (staged per shard, bulk-pushed)
-//            ▼
-//       EventRouter ── hash(subject) % N ──► SpscQueue ─► Shard 0 worker
-//                                            SpscQueue ─► Shard 1 worker
-//                                            ...               │
-//                                                              ▼
-//                                            per-shard StreamingCepEngine
-//                                              (+ optional ShardEventSink)
-//            merged detections / stats  ◄────────── Drain barrier
+// Subject partitioning makes per-subject patterns exact, but a pattern that
+// correlates *across* subjects sees only fragments on any one shard. For
+// those, the engine grows a second stage: a repartition/exchange
+// (runtime/exchange.h) re-keys stage-1 output by a correlation key
+// (cep/correlation_key.h) over an N1×N2 matrix of SPSC lanes, and stage-2
+// merge shards (runtime/merge_shard.h) restore global order with a
+// watermark-gated k-way merge before matching the cross-subject queries.
 //
-// Semantics: detection is *partition-local* — each shard matches over the
-// substream routed to it. Because routing is by subject and per-subject
-// order is preserved (single producer, FIFO queues), this equals the
-// single-engine result exactly whenever pattern matches are subject-local,
-// which is the paper's setting: private/target patterns are properties of
-// one data subject's stream (Fig. 2). Matches spanning two subjects that
-// hash to different shards are not detected; callers needing cross-subject
-// correlation keep the sequential engine (or supply a coarser key via
-// ParallelEngineOptions::key_fn, e.g. a tenant or region key).
+//     caller / StreamReplayer
+//            │ OnEvent / OnEventBatch (stamped with ingest seq,
+//            ▼                         staged per shard, bulk-pushed)
+//       EventRouter ── hash(subject) % N1 ─► SpscQueue ─► Shard 0 ┐
+//                                            SpscQueue ─► Shard 1 │ stage 1
+//                                            ...                  ┘
+//                 per-shard StreamingCepEngine (+ optional sink)
+//                          │ ExchangeEmitter: re-key by correlation key
+//                          ▼
+//              N1×N2 exchange lanes (SPSC each, watermarked)
+//                          │
+//                          ▼ k-way merge by ingest seq
+//                    MergeShard 0..N2-1                    stage 2
+//              cross-subject StreamingCepEngine each
+//            │
+//            ▼
+//     Drain barrier (two-phase: stage-1 drain + watermark flush,
+//     then stage-2 safe-bound wait) → merged detections / stats
+//
+// Semantics: stage-1 detection is *partition-local by subject* — exact
+// whenever matches are subject-local, the paper's setting (Fig. 2).
+// Stage-2 detection is *partition-local by correlation key*: exact whenever
+// all events of a potential match share the key (trivially true for the
+// global key, which sends everything to one stage-2 shard). Because the
+// merge releases events in exact ingest order, stage-2 detections equal a
+// sequential engine's bit-for-bit, not just as a multiset.
 
 #ifndef PLDP_RUNTIME_PARALLEL_ENGINE_H_
 #define PLDP_RUNTIME_PARALLEL_ENGINE_H_
@@ -38,13 +52,34 @@
 #include <memory>
 #include <vector>
 
+#include "cep/correlation_key.h"
 #include "cep/streaming_engine.h"
 #include "common/status.h"
+#include "runtime/exchange.h"
+#include "runtime/merge_shard.h"
 #include "runtime/router.h"
 #include "runtime/shard.h"
 #include "stream/replay.h"
 
 namespace pldp {
+
+/// Configuration of the optional repartition/exchange stage.
+struct RuntimeExchangeOptions {
+  /// Off by default: the engine is the familiar single-stage runtime.
+  bool enabled = false;
+  /// Stage-2 merge shards. 0 = as many as stage-1 shards.
+  size_t shard_count = 0;
+  /// Capacity of each exchange lane (rounded up to a power of two).
+  size_t lane_capacity = 1024;
+  /// How stage-1 output is re-keyed. Ignored when key_fn is set.
+  CorrelationKeySpec key = CorrelationKeySpec::Global();
+  /// Custom correlation key extractor; overrides `key` when set.
+  ShardKeyFn key_fn;
+  /// When true (default) every stage-1 event is forwarded downstream (the
+  /// plain cross-subject path). When false, emission is sink-driven only —
+  /// the private path, where nothing but protected output may cross.
+  bool forward_raw_events = true;
+};
 
 /// Construction-time knobs of the runtime.
 struct ParallelEngineOptions {
@@ -63,13 +98,16 @@ struct ParallelEngineOptions {
   /// attaches (core/parallel_private_engine.h).
   std::function<std::unique_ptr<ShardEventSink>(size_t shard_index)>
       sink_factory;
+  /// The cross-subject exchange stage.
+  RuntimeExchangeOptions exchange;
 };
 
 /// Multi-threaded drop-in for StreamingCepEngine (see file comment for the
-/// exact semantics). Lifecycle: AddQuery* → Start → OnEvent*/OnEventBatch*
-/// → Drain/Stop → read detections/stats. DetectionsOf and stats are only
-/// stable after that barrier; OnEnd (from StreamReplayer) drains, so
-/// results are consistent right after StreamReplayer::Run returns.
+/// exact semantics). Lifecycle: AddQuery*/AddCrossQuery* → Start →
+/// OnEvent*/OnEventBatch* → Drain/Finish/Stop → read detections/stats.
+/// DetectionsOf and stats are only stable after that barrier; OnEnd (from
+/// StreamReplayer) drains, so results are consistent right after
+/// StreamReplayer::Run returns.
 class ParallelStreamingEngine : public StreamSubscriber {
  public:
   explicit ParallelStreamingEngine(ParallelEngineOptions options = {});
@@ -81,18 +119,36 @@ class ParallelStreamingEngine : public StreamSubscriber {
   size_t shard_count() const { return shards_.size(); }
   const EventRouter& router() const { return router_; }
 
-  /// Registers a continuous query on every shard (same index everywhere).
-  /// Must precede Start(). Returns the query index.
+  bool exchange_enabled() const { return fabric_ != nullptr; }
+  size_t cross_shard_count() const { return merge_shards_.size(); }
+
+  /// Registers a continuous query on every stage-1 shard (same index
+  /// everywhere). Must precede Start(). Returns the query index.
   StatusOr<size_t> AddQuery(Pattern pattern, Timestamp window);
 
-  size_t query_count() const { return query_count_; }
+  /// Registers a cross-subject query on every stage-2 merge shard.
+  /// Requires the exchange stage; must precede Start(). Cross queries have
+  /// their own index space, separate from AddQuery's.
+  StatusOr<size_t> AddCrossQuery(Pattern pattern, Timestamp window);
 
-  /// Launches all shard workers.
+  size_t query_count() const { return query_count_; }
+  size_t cross_query_count() const { return cross_query_count_; }
+
+  /// Launches all workers (stage-2 consumers first, then stage-1).
   Status Start();
 
-  /// Waits until every ingested event has been fully processed. Workers
-  /// stay alive; ingestion may continue afterwards.
+  /// Waits until every ingested event has been fully processed — through
+  /// both stages when the exchange is on (stage-1 drain, watermark flush,
+  /// stage-2 safe-bound wait). Workers stay alive; ingestion may continue.
   Status Drain();
+
+  /// Terminal end-of-stream: drains, runs every sink's OnShardFinish on
+  /// its worker (emitting finalize-time output through the exchange), and
+  /// seals the exchange with terminal watermarks. Further ingestion is
+  /// refused; workers stay alive for result reads. One-shot: the first
+  /// call's outcome (success or error) latches and later calls re-return
+  /// it.
+  Status Finish();
 
   /// Drains and joins all workers. Idempotent; called by the destructor.
   Status Stop();
@@ -115,18 +171,32 @@ class ParallelStreamingEngine : public StreamSubscriber {
 
   // Results. Valid after Drain() or Stop() (and before further OnEvent).
 
-  /// Merged detections of one query across shards, sorted by timestamp
-  /// (a canonical multiset representation).
+  /// Merged detections of one stage-1 query across shards, sorted by
+  /// timestamp (a canonical multiset representation).
   StatusOr<std::vector<Timestamp>> DetectionsOf(size_t query_index) const;
 
-  /// Total detections across queries and shards.
+  /// Merged detections of one cross-subject query across merge shards,
+  /// sorted by timestamp.
+  StatusOr<std::vector<Timestamp>> CrossDetectionsOf(
+      size_t cross_query_index) const;
+
+  /// Total stage-1 detections across queries and shards.
   size_t total_detections() const;
 
-  /// Events ingested (== sum of per-shard events_processed after Drain).
-  size_t events_processed() const { return events_ingested_; }
+  /// Total stage-2 detections across cross queries and merge shards.
+  size_t total_cross_detections() const;
 
-  /// Per-shard counters, indexed by shard.
+  /// Events ingested (== sum of per-shard events_processed after Drain).
+  size_t events_processed() const {
+    return events_ingested_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-shard stage-1 counters, indexed by shard.
   std::vector<ShardStats> ShardStatsSnapshot() const;
+
+  /// Per-shard stage-2 counters (events_processed = events released by the
+  /// merge). Empty without the exchange.
+  std::vector<ShardStats> CrossShardStatsSnapshot() const;
 
   /// The sink attached to a shard (nullptr when none); index < shard_count.
   ShardEventSink* shard_sink(size_t shard_index) const {
@@ -135,14 +205,31 @@ class ParallelStreamingEngine : public StreamSubscriber {
 
  private:
   EventRouter router_;
+  /// Latched construction error (e.g. malformed correlation spec);
+  /// surfaced by Start().
+  Status init_error_ = Status::OK();
+  /// Exchange state. Declared before the shards on both sides so it is
+  /// destroyed after them (their threads touch the lanes).
+  std::unique_ptr<ExchangeFabric> fabric_;
+  std::vector<std::unique_ptr<MergeShard>> merge_shards_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Per-shard staging buffers reused across OnEventBatch calls.
-  std::vector<std::vector<Event>> staging_;
+  std::vector<std::vector<StampedEvent>> staging_;
   size_t query_count_ = 0;
-  size_t events_ingested_ = 0;
+  size_t cross_query_count_ = 0;
+  /// Ingest sequence numbers handed out (single ingest thread increments;
+  /// drain barriers read from any thread).
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> events_ingested_{0};
   // Written only by Start/Stop (single orchestrating thread); atomic so
   // Drain from another thread reads it race-free.
   std::atomic<bool> running_{false};
+  std::atomic<bool> finished_{false};
+  /// Latched first Finish() outcome (orchestrator thread only).
+  Status finish_status_ = Status::OK();
+
+  Status FinishInternal();
+  void PublishProducerFloor(uint64_t floor);
 };
 
 }  // namespace pldp

@@ -2,36 +2,12 @@
 
 #include "runtime/shard.h"
 
-#include <chrono>
 #include <utility>
-#include <vector>
+
+#include "runtime/backoff.h"
 
 namespace pldp {
 namespace {
-
-// Escalating wait used by both the producer (queue full) and the worker
-// (queue empty): burn a few iterations, then yield, then sleep. Keeps
-// latency low under load without pinning a core when idle.
-class Backoff {
- public:
-  void Wait() {
-    if (spins_ < kSpinLimit) {
-      ++spins_;
-    } else if (spins_ < kSpinLimit + kYieldLimit) {
-      ++spins_;
-      std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-  }
-
-  void Reset() { spins_ = 0; }
-
- private:
-  static constexpr int kSpinLimit = 64;
-  static constexpr int kYieldLimit = 64;
-  int spins_ = 0;
-};
 
 // Worker-side pop burst size: large enough to amortize the release store
 // and the backoff bookkeeping, small enough to keep the drain latency of a
@@ -68,6 +44,20 @@ Status Shard::SetEventSink(std::unique_ptr<ShardEventSink> sink) {
   return Status::OK();
 }
 
+Status Shard::SetExchange(std::unique_ptr<ExchangeEmitter> emitter,
+                          bool forward_raw_events) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "Shard::SetExchange must precede Start()");
+  }
+  emitter_ = std::move(emitter);
+  forward_raw_events_ = forward_raw_events && emitter_ != nullptr;
+  if (sink_ != nullptr && emitter_ != nullptr) {
+    sink_->AttachExchangeEmitter(emitter_.get());
+  }
+  return Status::OK();
+}
+
 Status Shard::Start() {
   if (running_) {
     return Status::FailedPrecondition("shard already running");
@@ -79,10 +69,26 @@ Status Shard::Start() {
 }
 
 Status Shard::Push(Event event) {
-  return PushN(&event, 1);
+  StampedEvent stamped;
+  stamped.seq = auto_seq_++;
+  stamped.event = std::move(event);
+  return PushStampedN(&stamped, 1);
 }
 
 Status Shard::PushN(Event* events, size_t count, size_t* accepted) {
+  scratch_.clear();
+  scratch_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    StampedEvent stamped;
+    stamped.seq = auto_seq_++;
+    stamped.event = std::move(events[i]);
+    scratch_.push_back(std::move(stamped));
+  }
+  return PushStampedN(scratch_.data(), count, accepted);
+}
+
+Status Shard::PushStampedN(StampedEvent* events, size_t count,
+                           size_t* accepted) {
   if (accepted != nullptr) *accepted = 0;
   if (!running_) {
     return Status::FailedPrecondition("shard not running");
@@ -126,6 +132,31 @@ Status Shard::Drain() {
   return Status::OK();
 }
 
+Status Shard::RequestCommand(uint32_t kind, uint64_t payload) {
+  if (!running_) {
+    return Status::FailedPrecondition("shard not running");
+  }
+  cmd_payload_.store(payload, std::memory_order_relaxed);
+  cmd_kind_.store(kind, std::memory_order_relaxed);
+  const uint64_t gen = cmd_gen_.fetch_add(1, std::memory_order_release) + 1;
+  Backoff backoff;
+  while (cmd_ack_.load(std::memory_order_acquire) < gen) {
+    if (stop_requested_.load(std::memory_order_relaxed)) {
+      return Status::FailedPrecondition("shard stopping before command ran");
+    }
+    backoff.Wait();
+  }
+  return Status::OK();
+}
+
+Status Shard::RequestFlushWatermark(uint64_t bound) {
+  return RequestCommand(kCmdFlushWatermark, bound);
+}
+
+Status Shard::RequestFinish(uint64_t finish_seq) {
+  return RequestCommand(kCmdFinish, finish_seq);
+}
+
 Status Shard::Stop() {
   if (!running_) return Status::OK();
   Status drained = Drain();
@@ -135,10 +166,12 @@ Status Shard::Stop() {
   // empty-queue check. The join above makes this thread the sole owner, so
   // absorb any leftovers here — no pushed event is ever silently dropped,
   // and a concurrent Drain() waiting on processed_ is released.
-  Event leftover;
+  StampedEvent leftover;
   while (queue_.TryPop(leftover)) {
-    (void)engine_.OnEvent(leftover);
-    if (sink_ != nullptr) sink_->OnShardEvent(leftover);
+    if (emitter_ != nullptr) emitter_->BeginTrigger(leftover.seq);
+    (void)engine_.OnEvent(leftover.event);
+    if (sink_ != nullptr) sink_->OnShardEvent(leftover.event);
+    if (forward_raw_events_) (void)emitter_->Emit(leftover.event);
     processed_.fetch_add(1, std::memory_order_release);
   }
   running_ = false;
@@ -154,29 +187,83 @@ ShardStats Shard::stats() const {
       static_cast<size_t>(detections_.load(std::memory_order_relaxed));
   s.backpressure_waits = static_cast<size_t>(
       backpressure_waits_.load(std::memory_order_relaxed));
+  if (emitter_ != nullptr) {
+    const ExchangeEmitterStats e = emitter_->stats();
+    s.forwarded = e.forwarded;
+    s.exchange_backpressure_waits = e.backpressure_waits;
+  }
   return s;
+}
+
+void Shard::ExecuteCommand() {
+  const uint64_t gen = cmd_gen_.load(std::memory_order_acquire);
+  if (gen == cmd_ack_.load(std::memory_order_relaxed)) return;
+  const uint32_t kind = cmd_kind_.load(std::memory_order_relaxed);
+  const uint64_t payload = cmd_payload_.load(std::memory_order_relaxed);
+  switch (kind) {
+    case kCmdFlushWatermark:
+      // The emitter skips bounds it already passed, so a stale request
+      // (issued before newer idle watermarks) is free.
+      if (emitter_ != nullptr) (void)emitter_->Broadcast(payload);
+      break;
+    case kCmdFinish:
+      // End-of-stream: finalize-time sink output first (stamped with the
+      // finish bound), then close every lane of the row for good.
+      if (sink_ != nullptr) sink_->OnShardFinish(payload);
+      if (emitter_ != nullptr) (void)emitter_->Broadcast(kExchangeSeqEnd);
+      break;
+    default:
+      break;
+  }
+  cmd_ack_.store(gen, std::memory_order_release);
 }
 
 void Shard::RunLoop() {
   Backoff backoff;
-  std::vector<Event> batch(kPopBatch);
+  std::vector<StampedEvent> batch(kPopBatch);
   for (;;) {
     const size_t n = queue_.TryPopN(batch.data(), batch.size());
     if (n > 0) {
       backoff.Reset();
       for (size_t i = 0; i < n; ++i) {
+        const StampedEvent& stamped = batch[i];
+        // One exchange trigger scope per event: everything emitted while
+        // processing it — raw forwards and sink-driven output alike — is
+        // stamped (seq, 0), (seq, 1), ...
+        if (emitter_ != nullptr) emitter_->BeginTrigger(stamped.seq);
         // The engine's status is always OK today (OnEvent cannot fail); if
         // a future engine surfaces errors we will carry them to Drain().
-        (void)engine_.OnEvent(batch[i]);
-        if (sink_ != nullptr) sink_->OnShardEvent(batch[i]);
+        (void)engine_.OnEvent(stamped.event);
+        if (sink_ != nullptr) sink_->OnShardEvent(stamped.event);
+        if (forward_raw_events_) (void)emitter_->Emit(stamped.event);
+        last_seq_ = stamped.seq;
+        processed_any_ = true;
       }
       // One release store per burst: the publication point Drain acquires.
       processed_.fetch_add(n, std::memory_order_release);
+      // Commands are handled on burst boundaries too, so a saturating
+      // producer cannot starve a drain barrier.
+      ExecuteCommand();
       continue;
     }
+    ExecuteCommand();
     if (stop_requested_.load(std::memory_order_acquire) &&
         queue_.ApproxEmpty()) {
       return;
+    }
+    // Idle: let downstream merges progress past everything we processed —
+    // or, when the producer vouches that every event below its floor has
+    // been pushed somewhere and our queue is empty, past the global floor
+    // (a shard starved by routing skew must not silence its lanes).
+    // Broadcast dedups repeat bounds, so the steady idle loop stays free.
+    if (emitter_ != nullptr) {
+      uint64_t bound = processed_any_ ? last_seq_ + 1 : 0;
+      const uint64_t floor =
+          producer_floor_.load(std::memory_order_acquire);
+      // The floor's pushes happened before its release store, so an empty
+      // queue observed after the acquire means we processed all of ours.
+      if (floor > bound && queue_.ApproxEmpty()) bound = floor;
+      if (bound > 0) (void)emitter_->Broadcast(bound);
     }
     backoff.Wait();
   }

@@ -4,25 +4,39 @@
 //
 // A shard owns a worker thread, a bounded SPSC queue feeding it, a private
 // `StreamingCepEngine` (never touched by any other thread while running),
-// a deterministic per-shard `Rng`, and optionally a `ShardEventSink` the
-// worker feeds every event to after the engine — the hook the shard-local
-// PLDP perturbation pipeline (core/parallel_private_engine.h) plugs into.
+// a deterministic per-shard `Rng`, optionally a `ShardEventSink` the worker
+// feeds every event to after the engine — the hook the shard-local PLDP
+// perturbation pipeline (core/parallel_private_engine.h) plugs into — and
+// optionally an `ExchangeEmitter` (runtime/exchange.h) through which the
+// worker re-keys its output into the stage-2 fabric.
+//
+// Every queued event carries its global ingest sequence number
+// (`StampedEvent`); the worker opens an exchange trigger scope per event so
+// everything emitted downstream is stamped with a merge key that restores
+// global order on the stage-2 side.
 //
 // Threading contract:
 //   - Exactly one thread (the router / ParallelStreamingEngine caller) may
 //     call Push / PushN at a time; the worker thread is the only consumer.
-//   - AddQuery / SetEventSink must happen before Start. Start and Stop must
-//     not race each other or a pushing producer (they manage the worker
-//     thread), but Push racing a Stop fails fast instead of hanging.
+//   - AddQuery / SetEventSink / SetExchange must happen before Start. Start
+//     and Stop must not race each other or a pushing producer (they manage
+//     the worker thread), but Push racing a Stop fails fast instead of
+//     hanging.
 //   - Drain() and stats() may be called from any thread, including while a
 //     producer is pushing: the counters (and the running flag) are atomics,
 //     so the calls are race-free. A Drain that races a producer waits for
 //     the events pushed at the moment it reads `pushed_` (best effort by
 //     construction).
+//   - RequestFlushWatermark / RequestFinish are issued by one orchestrator
+//     thread after a Drain; they run on the worker and return once it
+//     acknowledged. The orchestrator's claim that the shard has seen every
+//     event below the given bound inherits Drain's best-effort semantics
+//     under racing producers.
 //   - engine() and event_sink() contents are safe to read after Drain() or
 //     Stop() returned: the worker publishes each processed batch with a
 //     release store that Drain observes with an acquire load, which orders
-//     all engine/sink mutations before the caller's reads.
+//     all engine/sink mutations before the caller's reads. Command
+//     acknowledgements publish the same way.
 
 #ifndef PLDP_RUNTIME_SHARD_H_
 #define PLDP_RUNTIME_SHARD_H_
@@ -31,11 +45,13 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "cep/streaming_engine.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "event/event.h"
+#include "runtime/exchange.h"
 #include "runtime/spsc_queue.h"
 
 namespace pldp {
@@ -50,6 +66,19 @@ struct ShardStats {
   /// Times the producer found the queue full and had to wait — a direct
   /// measure of backpressure on this shard.
   size_t backpressure_waits = 0;
+  /// Events this shard emitted into the exchange fabric (0 when the shard
+  /// has no emitter).
+  size_t forwarded = 0;
+  /// Times a full exchange lane made this shard's worker wait — direct
+  /// backpressure from stage-2 (0 without an emitter).
+  size_t exchange_backpressure_waits = 0;
+};
+
+/// A queued event plus its global ingest sequence number — the exchange
+/// merge key's primary component (see runtime/exchange.h).
+struct StampedEvent {
+  uint64_t seq = 0;
+  Event event;
 };
 
 /// Receives every event the shard worker processes, after the shard engine
@@ -60,6 +89,17 @@ class ShardEventSink {
  public:
   virtual ~ShardEventSink() = default;
   virtual void OnShardEvent(const Event& event) = 0;
+
+  /// Called once when the shard is wired into an exchange fabric, before
+  /// Start. Sinks that emit downstream (e.g. protected views) keep the
+  /// pointer; it outlives the sink. Default: ignore.
+  virtual void AttachExchangeEmitter(ExchangeEmitter* /*emitter*/) {}
+
+  /// End-of-stream, delivered on the worker thread by RequestFinish after
+  /// every event. `finish_seq` is the sequence bound of the stream (all
+  /// processed events have seq < finish_seq); finalize-time emissions must
+  /// use it as their trigger. Default: no-op.
+  virtual void OnShardFinish(uint64_t /*finish_seq*/) {}
 };
 
 /// Worker thread + queue + per-shard engine.
@@ -84,13 +124,25 @@ class Shard {
 
   ShardEventSink* event_sink() const { return sink_.get(); }
 
+  /// Wires this shard into an exchange fabric. When `forward_raw_events`
+  /// is set the worker emits every processed event downstream (the plain
+  /// cross-subject path); otherwise emission is entirely sink-driven (the
+  /// private path, where only protected views may cross). Must precede
+  /// Start().
+  Status SetExchange(std::unique_ptr<ExchangeEmitter> emitter,
+                     bool forward_raw_events);
+
+  ExchangeEmitter* exchange_emitter() const { return emitter_.get(); }
+
   /// Launches the worker thread. Returns FailedPrecondition if running.
   Status Start();
 
   /// Enqueues one event, blocking (spin + yield) while the queue is full.
   /// Producer thread only; requires a running worker — fails fast with
   /// FailedPrecondition when the shard is stopped or stopping, instead of
-  /// spinning forever on a queue nobody drains.
+  /// spinning forever on a queue nobody drains. Events pushed through this
+  /// overload are stamped with a shard-local sequence (standalone use);
+  /// the sharded engine pushes pre-stamped events carrying global numbers.
   Status Push(Event event);
 
   /// Bulk enqueue: moves `count` events out of `events` into the queue,
@@ -100,9 +152,35 @@ class Shard {
   /// on success, possibly fewer when failing fast on a stop).
   Status PushN(Event* events, size_t count, size_t* accepted = nullptr);
 
+  /// Pre-stamped bulk enqueue (the sharded engine's path). Sequence numbers
+  /// must be strictly increasing across all pushes to this shard.
+  Status PushStampedN(StampedEvent* events, size_t count,
+                      size_t* accepted = nullptr);
+
+  /// Producer-side progress hint: every event with seq < `floor` has been
+  /// pushed to its target shard already (this one or another). Lets a
+  /// shard that receives little or no traffic broadcast idle watermarks
+  /// that track the global stream instead of staying silent until the
+  /// next drain barrier — without it, skewed routings buffer everything
+  /// downstream. Same caller as Push (the single ingest thread).
+  void NoteProducerFloor(uint64_t floor) {
+    producer_floor_.store(floor, std::memory_order_release);
+  }
+
   /// Blocks until every event pushed so far has been processed. The worker
   /// stays alive; more events may be pushed after.
   Status Drain();
+
+  /// Asks the worker to broadcast `watermark(bound)` on its exchange row
+  /// and blocks until it did. Call after Drain so the bound's claim —
+  /// "this shard forwarded everything below `bound` it will ever see" —
+  /// holds. No-op without an emitter (still acknowledged).
+  Status RequestFlushWatermark(uint64_t bound);
+
+  /// Delivers end-of-stream on the worker: the sink's OnShardFinish runs
+  /// (emitting any finalize-time output), then the exchange row is closed
+  /// with terminal watermarks. Call after Drain, with ingestion stopped.
+  Status RequestFinish(uint64_t finish_seq);
 
   /// Drains, stops, and joins the worker. Idempotent.
   Status Stop();
@@ -120,22 +198,44 @@ class Shard {
   ShardStats stats() const;
 
  private:
+  enum CommandKind : uint32_t {
+    kCmdNone = 0,
+    kCmdFlushWatermark = 1,
+    kCmdFinish = 2,
+  };
+
   void RunLoop();
+  void ExecuteCommand();
+  Status RequestCommand(uint32_t kind, uint64_t payload);
 
   const size_t index_;
-  SpscQueue<Event> queue_;
+  SpscQueue<StampedEvent> queue_;
   StreamingCepEngine engine_;
   Rng rng_;
   std::unique_ptr<ShardEventSink> sink_;
+  std::unique_ptr<ExchangeEmitter> emitter_;
+  bool forward_raw_events_ = false;
   std::thread worker_;
   // Written only by Start/Stop; atomic so Drain/stats from other threads
   // read it race-free.
   std::atomic<bool> running_{false};
 
-  // Producer-side counters. Written by the producer thread only (relaxed),
-  // but read from arbitrary threads by Drain()/stats(), hence atomic.
+  // Producer-side state. The counters are written by the producer thread
+  // only (relaxed) but read from arbitrary threads by Drain()/stats(),
+  // hence atomic; auto_seq_/scratch_ are producer-private.
   std::atomic<uint64_t> pushed_{0};
   std::atomic<uint64_t> backpressure_waits_{0};
+  std::atomic<uint64_t> producer_floor_{0};
+  uint64_t auto_seq_ = 0;
+  std::vector<StampedEvent> scratch_;
+
+  // Orchestrator → worker command channel: payload/kind are published by
+  // the generation counter (release) and acknowledged by the worker
+  // (release on cmd_ack_).
+  std::atomic<uint64_t> cmd_gen_{0};
+  std::atomic<uint64_t> cmd_ack_{0};
+  std::atomic<uint64_t> cmd_payload_{0};
+  std::atomic<uint32_t> cmd_kind_{kCmdNone};
 
   // Worker → producer publication point: incremented (release) after the
   // engine has absorbed a batch; Drain spins on it (acquire).
@@ -144,6 +244,11 @@ class Shard {
   // never has to touch the non-atomic engine internals.
   std::atomic<uint64_t> detections_{0};
   std::atomic<bool> stop_requested_{false};
+
+  // Worker-local: sequence of the last processed event, for idle-time
+  // progress watermarks.
+  uint64_t last_seq_ = 0;
+  bool processed_any_ = false;
 };
 
 }  // namespace pldp

@@ -9,6 +9,19 @@ void StreamReplayer::Subscribe(StreamSubscriber* subscriber) {
 }
 
 Status StreamReplayer::Run(const EventStream& stream, ReplayMode mode) {
+  Status result = RunEvents(stream, mode);
+  // End-of-stream propagates even when the replay aborted on an error:
+  // subscribers with in-flight state (the sharded engines queue events on
+  // worker threads) need OnEnd's drain barrier before the caller reads
+  // results or tears them down. The first error — replay or OnEnd — wins.
+  for (StreamSubscriber* s : subscribers_) {
+    const Status end = s->OnEnd();
+    if (result.ok() && !end.ok()) result = end;
+  }
+  return result;
+}
+
+Status StreamReplayer::RunEvents(const EventStream& stream, ReplayMode mode) {
   if (mode == ReplayMode::kBatchPerTick) {
     // One span per tick: the events of a tick are contiguous because the
     // stream is temporally ordered.
@@ -43,9 +56,6 @@ Status StreamReplayer::Run(const EventStream& stream, ReplayMode mode) {
         }
       }
     }
-  }
-  for (StreamSubscriber* s : subscribers_) {
-    PLDP_RETURN_IF_ERROR(s->OnEnd());
   }
   return Status::OK();
 }

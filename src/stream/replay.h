@@ -87,13 +87,21 @@ class StreamReplayer {
   size_t subscriber_count() const { return subscribers_.size(); }
 
   /// Delivers every event of `stream` to every subscriber in order, firing
-  /// OnTick at each timestamp change and OnEnd at the end. Stops and returns
-  /// the first non-OK status from any callback. `mode` selects per-event or
+  /// OnTick at each timestamp change and OnEnd at the end. Returns the
+  /// first non-OK status from any callback. `mode` selects per-event or
   /// per-tick-batch delivery (see ReplayMode).
+  ///
+  /// End-of-stream always propagates: even when an OnEvent/OnTick error
+  /// aborts the replay early, every subscriber still receives OnEnd before
+  /// Run returns — subscribers with worker threads (the sharded runtime)
+  /// rely on that drain barrier to leave no events in flight. The replay
+  /// error takes precedence over any OnEnd error in the returned status.
   Status Run(const EventStream& stream,
              ReplayMode mode = ReplayMode::kPerEvent);
 
  private:
+  Status RunEvents(const EventStream& stream, ReplayMode mode);
+
   std::vector<StreamSubscriber*> subscribers_;
 };
 

@@ -1,0 +1,102 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for correlation key extraction (cep/correlation_key.h): spec
+// validation, deterministic value hashing, the compiled extractors, and the
+// query-needs analysis that picks the finest safe spec.
+
+#include "cep/correlation_key.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pldp {
+namespace {
+
+Pattern MakePattern(const char* name, std::vector<EventTypeId> elems,
+                    DetectionMode mode) {
+  return Pattern::Create(name, std::move(elems), mode).value();
+}
+
+TEST(CorrelationKeySpecTest, Validation) {
+  EXPECT_TRUE(ValidateCorrelationKeySpec(CorrelationKeySpec::Global()).ok());
+  EXPECT_TRUE(ValidateCorrelationKeySpec(CorrelationKeySpec::Subject()).ok());
+  EXPECT_TRUE(
+      ValidateCorrelationKeySpec(CorrelationKeySpec::ByEventType()).ok());
+  EXPECT_TRUE(
+      ValidateCorrelationKeySpec(CorrelationKeySpec::ByAttribute("region"))
+          .ok());
+  // kAttribute without a name is malformed.
+  EXPECT_FALSE(
+      ValidateCorrelationKeySpec(CorrelationKeySpec::ByAttribute("")).ok());
+  // A name on a kind that ignores it is a configuration smell.
+  CorrelationKeySpec stray = CorrelationKeySpec::Global();
+  stray.attribute = "region";
+  EXPECT_FALSE(ValidateCorrelationKeySpec(stray).ok());
+}
+
+TEST(CorrelationValueKeyTest, EqualValuesShareKeysDistinctValuesDiffer) {
+  EXPECT_EQ(CorrelationValueKey(Value(int64_t{7})),
+            CorrelationValueKey(Value(int64_t{7})));
+  EXPECT_EQ(CorrelationValueKey(Value("cell_3")),
+            CorrelationValueKey(Value("cell_3")));
+  EXPECT_NE(CorrelationValueKey(Value(int64_t{7})),
+            CorrelationValueKey(Value(int64_t{8})));
+  EXPECT_NE(CorrelationValueKey(Value("a")), CorrelationValueKey(Value("b")));
+  // Kinds are part of the key: int 1 and bool true must not collide.
+  EXPECT_NE(CorrelationValueKey(Value(int64_t{1})),
+            CorrelationValueKey(Value(true)));
+  // Both zeros of double compare equal and must share a key.
+  EXPECT_EQ(CorrelationValueKey(Value(0.0)), CorrelationValueKey(Value(-0.0)));
+}
+
+TEST(MakeCorrelationKeyFnTest, ExtractorsMatchTheirSpec) {
+  Event event(/*type=*/5, /*ts=*/10, /*stream=*/3);
+  event.SetAttribute("region", Value(int64_t{42}));
+
+  auto global = MakeCorrelationKeyFn(CorrelationKeySpec::Global()).value();
+  EXPECT_EQ(global(event), 0u);
+
+  auto subject = MakeCorrelationKeyFn(CorrelationKeySpec::Subject()).value();
+  EXPECT_EQ(subject(event), 3u);
+
+  auto by_type =
+      MakeCorrelationKeyFn(CorrelationKeySpec::ByEventType()).value();
+  EXPECT_EQ(by_type(event), 5u);
+
+  auto by_attr =
+      MakeCorrelationKeyFn(CorrelationKeySpec::ByAttribute("region")).value();
+  EXPECT_EQ(by_attr(event), CorrelationValueKey(Value(int64_t{42})));
+  // Same attribute value on a different subject/type: same key — that is
+  // the whole point of cross-subject correlation.
+  Event other(/*type=*/9, /*ts=*/11, /*stream=*/77);
+  other.SetAttribute("region", Value(int64_t{42}));
+  EXPECT_EQ(by_attr(event), by_attr(other));
+  // Missing attribute co-locates with the global partition.
+  EXPECT_EQ(by_attr(Event(0, 0)), 0u);
+
+  EXPECT_FALSE(MakeCorrelationKeyFn(CorrelationKeySpec::ByAttribute("")).ok());
+}
+
+TEST(SuggestCorrelationSpecTest, SingleTypePatternsKeyByType) {
+  const std::vector<Pattern> singles = {
+      MakePattern("p", {4}, DetectionMode::kDisjunction),
+      // Repeated elements still collapse to one distinct type.
+      MakePattern("q", {7, 7}, DetectionMode::kSequence),
+  };
+  EXPECT_EQ(SuggestCorrelationSpec(singles).value().kind,
+            CorrelationKeySpec::Kind::kEventType);
+}
+
+TEST(SuggestCorrelationSpecTest, MultiTypePatternsFallBackToGlobal) {
+  const std::vector<Pattern> mixed = {
+      MakePattern("p", {4}, DetectionMode::kDisjunction),
+      MakePattern("q", {1, 2}, DetectionMode::kConjunction),
+  };
+  EXPECT_EQ(SuggestCorrelationSpec(mixed).value().kind,
+            CorrelationKeySpec::Kind::kGlobal);
+  EXPECT_FALSE(SuggestCorrelationSpec({}).ok());
+}
+
+}  // namespace
+}  // namespace pldp
