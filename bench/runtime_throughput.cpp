@@ -1,7 +1,8 @@
 // Copyright 2026 The PLDP Authors.
 //
-// Scaling benchmark for the sharded parallel streaming runtime, in two
-// sections sharing one result table (rows labeled "N" vs "NxN"):
+// Scaling + allocation benchmark for the sharded parallel streaming
+// runtime, in three sections sharing one result table (rows labeled "N",
+// "N+attrs", "NxN"):
 //
 //   1. Subject-local workload: ingest a keyed synthetic stream (many data
 //      subjects, per-subject event-type alphabets, one sequence + one
@@ -9,20 +10,37 @@
 //      shard counts 1/2/4/8 — once per-event (OnEvent) and once batched
 //      (OnEventBatch in fixed chunks) — reporting events/sec for both, the
 //      batched-vs-per-event ratio, and speedup vs 1 shard.
-//   2. Cross-subject workload: the same alphabet structure keyed by a
-//      *group* attribute uncorrelated with the subject, so every match
-//      spans subjects and must ride the repartition/exchange stage onto
-//      NxN merge shards.
+//   2. Attributed subject-local workload: the same stream shape but every
+//      event carries two attributes (an int `cell` and an interned-symbol
+//      `zone`), the regime the zero-allocation data plane exists for:
+//      before attribute interning + Event's inline attribute buffer this
+//      measured ~2 heap allocations per event; now it must be ~0.
+//   3. Cross-subject workload: the alphabet keyed by a *group* attribute
+//      uncorrelated with the subject, so every match spans subjects and
+//      must ride the repartition/exchange stage onto NxN merge shards.
+//
+// Allocation accounting: the PLDP_ENABLE_ALLOC_HOOK counting hook
+// (bench_util.h) measures heap allocations and bytes per event across the
+// steady-state segment of each batched run — the first ~6% of the stream
+// is ingested and drained as warmup (first-touch growth of staging
+// buffers, detection vectors, subject maps), then counting covers the
+// rest, including everything the worker threads allocate. The columns land
+// in BENCH_runtime.json, which CI archives per push, so allocation
+// regressions are as diffable as throughput regressions.
 //
 // Every configuration is cross-checked against the sequential
 // StreamingCepEngine's detection count; the bench exits non-zero on a
-// mismatch. `--json FILE` persists the table machine-readably (CI uploads
-// it as the perf-trajectory artifact).
+// mismatch.
 //
-// Acceptance targets: > 1.5x events/sec at 4 shards vs 1 shard (ISSUE 1)
-// and batched >= 2x per-event at 4 shards (ISSUE 2) — both on a multi-core
-// machine; a 1-core container only measures overhead, not scaling.
+// Acceptance targets: > 1.5x events/sec at 4 shards vs 1 shard (ISSUE 1),
+// batched >= 2x per-event at 4 shards (ISSUE 2) — both on a multi-core
+// machine; a 1-core container only measures overhead, not scaling — and
+// ~0 allocations/event steady-state on the attributed plain workload
+// (ISSUE 4).
 
+#define PLDP_ENABLE_ALLOC_HOOK
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -37,7 +55,20 @@ namespace {
 constexpr size_t kTypesPerSubject = 3;
 constexpr size_t kIngestBatch = 1024;
 
-EventStream KeyedStream(size_t subjects, size_t num_events, uint64_t seed) {
+/// Interned zone payloads for the attributed workload (two distinct
+/// values, both longer than SSO so the legacy std::string layout really
+/// paid heap for them).
+const char* ZoneName(size_t i) {
+  return i % 2 == 0 ? "district-downtown-3" : "district-uptown-007";
+}
+
+EventStream KeyedStream(size_t subjects, size_t num_events, uint64_t seed,
+                        bool attributed) {
+  // Bind the attribute ids once; per-event attribute writes are then pure
+  // integer-keyed inline stores.
+  const AttrId cell_attr = AttrNames().Intern("cell");
+  const AttrId zone_attr = AttrNames().Intern("zone");
+  const Value zones[2] = {Value::Sym(ZoneName(0)), Value::Sym(ZoneName(1))};
   Rng rng(seed);
   EventStream stream;
   stream.Reserve(num_events);
@@ -45,8 +76,12 @@ EventStream KeyedStream(size_t subjects, size_t num_events, uint64_t seed) {
     const auto subject = static_cast<StreamId>(rng.UniformUint64(subjects));
     const auto type = static_cast<EventTypeId>(
         subject * kTypesPerSubject + rng.UniformUint64(kTypesPerSubject));
-    stream.AppendUnchecked(
-        Event(type, static_cast<Timestamp>(i / 8), subject));
+    Event e(type, static_cast<Timestamp>(i / 8), subject);
+    if (attributed) {
+      e.SetAttribute(cell_attr, Value(static_cast<int64_t>(i % 64)));
+      e.SetAttribute(zone_attr, zones[i % 2]);
+    }
+    stream.AppendUnchecked(std::move(e));
   }
   return stream;
 }
@@ -99,28 +134,38 @@ double Seconds(std::chrono::steady_clock::time_point start,
 
 enum class IngestMode { kPerEvent, kBatched };
 
-Status IngestTimed(ParallelStreamingEngine& engine, const EventStream& stream,
+Status IngestRange(ParallelStreamingEngine& engine,
+                   const std::vector<Event>& events, size_t begin, size_t end,
                    IngestMode mode) {
-  const std::vector<Event>& events = stream.events();
   if (mode == IngestMode::kPerEvent) {
-    for (const Event& e : events) PLDP_RETURN_IF_ERROR(engine.OnEvent(e));
+    for (size_t i = begin; i < end; ++i) {
+      PLDP_RETURN_IF_ERROR(engine.OnEvent(events[i]));
+    }
     return Status::OK();
   }
-  for (size_t i = 0; i < events.size(); i += kIngestBatch) {
-    const size_t n =
-        kIngestBatch < events.size() - i ? kIngestBatch : events.size() - i;
+  for (size_t i = begin; i < end; i += kIngestBatch) {
+    const size_t n = std::min(kIngestBatch, end - i);
     PLDP_RETURN_IF_ERROR(engine.OnEventBatch(EventSpan(events.data() + i, n)));
   }
   return Status::OK();
 }
 
-/// Ingests `stream` into a fresh engine; returns events/sec, or a negative
-/// value on error. With `exchange`, the queries run as cross queries on an
-/// NxN exchange pipeline keyed by group. `waits`/`detections` report the
-/// run's counters (waits = stage-1 queue + exchange lane backpressure).
+/// Per-run allocation readout; negative when the hook is inactive.
+struct AllocPerEvent {
+  double allocs = -1.0;
+  double bytes = -1.0;
+};
+
+/// Ingests `stream` into a fresh engine; returns steady-state events/sec,
+/// or a negative value on error. With `exchange`, the queries run as cross
+/// queries on an NxN exchange pipeline keyed by group. The first ~6% of
+/// the stream is untimed, uncounted warmup (see file comment);
+/// `waits`/`detections`/`alloc` report the steady-state segment's
+/// counters (waits = stage-1 queue + exchange lane backpressure).
 double TimedIngest(const EventStream& stream, size_t groups,
                    Timestamp window, size_t shards, bool exchange,
-                   IngestMode mode, size_t* waits, size_t* detections) {
+                   IngestMode mode, size_t* waits, size_t* detections,
+                   AllocPerEvent* alloc) {
   ParallelEngineOptions options;
   options.shard_count = shards;
   options.queue_capacity = 4096;
@@ -138,10 +183,29 @@ double TimedIngest(const EventStream& stream, size_t groups,
   if (RegisterAlphabetQueries(add, groups, window) != 0) return -1.0;
   if (!engine.Start().ok()) return -1.0;
 
+  const std::vector<Event>& events = stream.events();
+  const size_t warmup = std::min<size_t>(events.size() / 16, 65536);
+  if (!IngestRange(engine, events, 0, warmup, mode).ok()) return -1.0;
+  if (!engine.Drain().ok()) return -1.0;
+
+  bench::ResetAllocCounters();
+  bench::SetAllocCounting(true);
   const auto t0 = std::chrono::steady_clock::now();
-  if (!IngestTimed(engine, stream, mode).ok()) return -1.0;
+  if (!IngestRange(engine, events, warmup, events.size(), mode).ok()) {
+    return -1.0;
+  }
   if (!engine.Drain().ok()) return -1.0;
   const auto t1 = std::chrono::steady_clock::now();
+  bench::SetAllocCounting(false);
+
+  const size_t measured = events.size() - warmup;
+  if (bench::kAllocHookActive && alloc != nullptr) {
+    const bench::AllocCounters counters = bench::GetAllocCounters();
+    alloc->allocs =
+        static_cast<double>(counters.allocs) / static_cast<double>(measured);
+    alloc->bytes =
+        static_cast<double>(counters.bytes) / static_cast<double>(measured);
+  }
 
   *waits = 0;
   for (const ShardStats& s : engine.ShardStatsSnapshot()) {
@@ -150,7 +214,7 @@ double TimedIngest(const EventStream& stream, size_t groups,
   *detections =
       exchange ? engine.total_cross_detections() : engine.total_detections();
   if (!engine.Stop().ok()) return -1.0;
-  return static_cast<double>(stream.size()) / Seconds(t0, t1);
+  return static_cast<double>(measured) / Seconds(t0, t1);
 }
 
 /// Sequential detection-count ground truth + baseline rate.
@@ -168,22 +232,26 @@ double SequentialReference(const EventStream& stream, size_t groups,
   return static_cast<double>(stream.size()) / Seconds(t0, t1);
 }
 
-/// Benches one workload (plain or exchange) into `table`; returns false on
-/// a detection mismatch.
+/// Benches one workload into `table` (label_suffix distinguishes the
+/// sections: "" plain, "+attrs" attributed, exchange rows are "NxN");
+/// returns false on a detection mismatch. Allocation columns come from the
+/// batched run (the production ingest path).
 bool BenchWorkload(const EventStream& stream, size_t groups,
                    Timestamp window, bool exchange, size_t reference_count,
-                   ResultTable* table) {
+                   const char* label_suffix, ResultTable* table) {
   double one_shard_batched = 0.0;
   bool ok = true;
   for (size_t shards : {1u, 2u, 4u, 8u}) {
     size_t pe_waits = 0, pe_detections = 0;
     const double per_event_eps =
         TimedIngest(stream, groups, window, shards, exchange,
-                    IngestMode::kPerEvent, &pe_waits, &pe_detections);
+                    IngestMode::kPerEvent, &pe_waits, &pe_detections,
+                    nullptr);
     size_t b_waits = 0, b_detections = 0;
+    AllocPerEvent alloc;
     const double batched_eps =
         TimedIngest(stream, groups, window, shards, exchange,
-                    IngestMode::kBatched, &b_waits, &b_detections);
+                    IngestMode::kBatched, &b_waits, &b_detections, &alloc);
     if (per_event_eps < 0 || batched_eps < 0) return false;
     if (shards == 1) one_shard_batched = batched_eps;
 
@@ -192,19 +260,21 @@ bool BenchWorkload(const EventStream& stream, size_t groups,
         std::fprintf(
             stderr,
             "DETECTION MISMATCH (%s) at %zu shards: %zu vs %zu (sequential)\n",
-            exchange ? "exchange" : "plain", shards, detections,
-            reference_count);
+            exchange ? "exchange" : label_suffix[0] != '\0' ? "attributed"
+                                                           : "plain",
+            shards, detections, reference_count);
         ok = false;
       }
     }
-    const std::string label = exchange
-                                  ? StrFormat("%zux%zu", shards, shards)
-                                  : StrFormat("%zu", shards);
+    const std::string label =
+        exchange ? StrFormat("%zux%zu", shards, shards)
+                 : StrFormat("%zu%s", shards, label_suffix);
     (void)table->AddRow(label,
                         {per_event_eps, batched_eps,
                          batched_eps / per_event_eps,
                          batched_eps / one_shard_batched,
-                         static_cast<double>(pe_waits + b_waits)});
+                         static_cast<double>(pe_waits + b_waits),
+                         alloc.allocs, alloc.bytes});
   }
   return ok;
 }
@@ -229,9 +299,17 @@ int Run(const bench::HarnessArgs& args) {
         "core, so expect speedup ~1.0x (the run then measures runtime "
         "overhead, not scaling).\n");
   }
-  std::printf("generating streams: %zu events x 2 workloads, %zu %s...\n",
+  if (!bench::kAllocHookActive) {
+    std::printf(
+        "NOTE: allocation hook inactive (sanitizer build); allocs/bytes "
+        "columns will read -1.\n");
+  }
+  std::printf("generating streams: %zu events x 3 workloads, %zu %s...\n",
               num_events, groups, "subjects/groups");
-  const EventStream keyed = KeyedStream(groups, num_events, 42);
+  const EventStream keyed =
+      KeyedStream(groups, num_events, 42, /*attributed=*/false);
+  const EventStream attributed =
+      KeyedStream(groups, num_events, 44, /*attributed=*/true);
   const EventStream crossed =
       CrossKeyedStream(groups, /*subjects=*/groups, num_events, 43);
 
@@ -242,6 +320,13 @@ int Run(const bench::HarnessArgs& args) {
       "sequential StreamingCepEngine (subject-local): %.0f events/sec, %zu "
       "detections\n",
       seq_eps, plain_reference);
+  size_t attr_reference = 0;
+  const double attr_seq_eps =
+      SequentialReference(attributed, groups, window, &attr_reference);
+  std::printf(
+      "sequential StreamingCepEngine (attributed): %.0f events/sec, %zu "
+      "detections\n",
+      attr_seq_eps, attr_reference);
   size_t cross_reference = 0;
   const double cross_seq_eps =
       SequentialReference(crossed, groups, window, &cross_reference);
@@ -249,21 +334,26 @@ int Run(const bench::HarnessArgs& args) {
       "sequential StreamingCepEngine (cross-subject): %.0f events/sec, %zu "
       "detections\n",
       cross_seq_eps, cross_reference);
-  if (seq_eps < 0 || cross_seq_eps < 0) return 1;
+  if (seq_eps < 0 || attr_seq_eps < 0 || cross_seq_eps < 0) return 1;
 
   ResultTable table({"shards", "per_event_eps", "batched_eps",
                      "batched_vs_per_event", "batched_speedup_vs_1",
-                     "backpressure_waits"});
+                     "backpressure_waits", "allocs_per_event",
+                     "bytes_per_event"});
   bool ok = BenchWorkload(keyed, groups, window, /*exchange=*/false,
-                          plain_reference, &table);
+                          plain_reference, "", &table);
+  ok = BenchWorkload(attributed, groups, window, /*exchange=*/false,
+                     attr_reference, "+attrs", &table) &&
+       ok;
   ok = BenchWorkload(crossed, groups, window, /*exchange=*/true,
-                     cross_reference, &table) &&
+                     cross_reference, "", &table) &&
        ok;
 
   const int rc = bench::EmitTable(
       table, args,
-      "Runtime throughput: per-event vs batched ingest; N = subject-local "
-      "shards, NxN = exchange pipeline (stage1 x stage2)");
+      "Runtime throughput + steady-state allocations: per-event vs batched "
+      "ingest; N = subject-local shards, N+attrs = attributed events, "
+      "NxN = exchange pipeline (stage1 x stage2)");
   return ok ? rc : 1;
 }
 

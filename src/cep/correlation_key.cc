@@ -46,7 +46,9 @@ Status ValidateCorrelationKeySpec(const CorrelationKeySpec& spec) {
 
 uint64_t CorrelationValueKey(const Value& value) {
   uint64_t h = kFnvOffset;
-  const auto tag = static_cast<unsigned char>(value.kind());
+  // Both text kinds hash under the kString tag (see the text case below).
+  const auto tag = static_cast<unsigned char>(
+      value.kind() == ValueKind::kSymbol ? ValueKind::kString : value.kind());
   h = FnvBytes(h, &tag, 1);
   switch (value.kind()) {
     case ValueKind::kBool: {
@@ -68,8 +70,14 @@ uint64_t CorrelationValueKey(const Value& value) {
       h = FnvBytes(h, &bits, sizeof(bits));
       break;
     }
-    case ValueKind::kString: {
-      const std::string s = value.AsString().value();
+    case ValueKind::kString:
+    case ValueKind::kSymbol: {
+      // Hash the text content through the non-copying view — never
+      // materialize a std::string per event. Symbols hash their interned
+      // name (not the id) under the kString tag, so an interned payload
+      // and an owned string with equal content share a key, matching
+      // Value::operator=='s cross-kind text equality.
+      const std::string_view s = value.AsStringView().value();
       h = FnvBytes(h, s.data(), s.size());
       break;
     }
@@ -92,12 +100,17 @@ StatusOr<CorrelationKeyFn> MakeCorrelationKeyFn(
         return static_cast<uint64_t>(e.type());
       });
     case CorrelationKeySpec::Kind::kAttribute:
+      // Bind step: resolve the name to its AttrId once, here — get-or-
+      // create so the binding holds whether events carrying the attribute
+      // are constructed before or after the spec is compiled. Per-event
+      // extraction is then an integer lookup plus a copy-free hash.
       return CorrelationKeyFn(
-          [name = spec.attribute](const Event& e) -> uint64_t {
-            const std::optional<Value> v = e.GetAttribute(name);
+          [id = AttrNames().Intern(spec.attribute)](const Event& e)
+              -> uint64_t {
+            const Value* v = e.FindAttribute(id);
             // Missing attribute: key 0, co-located with the global
             // partition so such events are never silently dropped.
-            return v.has_value() ? CorrelationValueKey(*v) : 0;
+            return v != nullptr ? CorrelationValueKey(*v) : 0;
           });
   }
   return Status::InvalidArgument("unknown correlation key kind");

@@ -74,12 +74,16 @@ struct CorrelationKeySpec {
 Status ValidateCorrelationKeySpec(const CorrelationKeySpec& spec);
 
 /// Deterministic, platform-independent hash of an attribute value.
-/// Equal values (including int/bool payloads that compare equal and both
-/// zeros of double) produce equal keys.
+/// Equal values (including int/bool payloads that compare equal, both
+/// zeros of double, and interned-symbol vs owned-string text with equal
+/// content) produce equal keys. Allocation-free: text payloads hash
+/// through Value::AsStringView.
 uint64_t CorrelationValueKey(const Value& value);
 
 /// Compiles the spec into the per-event extractor used on the shard
-/// workers' hot path. Fails on malformed specs.
+/// workers' hot path, resolving any attribute name to its interned AttrId
+/// once (the bind step — per-event extraction is integer lookups only).
+/// Fails on malformed specs.
 StatusOr<CorrelationKeyFn> MakeCorrelationKeyFn(const CorrelationKeySpec& spec);
 
 /// The finest correlation spec that keeps every given pattern's matches

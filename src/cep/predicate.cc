@@ -71,11 +71,14 @@ class TypeIsPredicate final : public Predicate {
 class NumericComparePredicate final : public Predicate {
  public:
   NumericComparePredicate(std::string attr, CompareOp op, double constant)
-      : attr_(std::move(attr)), op_(op), constant_(constant) {}
+      : attr_(std::move(attr)),
+        attr_id_(AttrNames().Intern(attr_)),  // the bind step (see header)
+        op_(op),
+        constant_(constant) {}
 
   StatusOr<bool> Eval(const Event& event) const override {
-    auto v = event.GetAttribute(attr_);
-    if (!v.has_value()) return false;
+    const Value* v = event.FindAttribute(attr_id_);
+    if (v == nullptr) return false;
     PLDP_ASSIGN_OR_RETURN(double num, v->AsNumeric());
     return CompareDoubles(num, op_, constant_);
   }
@@ -87,6 +90,7 @@ class NumericComparePredicate final : public Predicate {
 
  private:
   std::string attr_;
+  AttrId attr_id_;
   CompareOp op_;
   double constant_;
 };
@@ -94,13 +98,24 @@ class NumericComparePredicate final : public Predicate {
 class StringComparePredicate final : public Predicate {
  public:
   StringComparePredicate(std::string attr, CompareOp op, std::string constant)
-      : attr_(std::move(attr)), op_(op), constant_(std::move(constant)) {}
+      : attr_(std::move(attr)),
+        attr_id_(AttrNames().Intern(attr_)),
+        op_(op),
+        constant_(std::move(constant)),
+        constant_sym_(SymbolNames().Intern(constant_)) {}
 
   StatusOr<bool> Eval(const Event& event) const override {
-    auto v = event.GetAttribute(attr_);
-    if (!v.has_value()) return false;
-    PLDP_ASSIGN_OR_RETURN(std::string s, v->AsString());
-    bool eq = (s == constant_);
+    const Value* v = event.FindAttribute(attr_id_);
+    if (v == nullptr) return false;
+    bool eq;
+    if (v->is_symbol()) {
+      // Interned payload: symbol ids are unique per content, so one
+      // integer comparison decides equality.
+      eq = v->AsSymbol().value() == constant_sym_;
+    } else {
+      PLDP_ASSIGN_OR_RETURN(std::string_view s, v->AsStringView());
+      eq = (s == constant_);
+    }
     return op_ == CompareOp::kEq ? eq : !eq;
   }
 
@@ -112,18 +127,22 @@ class StringComparePredicate final : public Predicate {
 
  private:
   std::string attr_;
+  AttrId attr_id_;
   CompareOp op_;
   std::string constant_;
+  SymbolId constant_sym_;
 };
 
 class IntSetMemberPredicate final : public Predicate {
  public:
   IntSetMemberPredicate(std::string attr, std::vector<int64_t> members)
-      : attr_(std::move(attr)), members_(members.begin(), members.end()) {}
+      : attr_(std::move(attr)),
+        attr_id_(AttrNames().Intern(attr_)),
+        members_(members.begin(), members.end()) {}
 
   StatusOr<bool> Eval(const Event& event) const override {
-    auto v = event.GetAttribute(attr_);
-    if (!v.has_value()) return false;
+    const Value* v = event.FindAttribute(attr_id_);
+    if (v == nullptr) return false;
     PLDP_ASSIGN_OR_RETURN(int64_t i, v->AsInt());
     return members_.count(i) > 0;
   }
@@ -134,6 +153,7 @@ class IntSetMemberPredicate final : public Predicate {
 
  private:
   std::string attr_;
+  AttrId attr_id_;
   std::unordered_set<int64_t> members_;
 };
 

@@ -6,6 +6,15 @@
 // element. The taxi experiment uses attribute predicates (cell membership);
 // the synthetic experiment uses plain type predicates. Predicates compose
 // with And/Or/Not.
+//
+// Bind step: the Make* factories compile each predicate against the
+// process-wide interning tables (event/symbol_table.h) once, at
+// query-registration time — attribute names resolve to `AttrId`s and
+// string constants to `SymbolId`s. Per-event evaluation is then integer
+// lookups over the event's inline attribute buffer plus, for interned
+// payloads, a single id comparison: no string compares, no allocation.
+// Because the tables are get-or-create, binding works whether the
+// predicate or the first event carrying the attribute is created first.
 
 #ifndef PLDP_CEP_PREDICATE_H_
 #define PLDP_CEP_PREDICATE_H_

@@ -8,18 +8,31 @@
 // `Event` represents both: a raw tuple is an event whose type is whatever
 // the extraction step assigns. Events carry a timestamp, the id of the
 // stream (data subject) that produced them, a type, and optional attributes.
+//
+// Memory layout (the zero-allocation data plane): attributes are keyed by
+// interned `AttrId` (event/symbol_table.h) and stored in a small inline
+// buffer of `kInlineAttrCapacity` slots. An event whose attributes fit the
+// inline buffer and whose string payloads are interned symbols
+// (`Value::Sym`) copies without touching the heap — the property the
+// sharded runtime's steady state depends on (every hop through an SPSC
+// queue, exchange lane, or staging buffer copies the event). Only events
+// with more attributes spill to a heap-allocated vector, and only owned
+// `kString` payloads allocate on copy.
 
 #ifndef PLDP_EVENT_EVENT_H_
 #define PLDP_EVENT_EVENT_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
-#include <utility>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "event/event_type.h"
+#include "event/symbol_table.h"
 #include "event/value.h"
 
 namespace pldp {
@@ -35,13 +48,37 @@ inline constexpr StreamId kDefaultStream = 0;
 
 /// One event (or raw data tuple) in a stream.
 ///
-/// Events are value types: cheap to copy when they carry few attributes,
-/// safely movable, and hashable by content where needed.
+/// Events are value types: cheap to copy (allocation-free in the inline +
+/// interned regime above), safely movable, and hashable by content where
+/// needed.
 class Event {
  public:
+  /// Attribute slots held inline before spilling to the heap. Two covers
+  /// every workload in the repo (taxi: cell + taxi id); growing it trades
+  /// queue-slot memory for spill headroom.
+  static constexpr size_t kInlineAttrCapacity = 2;
+
+  /// One attribute: an interned name id and its value, in insertion order.
+  struct Attr {
+    AttrId id = kInvalidAttrId;
+    Value value;
+
+    bool operator==(const Attr& other) const {
+      return id == other.id && value == other.value;
+    }
+  };
+
   Event() = default;
   Event(EventTypeId type, Timestamp ts, StreamId stream = kDefaultStream)
       : type_(type), timestamp_(ts), stream_(stream) {}
+
+  Event(const Event& other);
+  Event& operator=(const Event& other);
+  // Custom moves: the defaults would null spill_ but leave attr_count_,
+  // making any access to a moved-from spilled event read past the inline
+  // array. Moved-from events are valid and empty of attributes instead.
+  Event(Event&& other) noexcept;
+  Event& operator=(Event&& other) noexcept;
 
   EventTypeId type() const { return type_; }
   Timestamp timestamp() const { return timestamp_; }
@@ -50,19 +87,40 @@ class Event {
   void set_timestamp(Timestamp ts) { timestamp_ = ts; }
   void set_stream(StreamId s) { stream_ = s; }
 
-  /// Sets or replaces an attribute.
-  void SetAttribute(const std::string& name, Value value);
+  /// Sets or replaces an attribute by pre-bound id (the hot-path variant).
+  void SetAttribute(AttrId id, Value value);
 
-  /// Attribute lookup; nullopt when absent.
-  std::optional<Value> GetAttribute(const std::string& name) const;
+  /// Sets or replaces an attribute by name, interning it into AttrNames()
+  /// (get-or-create, so events and queries bound by name meet in one id
+  /// space).
+  void SetAttribute(std::string_view name, Value value);
+
+  /// Non-copying attribute lookup by pre-bound id: integer compares over
+  /// the inline buffer, nullptr when absent. The per-event call predicates
+  /// and correlation keys make after their bind step.
+  const Value* FindAttribute(AttrId id) const;
+
+  /// Non-copying lookup by name. Never interns: an unknown name is simply
+  /// absent.
+  const Value* FindAttribute(std::string_view name) const;
+
+  /// Attribute lookup; nullopt when absent. Copies — prefer FindAttribute
+  /// on hot paths.
+  std::optional<Value> GetAttribute(std::string_view name) const;
 
   /// Attribute lookup that errors when absent (for predicate evaluation).
-  StatusOr<Value> RequireAttribute(const std::string& name) const;
+  StatusOr<Value> RequireAttribute(std::string_view name) const;
 
-  size_t attribute_count() const { return attributes_.size(); }
+  size_t attribute_count() const { return attr_count_; }
 
-  const std::vector<std::pair<std::string, Value>>& attributes() const {
-    return attributes_;
+  /// The i-th attribute in insertion order; i < attribute_count().
+  const Attr& attribute(size_t i) const {
+    return attrs_data()[i];
+  }
+
+  /// Registry name of the i-th attribute (empty for invalid ids).
+  std::string_view attribute_name(size_t i) const {
+    return AttrNames().NameOf(attribute(i).id);
   }
 
   /// Equality on type, timestamp, stream, and attributes (order-sensitive;
@@ -74,12 +132,21 @@ class Event {
   std::string ToString(const EventTypeRegistry* registry = nullptr) const;
 
  private:
+  const Attr* attrs_data() const {
+    return spill_ != nullptr ? spill_->data() : inline_.data();
+  }
+  Attr* attrs_data() {
+    return spill_ != nullptr ? spill_->data() : inline_.data();
+  }
+
   EventTypeId type_ = kInvalidEventType;
   Timestamp timestamp_ = 0;
   StreamId stream_ = kDefaultStream;
-  // Small linear map: events carry at most a handful of attributes, so a
-  // vector beats a hash map on both memory and lookup time.
-  std::vector<std::pair<std::string, Value>> attributes_;
+  /// Total attributes; they live in `inline_` until the count exceeds
+  /// kInlineAttrCapacity, then all of them in `*spill_`.
+  uint32_t attr_count_ = 0;
+  std::array<Attr, kInlineAttrCapacity> inline_;
+  std::unique_ptr<std::vector<Attr>> spill_;
 };
 
 /// Strict-weak temporal order used when merging streams: by timestamp, ties

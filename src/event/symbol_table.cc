@@ -1,0 +1,66 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "event/symbol_table.h"
+
+namespace pldp {
+
+InternTable::InternTable() {
+  for (auto& block : blocks_) {
+    block.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+InternTable::~InternTable() {
+  for (auto& block : blocks_) {
+    delete[] block.load(std::memory_order_relaxed);
+  }
+}
+
+uint32_t InternTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+
+  const size_t id = size_.load(std::memory_order_relaxed);
+  if (id >= kMaxEntries) return kInvalidInternId;
+  const size_t block_index = id >> kBlockBits;
+  std::string* block = blocks_[block_index].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new std::string[kBlockSize];
+    blocks_[block_index].store(block, std::memory_order_release);
+  }
+  std::string& slot = block[id & (kBlockSize - 1)];
+  slot.assign(name.data(), name.size());
+  ids_.emplace(std::string_view(slot), static_cast<uint32_t>(id));
+  // The release store is the publication point: a reader that observes
+  // size_ > id also observes the block pointer and the fully written slot.
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<uint32_t>(id);
+}
+
+uint32_t InternTable::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidInternId : it->second;
+}
+
+std::string_view InternTable::NameOf(uint32_t id) const {
+  if (id >= size_.load(std::memory_order_acquire)) return {};
+  // The acquire above orders this relaxed load after the block pointer's
+  // release store (sequenced before the size_ publication).
+  const std::string* block =
+      blocks_[id >> kBlockBits].load(std::memory_order_relaxed);
+  return std::string_view(block[id & (kBlockSize - 1)]);
+}
+
+InternTable& AttrNames() {
+  static InternTable* table = new InternTable();
+  return *table;
+}
+
+InternTable& SymbolNames() {
+  static InternTable* table = new InternTable();
+  return *table;
+}
+
+}  // namespace pldp

@@ -16,6 +16,8 @@ std::string_view ValueKindToString(ValueKind kind) {
       return "double";
     case ValueKind::kString:
       return "string";
+    case ValueKind::kSymbol:
+      return "symbol";
   }
   return "unknown";
 }
@@ -44,15 +46,36 @@ StatusOr<double> Value::AsDouble() const {
   return std::get<double>(rep_);
 }
 
+StatusOr<std::string_view> Value::AsStringView() const {
+  if (is_string()) return std::string_view(std::get<std::string>(rep_));
+  if (is_symbol()) return SymbolNames().NameOf(std::get<Symbol>(rep_).id);
+  return KindMismatch(ValueKind::kString, kind());
+}
+
 StatusOr<std::string> Value::AsString() const {
-  if (!is_string()) return KindMismatch(ValueKind::kString, kind());
-  return std::get<std::string>(rep_);
+  PLDP_ASSIGN_OR_RETURN(std::string_view view, AsStringView());
+  return std::string(view);
+}
+
+StatusOr<SymbolId> Value::AsSymbol() const {
+  if (!is_symbol()) return KindMismatch(ValueKind::kSymbol, kind());
+  return std::get<Symbol>(rep_).id;
 }
 
 StatusOr<double> Value::AsNumeric() const {
   if (is_int()) return static_cast<double>(std::get<int64_t>(rep_));
   if (is_double()) return std::get<double>(rep_);
   return Status::InvalidArgument("value is not numeric");
+}
+
+bool Value::operator==(const Value& other) const {
+  if (rep_.index() == other.rep_.index()) return rep_ == other.rep_;
+  // Cross-kind text equality: an interned symbol equals an owned string
+  // with the same content, so interned and legacy events interchange.
+  if (is_text() && other.is_text()) {
+    return AsStringView().value() == other.AsStringView().value();
+  }
+  return false;
 }
 
 std::string Value::ToString() const {
@@ -65,6 +88,10 @@ std::string Value::ToString() const {
       return StrFormat("%g", std::get<double>(rep_));
     case ValueKind::kString:
       return "\"" + std::get<std::string>(rep_) + "\"";
+    case ValueKind::kSymbol:
+      return "\"" +
+             std::string(SymbolNames().NameOf(std::get<Symbol>(rep_).id)) +
+             "\"";
   }
   return "<invalid>";
 }

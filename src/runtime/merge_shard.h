@@ -37,13 +37,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <thread>
 #include <vector>
 
 #include "cep/streaming_engine.h"
 #include "common/status.h"
 #include "runtime/exchange.h"
+#include "runtime/ring_buffer.h"
 #include "runtime/shard.h"
 
 namespace pldp {
@@ -97,8 +97,10 @@ class MergeShard {
   struct LaneState {
     explicit LaneState(ExchangeLane* l) : lane(l) {}
     ExchangeLane* lane;
-    /// Events received but not yet safe to release, in key order.
-    std::deque<ExchangeItem> buffer;
+    /// Events received but not yet safe to release, in key order. A ring
+    /// (not a deque) so steady-state buffering never allocates — capacity
+    /// sticks after the first bursts (see runtime/ring_buffer.h).
+    RingBuffer<ExchangeItem> buffer;
     /// Lower bound on every future key of this lane (from the last
     /// received item or watermark).
     ExchangeKey bound{0, 0};

@@ -51,6 +51,10 @@ ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
 
   shards_.reserve(n);
   staging_.resize(n);
+  // Pre-size the per-shard staging buffers so steady-state batched ingest
+  // never grows them: a batch can stage at most its own size per shard, and
+  // capacity is retained across OnEventBatch calls (clear() keeps it).
+  for (auto& buf : staging_) buf.reserve(options.queue_capacity);
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(
         std::make_unique<Shard>(i, options.queue_capacity, options.seed));

@@ -16,6 +16,10 @@ std::string EncodeValueTagged(const Value& v) {
     case ValueKind::kDouble:
       return "d:" + StrFormat("%.17g", v.AsDouble().value());
     case ValueKind::kString:
+    case ValueKind::kSymbol:
+      // Symbols serialize as their text; decoding yields an owned string.
+      // The round trip normalizes the kind but not the content — Value's
+      // cross-kind text equality keeps the stream semantically identical.
       return "s:" + v.AsString().value();
   }
   return "i:0";
@@ -56,8 +60,9 @@ Status WriteStreamCsv(const std::string& path, const EventStream& stream,
     std::vector<std::string> row = {std::to_string(e.timestamp()),
                                     std::to_string(e.stream()),
                                     std::move(type_name)};
-    for (const auto& [key, value] : e.attributes()) {
-      row.push_back(key + "=" + EncodeValueTagged(value));
+    for (size_t i = 0; i < e.attribute_count(); ++i) {
+      row.push_back(std::string(e.attribute_name(i)) + "=" +
+                    EncodeValueTagged(e.attribute(i).value));
     }
     PLDP_RETURN_IF_ERROR(writer.WriteRow(row));
   }

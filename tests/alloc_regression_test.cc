@@ -1,0 +1,149 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Allocation-regression pin for the zero-allocation data plane: after
+// warmup, the sharded plain pipeline must process events carrying interned
+// attributes with ZERO heap allocations — across the router, the staging
+// buffers, the SPSC queues, and the per-shard engines, worker threads
+// included. The measurement uses the same operator-new counting hook the
+// bench harness ships (bench/bench_util.h); under sanitizer builds the
+// hook is inactive and the test skips (the sanitizer owns the allocator).
+//
+// The measured segment emits only pattern prefixes (never a completion),
+// so matcher detection vectors — which legitimately grow with results —
+// stay quiet and the assertion can be exact, not approximate.
+
+#define PLDP_ENABLE_ALLOC_HOOK
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "event/symbol_table.h"
+#include "runtime/parallel_engine.h"
+#include "stream/event_stream.h"
+
+namespace pldp {
+namespace {
+
+constexpr size_t kSubjects = 8;
+constexpr size_t kTypesPerSubject = 3;
+constexpr Timestamp kWindow = 4;
+
+/// `full_alphabet` draws all three per-subject types (warmup: completions
+/// happen, detection vectors and staging buffers grow); the measurement
+/// stream draws only the first two (prefix updates, no completions, no
+/// growth). `ts_base` keeps timestamps monotone across the two segments.
+EventStream MakeStream(size_t num_events, bool full_alphabet,
+                       Timestamp ts_base, uint64_t seed) {
+  const AttrId cell = AttrNames().Intern("alloc_test_cell");
+  const AttrId zone = AttrNames().Intern("alloc_test_zone");
+  const Value zones[2] = {Value::Sym("alloc-test-zone-east"),
+                          Value::Sym("alloc-test-zone-west")};
+  Rng rng(seed);
+  EventStream stream;
+  stream.Reserve(num_events);
+  const size_t alphabet = full_alphabet ? kTypesPerSubject
+                                        : kTypesPerSubject - 1;
+  for (size_t i = 0; i < num_events; ++i) {
+    const auto subject = static_cast<StreamId>(rng.UniformUint64(kSubjects));
+    const auto type = static_cast<EventTypeId>(
+        subject * kTypesPerSubject + rng.UniformUint64(alphabet));
+    Event e(type, ts_base + static_cast<Timestamp>(i / 8), subject);
+    e.SetAttribute(cell, Value(static_cast<int64_t>(i % 64)));
+    e.SetAttribute(zone, zones[i % 2]);
+    stream.AppendUnchecked(std::move(e));
+  }
+  return stream;
+}
+
+Status IngestBatched(ParallelStreamingEngine& engine,
+                     const EventStream& stream) {
+  constexpr size_t kBatch = 1024;
+  const std::vector<Event>& events = stream.events();
+  for (size_t i = 0; i < events.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, events.size() - i);
+    PLDP_RETURN_IF_ERROR(engine.OnEventBatch(EventSpan(events.data() + i, n)));
+  }
+  return Status::OK();
+}
+
+TEST(AllocRegressionTest, ShardedPlainPipelineSteadyStateIsAllocationFree) {
+  if (!bench::kAllocHookActive) {
+    GTEST_SKIP() << "allocation hook inactive under sanitizers";
+  }
+
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 4096;
+  ParallelStreamingEngine engine(options);
+  for (size_t k = 0; k < kSubjects; ++k) {
+    const auto base = static_cast<EventTypeId>(k * kTypesPerSubject);
+    auto pattern = Pattern::Create("seq", {base, base + 1, base + 2},
+                                   DetectionMode::kSequence);
+    ASSERT_TRUE(pattern.ok());
+    ASSERT_TRUE(engine.AddQuery(std::move(pattern).value(), kWindow).ok());
+  }
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Warmup: completions occur, every buffer reaches steady-state capacity.
+  const EventStream warmup =
+      MakeStream(40000, /*full_alphabet=*/true, /*ts_base=*/0, /*seed=*/7);
+  ASSERT_TRUE(IngestBatched(engine, warmup).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+
+  // Steady state: batched AND per-event ingest, drains included — all of
+  // it allocation-free. Streams are built before counting starts (event
+  // construction interns and may grow the stream vector; the data plane
+  // under test is everything from OnEvent on).
+  const Timestamp warm_end = 40000 / 8 + 1;
+  const EventStream batched =
+      MakeStream(50000, /*full_alphabet=*/false, warm_end, /*seed=*/11);
+  const EventStream per_event =
+      MakeStream(10000, /*full_alphabet=*/false, warm_end + 50000 / 8 + 1,
+                 /*seed=*/13);
+
+  bench::ResetAllocCounters();
+  bench::SetAllocCounting(true);
+  ASSERT_TRUE(IngestBatched(engine, batched).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  for (const Event& e : per_event) {
+    ASSERT_TRUE(engine.OnEvent(e).ok());
+  }
+  ASSERT_TRUE(engine.Drain().ok());
+  bench::SetAllocCounting(false);
+
+  const bench::AllocCounters counters = bench::GetAllocCounters();
+  EXPECT_EQ(counters.allocs, 0u)
+      << "steady-state hot path allocated " << counters.allocs << " times ("
+      << counters.bytes << " bytes) across "
+      << (batched.size() + per_event.size()) << " events";
+
+  EXPECT_EQ(engine.events_processed(),
+            warmup.size() + batched.size() + per_event.size());
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(AllocRegressionTest, EventCopyWithInlineInternedAttrsIsAllocationFree) {
+  if (!bench::kAllocHookActive) {
+    GTEST_SKIP() << "allocation hook inactive under sanitizers";
+  }
+  Event e(3, 17, 5);
+  e.SetAttribute("alloc_test_cell", Value(int64_t{12}));
+  e.SetAttribute("alloc_test_zone", Value::Sym("alloc-test-zone-east"));
+
+  bench::ResetAllocCounters();
+  bench::SetAllocCounting(true);
+  Event copy = e;            // flyweight copy
+  Event assigned;
+  assigned = copy;           // and copy-assignment
+  bench::SetAllocCounting(false);
+
+  EXPECT_EQ(assigned, e);
+  EXPECT_EQ(bench::GetAllocCounters().allocs, 0u);
+}
+
+}  // namespace
+}  // namespace pldp

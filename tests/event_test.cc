@@ -58,6 +58,26 @@ TEST(ValueTest, DefaultIsIntZero) {
   EXPECT_EQ(v.AsInt().value(), 0);
 }
 
+TEST(ValueTest, AsStringViewIsNonCopyingAliasOfOwnedPayload) {
+  const Value v("payload");
+  StatusOr<std::string_view> view = v.AsStringView();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value(), "payload");
+  EXPECT_FALSE(Value(int64_t{1}).AsStringView().ok());
+}
+
+TEST(EventTest, FindAttributeReturnsPointerWithoutCopy) {
+  Event e(0, 5);
+  e.SetAttribute("speed", Value(50.5));
+  const Value* found = e.FindAttribute("speed");
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->AsDouble().value(), 50.5);
+  // The pointer aliases the event's storage: a replacement shows through.
+  e.SetAttribute("speed", Value(60.0));
+  EXPECT_DOUBLE_EQ(e.FindAttribute("speed")->AsDouble().value(), 60.0);
+  EXPECT_EQ(e.FindAttribute("missing"), nullptr);
+}
+
 // --- EventTypeRegistry -------------------------------------------------------
 
 TEST(EventTypeRegistryTest, RegisterAssignsDenseIds) {

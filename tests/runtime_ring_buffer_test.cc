@@ -1,0 +1,87 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The merge shards' reorder-buffer FIFO: FIFO order across growth and
+// wraparound, capacity retention, and payload release on pop.
+
+#include "runtime/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace pldp {
+namespace {
+
+TEST(RingBufferTest, StartsEmptyWithNoCapacity) {
+  RingBuffer<int> buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 0u);
+}
+
+TEST(RingBufferTest, FifoOrderAcrossGrowth) {
+  RingBuffer<int> buffer;
+  for (int i = 0; i < 100; ++i) buffer.push_back(i);
+  EXPECT_EQ(buffer.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(buffer.front(), i);
+    buffer.pop_front();
+  }
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBufferTest, WraparoundKeepsOrderAndCapacity) {
+  RingBuffer<int> buffer;
+  // Fill to the initial capacity so the indices wrap many times.
+  for (int i = 0; i < 12; ++i) buffer.push_back(i);
+  const size_t capacity = buffer.capacity();
+  int next_push = 12;
+  int next_pop = 0;
+  for (int round = 0; round < 500; ++round) {
+    buffer.push_back(next_push++);
+    EXPECT_EQ(buffer.front(), next_pop);
+    buffer.pop_front();
+    ++next_pop;
+  }
+  // Steady-state churn never grew the ring.
+  EXPECT_EQ(buffer.capacity(), capacity);
+  EXPECT_EQ(buffer.size(), 12u);
+}
+
+TEST(RingBufferTest, GrowthPreservesWrappedContents) {
+  RingBuffer<int> buffer;
+  // Advance head so the live region wraps, then force a grow mid-wrap.
+  for (int i = 0; i < 16; ++i) buffer.push_back(i);
+  for (int i = 0; i < 10; ++i) buffer.pop_front();
+  for (int i = 16; i < 40; ++i) buffer.push_back(i);  // grows while wrapped
+  EXPECT_EQ(buffer.size(), 30u);
+  for (int i = 10; i < 40; ++i) {
+    EXPECT_EQ(buffer.front(), i);
+    buffer.pop_front();
+  }
+}
+
+TEST(RingBufferTest, PopReleasesPayloadEagerly) {
+  RingBuffer<std::shared_ptr<std::string>> buffer;
+  auto payload = std::make_shared<std::string>("owned");
+  buffer.push_back(payload);
+  EXPECT_EQ(payload.use_count(), 2);
+  buffer.pop_front();
+  // The slot must not keep the payload alive until it is overwritten.
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(RingBufferTest, ClearEmptiesButKeepsCapacity) {
+  RingBuffer<int> buffer;
+  for (int i = 0; i < 50; ++i) buffer.push_back(i);
+  const size_t capacity = buffer.capacity();
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.capacity(), capacity);
+  buffer.push_back(7);
+  EXPECT_EQ(buffer.front(), 7);
+}
+
+}  // namespace
+}  // namespace pldp
