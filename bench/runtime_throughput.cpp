@@ -4,10 +4,15 @@
 // runtime, in three sections sharing one result table (rows labeled "N",
 // "N+attrs", "NxN"):
 //
+// All workloads are declared through the PipelineBuilder API (the planner
+// compiles the topology: a budget of 1 plans the sequential in-process
+// engine — the honest single-core baseline — and the exchange workload's
+// custom "group" key compiles into one shared lane-group):
+//
 //   1. Subject-local workload: ingest a keyed synthetic stream (many data
 //      subjects, per-subject event-type alphabets, one sequence + one
-//      conjunction query per subject) through ParallelStreamingEngine at
-//      shard counts 1/2/4/8 — once per-event (OnEvent) and once batched
+//      conjunction query per subject) through the planned pipeline at
+//      shard budgets 1/2/4/8 — once per-event (OnEvent) and once batched
 //      (OnEventBatch in fixed chunks) — reporting events/sec for both, the
 //      batched-vs-per-event ratio, and speedup vs 1 shard.
 //   2. Attributed subject-local workload: the same stream shape but every
@@ -127,6 +132,31 @@ int RegisterAlphabetQueries(AddQueryFn add, size_t groups, Timestamp window) {
   return 0;
 }
 
+/// Declares the alphabet queries on a PipelineBuilder: plain per-subject
+/// queries, or cross queries sharing the group-keyed lane (one custom key
+/// name -> one exchange lane-group for all of them).
+void DeclareAlphabetQueries(PipelineBuilder& builder, size_t groups,
+                            Timestamp window, bool exchange) {
+  for (size_t k = 0; k < groups; ++k) {
+    const auto base = static_cast<EventTypeId>(k * kTypesPerSubject);
+    auto seq = Pattern::Create("seq", {base, base + 1, base + 2},
+                               DetectionMode::kSequence);
+    auto conj = Pattern::Create("conj", {base + 2, base},
+                                DetectionMode::kConjunction);
+    if (exchange) {
+      (void)builder.AddCrossQuery(std::move(seq), window,
+                                  CorrelationKey::Custom("group",
+                                                         GroupOfType));
+      (void)builder.AddCrossQuery(std::move(conj), window,
+                                  CorrelationKey::Custom("group",
+                                                         GroupOfType));
+    } else {
+      (void)builder.AddQuery(std::move(seq), window);
+      (void)builder.AddQuery(std::move(conj), window);
+    }
+  }
+}
+
 double Seconds(std::chrono::steady_clock::time_point start,
                std::chrono::steady_clock::time_point end) {
   return std::chrono::duration<double>(end - start).count();
@@ -134,18 +164,19 @@ double Seconds(std::chrono::steady_clock::time_point start,
 
 enum class IngestMode { kPerEvent, kBatched };
 
-Status IngestRange(ParallelStreamingEngine& engine,
+Status IngestRange(StreamSubscriber& subscriber,
                    const std::vector<Event>& events, size_t begin, size_t end,
                    IngestMode mode) {
   if (mode == IngestMode::kPerEvent) {
     for (size_t i = begin; i < end; ++i) {
-      PLDP_RETURN_IF_ERROR(engine.OnEvent(events[i]));
+      PLDP_RETURN_IF_ERROR(subscriber.OnEvent(events[i]));
     }
     return Status::OK();
   }
   for (size_t i = begin; i < end; i += kIngestBatch) {
     const size_t n = std::min(kIngestBatch, end - i);
-    PLDP_RETURN_IF_ERROR(engine.OnEventBatch(EventSpan(events.data() + i, n)));
+    PLDP_RETURN_IF_ERROR(
+        subscriber.OnEventBatch(EventSpan(events.data() + i, n)));
   }
   return Status::OK();
 }
@@ -166,35 +197,32 @@ double TimedIngest(const EventStream& stream, size_t groups,
                    Timestamp window, size_t shards, bool exchange,
                    IngestMode mode, size_t* waits, size_t* detections,
                    AllocPerEvent* alloc) {
-  ParallelEngineOptions options;
-  options.shard_count = shards;
-  options.queue_capacity = 4096;
-  if (exchange) {
-    options.exchange.enabled = true;
-    options.exchange.shard_count = shards;
-    options.exchange.lane_capacity = 4096;
-    options.exchange.key_fn = GroupOfType;
-  }
-  ParallelStreamingEngine engine(options);
-  const auto add = [&engine, exchange](Pattern p, Timestamp w) {
-    return exchange ? engine.AddCrossQuery(std::move(p), w)
-                    : engine.AddQuery(std::move(p), w);
-  };
-  if (RegisterAlphabetQueries(add, groups, window) != 0) return -1.0;
-  if (!engine.Start().ok()) return -1.0;
+  // Declarative construction: the builder plans the topology from the
+  // queries (a shard budget of 1 plans the sequential in-process engine —
+  // the honest single-core baseline; the exchange workload's custom
+  // "group" key compiles into one shared lane-group).
+  PipelineBuilder builder;
+  DeclareAlphabetQueries(builder, groups, window, exchange);
+  auto pipeline_or = builder.WithShards(shards)
+                         .WithCrossShards(shards)
+                         .WithQueueCapacity(4096)
+                         .WithExchangeCapacity(4096)
+                         .Build();
+  if (!pipeline_or.ok()) return -1.0;
+  Pipeline& pipeline = *pipeline_or.value();
 
   const std::vector<Event>& events = stream.events();
   const size_t warmup = std::min<size_t>(events.size() / 16, 65536);
-  if (!IngestRange(engine, events, 0, warmup, mode).ok()) return -1.0;
-  if (!engine.Drain().ok()) return -1.0;
+  if (!IngestRange(pipeline, events, 0, warmup, mode).ok()) return -1.0;
+  if (!pipeline.Drain().ok()) return -1.0;
 
   bench::ResetAllocCounters();
   bench::SetAllocCounting(true);
   const auto t0 = std::chrono::steady_clock::now();
-  if (!IngestRange(engine, events, warmup, events.size(), mode).ok()) {
+  if (!IngestRange(pipeline, events, warmup, events.size(), mode).ok()) {
     return -1.0;
   }
-  if (!engine.Drain().ok()) return -1.0;
+  if (!pipeline.Drain().ok()) return -1.0;
   const auto t1 = std::chrono::steady_clock::now();
   bench::SetAllocCounting(false);
 
@@ -208,12 +236,15 @@ double TimedIngest(const EventStream& stream, size_t groups,
   }
 
   *waits = 0;
-  for (const ShardStats& s : engine.ShardStatsSnapshot()) {
+  for (const ShardStats& s : pipeline.ShardStatsSnapshot()) {
     *waits += s.backpressure_waits + s.exchange_backpressure_waits;
   }
-  *detections =
-      exchange ? engine.total_cross_detections() : engine.total_detections();
-  if (!engine.Stop().ok()) return -1.0;
+  // Detections live behind the typed drain barrier.
+  auto finished = pipeline.Finish();
+  if (!finished.ok()) return -1.0;
+  *detections = exchange ? finished.value().total_cross_detections()
+                         : finished.value().total_detections();
+  if (!pipeline.Stop().ok()) return -1.0;
   return static_cast<double>(measured) / Seconds(t0, t1);
 }
 

@@ -1,14 +1,15 @@
 // Copyright 2026 The PLDP Authors.
 //
-// Cross-subject correlation on the two-stage exchange pipeline.
+// Cross-subject correlation through the declarative pipeline API.
 //
 // Scenario: vehicles (data subjects) report zone-entry events carrying a
 // `zone` attribute. The deployment wants a pattern that no single-subject
 // stream can answer: "within one time window, a zone sees an entry, a
 // congestion report, and an incident report — from any mix of vehicles."
-// Stage-1 shards ingest per subject as usual; the exchange re-keys every
-// event by its zone attribute onto stage-2 merge shards, where the
-// cross-subject conjunction matches with sequential-engine-exact results.
+// Declaring the query with CorrelationKey::ByAttribute("zone") is all it
+// takes: the planner compiles the two-stage exchange topology (stage-1
+// subject shards, a zone-keyed lane-group, stage-2 merge shards) and the
+// results come back sequential-engine-exact.
 
 #include <cstdio>
 
@@ -23,22 +24,20 @@ int main() {
   constexpr size_t kZones = 8;
   constexpr size_t kVehicles = 40;
 
-  ParallelEngineOptions options;
-  options.shard_count = 4;
-  options.exchange.enabled = true;
-  options.exchange.shard_count = 2;
-  options.exchange.key = CorrelationKeySpec::ByAttribute("zone");
-
-  ParallelStreamingEngine engine(options);
-  StatusOr<Pattern> pattern =
+  PipelineBuilder builder;
+  CrossQueryHandle zone_alert = builder.AddCrossQuery(
       Pattern::Create("zone_alert", {kEntry, kCongestion, kIncident},
-                      DetectionMode::kConjunction);
-  if (!pattern.ok() ||
-      !engine.AddCrossQuery(std::move(pattern).value(), /*window=*/10).ok() ||
-      !engine.Start().ok()) {
-    std::fprintf(stderr, "setup failed\n");
+                      DetectionMode::kConjunction),
+      /*window=*/10, CorrelationKey::ByAttribute("zone"));
+  auto pipeline_or =
+      builder.WithShards(4).WithCrossShards(2).Build();
+  if (!pipeline_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 pipeline_or.status().ToString().c_str());
     return 1;
   }
+  std::unique_ptr<Pipeline> pipeline = std::move(pipeline_or).value();
+  std::printf("planned topology:\n%s\n", pipeline->plan().Describe().c_str());
 
   // Synthesize traffic: vehicles hop zones; event types cycle per zone.
   // The zone attribute is bound once (AttrId) and carried as an interned
@@ -62,22 +61,33 @@ int main() {
   }
 
   StreamReplayer replayer;
-  replayer.Subscribe(&engine);
+  replayer.Subscribe(pipeline.get());
   if (!replayer.Run(stream, ReplayMode::kBatchPerTick).ok()) {
     std::fprintf(stderr, "replay failed\n");
     return 1;
   }
 
-  std::printf("events ingested:        %zu\n", engine.events_processed());
-  std::printf("cross-subject alerts:   %zu\n",
-              engine.total_cross_detections());
-  for (const ShardStats& s : engine.ShardStatsSnapshot()) {
+  StatusOr<FinishedPipeline> finished = pipeline->Finish();
+  if (!finished.ok()) {
+    std::fprintf(stderr, "finish failed\n");
+    return 1;
+  }
+  StatusOr<std::vector<Timestamp>> alerts =
+      finished.value().Detections(zone_alert);
+  if (!alerts.ok()) {
+    std::fprintf(stderr, "lookup failed\n");
+    return 1;
+  }
+  std::printf("events ingested:        %zu\n",
+              finished.value().events_processed());
+  std::printf("cross-subject alerts:   %zu\n", alerts.value().size());
+  for (const ShardStats& s : pipeline->ShardStatsSnapshot()) {
     std::printf("stage-1 shard %zu: %zu events, %zu forwarded\n",
                 s.shard_index, s.events_processed, s.forwarded);
   }
-  for (const ShardStats& s : engine.CrossShardStatsSnapshot()) {
+  for (const ShardStats& s : pipeline->CrossShardStatsSnapshot()) {
     std::printf("stage-2 shard %zu: %zu events merged, %zu detections\n",
                 s.shard_index, s.events_processed, s.detections);
   }
-  return engine.Stop().ok() ? 0 : 1;
+  return pipeline->Stop().ok() ? 0 : 1;
 }

@@ -1,10 +1,11 @@
 // Copyright 2026 The PLDP Authors.
 //
-// Production-flavour deployment of the sharded runtime: a fleet of smart
-// homes (data subjects) streams events into the trusted CEP middleware.
-// The middleware shards subjects across worker threads, each running its
-// own incremental CEP engine over the substream routed to it, and reports
-// merged detections plus per-shard load after the stream drains.
+// Production-flavour deployment of the sharded runtime via the declarative
+// pipeline API: a fleet of smart homes (data subjects) streams events into
+// the trusted CEP middleware. The builder plans the topology — here a
+// subject-sharded runtime (or a sequential engine on a 1-core budget) —
+// and the typed query handle is the only way to read the detections, which
+// are only reachable after Finish()'s drain barrier.
 //
 // This is the concurrency substrate for the paper's system model (Fig. 2):
 // private patterns live inside one subject's stream, so subject-key
@@ -26,14 +27,6 @@ pldp::Status Run() {
   pldp::EventTypeId motion = types.Intern("hall_motion");
   pldp::EventTypeId kettle = types.Intern("kettle_on");
 
-  // One continuous query, evaluated per subject by construction of the
-  // runtime: SEQ(front_door, hall_motion, kettle_on) within 10 time units
-  // ("resident came home and settled in").
-  PLDP_ASSIGN_OR_RETURN(
-      pldp::Pattern came_home,
-      pldp::Pattern::Create("came_home", {door, motion, kettle},
-                            pldp::DetectionMode::kSequence));
-
   constexpr size_t kHomes = 1000;
   constexpr size_t kTicks = 200;
 
@@ -50,43 +43,49 @@ pldp::Status Run() {
     }
   }
 
-  // The sharded runtime: one shard per core, bounded queues, subject-key
-  // routing. It is a StreamSubscriber, so the stock replayer drives it.
-  pldp::ParallelEngineOptions options;
-  options.shard_count = 0;  // auto: one per hardware thread
-  options.queue_capacity = 1024;
-  pldp::ParallelStreamingEngine engine(options);
-  PLDP_ASSIGN_OR_RETURN(size_t query,
-                        engine.AddQuery(came_home, /*window=*/10));
-  PLDP_RETURN_IF_ERROR(engine.Start());
+  // One continuous query, evaluated per subject by construction:
+  // SEQ(front_door, hall_motion, kettle_on) within 10 time units
+  // ("resident came home and settled in"). The builder plans one shard per
+  // hardware thread (WithShards(0)) with bounded queues and subject-key
+  // routing; registration returns the typed handle.
+  pldp::PipelineBuilder builder;
+  pldp::QueryHandle came_home = builder.AddQuery(
+      pldp::Pattern::Create("came_home", {door, motion, kettle},
+                            pldp::DetectionMode::kSequence),
+      /*window=*/10);
+  PLDP_ASSIGN_OR_RETURN(std::unique_ptr<pldp::Pipeline> pipeline,
+                        builder.WithShards(0).WithQueueCapacity(1024).Build());
+  std::printf("planned topology:\n%s\n", pipeline->plan().Describe().c_str());
 
-  // Per-tick batch delivery: the replayer hands the engine one span per
+  // Per-tick batch delivery: the replayer hands the pipeline one span per
   // tick and OnEventBatch bulk-pushes per shard — the cheap ingest path.
-  // Run ends with OnEnd → Drain, so results are stable immediately after.
   pldp::StreamReplayer replayer;
-  replayer.Subscribe(&engine);
+  replayer.Subscribe(pipeline.get());
   PLDP_RETURN_IF_ERROR(
       replayer.Run(arrivals, pldp::ReplayMode::kBatchPerTick));
 
+  // Results only exist behind the Finish() barrier — the typed handle plus
+  // FinishedPipeline replace the old "remember to Drain() first" contract.
+  PLDP_ASSIGN_OR_RETURN(pldp::FinishedPipeline finished, pipeline->Finish());
   PLDP_ASSIGN_OR_RETURN(std::vector<pldp::Timestamp> detections,
-                        engine.DetectionsOf(query));
+                        finished.Detections(came_home));
   std::printf("ingested %zu events from %zu homes across %zu shards\n",
-              engine.events_processed(), kHomes, engine.shard_count());
-  std::printf("'%s' detections: %zu", came_home.name().c_str(),
-              detections.size());
+              finished.events_processed(), kHomes,
+              pipeline->plan().shard_count);
+  std::printf("'came_home' detections: %zu", detections.size());
   if (!detections.empty()) {
     std::printf(" (first at t=%lld, last at t=%lld)",
                 static_cast<long long>(detections.front()),
                 static_cast<long long>(detections.back()));
   }
   std::printf("\n\nper-shard load:\n");
-  for (const pldp::ShardStats& s : engine.ShardStatsSnapshot()) {
+  for (const pldp::ShardStats& s : pipeline->ShardStatsSnapshot()) {
     std::printf(
         "  shard %zu: %zu events, %zu detections, %zu backpressure waits\n",
         s.shard_index, s.events_processed, s.detections,
         s.backpressure_waits);
   }
-  return engine.Stop();
+  return pipeline->Stop();
 }
 
 }  // namespace

@@ -1,16 +1,17 @@
 // Copyright 2026 The PLDP Authors.
 //
-// The paper's full service phase (Fig. 2), sharded: a fleet of smart homes
-// (data subjects) streams events into the trusted CEP middleware, which
-// routes each subject to a worker shard, windows every subject's stream
-// shard-locally, publishes privacy-protected views through a per-subject
-// pattern-level mechanism (uniform PPM, budget ε), and answers the
-// registered target queries from the protected views only — raw events
-// never leave the middleware.
+// The paper's full service phase (Fig. 2), declared through the pipeline
+// API: a fleet of smart homes (data subjects) streams events into the
+// trusted CEP middleware. Declaring private patterns + private queries +
+// a mechanism makes the planner compile the sharded private lane: each
+// subject is routed to a worker shard, windowed shard-locally, protected
+// through a per-subject pattern-level mechanism (uniform PPM, budget ε),
+// and the registered target queries are answered from protected views
+// only — raw events never leave the middleware.
 //
 // Determinism: per-subject Rngs derive from (seed, subject id), so the
 // protected answers are identical at any shard count; run with different
-// shard counts and diff the output to see for yourself.
+// WithShards budgets and diff the output to see for yourself.
 
 #include <cstdio>
 
@@ -25,44 +26,36 @@ pldp::Status Run() {
   constexpr double kEpsilon = 2.0;
 
   // --- Setup phase: subjects declare a private pattern, one consumer
-  // registers target queries, the middleware grants ε.
-  pldp::ParallelPrivateOptions options;
-  options.shard_count = 0;  // auto: one shard per hardware thread
-  options.window_size = kWindow;
-  options.seed = 2026;
-  pldp::ParallelPrivateEngine engine(options);
-
-  const pldp::EventTypeId door = engine.InternEventType("front_door");
-  const pldp::EventTypeId motion = engine.InternEventType("hall_motion");
-  const pldp::EventTypeId kettle = engine.InternEventType("kettle_on");
-  const pldp::EventTypeId meds = engine.InternEventType("med_cabinet");
+  // registers target queries, the middleware grants ε. All declarative;
+  // the planner validates and compiles at Build().
+  pldp::PipelineBuilder builder;
+  const pldp::EventTypeId door = builder.InternEventType("front_door");
+  const pldp::EventTypeId motion = builder.InternEventType("hall_motion");
+  const pldp::EventTypeId kettle = builder.InternEventType("kettle_on");
+  const pldp::EventTypeId meds = builder.InternEventType("med_cabinet");
 
   // The residents consider "medication taken at home" private.
-  PLDP_ASSIGN_OR_RETURN(
-      pldp::Pattern private_pattern,
+  builder.AddPrivatePattern(
       pldp::Pattern::Create("meds_at_home", {door, meds},
                             pldp::DetectionMode::kConjunction));
-  PLDP_RETURN_IF_ERROR(
-      engine.RegisterPrivatePattern(std::move(private_pattern)).status());
 
   // A wellness service asks two continuous queries per window.
-  PLDP_ASSIGN_OR_RETURN(
-      pldp::Pattern came_home,
+  pldp::PrivateQueryHandle came_home = builder.AddPrivateQuery(
+      "came_home",
       pldp::Pattern::Create("came_home", {door, motion, kettle},
                             pldp::DetectionMode::kConjunction));
-  PLDP_RETURN_IF_ERROR(
-      engine.RegisterTargetQuery("came_home", std::move(came_home)).status());
-  PLDP_ASSIGN_OR_RETURN(
-      pldp::Pattern meds_taken,
-      pldp::Pattern::Create("meds_taken", {door, meds},
-                            pldp::DetectionMode::kConjunction));
-  PLDP_RETURN_IF_ERROR(
-      engine.RegisterTargetQuery("meds_taken", std::move(meds_taken))
-          .status());
+  pldp::PrivateQueryHandle meds_taken = builder.AddPrivateQuery(
+      "meds_taken", pldp::Pattern::Create("meds_taken", {door, meds},
+                                          pldp::DetectionMode::kConjunction));
 
-  // Uniform pattern-level PPM; one fresh instance per data subject.
-  PLDP_RETURN_IF_ERROR(
-      engine.Activate(pldp::NamedMechanismFactory("uniform"), kEpsilon));
+  PLDP_ASSIGN_OR_RETURN(std::unique_ptr<pldp::Pipeline> pipeline,
+                        builder.WithShards(0)  // auto: one per hardware thread
+                            .WithSeed(2026)
+                            .WithPrivacyWindow(kWindow)
+                            .WithMechanism("uniform")
+                            .WithEpsilon(kEpsilon)
+                            .Build());
+  std::printf("planned topology:\n%s\n", pipeline->plan().Describe().c_str());
 
   // --- Service phase: synthesize the merged arrival stream and replay it
   // in per-tick batches (the batched ingest path).
@@ -78,37 +71,39 @@ pldp::Status Run() {
   }
 
   pldp::StreamReplayer replayer;
-  replayer.Subscribe(&engine);
+  replayer.Subscribe(pipeline.get());
   PLDP_RETURN_IF_ERROR(
       replayer.Run(arrivals, pldp::ReplayMode::kBatchPerTick));
-  // Run ends with OnEnd → Finish: shards drained, open windows published.
 
-  // --- Consumer-side view: protected answers only.
-  const std::vector<pldp::StreamId> subjects = engine.SubjectIds();
-  size_t total_windows = 0;
+  // --- Consumer-side view: protected answers only, reachable only behind
+  // the Finish() barrier via the typed handles.
+  PLDP_ASSIGN_OR_RETURN(pldp::FinishedPipeline finished, pipeline->Finish());
+  const std::vector<pldp::StreamId> subjects = finished.Subjects();
   size_t came_home_positives = 0;
   size_t meds_positives = 0;
   for (pldp::StreamId subject : subjects) {
-    PLDP_ASSIGN_OR_RETURN(pldp::SubjectResults results,
-                          engine.ResultsFor(subject));
-    total_windows += results.window_count;
-    came_home_positives += results.answers[0].PositiveCount();
-    meds_positives += results.answers[1].PositiveCount();
+    PLDP_ASSIGN_OR_RETURN(pldp::AnswerSeries a,
+                          finished.AnswersOf(came_home, subject));
+    came_home_positives += a.PositiveCount();
+    PLDP_ASSIGN_OR_RETURN(pldp::AnswerSeries b,
+                          finished.AnswersOf(meds_taken, subject));
+    meds_positives += b.PositiveCount();
   }
 
   std::printf(
       "ingested %zu events from %zu homes across %zu shards\n"
       "published %zu protected windows (ε=%.1f per private pattern)\n"
       "'came_home' positive in %zu windows, 'meds_taken' in %zu\n",
-      engine.events_processed(), subjects.size(), engine.shard_count(),
-      total_windows, kEpsilon, came_home_positives, meds_positives);
+      finished.events_processed(), subjects.size(),
+      pipeline->plan().shard_count, finished.total_windows(), kEpsilon,
+      came_home_positives, meds_positives);
 
   std::printf("\nper-shard load:\n");
-  for (const pldp::ShardStats& s : engine.ShardStatsSnapshot()) {
+  for (const pldp::ShardStats& s : pipeline->ShardStatsSnapshot()) {
     std::printf("  shard %zu: %zu events, %zu backpressure waits\n",
                 s.shard_index, s.events_processed, s.backpressure_waits);
   }
-  return engine.Stop();
+  return pipeline->Stop();
 }
 
 }  // namespace

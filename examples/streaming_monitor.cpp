@@ -64,19 +64,16 @@ pldp::Status Run() {
   }
 
   // --- Online detection --------------------------------------------------------
-  pldp::StreamingCepEngine engine;
-  PLDP_ASSIGN_OR_RETURN(size_t came_home_q,
-                        engine.AddQuery(came_home, /*window=*/30));
-  PLDP_ASSIGN_OR_RETURN(
-      pldp::Pattern evening,
+  // A single-shard budget makes the planner pick the sequential in-process
+  // engine — same declarative API as the sharded deployments, no threads.
+  pldp::PipelineBuilder builder;
+  pldp::QueryHandle came_home_q = builder.AddQuery(came_home, /*window=*/30);
+  pldp::QueryHandle evening_q = builder.AddQuery(
       pldp::Pattern::Create("evening_routine", {tv, kettle},
-                            pldp::DetectionMode::kConjunction));
-  PLDP_ASSIGN_OR_RETURN(size_t evening_q,
-                        engine.AddQuery(evening, /*window=*/120));
-  engine.SetCallback([&](const pldp::StreamingDetection& d) {
-    std::printf("  t=%lld: query %zu fired\n",
-                static_cast<long long>(d.at), d.query_index);
-  });
+                            pldp::DetectionMode::kConjunction),
+      /*window=*/120);
+  PLDP_ASSIGN_OR_RETURN(std::unique_ptr<pldp::Pipeline> pipeline,
+                        builder.WithShards(1).Build());
 
   pldp::EventStream live;
   live.AppendUnchecked(pldp::Event(tv, 10));
@@ -85,17 +82,25 @@ pldp::Status Run() {
   live.AppendUnchecked(pldp::Event(kettle, 110));   // evening_routine fires
   live.AppendUnchecked(pldp::Event(motion, 400));   // stale: no door nearby
 
-  std::printf("\nlive stream detections:\n");
   pldp::StreamReplayer replayer;
-  replayer.Subscribe(&engine);
+  replayer.Subscribe(pipeline.get());
   PLDP_RETURN_IF_ERROR(replayer.Run(live));
 
-  PLDP_ASSIGN_OR_RETURN(auto home_hits, engine.DetectionsOf(came_home_q));
-  PLDP_ASSIGN_OR_RETURN(auto evening_hits, engine.DetectionsOf(evening_q));
+  PLDP_ASSIGN_OR_RETURN(pldp::FinishedPipeline finished, pipeline->Finish());
+  PLDP_ASSIGN_OR_RETURN(auto home_hits, finished.Detections(came_home_q));
+  PLDP_ASSIGN_OR_RETURN(auto evening_hits, finished.Detections(evening_q));
+  std::printf("\nlive stream detections:\n");
+  for (pldp::Timestamp t : home_hits) {
+    std::printf("  t=%lld: came_home fired\n", static_cast<long long>(t));
+  }
+  for (pldp::Timestamp t : evening_hits) {
+    std::printf("  t=%lld: evening_routine fired\n",
+                static_cast<long long>(t));
+  }
   std::printf("\nsummary: %zu events, came_home x%zu, evening_routine x%zu\n",
-              engine.events_processed(), home_hits.size(),
+              finished.events_processed(), home_hits.size(),
               evening_hits.size());
-  return pldp::Status::OK();
+  return pipeline->Stop();
 }
 
 }  // namespace

@@ -1,0 +1,679 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "api/pipeline_builder.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+#include "ppm/factory.h"
+
+namespace pldp {
+namespace {
+
+std::atomic<uint64_t> g_next_builder_uid{1};
+
+size_t ResolveShardBudget(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+std::string SpecKeyId(const CorrelationKeySpec& spec) {
+  switch (spec.kind) {
+    case CorrelationKeySpec::Kind::kGlobal:
+      return "global";
+    case CorrelationKeySpec::Kind::kSubject:
+      return "subject";
+    case CorrelationKeySpec::Kind::kEventType:
+      return "event-type";
+    case CorrelationKeySpec::Kind::kAttribute:
+      return "attr:" + spec.attribute;
+  }
+  return "global";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CorrelationKey
+
+CorrelationKey CorrelationKey::Auto() { return CorrelationKey(); }
+
+CorrelationKey CorrelationKey::Global() {
+  CorrelationKey key;
+  key.mode_ = Mode::kSpec;
+  key.spec_ = CorrelationKeySpec::Global();
+  return key;
+}
+
+CorrelationKey CorrelationKey::ByEventType() {
+  CorrelationKey key;
+  key.mode_ = Mode::kSpec;
+  key.spec_ = CorrelationKeySpec::ByEventType();
+  return key;
+}
+
+CorrelationKey CorrelationKey::ByAttribute(std::string attribute) {
+  CorrelationKey key;
+  key.mode_ = Mode::kSpec;
+  key.spec_ = CorrelationKeySpec::ByAttribute(std::move(attribute));
+  return key;
+}
+
+CorrelationKey CorrelationKey::Custom(std::string name, CorrelationKeyFn fn) {
+  CorrelationKey key;
+  key.mode_ = Mode::kCustom;
+  key.custom_name_ = std::move(name);
+  key.custom_fn_ = std::move(fn);
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// PipelinePlan
+
+std::string PipelinePlan::Describe() const {
+  std::string out;
+  if (plain_queries > 0 || !cross_groups.empty()) {
+    if (sequential) {
+      out += StrFormat(
+          "plain/cross lane: sequential in-process engine (%zu plain, ",
+          plain_queries);
+    } else {
+      out += StrFormat("plain/cross lane: %zu shards (%zu plain, ",
+                       shard_count, plain_queries);
+    }
+    size_t cross_total = 0;
+    for (const CrossGroupPlan& g : cross_groups) cross_total += g.query_count;
+    out += StrFormat("%zu cross)\n", cross_total);
+    for (const CrossGroupPlan& g : cross_groups) {
+      out += StrFormat("  lane-group '%s': %zu queries, %zu merge shards\n",
+                       g.key_id.c_str(), g.query_count, g.merge_shards);
+    }
+  }
+  if (has_private) {
+    out += StrFormat(
+        "private lane: %zu shards (%zu target queries, %zu cross)\n",
+        shard_count, private_queries, private_cross_queries);
+  }
+  if (out.empty()) out = "empty plan\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PipelineBuilder
+
+PipelineBuilder::PipelineBuilder()
+    : uid_(g_next_builder_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+PipelineBuilder& PipelineBuilder::WithShards(size_t shard_budget) {
+  shard_budget_ = shard_budget;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithCrossShards(size_t merge_shards) {
+  cross_shards_ = merge_shards;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithQueueCapacity(size_t capacity) {
+  queue_capacity_ = capacity;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithExchangeCapacity(size_t lane_capacity) {
+  exchange_capacity_ = lane_capacity;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithSeed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithPrivacyWindow(Timestamp size,
+                                                    Timestamp origin) {
+  window_size_ = size;
+  window_origin_ = origin;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithEpsilon(double epsilon) {
+  epsilon_ = epsilon;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithMechanism(const std::string& name) {
+  mechanism_factory_ = NamedMechanismFactory(name);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithMechanismFactory(
+    MechanismFactory factory) {
+  mechanism_factory_ = std::move(factory);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithAlpha(double alpha) {
+  alpha_ = alpha;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithHistory(std::vector<Window> history) {
+  history_ = std::move(history);
+  return *this;
+}
+
+EventTypeId PipelineBuilder::InternEventType(const std::string& name) {
+  for (size_t i = 0; i < event_type_names_.size(); ++i) {
+    if (event_type_names_[i] == name) return static_cast<EventTypeId>(i);
+  }
+  event_type_names_.push_back(name);
+  return static_cast<EventTypeId>(event_type_names_.size() - 1);
+}
+
+void PipelineBuilder::LatchError(Status status) {
+  if (error_.ok() && !status.ok()) error_ = std::move(status);
+}
+
+QueryHandle PipelineBuilder::AddQuery(StatusOr<Pattern> pattern,
+                                      Timestamp window) {
+  QueryHandle handle;
+  handle.rep_.builder_uid = uid_;
+  if (!pattern.ok()) {
+    LatchError(pattern.status());
+    return handle;
+  }
+  PlainDecl decl;
+  decl.pattern = std::move(pattern).value();
+  decl.window = window;
+  plain_.push_back(std::move(decl));
+  handle.rep_.index = plain_.size() - 1;
+  return handle;
+}
+
+CrossQueryHandle PipelineBuilder::AddCrossQuery(StatusOr<Pattern> pattern,
+                                                Timestamp window,
+                                                CorrelationKey key) {
+  CrossQueryHandle handle;
+  handle.rep_.builder_uid = uid_;
+  if (!pattern.ok()) {
+    LatchError(pattern.status());
+    return handle;
+  }
+  CrossDecl decl;
+  decl.pattern = std::move(pattern).value();
+  decl.window = window;
+  decl.key = std::move(key);
+  cross_.push_back(std::move(decl));
+  handle.rep_.index = cross_.size() - 1;
+  return handle;
+}
+
+PipelineBuilder& PipelineBuilder::AddPrivatePattern(StatusOr<Pattern> pattern) {
+  if (!pattern.ok()) {
+    LatchError(pattern.status());
+    return *this;
+  }
+  private_patterns_.push_back(std::move(pattern).value());
+  return *this;
+}
+
+PrivateQueryHandle PipelineBuilder::AddPrivateQuery(const std::string& name,
+                                                    StatusOr<Pattern> pattern) {
+  PrivateQueryHandle handle;
+  handle.rep_.builder_uid = uid_;
+  if (!pattern.ok()) {
+    LatchError(pattern.status());
+    return handle;
+  }
+  PrivateDecl decl;
+  decl.name = name;
+  decl.pattern = std::move(pattern).value();
+  private_queries_.push_back(std::move(decl));
+  handle.rep_.index = private_queries_.size() - 1;
+  return handle;
+}
+
+PrivateCrossQueryHandle PipelineBuilder::AddPrivateCrossQuery(
+    const std::string& name, StatusOr<Pattern> pattern, Timestamp window) {
+  PrivateCrossQueryHandle handle;
+  handle.rep_.builder_uid = uid_;
+  if (!pattern.ok()) {
+    LatchError(pattern.status());
+    return handle;
+  }
+  PrivateCrossDecl decl;
+  decl.name = name;
+  decl.pattern = std::move(pattern).value();
+  decl.window = window;
+  private_cross_.push_back(std::move(decl));
+  handle.rep_.index = private_cross_.size() - 1;
+  return handle;
+}
+
+StatusOr<std::pair<std::string, CorrelationKeyFn>> PipelineBuilder::ResolveKey(
+    const CorrelationKey& key, const Pattern& pattern) const {
+  switch (key.mode_) {
+    case CorrelationKey::Mode::kAuto: {
+      PLDP_ASSIGN_OR_RETURN(CorrelationKeySpec spec,
+                            SuggestCorrelationSpec({pattern}));
+      PLDP_ASSIGN_OR_RETURN(CorrelationKeyFn fn, MakeCorrelationKeyFn(spec));
+      return std::make_pair(SpecKeyId(spec), std::move(fn));
+    }
+    case CorrelationKey::Mode::kSpec: {
+      PLDP_ASSIGN_OR_RETURN(CorrelationKeyFn fn,
+                            MakeCorrelationKeyFn(key.spec_));
+      return std::make_pair(SpecKeyId(key.spec_), std::move(fn));
+    }
+    case CorrelationKey::Mode::kCustom: {
+      if (!key.custom_fn_) {
+        return Status::InvalidArgument("custom correlation key '" +
+                                       key.custom_name_ +
+                                       "' has a null extractor");
+      }
+      return std::make_pair("custom:" + key.custom_name_, key.custom_fn_);
+    }
+  }
+  return Status::Internal("unreachable correlation key mode");
+}
+
+StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
+  if (built_) {
+    return Status::FailedPrecondition(
+        "PipelineBuilder is single-use; Build() was already called");
+  }
+  built_ = true;
+  PLDP_RETURN_IF_ERROR(error_);
+
+  const bool has_private =
+      !private_queries_.empty() || !private_cross_.empty();
+  if (plain_.empty() && cross_.empty() && !has_private) {
+    return Status::InvalidArgument("no queries declared");
+  }
+  if (!private_patterns_.empty() && !has_private) {
+    return Status::InvalidArgument(
+        "private patterns declared but no private queries; add "
+        "AddPrivateQuery/AddPrivateCrossQuery or drop the patterns");
+  }
+  if (has_private && private_queries_.empty()) {
+    return Status::InvalidArgument(
+        "private cross queries need at least one AddPrivateQuery target "
+        "(the mechanism protects per-subject answers)");
+  }
+  // Cheap private-lane configuration checks come before any lane spins up
+  // worker threads, so a config mistake is side-effect-free.
+  if (has_private) {
+    if (!mechanism_factory_) {
+      return Status::InvalidArgument(
+          "private queries need a mechanism: call WithMechanism(name) or "
+          "WithMechanismFactory(factory)");
+    }
+    if (window_size_ <= 0) {
+      return Status::InvalidArgument(
+          "private queries need WithPrivacyWindow(size > 0)");
+    }
+    if (private_patterns_.empty()) {
+      return Status::InvalidArgument(
+          "private queries need at least one AddPrivatePattern (what the "
+          "mechanism protects)");
+    }
+  }
+
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->builder_uid_ = uid_;
+  PipelinePlan& plan = pipeline->plan_;
+  plan.shard_count = ResolveShardBudget(shard_budget_);
+  plan.plain_queries = plain_.size();
+  plan.has_private = has_private;
+  plan.private_queries = private_queries_.size();
+  plan.private_cross_queries = private_cross_.size();
+
+  // Resolve every cross query's correlation key up front: the planner
+  // dedupes equal keys into shared lane-groups and validates the rest.
+  struct ResolvedCross {
+    std::string key_id;
+    CorrelationKeyFn fn;
+  };
+  std::vector<ResolvedCross> resolved;
+  resolved.reserve(cross_.size());
+  for (const CrossDecl& decl : cross_) {
+    PLDP_ASSIGN_OR_RETURN(auto key, ResolveKey(decl.key, decl.pattern));
+    ResolvedCross r;
+    r.key_id = std::move(key.first);
+    r.fn = std::move(key.second);
+    resolved.push_back(std::move(r));
+  }
+  const size_t merge_shards =
+      cross_shards_ > 0 ? cross_shards_ : plan.shard_count;
+  for (const ResolvedCross& r : resolved) {
+    bool found = false;
+    for (PipelinePlan::CrossGroupPlan& g : plan.cross_groups) {
+      if (g.key_id == r.key_id) {
+        ++g.query_count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      PipelinePlan::CrossGroupPlan g;
+      g.key_id = r.key_id;
+      g.query_count = 1;
+      g.merge_shards = merge_shards;
+      plan.cross_groups.push_back(std::move(g));
+    }
+  }
+
+  // --- Plain/cross lane ----------------------------------------------------
+  if (!plain_.empty() || !cross_.empty()) {
+    plan.sequential = plan.shard_count == 1;
+    if (plan.sequential) {
+      // Budget 1: one in-process engine answers plain AND cross queries
+      // exactly (a single partition sees the whole stream in order) with
+      // no worker threads and no exchange fabric.
+      for (PipelinePlan::CrossGroupPlan& g : plan.cross_groups) {
+        g.merge_shards = 0;
+      }
+      pipeline->sequential_ = std::make_unique<StreamingCepEngine>();
+      for (const PlainDecl& decl : plain_) {
+        PLDP_ASSIGN_OR_RETURN(
+            size_t index,
+            pipeline->sequential_->AddQuery(decl.pattern, decl.window));
+        pipeline->plain_map_.push_back(index);
+      }
+      for (const CrossDecl& decl : cross_) {
+        PLDP_ASSIGN_OR_RETURN(
+            size_t index,
+            pipeline->sequential_->AddQuery(decl.pattern, decl.window));
+        pipeline->cross_map_.push_back(index);
+      }
+    } else {
+      ParallelEngineOptions options;
+      options.shard_count = plan.shard_count;
+      options.queue_capacity = queue_capacity_;
+      options.seed = seed_;
+      options.exchange.shard_count = merge_shards;
+      options.exchange.lane_capacity = exchange_capacity_;
+      pipeline->runtime_ =
+          std::make_unique<ParallelStreamingEngine>(std::move(options));
+      for (const PlainDecl& decl : plain_) {
+        PLDP_ASSIGN_OR_RETURN(
+            size_t index,
+            pipeline->runtime_->AddQuery(decl.pattern, decl.window));
+        pipeline->plain_map_.push_back(index);
+      }
+      for (size_t i = 0; i < cross_.size(); ++i) {
+        PLDP_ASSIGN_OR_RETURN(
+            size_t index,
+            pipeline->runtime_->AddCrossQueryKeyed(
+                cross_[i].pattern, cross_[i].window, resolved[i].key_id,
+                resolved[i].fn));
+        pipeline->cross_map_.push_back(index);
+      }
+      PLDP_RETURN_IF_ERROR(pipeline->runtime_->Start());
+    }
+  }
+
+  // --- Private lane --------------------------------------------------------
+  if (has_private) {
+    ParallelPrivateOptions options;
+    options.shard_count = plan.shard_count;
+    options.queue_capacity = queue_capacity_;
+    options.seed = seed_;
+    options.window_size = window_size_;
+    options.window_origin = window_origin_;
+    options.exchange.shard_count = merge_shards;
+    options.exchange.lane_capacity = exchange_capacity_;
+    pipeline->private_engine_ =
+        std::make_unique<ParallelPrivateEngine>(options);
+    ParallelPrivateEngine& engine = *pipeline->private_engine_;
+    for (const std::string& name : event_type_names_) {
+      (void)engine.InternEventType(name);
+    }
+    engine.SetAlpha(alpha_);
+    if (!history_.empty()) engine.SetHistory(history_);
+    for (const Pattern& pattern : private_patterns_) {
+      PLDP_RETURN_IF_ERROR(engine.RegisterPrivatePattern(pattern).status());
+    }
+    for (const PrivateDecl& decl : private_queries_) {
+      PLDP_ASSIGN_OR_RETURN(QueryId id, engine.RegisterTargetQuery(
+                                            decl.name, decl.pattern));
+      pipeline->private_map_.push_back(id);
+    }
+    for (const PrivateCrossDecl& decl : private_cross_) {
+      PLDP_ASSIGN_OR_RETURN(size_t index,
+                            engine.RegisterCrossTargetQuery(
+                                decl.name, decl.pattern, decl.window));
+      pipeline->private_cross_map_.push_back(index);
+    }
+    PLDP_RETURN_IF_ERROR(engine.Activate(mechanism_factory_, epsilon_));
+  }
+
+  return pipeline;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+
+Pipeline::~Pipeline() { (void)Stop(); }
+
+Status Pipeline::OnEvent(const Event& event) {
+  if (finished_) {
+    return Status::FailedPrecondition("ingestion after Finish()/OnEnd");
+  }
+  if (sequential_ != nullptr) {
+    PLDP_RETURN_IF_ERROR(sequential_->OnEvent(event));
+  }
+  if (runtime_ != nullptr) {
+    PLDP_RETURN_IF_ERROR(runtime_->OnEvent(event));
+  }
+  if (private_engine_ != nullptr) {
+    PLDP_RETURN_IF_ERROR(private_engine_->OnEvent(event));
+  }
+  ++events_ingested_;
+  return Status::OK();
+}
+
+Status Pipeline::OnEventBatch(EventSpan events) {
+  if (finished_) {
+    return Status::FailedPrecondition("ingestion after Finish()/OnEnd");
+  }
+  if (sequential_ != nullptr) {
+    PLDP_RETURN_IF_ERROR(sequential_->OnEventBatch(events));
+  }
+  if (runtime_ != nullptr) {
+    PLDP_RETURN_IF_ERROR(runtime_->OnEventBatch(events));
+  }
+  if (private_engine_ != nullptr) {
+    PLDP_RETURN_IF_ERROR(private_engine_->OnEventBatch(events));
+  }
+  events_ingested_ += events.size();
+  return Status::OK();
+}
+
+Status Pipeline::OnEnd() { return FinishInternal(); }
+
+Status Pipeline::Drain() {
+  if (runtime_ != nullptr) return runtime_->Drain();
+  return Status::OK();
+}
+
+Status Pipeline::FinishInternal() {
+  if (finished_) return finish_status_;
+  finished_ = true;
+  Status result = Status::OK();
+  if (runtime_ != nullptr) {
+    const Status s = runtime_->Finish();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  if (private_engine_ != nullptr) {
+    const Status s = private_engine_->Finish();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  finish_status_ = result;
+  return finish_status_;
+}
+
+StatusOr<FinishedPipeline> Pipeline::Finish() {
+  PLDP_RETURN_IF_ERROR(FinishInternal());
+  return FinishedPipeline(this);
+}
+
+Status Pipeline::Stop() {
+  Status result = Status::OK();
+  if (runtime_ != nullptr) {
+    const Status s = runtime_->Stop();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  if (private_engine_ != nullptr) {
+    const Status s = private_engine_->Stop();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
+}
+
+size_t Pipeline::events_processed() const { return events_ingested_; }
+
+std::vector<ShardStats> Pipeline::ShardStatsSnapshot() const {
+  if (runtime_ != nullptr) return runtime_->ShardStatsSnapshot();
+  if (private_engine_ != nullptr) return private_engine_->ShardStatsSnapshot();
+  return {};
+}
+
+std::vector<ShardStats> Pipeline::CrossShardStatsSnapshot() const {
+  std::vector<ShardStats> stats;
+  if (runtime_ != nullptr) {
+    const std::vector<ShardStats> part = runtime_->CrossShardStatsSnapshot();
+    stats.insert(stats.end(), part.begin(), part.end());
+  }
+  if (private_engine_ != nullptr) {
+    const std::vector<ShardStats> part =
+        private_engine_->CrossShardStatsSnapshot();
+    stats.insert(stats.end(), part.begin(), part.end());
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// FinishedPipeline
+
+namespace {
+
+/// The hard-error replacement for the old facades' unknown-name lookups: a
+/// handle either proves a successful registration on exactly this
+/// pipeline, or the lookup refuses loudly.
+Status CheckHandle(const Pipeline* pipeline, uint64_t pipeline_uid,
+                   const internal::QueryHandleRep& rep, const char* kind) {
+  (void)pipeline;
+  if (rep.builder_uid != pipeline_uid) {
+    return Status::InvalidArgument(std::string(kind) +
+                                   " handle does not belong to this pipeline");
+  }
+  if (!rep.valid()) {
+    return Status::InvalidArgument(
+        std::string(kind) +
+        " handle is invalid (its registration failed; Build() reported the "
+        "error)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<Timestamp>> FinishedPipeline::Detections(
+    const QueryHandle& handle) const {
+  PLDP_RETURN_IF_ERROR(CheckHandle(pipeline_, pipeline_->builder_uid_,
+                                   handle.rep_, "query"));
+  const size_t index = pipeline_->plain_map_[handle.rep_.index];
+  if (pipeline_->sequential_ != nullptr) {
+    return pipeline_->sequential_->DetectionsOf(index);
+  }
+  return pipeline_->runtime_->DetectionsOf(index);
+}
+
+StatusOr<std::vector<Timestamp>> FinishedPipeline::Detections(
+    const CrossQueryHandle& handle) const {
+  PLDP_RETURN_IF_ERROR(CheckHandle(pipeline_, pipeline_->builder_uid_,
+                                   handle.rep_, "cross query"));
+  const size_t index = pipeline_->cross_map_[handle.rep_.index];
+  if (pipeline_->sequential_ != nullptr) {
+    return pipeline_->sequential_->DetectionsOf(index);
+  }
+  return pipeline_->runtime_->CrossDetectionsOf(index);
+}
+
+StatusOr<std::vector<Timestamp>> FinishedPipeline::Detections(
+    const PrivateCrossQueryHandle& handle) const {
+  PLDP_RETURN_IF_ERROR(CheckHandle(pipeline_, pipeline_->builder_uid_,
+                                   handle.rep_, "private cross query"));
+  return pipeline_->private_engine_->CrossDetectionsOf(
+      pipeline_->private_cross_map_[handle.rep_.index]);
+}
+
+std::vector<StreamId> FinishedPipeline::Subjects() const {
+  if (pipeline_->private_engine_ == nullptr) return {};
+  return pipeline_->private_engine_->SubjectIds();
+}
+
+StatusOr<AnswerSeries> FinishedPipeline::AnswersOf(
+    const PrivateQueryHandle& handle, StreamId subject) const {
+  PLDP_RETURN_IF_ERROR(CheckHandle(pipeline_, pipeline_->builder_uid_,
+                                   handle.rep_, "private query"));
+  PLDP_ASSIGN_OR_RETURN(
+      const SubjectResults* results,
+      pipeline_->private_engine_->ResultsViewFor(subject));
+  const QueryId id = pipeline_->private_map_[handle.rep_.index];
+  if (id >= results->answers.size()) {
+    return Status::Internal("private query id out of range");
+  }
+  return results->answers[id];
+}
+
+size_t FinishedPipeline::total_windows() const {
+  if (pipeline_->private_engine_ == nullptr) return 0;
+  return pipeline_->private_engine_->total_windows();
+}
+
+size_t FinishedPipeline::total_detections() const {
+  if (pipeline_->sequential_ != nullptr) {
+    // The sequential engine hosts plain AND cross queries in one index
+    // space; count only the plain ones here (cross queries are reported
+    // by total_cross_detections, matching the sharded topologies).
+    size_t total = 0;
+    for (size_t index : pipeline_->plain_map_) {
+      StatusOr<std::vector<Timestamp>> part =
+          pipeline_->sequential_->DetectionsOf(index);
+      if (part.ok()) total += part.value().size();
+    }
+    return total;
+  }
+  if (pipeline_->runtime_ != nullptr) {
+    return pipeline_->runtime_->total_detections();
+  }
+  return 0;
+}
+
+size_t FinishedPipeline::total_cross_detections() const {
+  size_t total = 0;
+  if (pipeline_->sequential_ != nullptr) {
+    for (size_t index : pipeline_->cross_map_) {
+      StatusOr<std::vector<Timestamp>> part =
+          pipeline_->sequential_->DetectionsOf(index);
+      if (part.ok()) total += part.value().size();
+    }
+  }
+  if (pipeline_->runtime_ != nullptr) {
+    total += pipeline_->runtime_->total_cross_detections();
+  }
+  if (pipeline_->private_engine_ != nullptr) {
+    total += pipeline_->private_engine_->total_cross_detections();
+  }
+  return total;
+}
+
+size_t FinishedPipeline::events_processed() const {
+  return pipeline_->events_processed();
+}
+
+}  // namespace pldp

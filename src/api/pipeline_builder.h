@@ -1,0 +1,433 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The declarative pipeline API: one entry point that *plans* the topology.
+//
+// The engines underneath this header — StreamingCepEngine,
+// ParallelStreamingEngine, PrivateCepEngine, ParallelPrivateEngine — grew
+// up as separate facades with divergent registration, drain, and
+// result-lookup contracts. `PipelineBuilder` replaces them at the API
+// boundary: callers declare *what* they want (plain per-subject queries,
+// cross-subject queries with per-query correlation keys, private target
+// queries plus a privacy mechanism) and a shard budget; `Build()` runs a
+// planner that analyzes each query's correlation needs
+// (cep/correlation_key.h) and compiles the minimal topology:
+//
+//   only plain/cross queries, budget 1   -> one in-process sequential
+//                                           engine (no threads, no lanes)
+//   plain queries, budget N              -> sharded ParallelStreamingEngine
+//   cross queries, budget N              -> + one exchange lane-group PER
+//                                           DISTINCT correlation key (a
+//                                           pipeline may correlate one
+//                                           query by "zone" and another by
+//                                           event type simultaneously)
+//   private queries                      -> ParallelPrivateEngine lane
+//                                           (per-subject windows, one
+//                                           mechanism instance per subject;
+//                                           private cross queries ride a
+//                                           protected-view exchange)
+//
+// Registration returns *typed handles* (QueryHandle, CrossQueryHandle,
+// PrivateQueryHandle, PrivateCrossQueryHandle). Handles are the only way
+// to look results up, and results are only reachable through the
+// `FinishedPipeline` view that `Finish()` returns — so the two classic
+// footguns of the old facades are unrepresentable: reading results before
+// the drain barrier (there is no accessor on `Pipeline`), and looking up
+// an unknown query name/index (a handle exists only if registration
+// succeeded, and a foreign or invalid handle is a hard error).
+//
+//   PipelineBuilder b;
+//   auto came_home = b.AddQuery(Pattern::Create(...), /*window=*/10);
+//   auto zone_alert = b.AddCrossQuery(Pattern::Create(...), 10,
+//                                     CorrelationKey::ByAttribute("zone"));
+//   auto pipeline_or = b.WithShards(4).Build();   // plans + starts
+//   ...  // pipeline->OnEvent / OnEventBatch (or a StreamReplayer)
+//   auto finished_or = pipeline->Finish();        // drain barrier, typed
+//   auto hits = finished_or.value().Detections(came_home);
+
+#ifndef PLDP_API_PIPELINE_BUILDER_H_
+#define PLDP_API_PIPELINE_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cep/correlation_key.h"
+#include "cep/streaming_engine.h"
+#include "common/status.h"
+#include "core/parallel_private_engine.h"
+#include "ppm/mechanism.h"
+#include "runtime/parallel_engine.h"
+#include "stream/replay.h"
+
+namespace pldp {
+
+class PipelineBuilder;
+class Pipeline;
+class FinishedPipeline;
+
+/// How a cross-subject query's correlation key is derived. `Auto()` lets
+/// the planner run the query-needs analysis (SuggestCorrelationSpec) on
+/// the query's own pattern; the named constructors pin a spec; `Custom`
+/// supplies an arbitrary extractor under a caller-chosen identity (two
+/// Custom keys with the same name share one exchange lane-group — the
+/// caller guarantees same name implies same function).
+class CorrelationKey {
+ public:
+  static CorrelationKey Auto();
+  static CorrelationKey Global();
+  static CorrelationKey ByEventType();
+  static CorrelationKey ByAttribute(std::string attribute);
+  static CorrelationKey Custom(std::string name, CorrelationKeyFn fn);
+
+ private:
+  friend class PipelineBuilder;
+
+  enum class Mode { kAuto, kSpec, kCustom };
+
+  Mode mode_ = Mode::kAuto;
+  CorrelationKeySpec spec_ = CorrelationKeySpec::Global();
+  std::string custom_name_;
+  CorrelationKeyFn custom_fn_;
+};
+
+namespace internal {
+
+/// Shared representation of the typed handles: which pipeline issued it
+/// (a process-unique id) and the dense per-kind registration index. An
+/// invalid handle (failed registration — the error surfaces at Build())
+/// has index kInvalid.
+struct QueryHandleRep {
+  static constexpr size_t kInvalid = static_cast<size_t>(-1);
+  uint64_t builder_uid = 0;
+  size_t index = kInvalid;
+  bool valid() const { return index != kInvalid; }
+};
+
+}  // namespace internal
+
+/// Handle of a plain (subject-local) continuous query.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+  /// False when the registration that produced this handle failed (the
+  /// error itself is reported by PipelineBuilder::Build()).
+  bool valid() const { return rep_.valid(); }
+
+ private:
+  friend class PipelineBuilder;
+  friend class FinishedPipeline;
+  internal::QueryHandleRep rep_;
+};
+
+/// Handle of a cross-subject query (its own correlation key / lane-group).
+class CrossQueryHandle {
+ public:
+  CrossQueryHandle() = default;
+  bool valid() const { return rep_.valid(); }
+
+ private:
+  friend class PipelineBuilder;
+  friend class FinishedPipeline;
+  internal::QueryHandleRep rep_;
+};
+
+/// Handle of a private (per-subject, protected-view) target query.
+class PrivateQueryHandle {
+ public:
+  PrivateQueryHandle() = default;
+  bool valid() const { return rep_.valid(); }
+
+ private:
+  friend class PipelineBuilder;
+  friend class FinishedPipeline;
+  internal::QueryHandleRep rep_;
+};
+
+/// Handle of a private cross-subject query (matched over the exchanged
+/// protected-view stream).
+class PrivateCrossQueryHandle {
+ public:
+  PrivateCrossQueryHandle() = default;
+  bool valid() const { return rep_.valid(); }
+
+ private:
+  friend class PipelineBuilder;
+  friend class FinishedPipeline;
+  internal::QueryHandleRep rep_;
+};
+
+/// What the planner decided, for inspection, tests, and logs.
+struct PipelinePlan {
+  /// Resolved stage-1 shard budget (after 0 -> hardware concurrency).
+  size_t shard_count = 0;
+  /// True when the plain/cross lane runs on one in-process sequential
+  /// engine (budget 1: no worker threads, no exchange).
+  bool sequential = false;
+  size_t plain_queries = 0;
+
+  /// One exchange lane-group per distinct correlation key.
+  struct CrossGroupPlan {
+    /// Human-readable key identity, e.g. "attr:zone", "event-type",
+    /// "global", "custom:region".
+    std::string key_id;
+    size_t query_count = 0;
+    size_t merge_shards = 0;
+  };
+  std::vector<CrossGroupPlan> cross_groups;
+
+  bool has_private = false;
+  size_t private_queries = 0;
+  size_t private_cross_queries = 0;
+
+  /// Multi-line rendering of the plan.
+  std::string Describe() const;
+};
+
+/// The immutable, drained view of a pipeline's results. Only
+/// Pipeline::Finish() hands these out, so holding one *is* the proof that
+/// the drain barrier ran — the typed replacement for the old "remember to
+/// Drain() before DetectionsOf" contract. Borrows the Pipeline; must not
+/// outlive it.
+class FinishedPipeline {
+ public:
+  /// Detections (completion timestamps, sorted) of a plain query.
+  /// InvalidArgument for invalid handles or handles of another pipeline.
+  StatusOr<std::vector<Timestamp>> Detections(const QueryHandle& handle) const;
+
+  /// Detections of a cross-subject query, merged across its lane-group.
+  StatusOr<std::vector<Timestamp>> Detections(
+      const CrossQueryHandle& handle) const;
+
+  /// Detections of a private cross-subject query (window-start timestamps
+  /// over the protected-view stream).
+  StatusOr<std::vector<Timestamp>> Detections(
+      const PrivateCrossQueryHandle& handle) const;
+
+  /// Data subjects the private lane observed, ascending. Empty when the
+  /// pipeline has no private queries.
+  std::vector<StreamId> Subjects() const;
+
+  /// Protected per-window answers of one private query for one subject.
+  /// NotFound when the subject never emitted an event.
+  StatusOr<AnswerSeries> AnswersOf(const PrivateQueryHandle& handle,
+                                   StreamId subject) const;
+
+  /// Protected windows published across all subjects (0 without privacy).
+  size_t total_windows() const;
+
+  size_t total_detections() const;
+  size_t total_cross_detections() const;
+  size_t events_processed() const;
+
+ private:
+  friend class Pipeline;
+  explicit FinishedPipeline(const Pipeline* pipeline) : pipeline_(pipeline) {}
+  const Pipeline* pipeline_;
+};
+
+/// A built, running pipeline. Obtained from PipelineBuilder::Build()
+/// (already started); ingests via the StreamSubscriber interface, so a
+/// StreamReplayer drives it directly. Results are reachable only through
+/// Finish().
+class Pipeline : public StreamSubscriber {
+ public:
+  ~Pipeline() override;
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  const PipelinePlan& plan() const { return plan_; }
+
+  // Ingest (single producer thread).
+  Status OnEvent(const Event& event) override;
+  Status OnEventBatch(EventSpan events) override;
+
+  /// End-of-stream from a StreamReplayer: runs the terminal finish (drain
+  /// + finalize + exchange seal). Ingestion afterwards is refused; call
+  /// Finish() to obtain the result view.
+  Status OnEnd() override;
+
+  /// Non-terminal flow-control barrier: waits until everything ingested so
+  /// far has been processed by the plain/cross lane (workers stay alive,
+  /// ingestion may continue). Deliberately NOT a result gate — results stay
+  /// behind Finish(); this exists for warmup/backpressure checkpoints
+  /// (e.g. the bench harness). The private lane only drains at Finish().
+  Status Drain();
+
+  /// Terminal drain barrier: drains every lane, finalizes the private
+  /// publishers, seals the exchanges, and returns the typed result view.
+  /// Idempotent — later calls return the same view. The view borrows this
+  /// pipeline and is valid until the pipeline is destroyed.
+  StatusOr<FinishedPipeline> Finish();
+
+  /// Joins all workers. Idempotent; the destructor calls it.
+  Status Stop();
+
+  size_t events_processed() const;
+  std::vector<ShardStats> ShardStatsSnapshot() const;
+  std::vector<ShardStats> CrossShardStatsSnapshot() const;
+
+ private:
+  friend class PipelineBuilder;
+  friend class FinishedPipeline;
+
+  Pipeline() = default;
+  Status FinishInternal();
+
+  PipelinePlan plan_;
+  uint64_t builder_uid_ = 0;
+
+  /// Plain/cross lane: exactly one of these is set when the pipeline has
+  /// plain or cross queries.
+  std::unique_ptr<StreamingCepEngine> sequential_;
+  std::unique_ptr<ParallelStreamingEngine> runtime_;
+
+  /// Private lane.
+  std::unique_ptr<ParallelPrivateEngine> private_engine_;
+
+  /// Handle-index translation: registration index -> engine query index.
+  /// (Sequential mode interleaves plain and cross queries in one engine's
+  /// index space; the maps keep handles stable either way.)
+  std::vector<size_t> plain_map_;
+  std::vector<size_t> cross_map_;
+  std::vector<QueryId> private_map_;
+  std::vector<size_t> private_cross_map_;
+
+  bool finished_ = false;
+  Status finish_status_ = Status::OK();
+  uint64_t events_ingested_ = 0;
+};
+
+/// Declarative builder: declare queries and budgets, then Build() to plan,
+/// construct, and start the minimal topology. The builder is single-use
+/// (Build() moves its state into the Pipeline).
+class PipelineBuilder {
+ public:
+  PipelineBuilder();
+
+  // --- Topology budgets --------------------------------------------------
+
+  /// Stage-1 worker budget. 0 (default) = one per hardware thread; 1 plans
+  /// the sequential in-process engine for the plain/cross lane.
+  PipelineBuilder& WithShards(size_t shard_budget);
+  /// Stage-2 merge shards per exchange lane-group. 0 = same as stage-1.
+  PipelineBuilder& WithCrossShards(size_t merge_shards);
+  PipelineBuilder& WithQueueCapacity(size_t capacity);
+  PipelineBuilder& WithExchangeCapacity(size_t lane_capacity);
+  /// Base seed for every deterministic Rng in the pipeline (per-shard and
+  /// per-subject mechanism Rngs derive from it).
+  PipelineBuilder& WithSeed(uint64_t seed);
+
+  // --- Privacy configuration (required iff private queries exist) --------
+
+  /// Tumbling evaluation window applied to every subject's stream.
+  PipelineBuilder& WithPrivacyWindow(Timestamp size, Timestamp origin = 0);
+  /// Pattern-level privacy budget granted to the mechanism.
+  PipelineBuilder& WithEpsilon(double epsilon);
+  /// Mechanism by registry name ("uniform", "adaptive", ...).
+  PipelineBuilder& WithMechanism(const std::string& name);
+  /// Or an explicit factory (one fresh instance per data subject).
+  PipelineBuilder& WithMechanismFactory(MechanismFactory factory);
+  /// Consumer-side quality parameter α (adaptive mechanisms).
+  PipelineBuilder& WithAlpha(double alpha);
+  /// Historical windows granted for adaptive tuning.
+  PipelineBuilder& WithHistory(std::vector<Window> history);
+
+  // --- Vocabulary ---------------------------------------------------------
+
+  /// Interns an event type name for the private lane's registries (the
+  /// paper's setup phase: subjects and consumers agree on names). Plain
+  /// queries may use the returned ids too.
+  EventTypeId InternEventType(const std::string& name);
+
+  // --- Query declarations -------------------------------------------------
+  // Each returns its typed handle immediately; a failed registration
+  // (malformed pattern, invalid key) yields an invalid handle and latches
+  // the error, which Build() reports. Accepting StatusOr<Pattern> lets
+  // callers pass Pattern::Create(...) results straight through.
+
+  /// Plain continuous query, evaluated per data subject.
+  QueryHandle AddQuery(StatusOr<Pattern> pattern, Timestamp window);
+
+  /// Cross-subject continuous query with its own correlation key. Distinct
+  /// keys get independent exchange lane-groups; Auto() derives the finest
+  /// safe key from this query's pattern.
+  CrossQueryHandle AddCrossQuery(StatusOr<Pattern> pattern, Timestamp window,
+                                 CorrelationKey key = CorrelationKey::Auto());
+
+  /// Declares a data subject's private pattern (what the mechanism
+  /// protects). At least one is required for a private lane.
+  PipelineBuilder& AddPrivatePattern(StatusOr<Pattern> pattern);
+
+  /// Private target query: answered per subject and window from protected
+  /// views only.
+  PrivateQueryHandle AddPrivateQuery(const std::string& name,
+                                     StatusOr<Pattern> pattern);
+
+  /// Private cross-subject query, matched over the exchanged
+  /// protected-view stream with all elements within `window`.
+  PrivateCrossQueryHandle AddPrivateCrossQuery(const std::string& name,
+                                               StatusOr<Pattern> pattern,
+                                               Timestamp window);
+
+  // --- Compilation --------------------------------------------------------
+
+  /// Plans the minimal topology for the declared queries, constructs the
+  /// engines, and starts the workers. Reports the first latched
+  /// registration error instead, if any. Single-use.
+  StatusOr<std::unique_ptr<Pipeline>> Build();
+
+ private:
+  struct PlainDecl {
+    Pattern pattern;
+    Timestamp window = 0;
+  };
+  struct CrossDecl {
+    Pattern pattern;
+    Timestamp window = 0;
+    CorrelationKey key;
+  };
+  struct PrivateDecl {
+    std::string name;
+    Pattern pattern;
+  };
+  struct PrivateCrossDecl {
+    std::string name;
+    Pattern pattern;
+    Timestamp window = 0;
+  };
+
+  void LatchError(Status status);
+  /// Resolves a CorrelationKey against `pattern` into (key_id, extractor).
+  StatusOr<std::pair<std::string, CorrelationKeyFn>> ResolveKey(
+      const CorrelationKey& key, const Pattern& pattern) const;
+
+  uint64_t uid_ = 0;
+  Status error_ = Status::OK();
+  bool built_ = false;
+
+  size_t shard_budget_ = 0;
+  size_t cross_shards_ = 0;
+  size_t queue_capacity_ = 1024;
+  size_t exchange_capacity_ = 1024;
+  uint64_t seed_ = 0x9111bea5ULL;
+
+  Timestamp window_size_ = 0;
+  Timestamp window_origin_ = 0;
+  double epsilon_ = 0.0;
+  double alpha_ = 0.5;
+  MechanismFactory mechanism_factory_;
+  std::vector<Window> history_;
+
+  std::vector<std::string> event_type_names_;
+
+  std::vector<PlainDecl> plain_;
+  std::vector<CrossDecl> cross_;
+  std::vector<Pattern> private_patterns_;
+  std::vector<PrivateDecl> private_queries_;
+  std::vector<PrivateCrossDecl> private_cross_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_API_PIPELINE_BUILDER_H_

@@ -6,6 +6,9 @@
 // registrations, and evaluates streams window-by-window into binary answer
 // series. It is the substrate that both ground-truth evaluation and the
 // privacy-preserving engine (core/private_engine.h) build on.
+//
+// For *serving* workloads prefer `PipelineBuilder` (api/pipeline_builder.h);
+// this window-batch engine stays the evaluation-path substrate.
 
 #ifndef PLDP_CEP_ENGINE_H_
 #define PLDP_CEP_ENGINE_H_

@@ -10,6 +10,12 @@
 // trusted CEP middleware ingests events online. A property test
 // (tests/streaming_engine_test.cc) pins the equivalence of the two paths
 // on tumbling windows.
+//
+// DEPRECATED as a user-facing facade: new serving code should declare its
+// queries through `PipelineBuilder` (api/pipeline_builder.h) — a 1-shard
+// budget plans exactly this engine, with typed handles and the Finish()
+// result gate. This class remains the planner's sequential execution
+// target and the per-shard engine of the runtime.
 
 #ifndef PLDP_CEP_STREAMING_ENGINE_H_
 #define PLDP_CEP_STREAMING_ENGINE_H_

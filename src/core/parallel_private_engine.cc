@@ -230,13 +230,20 @@ std::vector<StreamId> ParallelPrivateEngine::SubjectIds() const {
 
 StatusOr<SubjectResults> ParallelPrivateEngine::ResultsFor(
     StreamId subject) const {
+  PLDP_ASSIGN_OR_RETURN(const SubjectResults* results,
+                        ResultsViewFor(subject));
+  return *results;
+}
+
+StatusOr<const SubjectResults*> ParallelPrivateEngine::ResultsViewFor(
+    StreamId subject) const {
   if (!finished_) {
     return Status::FailedPrecondition(
         "results are only stable after Finish()/OnEnd");
   }
   for (const SubjectViewPublisher* publisher : publishers_) {
     const SubjectResults* results = publisher->ResultsFor(subject);
-    if (results != nullptr) return *results;
+    if (results != nullptr) return results;
   }
   return Status::NotFound("subject never emitted an event");
 }
@@ -248,6 +255,22 @@ StatusOr<std::vector<Timestamp>> ParallelPrivateEngine::CrossDetectionsOf(
         "cross detections are only stable after Finish()/OnEnd");
   }
   return runtime_->CrossDetectionsOf(cross_query_index);
+}
+
+StatusOr<QueryId> ParallelPrivateEngine::TargetQueryIdOf(
+    const std::string& query_name) const {
+  for (const BinaryQuery& query : setup_.queries()) {
+    if (query.name == query_name) return query.id;
+  }
+  return Status::NotFound("unknown target query name '" + query_name + "'");
+}
+
+StatusOr<size_t> ParallelPrivateEngine::CrossQueryIndexOf(
+    const std::string& query_name) const {
+  for (size_t i = 0; i < cross_queries_.size(); ++i) {
+    if (cross_queries_[i].name == query_name) return i;
+  }
+  return Status::NotFound("unknown cross query name '" + query_name + "'");
 }
 
 size_t ParallelPrivateEngine::total_cross_detections() const {

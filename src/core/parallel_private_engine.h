@@ -45,6 +45,12 @@
 // likewise shard-count-invariant: view events carry exchange merge keys
 // that reproduce the sequential publication order exactly (pinned by
 // tests/core_parallel_private_cross_test.cc).
+//
+// DEPRECATED as a user-facing facade: declare private patterns/queries on
+// a `PipelineBuilder` (api/pipeline_builder.h) and let the planner build
+// this engine — typed handles replace the name-keyed registrations and
+// the Finish()-before-reads contract is enforced by the result types.
+// This class remains the planner's private-lane execution target.
 
 #ifndef PLDP_CORE_PARALLEL_PRIVATE_ENGINE_H_
 #define PLDP_CORE_PARALLEL_PRIVATE_ENGINE_H_
@@ -149,11 +155,24 @@ class ParallelPrivateEngine : public StreamSubscriber {
   /// Finish().
   StatusOr<SubjectResults> ResultsFor(StreamId subject) const;
 
+  /// Non-copying variant: the view lives in the owning publisher and stays
+  /// valid until this engine is destroyed. Same error contract as
+  /// ResultsFor.
+  StatusOr<const SubjectResults*> ResultsViewFor(StreamId subject) const;
+
   /// Detections of one cross-subject query over the protected-view stream,
   /// merged across merge shards and sorted by timestamp (window starts).
   /// FailedPrecondition before Finish().
   StatusOr<std::vector<Timestamp>> CrossDetectionsOf(
       size_t cross_query_index) const;
+
+  /// Resolves a target query's registered name to its QueryId. Unknown
+  /// names are a hard NotFound error — never an empty default.
+  StatusOr<QueryId> TargetQueryIdOf(const std::string& query_name) const;
+
+  /// Resolves a cross query's registered name to its index; NotFound for
+  /// unknown names.
+  StatusOr<size_t> CrossQueryIndexOf(const std::string& query_name) const;
 
   size_t cross_query_count() const { return cross_queries_.size(); }
 

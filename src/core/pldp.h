@@ -3,6 +3,8 @@
 // Umbrella header: include <core/pldp.h> to get the whole public API.
 //
 // Library map:
+//   api/       PipelineBuilder — the declarative entry point: plans the
+//              minimal topology from the declared queries, typed handles
 //   common/    Status/StatusOr, deterministic Rng, logging, CSV, math
 //   event/     Value, Event, EventTypeRegistry
 //   stream/    EventStream, windowing, merge, replay, CSV persistence
@@ -21,6 +23,7 @@
 #ifndef PLDP_CORE_PLDP_H_
 #define PLDP_CORE_PLDP_H_
 
+#include "api/pipeline_builder.h"
 #include "cep/engine.h"
 #include "cep/matcher.h"
 #include "cep/pattern.h"

@@ -10,6 +10,12 @@
 //                 mechanism publish protected views, and answers every
 //                 registered query from the protected views only. Raw data
 //                 never crosses the engine boundary.
+//
+// DEPRECATED as a user-facing facade for serving: declare private queries
+// through `PipelineBuilder` (api/pipeline_builder.h) instead — the planner
+// compiles the sharded private lane and gates results behind typed
+// handles. This class remains the setup-phase substrate of
+// ParallelPrivateEngine and the evaluation harness's batch entry point.
 
 #ifndef PLDP_CORE_PRIVATE_ENGINE_H_
 #define PLDP_CORE_PRIVATE_ENGINE_H_

@@ -22,7 +22,7 @@ uint32_t InternTable::Intern(std::string_view name) {
   if (it != ids_.end()) return it->second;
 
   const size_t id = size_.load(std::memory_order_relaxed);
-  if (id >= kMaxEntries) return kInvalidInternId;
+  if (id >= budget_.load(std::memory_order_relaxed)) return kInvalidInternId;
   const size_t block_index = id >> kBlockBits;
   std::string* block = blocks_[block_index].load(std::memory_order_relaxed);
   if (block == nullptr) {
@@ -36,6 +36,26 @@ uint32_t InternTable::Intern(std::string_view name) {
   // size_ > id also observes the block pointer and the fully written slot.
   size_.store(id + 1, std::memory_order_release);
   return static_cast<uint32_t>(id);
+}
+
+StatusOr<uint32_t> InternTable::TryIntern(std::string_view name) {
+  const uint32_t id = Intern(name);
+  if (id == kInvalidInternId) {
+    return Status::ResourceExhausted(
+        "intern table budget exhausted (" +
+        std::to_string(budget_.load(std::memory_order_relaxed)) +
+        " entries); raise it with SetBudget or stop interning unbounded "
+        "payload cardinalities");
+  }
+  return id;
+}
+
+void InternTable::SetBudget(size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_entries == 0 || max_entries > kMaxEntries) {
+    max_entries = kMaxEntries;
+  }
+  budget_.store(max_entries, std::memory_order_relaxed);
 }
 
 uint32_t InternTable::Find(std::string_view name) const {

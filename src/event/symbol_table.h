@@ -42,6 +42,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/status.h"
+
 namespace pldp {
 
 /// Dense identifier of an interned attribute name (AttrNames()).
@@ -69,8 +71,26 @@ class InternTable {
   InternTable& operator=(const InternTable&) = delete;
 
   /// Get-or-create: returns the existing id or registers a new one.
-  /// Returns kInvalidInternId only when the table is full (kMaxEntries).
+  /// Returns kInvalidInternId only when the table is full (the configured
+  /// budget, or kMaxEntries).
   uint32_t Intern(std::string_view name);
+
+  /// Get-or-create with a loud failure mode: like Intern, but exhaustion
+  /// (the budget or kMaxEntries) is a ResourceExhausted error naming the
+  /// limit instead of a sentinel id. The right call for inputs of
+  /// unbounded cardinality — e.g. string payloads arriving off the wire
+  /// (stream/stream_io.h's intern-on-decode path).
+  StatusOr<uint32_t> TryIntern(std::string_view name);
+
+  /// Caps the table at `max_entries` interned names (clamped to
+  /// kMaxEntries; 0 restores the default). Already-interned names stay
+  /// valid and keep resolving even when they exceed a newly lowered
+  /// budget — the budget only stops *new* registrations, so it guards
+  /// against unbounded payload cardinality without invalidating ids.
+  void SetBudget(size_t max_entries);
+
+  /// The active cap on interned entries.
+  size_t budget() const { return budget_.load(std::memory_order_relaxed); }
 
   /// Id of `name`, or kInvalidInternId when it was never interned. Unlike
   /// Intern, never grows the table — the right call for lookups that must
@@ -93,6 +113,9 @@ class InternTable {
   static constexpr size_t kMaxBlocks = kMaxEntries / kBlockSize;
 
   mutable std::mutex mu_;
+  /// Active entry cap (<= kMaxEntries). Atomic so budget() is readable
+  /// without the mutex; mutations happen under it.
+  std::atomic<size_t> budget_{kMaxEntries};
   /// Keys are views into the block storage below (strings never move).
   std::unordered_map<std::string_view, uint32_t> ids_;
   /// Two-level directory: block pointers are published with release stores

@@ -22,32 +22,9 @@ constexpr uint64_t kProducerFloorPeriod = 1024;
 }  // namespace
 
 ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
-    : router_(ResolveShardCount(options.shard_count), options.key_fn) {
+    : router_(ResolveShardCount(options.shard_count), options.key_fn),
+      exchange_options_(options.exchange) {
   const size_t n = router_.shard_count();
-
-  ShardKeyFn exchange_key;
-  if (options.exchange.enabled) {
-    const size_t n2 = options.exchange.shard_count > 0
-                          ? options.exchange.shard_count
-                          : n;
-    exchange_key = options.exchange.key_fn;
-    if (!exchange_key) {
-      StatusOr<CorrelationKeyFn> key_or =
-          MakeCorrelationKeyFn(options.exchange.key);
-      if (!key_or.ok()) {
-        init_error_ = key_or.status();
-      } else {
-        exchange_key = std::move(key_or).value();
-      }
-    }
-    fabric_ = std::make_unique<ExchangeFabric>(
-        n, n2, options.exchange.lane_capacity);
-    merge_shards_.reserve(n2);
-    for (size_t c = 0; c < n2; ++c) {
-      merge_shards_.push_back(
-          std::make_unique<MergeShard>(c, fabric_->Column(c)));
-    }
-  }
 
   shards_.reserve(n);
   staging_.resize(n);
@@ -61,11 +38,25 @@ ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
     if (options.sink_factory) {
       (void)shards_.back()->SetEventSink(options.sink_factory(i));
     }
-    if (fabric_ != nullptr) {
-      auto emitter = std::make_unique<ExchangeEmitter>(
-          fabric_->Row(i), exchange_key, fabric_.get());
-      (void)shards_.back()->SetExchange(std::move(emitter),
-                                        options.exchange.forward_raw_events);
+  }
+
+  if (options.exchange.enabled) {
+    // The default lane-group (key_id ""), configured by options.exchange.
+    // Further groups appear on demand via AddCrossQueryKeyed.
+    ShardKeyFn exchange_key = options.exchange.key_fn;
+    if (!exchange_key) {
+      StatusOr<CorrelationKeyFn> key_or =
+          MakeCorrelationKeyFn(options.exchange.key);
+      if (!key_or.ok()) {
+        init_error_ = key_or.status();
+      } else {
+        exchange_key = std::move(key_or).value();
+      }
+    }
+    if (init_error_.ok()) {
+      StatusOr<size_t> group = GetOrCreateGroup(
+          "", std::move(exchange_key), options.exchange.forward_raw_events);
+      if (!group.ok()) init_error_ = group.status();
     }
   }
 }
@@ -88,24 +79,81 @@ StatusOr<size_t> ParallelStreamingEngine::AddQuery(Pattern pattern,
   return index;
 }
 
+StatusOr<size_t> ParallelStreamingEngine::GetOrCreateGroup(
+    const std::string& key_id, ShardKeyFn key_fn, bool forward_raw_events) {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].key_id == key_id) return g;
+  }
+  if (running_) {
+    return Status::FailedPrecondition(
+        "exchange lane-groups must be created before Start()");
+  }
+  if (!key_fn) {
+    return Status::InvalidArgument("correlation key_fn must not be null");
+  }
+  const size_t n1 = shards_.size();
+  const size_t n2 = exchange_options_.shard_count > 0
+                        ? exchange_options_.shard_count
+                        : n1;
+  ExchangeGroup group;
+  group.key_id = key_id;
+  group.fabric = std::make_unique<ExchangeFabric>(
+      n1, n2, exchange_options_.lane_capacity);
+  group.merge_shards.reserve(n2);
+  for (size_t c = 0; c < n2; ++c) {
+    group.merge_shards.push_back(
+        std::make_unique<MergeShard>(c, group.fabric->Column(c)));
+  }
+  for (size_t i = 0; i < n1; ++i) {
+    auto emitter = std::make_unique<ExchangeEmitter>(
+        group.fabric->Row(i), key_fn, group.fabric.get());
+    PLDP_RETURN_IF_ERROR(
+        shards_[i]->AddExchange(std::move(emitter), forward_raw_events));
+  }
+  groups_.push_back(std::move(group));
+  return groups_.size() - 1;
+}
+
+StatusOr<size_t> ParallelStreamingEngine::AddCrossQueryToGroup(
+    size_t group_index, Pattern pattern, Timestamp window) {
+  ExchangeGroup& group = groups_[group_index];
+  size_t local = 0;
+  for (auto& merge_shard : group.merge_shards) {
+    StatusOr<size_t> result = merge_shard->AddQuery(pattern, window);
+    if (!result.ok()) return result;
+    local = result.value();
+  }
+  group.query_count = local + 1;
+  cross_index_.emplace_back(group_index, local);
+  return cross_index_.size() - 1;
+}
+
 StatusOr<size_t> ParallelStreamingEngine::AddCrossQuery(Pattern pattern,
                                                         Timestamp window) {
   if (running_) {
     return Status::FailedPrecondition(
         "ParallelStreamingEngine::AddCrossQuery must precede Start()");
   }
-  if (fabric_ == nullptr) {
+  if (!exchange_options_.enabled || groups_.empty()) {
     return Status::FailedPrecondition(
-        "cross queries need the exchange stage (options.exchange.enabled)");
+        "cross queries need the exchange stage (options.exchange.enabled), "
+        "or a per-query key via AddCrossQueryKeyed");
   }
-  size_t index = 0;
-  for (auto& merge_shard : merge_shards_) {
-    StatusOr<size_t> result = merge_shard->AddQuery(pattern, window);
-    if (!result.ok()) return result;
-    index = result.value();
+  // The default group is always the first one created (key_id "").
+  return AddCrossQueryToGroup(0, std::move(pattern), window);
+}
+
+StatusOr<size_t> ParallelStreamingEngine::AddCrossQueryKeyed(
+    Pattern pattern, Timestamp window, const std::string& key_id,
+    ShardKeyFn key_fn) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "ParallelStreamingEngine::AddCrossQueryKeyed must precede Start()");
   }
-  cross_query_count_ = index + 1;
-  return index;
+  PLDP_ASSIGN_OR_RETURN(size_t group_index,
+                        GetOrCreateGroup(key_id, std::move(key_fn),
+                                         exchange_options_.forward_raw_events));
+  return AddCrossQueryToGroup(group_index, std::move(pattern), window);
 }
 
 Status ParallelStreamingEngine::Start() {
@@ -115,9 +163,11 @@ Status ParallelStreamingEngine::Start() {
   PLDP_RETURN_IF_ERROR(init_error_);
   // Consumers before producers: a stage-1 worker may block on a full lane
   // the moment it starts, and only a live merge shard ever frees one.
-  for (auto& merge_shard : merge_shards_) {
-    Status s = merge_shard->Start();
-    if (!s.ok()) return s;
+  for (auto& group : groups_) {
+    for (auto& merge_shard : group.merge_shards) {
+      Status s = merge_shard->Start();
+      if (!s.ok()) return s;
+    }
   }
   for (auto& shard : shards_) {
     Status s = shard->Start();
@@ -134,19 +184,22 @@ Status ParallelStreamingEngine::Drain() {
     Status s = shard->Drain();
     if (!s.ok()) return s;
   }
-  if (fabric_ != nullptr) {
+  if (!groups_.empty()) {
     // Two-phase barrier: every producer flushes a watermark asserting it
-    // forwarded everything below `bound` it will ever see, then every
-    // merge shard is waited past that bound. Inherits Drain's best-effort
+    // forwarded everything below `bound` it will ever see (one command
+    // broadcasts on every lane-group's row), then every merge shard of
+    // every group is waited past that bound. Inherits Drain's best-effort
     // semantics when a producer keeps pushing concurrently.
     const uint64_t bound = next_seq_.load(std::memory_order_relaxed);
     for (auto& shard : shards_) {
       Status s = shard->RequestFlushWatermark(bound);
       if (!s.ok()) return s;
     }
-    for (auto& merge_shard : merge_shards_) {
-      Status s = merge_shard->WaitSafe(bound);
-      if (!s.ok()) return s;
+    for (auto& group : groups_) {
+      for (auto& merge_shard : group.merge_shards) {
+        Status s = merge_shard->WaitSafe(bound);
+        if (!s.ok()) return s;
+      }
     }
   }
   return Status::OK();
@@ -175,8 +228,10 @@ Status ParallelStreamingEngine::FinishInternal() {
   for (auto& shard : shards_) {
     PLDP_RETURN_IF_ERROR(shard->RequestFinish(bound));
   }
-  for (auto& merge_shard : merge_shards_) {
-    PLDP_RETURN_IF_ERROR(merge_shard->WaitSafe(kExchangeSeqEnd));
+  for (auto& group : groups_) {
+    for (auto& merge_shard : group.merge_shards) {
+      PLDP_RETURN_IF_ERROR(merge_shard->WaitSafe(kExchangeSeqEnd));
+    }
   }
   return Status::OK();
 }
@@ -184,7 +239,7 @@ Status ParallelStreamingEngine::FinishInternal() {
 Status ParallelStreamingEngine::Stop() {
   if (!running_) return Status::OK();
   Status result = Status::OK();
-  if (fabric_ != nullptr && !finished_.load(std::memory_order_relaxed)) {
+  if (!groups_.empty() && !finished_.load(std::memory_order_relaxed)) {
     // Make sure stage-2 holds everything before the producers go away.
     result = Drain();
   }
@@ -192,11 +247,11 @@ Status ParallelStreamingEngine::Stop() {
     Status s = shard->Stop();
     if (result.ok() && !s.ok()) result = s;
   }
-  if (fabric_ != nullptr) {
+  for (auto& group : groups_) {
     // Producers are joined; nothing can block on a lane anymore, and any
     // straggler Emit (there should be none) must fail fast.
-    fabric_->Abort();
-    for (auto& merge_shard : merge_shards_) {
+    group.fabric->Abort();
+    for (auto& merge_shard : group.merge_shards) {
       Status s = merge_shard->Stop();
       if (result.ok() && !s.ok()) result = s;
     }
@@ -262,12 +317,28 @@ Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
 }
 
 void ParallelStreamingEngine::PublishProducerFloor(uint64_t floor) {
-  if (fabric_ == nullptr) return;
+  if (groups_.empty()) return;
   for (auto& shard : shards_) shard->NoteProducerFloor(floor);
+}
+
+size_t ParallelStreamingEngine::cross_shard_count() const {
+  size_t total = 0;
+  for (const auto& group : groups_) total += group.merge_shards.size();
+  return total;
 }
 
 StatusOr<std::vector<Timestamp>> ParallelStreamingEngine::DetectionsOf(
     size_t query_index) const {
+  // Validate at the facade so the error names the right index space (a
+  // cross query index passed here must not silently alias a stage-1
+  // query, nor the reverse).
+  if (query_index >= query_count_) {
+    return Status::OutOfRange(
+        "unknown stage-1 query index " + std::to_string(query_index) +
+        " (registered: " + std::to_string(query_count_) +
+        "; cross queries live in their own index space — use "
+        "CrossDetectionsOf)");
+  }
   std::vector<Timestamp> merged;
   for (const auto& shard : shards_) {
     StatusOr<std::vector<Timestamp>> part =
@@ -283,13 +354,19 @@ StatusOr<std::vector<Timestamp>> ParallelStreamingEngine::DetectionsOf(
 
 StatusOr<std::vector<Timestamp>> ParallelStreamingEngine::CrossDetectionsOf(
     size_t cross_query_index) const {
-  if (fabric_ == nullptr) {
+  if (groups_.empty()) {
     return Status::FailedPrecondition("exchange stage is not enabled");
   }
+  if (cross_query_index >= cross_index_.size()) {
+    return Status::OutOfRange(
+        "unknown cross query index " + std::to_string(cross_query_index) +
+        " (registered: " + std::to_string(cross_index_.size()) + ")");
+  }
+  const auto [group_index, local_index] = cross_index_[cross_query_index];
   std::vector<Timestamp> merged;
-  for (const auto& merge_shard : merge_shards_) {
+  for (const auto& merge_shard : groups_[group_index].merge_shards) {
     StatusOr<std::vector<Timestamp>> part =
-        merge_shard->engine().DetectionsOf(cross_query_index);
+        merge_shard->engine().DetectionsOf(local_index);
     if (!part.ok()) return part.status();
     merged.insert(merged.end(), part.value().begin(), part.value().end());
   }
@@ -307,8 +384,10 @@ size_t ParallelStreamingEngine::total_detections() const {
 
 size_t ParallelStreamingEngine::total_cross_detections() const {
   size_t total = 0;
-  for (const auto& merge_shard : merge_shards_) {
-    total += merge_shard->engine().total_detections();
+  for (const auto& group : groups_) {
+    for (const auto& merge_shard : group.merge_shards) {
+      total += merge_shard->engine().total_detections();
+    }
   }
   return total;
 }
@@ -323,9 +402,11 @@ std::vector<ShardStats> ParallelStreamingEngine::ShardStatsSnapshot() const {
 std::vector<ShardStats> ParallelStreamingEngine::CrossShardStatsSnapshot()
     const {
   std::vector<ShardStats> stats;
-  stats.reserve(merge_shards_.size());
-  for (const auto& merge_shard : merge_shards_) {
-    stats.push_back(merge_shard->stats());
+  stats.reserve(cross_shard_count());
+  for (const auto& group : groups_) {
+    for (const auto& merge_shard : group.merge_shards) {
+      stats.push_back(merge_shard->stats());
+    }
   }
   return stats;
 }

@@ -16,6 +16,15 @@
 // (cep/correlation_key.h) over an N1×N2 matrix of SPSC lanes, and stage-2
 // merge shards (runtime/merge_shard.h) restore global order with a
 // watermark-gated k-way merge before matching the cross-subject queries.
+// Cross queries that need *different* correlation keys get one exchange
+// lane-group each (own fabric + merge shards, see AddCrossQueryKeyed);
+// stage-1 workers fan their output through every group's emitter.
+//
+// NOTE: prefer the declarative `PipelineBuilder` (api/pipeline_builder.h)
+// over constructing this engine directly — the builder plans the minimal
+// topology from the registered queries and returns typed query handles
+// whose result accessors encode the drain contract. This class remains the
+// planner's sharded/exchange execution target.
 //
 //     caller / StreamReplayer
 //            │ OnEvent / OnEventBatch (stamped with ingest seq,
@@ -119,20 +128,37 @@ class ParallelStreamingEngine : public StreamSubscriber {
   size_t shard_count() const { return shards_.size(); }
   const EventRouter& router() const { return router_; }
 
-  bool exchange_enabled() const { return fabric_ != nullptr; }
-  size_t cross_shard_count() const { return merge_shards_.size(); }
+  bool exchange_enabled() const { return !groups_.empty(); }
+
+  /// Stage-2 merge shards across all exchange lane-groups.
+  size_t cross_shard_count() const;
 
   /// Registers a continuous query on every stage-1 shard (same index
   /// everywhere). Must precede Start(). Returns the query index.
   StatusOr<size_t> AddQuery(Pattern pattern, Timestamp window);
 
-  /// Registers a cross-subject query on every stage-2 merge shard.
-  /// Requires the exchange stage; must precede Start(). Cross queries have
+  /// Registers a cross-subject query on the default exchange lane-group
+  /// (the one `options.exchange` configures). Requires
+  /// options.exchange.enabled; must precede Start(). Cross queries have
   /// their own index space, separate from AddQuery's.
   StatusOr<size_t> AddCrossQuery(Pattern pattern, Timestamp window);
 
+  /// Registers a cross-subject query on its own exchange lane-group,
+  /// selected by `key_id`: queries sharing a key_id share one fabric +
+  /// merge-shard set (the caller guarantees equal key_id implies equal
+  /// key_fn), distinct key_ids get independent lane matrices — this is how
+  /// one pipeline runs several cross queries each under its own
+  /// correlation key. Groups are created on first use with
+  /// options.exchange's shard_count / lane_capacity / forward defaults
+  /// (options.exchange.enabled is NOT required). Must precede Start().
+  /// Returns the cross query index (same global index space as
+  /// AddCrossQuery).
+  StatusOr<size_t> AddCrossQueryKeyed(Pattern pattern, Timestamp window,
+                                      const std::string& key_id,
+                                      ShardKeyFn key_fn);
+
   size_t query_count() const { return query_count_; }
-  size_t cross_query_count() const { return cross_query_count_; }
+  size_t cross_query_count() const { return cross_index_.size(); }
 
   /// Launches all workers (stage-2 consumers first, then stage-1).
   Status Start();
@@ -204,19 +230,44 @@ class ParallelStreamingEngine : public StreamSubscriber {
   }
 
  private:
+  /// One exchange lane-group: a correlation key's fabric plus the merge
+  /// shards consuming it. The fabric is declared before the merge shards so
+  /// it is destroyed after them (their threads touch the lanes).
+  struct ExchangeGroup {
+    /// Dedupe token of the group's correlation key ("" = the default group
+    /// configured by options.exchange).
+    std::string key_id;
+    std::unique_ptr<ExchangeFabric> fabric;
+    std::vector<std::unique_ptr<MergeShard>> merge_shards;
+    /// Cross queries registered on this group (local index space).
+    size_t query_count = 0;
+  };
+
+  /// Creates a lane-group for `key_fn` (or finds the existing one with
+  /// this key_id) and wires one emitter per stage-1 shard. Returns the
+  /// group's index into groups_ (stable across later growth, unlike a
+  /// pointer).
+  StatusOr<size_t> GetOrCreateGroup(const std::string& key_id,
+                                    ShardKeyFn key_fn,
+                                    bool forward_raw_events);
+  StatusOr<size_t> AddCrossQueryToGroup(size_t group_index, Pattern pattern,
+                                        Timestamp window);
+
   EventRouter router_;
   /// Latched construction error (e.g. malformed correlation spec);
   /// surfaced by Start().
   Status init_error_ = Status::OK();
-  /// Exchange state. Declared before the shards on both sides so it is
-  /// destroyed after them (their threads touch the lanes).
-  std::unique_ptr<ExchangeFabric> fabric_;
-  std::vector<std::unique_ptr<MergeShard>> merge_shards_;
+  /// Exchange defaults applied to lane-groups created after construction.
+  RuntimeExchangeOptions exchange_options_;
+  /// Exchange lane-groups. Declared before the stage-1 shards so the
+  /// fabrics are destroyed after every thread that touches their lanes.
+  std::vector<ExchangeGroup> groups_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Per-shard staging buffers reused across OnEventBatch calls.
   std::vector<std::vector<StampedEvent>> staging_;
   size_t query_count_ = 0;
-  size_t cross_query_count_ = 0;
+  /// Global cross-query index -> (lane-group, group-local index).
+  std::vector<std::pair<size_t, size_t>> cross_index_;
   /// Ingest sequence numbers handed out (single ingest thread increments;
   /// drain barriers read from any thread).
   std::atomic<uint64_t> next_seq_{0};

@@ -41,19 +41,30 @@ Status Shard::SetEventSink(std::unique_ptr<ShardEventSink> sink) {
         "Shard::SetEventSink must precede Start()");
   }
   sink_ = std::move(sink);
+  if (sink_ != nullptr) {
+    // Emitters wired in before the sink existed still reach it.
+    for (ExchangeHook& hook : hooks_) {
+      sink_->AttachExchangeEmitter(hook.emitter.get());
+    }
+  }
   return Status::OK();
 }
 
-Status Shard::SetExchange(std::unique_ptr<ExchangeEmitter> emitter,
+Status Shard::AddExchange(std::unique_ptr<ExchangeEmitter> emitter,
                           bool forward_raw_events) {
   if (running_) {
     return Status::FailedPrecondition(
-        "Shard::SetExchange must precede Start()");
+        "Shard::AddExchange must precede Start()");
   }
-  emitter_ = std::move(emitter);
-  forward_raw_events_ = forward_raw_events && emitter_ != nullptr;
-  if (sink_ != nullptr && emitter_ != nullptr) {
-    sink_->AttachExchangeEmitter(emitter_.get());
+  if (emitter == nullptr) {
+    return Status::InvalidArgument("emitter must not be null");
+  }
+  ExchangeHook hook;
+  hook.emitter = std::move(emitter);
+  hook.forward_raw_events = forward_raw_events;
+  hooks_.push_back(std::move(hook));
+  if (sink_ != nullptr) {
+    sink_->AttachExchangeEmitter(hooks_.back().emitter.get());
   }
   return Status::OK();
 }
@@ -168,10 +179,12 @@ Status Shard::Stop() {
   // and a concurrent Drain() waiting on processed_ is released.
   StampedEvent leftover;
   while (queue_.TryPop(leftover)) {
-    if (emitter_ != nullptr) emitter_->BeginTrigger(leftover.seq);
+    for (ExchangeHook& hook : hooks_) hook.emitter->BeginTrigger(leftover.seq);
     (void)engine_.OnEvent(leftover.event);
     if (sink_ != nullptr) sink_->OnShardEvent(leftover.event);
-    if (forward_raw_events_) (void)emitter_->Emit(leftover.event);
+    for (ExchangeHook& hook : hooks_) {
+      if (hook.forward_raw_events) (void)hook.emitter->Emit(leftover.event);
+    }
     processed_.fetch_add(1, std::memory_order_release);
   }
   running_ = false;
@@ -187,10 +200,10 @@ ShardStats Shard::stats() const {
       static_cast<size_t>(detections_.load(std::memory_order_relaxed));
   s.backpressure_waits = static_cast<size_t>(
       backpressure_waits_.load(std::memory_order_relaxed));
-  if (emitter_ != nullptr) {
-    const ExchangeEmitterStats e = emitter_->stats();
-    s.forwarded = e.forwarded;
-    s.exchange_backpressure_waits = e.backpressure_waits;
+  for (const ExchangeHook& hook : hooks_) {
+    const ExchangeEmitterStats e = hook.emitter->stats();
+    s.forwarded += e.forwarded;
+    s.exchange_backpressure_waits += e.backpressure_waits;
   }
   return s;
 }
@@ -202,15 +215,17 @@ void Shard::ExecuteCommand() {
   const uint64_t payload = cmd_payload_.load(std::memory_order_relaxed);
   switch (kind) {
     case kCmdFlushWatermark:
-      // The emitter skips bounds it already passed, so a stale request
+      // The emitters skip bounds they already passed, so a stale request
       // (issued before newer idle watermarks) is free.
-      if (emitter_ != nullptr) (void)emitter_->Broadcast(payload);
+      for (ExchangeHook& hook : hooks_) (void)hook.emitter->Broadcast(payload);
       break;
     case kCmdFinish:
       // End-of-stream: finalize-time sink output first (stamped with the
-      // finish bound), then close every lane of the row for good.
+      // finish bound), then close every lane of every row for good.
       if (sink_ != nullptr) sink_->OnShardFinish(payload);
-      if (emitter_ != nullptr) (void)emitter_->Broadcast(kExchangeSeqEnd);
+      for (ExchangeHook& hook : hooks_) {
+        (void)hook.emitter->Broadcast(kExchangeSeqEnd);
+      }
       break;
     default:
       break;
@@ -227,15 +242,20 @@ void Shard::RunLoop() {
       backoff.Reset();
       for (size_t i = 0; i < n; ++i) {
         const StampedEvent& stamped = batch[i];
-        // One exchange trigger scope per event: everything emitted while
-        // processing it — raw forwards and sink-driven output alike — is
-        // stamped (seq, 0), (seq, 1), ...
-        if (emitter_ != nullptr) emitter_->BeginTrigger(stamped.seq);
+        // One exchange trigger scope per event and per lane-group:
+        // everything emitted while processing it — raw forwards and
+        // sink-driven output alike — is stamped (seq, 0), (seq, 1), ...
+        // independently on every group's row.
+        for (ExchangeHook& hook : hooks_) {
+          hook.emitter->BeginTrigger(stamped.seq);
+        }
         // The engine's status is always OK today (OnEvent cannot fail); if
         // a future engine surfaces errors we will carry them to Drain().
         (void)engine_.OnEvent(stamped.event);
         if (sink_ != nullptr) sink_->OnShardEvent(stamped.event);
-        if (forward_raw_events_) (void)emitter_->Emit(stamped.event);
+        for (ExchangeHook& hook : hooks_) {
+          if (hook.forward_raw_events) (void)hook.emitter->Emit(stamped.event);
+        }
         last_seq_ = stamped.seq;
         processed_any_ = true;
       }
@@ -256,14 +276,16 @@ void Shard::RunLoop() {
     // been pushed somewhere and our queue is empty, past the global floor
     // (a shard starved by routing skew must not silence its lanes).
     // Broadcast dedups repeat bounds, so the steady idle loop stays free.
-    if (emitter_ != nullptr) {
+    if (!hooks_.empty()) {
       uint64_t bound = processed_any_ ? last_seq_ + 1 : 0;
       const uint64_t floor =
           producer_floor_.load(std::memory_order_acquire);
       // The floor's pushes happened before its release store, so an empty
       // queue observed after the acquire means we processed all of ours.
       if (floor > bound && queue_.ApproxEmpty()) bound = floor;
-      if (bound > 0) (void)emitter_->Broadcast(bound);
+      if (bound > 0) {
+        for (ExchangeHook& hook : hooks_) (void)hook.emitter->Broadcast(bound);
+      }
     }
     backoff.Wait();
   }

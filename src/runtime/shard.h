@@ -7,8 +7,11 @@
 // a deterministic per-shard `Rng`, optionally a `ShardEventSink` the worker
 // feeds every event to after the engine — the hook the shard-local PLDP
 // perturbation pipeline (core/parallel_private_engine.h) plugs into — and
-// optionally an `ExchangeEmitter` (runtime/exchange.h) through which the
-// worker re-keys its output into the stage-2 fabric.
+// any number of `ExchangeEmitter`s (runtime/exchange.h) through which the
+// worker re-keys its output into stage-2 fabrics. Each emitter belongs to
+// one exchange lane-group (one correlation key); a pipeline with per-query
+// correlation keys attaches one emitter per distinct key, and the worker
+// fans every processed event out through all of them.
 //
 // Every queued event carries its global ingest sequence number
 // (`StampedEvent`); the worker opens an exchange trigger scope per event so
@@ -18,7 +21,7 @@
 // Threading contract:
 //   - Exactly one thread (the router / ParallelStreamingEngine caller) may
 //     call Push / PushN at a time; the worker thread is the only consumer.
-//   - AddQuery / SetEventSink / SetExchange must happen before Start. Start
+//   - AddQuery / SetEventSink / AddExchange must happen before Start. Start
 //     and Stop must not race each other or a pushing producer (they manage
 //     the worker thread), but Push racing a Stop fails fast instead of
 //     hanging.
@@ -90,9 +93,10 @@ class ShardEventSink {
   virtual ~ShardEventSink() = default;
   virtual void OnShardEvent(const Event& event) = 0;
 
-  /// Called once when the shard is wired into an exchange fabric, before
-  /// Start. Sinks that emit downstream (e.g. protected views) keep the
-  /// pointer; it outlives the sink. Default: ignore.
+  /// Called once per exchange fabric the shard is wired into, before
+  /// Start (in AddExchange order). Sinks that emit downstream (e.g.
+  /// protected views) keep the pointer; it outlives the sink. Default:
+  /// ignore.
   virtual void AttachExchangeEmitter(ExchangeEmitter* /*emitter*/) {}
 
   /// End-of-stream, delivered on the worker thread by RequestFinish after
@@ -124,15 +128,14 @@ class Shard {
 
   ShardEventSink* event_sink() const { return sink_.get(); }
 
-  /// Wires this shard into an exchange fabric. When `forward_raw_events`
-  /// is set the worker emits every processed event downstream (the plain
-  /// cross-subject path); otherwise emission is entirely sink-driven (the
-  /// private path, where only protected views may cross). Must precede
-  /// Start().
-  Status SetExchange(std::unique_ptr<ExchangeEmitter> emitter,
+  /// Wires this shard into one more exchange fabric (one lane-group). When
+  /// `forward_raw_events` is set the worker emits every processed event
+  /// through this emitter (the plain cross-subject path); otherwise this
+  /// emitter's emission is entirely sink-driven (the private path, where
+  /// only protected views may cross). May be called once per lane-group;
+  /// must precede Start().
+  Status AddExchange(std::unique_ptr<ExchangeEmitter> emitter,
                      bool forward_raw_events);
-
-  ExchangeEmitter* exchange_emitter() const { return emitter_.get(); }
 
   /// Launches the worker thread. Returns FailedPrecondition if running.
   Status Start();
@@ -204,6 +207,13 @@ class Shard {
     kCmdFinish = 2,
   };
 
+  /// One attached exchange lane-group: the emitter plus whether the worker
+  /// forwards every raw event through it (vs sink-driven emission only).
+  struct ExchangeHook {
+    std::unique_ptr<ExchangeEmitter> emitter;
+    bool forward_raw_events = false;
+  };
+
   void RunLoop();
   void ExecuteCommand();
   Status RequestCommand(uint32_t kind, uint64_t payload);
@@ -213,8 +223,7 @@ class Shard {
   StreamingCepEngine engine_;
   Rng rng_;
   std::unique_ptr<ShardEventSink> sink_;
-  std::unique_ptr<ExchangeEmitter> emitter_;
-  bool forward_raw_events_ = false;
+  std::vector<ExchangeHook> hooks_;
   std::thread worker_;
   // Written only by Start/Stop; atomic so Drain/stats from other threads
   // read it race-free.

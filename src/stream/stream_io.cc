@@ -4,6 +4,7 @@
 
 #include "common/csv.h"
 #include "common/strings.h"
+#include "event/symbol_table.h"
 
 namespace pldp {
 
@@ -25,7 +26,7 @@ std::string EncodeValueTagged(const Value& v) {
   return "i:0";
 }
 
-StatusOr<Value> DecodeValueTagged(const std::string& s) {
+StatusOr<Value> DecodeValueTagged(const std::string& s, bool intern_strings) {
   if (s.size() < 2 || s[1] != ':') {
     return Status::InvalidArgument("malformed tagged value: '" + s + "'");
   }
@@ -44,6 +45,14 @@ StatusOr<Value> DecodeValueTagged(const std::string& s) {
       return Value(d);
     }
     case 's':
+      if (intern_strings) {
+        // TryIntern, not Value::Sym: exhausting the SymbolNames() budget
+        // must fail the read loudly — the silent fallback to an owned
+        // string would quietly reintroduce per-copy allocations the
+        // caller opted out of (see StreamCsvOptions::intern_strings).
+        PLDP_ASSIGN_OR_RETURN(SymbolId id, SymbolNames().TryIntern(payload));
+        return Value(Symbol(id));
+      }
       return Value(std::move(payload));
     default:
       return Status::InvalidArgument("unknown value tag: '" + s + "'");
@@ -70,7 +79,8 @@ Status WriteStreamCsv(const std::string& path, const EventStream& stream,
 }
 
 StatusOr<EventStream> ReadStreamCsv(const std::string& path,
-                                    EventTypeRegistry* registry) {
+                                    EventTypeRegistry* registry,
+                                    const StreamCsvOptions& options) {
   if (registry == nullptr) {
     return Status::InvalidArgument("registry must not be null");
   }
@@ -96,7 +106,9 @@ StatusOr<EventStream> ReadStreamCsv(const std::string& path,
             StrFormat("row %zu: attribute without '=': '%s'", r,
                       row[f].c_str()));
       }
-      PLDP_ASSIGN_OR_RETURN(Value v, DecodeValueTagged(row[f].substr(eq + 1)));
+      PLDP_ASSIGN_OR_RETURN(
+          Value v,
+          DecodeValueTagged(row[f].substr(eq + 1), options.intern_strings));
       e.SetAttribute(row[f].substr(0, eq), std::move(v));
     }
     PLDP_RETURN_IF_ERROR(stream.Append(std::move(e)));

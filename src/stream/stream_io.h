@@ -18,17 +18,35 @@
 
 namespace pldp {
 
+/// Decode-side knobs of ReadStreamCsv.
+struct StreamCsvOptions {
+  /// When true, "s:" payloads decode to interned `Value::Sym` flyweights
+  /// (event/symbol_table.h) instead of owned `std::string`s, so every
+  /// later copy of the event through queues, lanes, and staging buffers is
+  /// allocation-free. Semantically invisible: symbol and string values
+  /// compare equal by content (tests/stream_io_intern_test.cc pins it).
+  /// Off by default because wire data has unbounded payload cardinality —
+  /// turn it on for streams whose string vocabulary is bounded, and set a
+  /// SymbolNames() budget (InternTable::SetBudget) as the guard rail; an
+  /// exhausted budget fails the read with ResourceExhausted rather than
+  /// silently falling back to allocating copies.
+  bool intern_strings = false;
+};
+
 /// Writes `stream` to `path`; type names come from `registry`.
 Status WriteStreamCsv(const std::string& path, const EventStream& stream,
                       const EventTypeRegistry& registry);
 
 /// Reads a stream from `path`, interning unseen type names into `registry`.
 StatusOr<EventStream> ReadStreamCsv(const std::string& path,
-                                    EventTypeRegistry* registry);
+                                    EventTypeRegistry* registry,
+                                    const StreamCsvOptions& options = {});
 
-/// Encoding helpers (exposed for tests).
+/// Encoding helpers (exposed for tests). `intern_strings` as in
+/// StreamCsvOptions.
 std::string EncodeValueTagged(const Value& v);
-StatusOr<Value> DecodeValueTagged(const std::string& s);
+StatusOr<Value> DecodeValueTagged(const std::string& s,
+                                  bool intern_strings = false);
 
 }  // namespace pldp
 

@@ -276,6 +276,20 @@ TEST(ParallelPrivateEngineTest, LifecycleErrors) {
   }
 }
 
+TEST(ParallelPrivateEngineTest, UnknownQueryNameLookupsAreHardErrors) {
+  ParallelPrivateOptions options;
+  options.shard_count = 2;
+  options.window_size = kWindowSize;
+  ParallelPrivateEngine engine(options);
+  RegisterSetup(engine);
+  // Known names resolve; unknown names are NotFound, never a silent
+  // default id or empty result.
+  EXPECT_EQ(engine.TargetQueryIdOf("q0").value(), 0u);
+  EXPECT_EQ(engine.TargetQueryIdOf("q1").value(), 1u);
+  EXPECT_TRUE(engine.TargetQueryIdOf("no-such-query").status().IsNotFound());
+  EXPECT_TRUE(engine.CrossQueryIndexOf("no-such-cross").status().IsNotFound());
+}
+
 TEST(ParallelPrivateEngineTest, EmptyStreamHasNoSubjects) {
   ParallelPrivateOptions options;
   options.shard_count = 2;

@@ -42,6 +42,42 @@ TEST(InternTableTest, FindNeverGrowsTheTable) {
   EXPECT_EQ(table.size(), 1u);
 }
 
+TEST(InternTableTest, BudgetCapsNewEntriesWithClearError) {
+  InternTable table;
+  EXPECT_EQ(table.budget(), InternTable::kMaxEntries);
+  table.SetBudget(2);
+  EXPECT_EQ(table.budget(), 2u);
+  const uint32_t a = table.Intern("alpha");
+  const uint32_t b = table.Intern("beta");
+  EXPECT_NE(a, kInvalidInternId);
+  EXPECT_NE(b, kInvalidInternId);
+  // Exhausted: new names fail, existing names keep resolving.
+  EXPECT_EQ(table.Intern("gamma"), kInvalidInternId);
+  EXPECT_EQ(table.Intern("alpha"), a);
+  StatusOr<uint32_t> try_gamma = table.TryIntern("gamma");
+  ASSERT_FALSE(try_gamma.ok());
+  EXPECT_TRUE(try_gamma.status().IsResourceExhausted());
+  EXPECT_EQ(table.TryIntern("beta").value(), b);
+  // Raising the budget unblocks registration.
+  table.SetBudget(3);
+  EXPECT_NE(table.Intern("gamma"), kInvalidInternId);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(InternTableTest, LoweringBudgetBelowSizeKeepsExistingIdsValid) {
+  InternTable table;
+  const uint32_t a = table.Intern("alpha");
+  const uint32_t b = table.Intern("beta");
+  table.SetBudget(1);  // below current size
+  EXPECT_EQ(table.NameOf(a), "alpha");
+  EXPECT_EQ(table.NameOf(b), "beta");
+  EXPECT_EQ(table.Intern("alpha"), a);
+  EXPECT_EQ(table.Intern("gamma"), kInvalidInternId);
+  table.SetBudget(0);  // 0 restores the default cap
+  EXPECT_EQ(table.budget(), InternTable::kMaxEntries);
+  EXPECT_NE(table.Intern("gamma"), kInvalidInternId);
+}
+
 TEST(InternTableTest, NameOfRoundTripsAndRejectsInvalid) {
   InternTable table;
   const uint32_t id = table.Intern("cell");

@@ -332,6 +332,36 @@ TEST(ParallelEngineTest, IngestionMayContinueAfterDrain) {
   ASSERT_TRUE(engine.Stop().ok());
 }
 
+TEST(ParallelEngineTest, UnknownQueryLookupsAreHardErrors) {
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.exchange.enabled = true;
+  options.exchange.shard_count = 1;
+  ParallelStreamingEngine engine(options);
+  ASSERT_TRUE(engine
+                  .AddQuery(Pattern::Create("q", {0, 1},
+                                            DetectionMode::kSequence)
+                                .value(),
+                            /*window=*/4)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .AddCrossQuery(Pattern::Create("c", {0, 1},
+                                                 DetectionMode::kConjunction)
+                                     .value(),
+                                 /*window=*/4)
+                  .ok());
+  ASSERT_TRUE(engine.Start().ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  // A stage-1 index past the registered count errors instead of returning
+  // an empty (or, worse, another query's) result — and the message points
+  // at the separate cross index space.
+  EXPECT_TRUE(engine.DetectionsOf(1).status().IsOutOfRange());
+  EXPECT_TRUE(engine.CrossDetectionsOf(1).status().IsOutOfRange());
+  EXPECT_TRUE(engine.DetectionsOf(0).ok());
+  EXPECT_TRUE(engine.CrossDetectionsOf(0).ok());
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
 TEST(ParallelEngineTest, DeterministicAcrossRuns) {
   constexpr size_t kSubjects = 8;
   const EventStream stream = KeyedStream(kSubjects, 8000, /*seed=*/3);

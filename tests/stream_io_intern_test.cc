@@ -1,0 +1,141 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The intern-on-decode path of stream/stream_io.h: with
+// StreamCsvOptions::intern_strings, "s:" payloads come back as Value::Sym
+// flyweights. Pins (a) semantic equivalence to the legacy owned-string
+// decode — every event, attribute, and value compares equal — and (b) the
+// budget guard: an exhausted SymbolNames() budget fails the read with
+// ResourceExhausted instead of silently allocating.
+
+#include "stream/stream_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "event/symbol_table.h"
+
+namespace pldp {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+EventStream AttributedStream() {
+  const AttrId zone = AttrNames().Intern("zone");
+  const AttrId cell = AttrNames().Intern("cell");
+  EventStream stream;
+  for (size_t i = 0; i < 64; ++i) {
+    Event e(static_cast<EventTypeId>(i % 3), static_cast<Timestamp>(i),
+            static_cast<StreamId>(i % 4));
+    e.SetAttribute(zone, Value("district-" + std::to_string(i % 5)));
+    e.SetAttribute(cell, Value(static_cast<int64_t>(i)));
+    if (i % 2 == 0) {
+      e.SetAttribute("flag", Value(true));
+    }
+    stream.AppendUnchecked(std::move(e));
+  }
+  return stream;
+}
+
+TEST(StreamIoInternTest, InternedDecodeIsEquivalentToLegacyDecode) {
+  TempFile file("intern_equiv.csv");
+  EventTypeRegistry registry = EventTypeRegistry::MakeDense(3, "t");
+  const EventStream original = AttributedStream();
+  ASSERT_TRUE(WriteStreamCsv(file.path(), original, registry).ok());
+
+  EventTypeRegistry legacy_reg = EventTypeRegistry::MakeDense(3, "t");
+  auto legacy = ReadStreamCsv(file.path(), &legacy_reg);
+  ASSERT_TRUE(legacy.ok());
+
+  StreamCsvOptions options;
+  options.intern_strings = true;
+  EventTypeRegistry interned_reg = EventTypeRegistry::MakeDense(3, "t");
+  auto interned = ReadStreamCsv(file.path(), &interned_reg, options);
+  ASSERT_TRUE(interned.ok());
+
+  ASSERT_EQ(legacy.value().size(), interned.value().size());
+  ASSERT_EQ(interned.value().size(), original.size());
+  for (size_t i = 0; i < legacy.value().size(); ++i) {
+    const Event& a = legacy.value()[i];
+    const Event& b = interned.value()[i];
+    EXPECT_EQ(a.type(), b.type());
+    EXPECT_EQ(a.timestamp(), b.timestamp());
+    EXPECT_EQ(a.stream(), b.stream());
+    ASSERT_EQ(a.attribute_count(), b.attribute_count());
+    for (size_t k = 0; k < a.attribute_count(); ++k) {
+      EXPECT_EQ(a.attribute_name(k), b.attribute_name(k));
+      // Cross-kind text equality: Sym("x") == String("x").
+      EXPECT_EQ(a.attribute(k).value, b.attribute(k).value)
+          << "event " << i << " attribute " << k;
+    }
+  }
+
+  // The interned read really produced flyweights for text payloads.
+  const Event& probe = interned.value()[0];
+  const Value* zone = probe.FindAttribute("zone");
+  ASSERT_NE(zone, nullptr);
+  EXPECT_TRUE(zone->is_symbol());
+  const Value* legacy_zone = legacy.value()[0].FindAttribute("zone");
+  ASSERT_NE(legacy_zone, nullptr);
+  EXPECT_TRUE(legacy_zone->is_string());
+}
+
+TEST(StreamIoInternTest, DecodeValueTaggedHonorsInternFlag) {
+  auto legacy = DecodeValueTagged("s:hello-world-payload");
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_TRUE(legacy.value().is_string());
+
+  auto interned = DecodeValueTagged("s:hello-world-payload", true);
+  ASSERT_TRUE(interned.ok());
+  EXPECT_TRUE(interned.value().is_symbol());
+  EXPECT_EQ(legacy.value(), interned.value());
+
+  // Non-string kinds are untouched by the flag.
+  auto number = DecodeValueTagged("i:42", true);
+  ASSERT_TRUE(number.ok());
+  EXPECT_TRUE(number.value().is_int());
+}
+
+TEST(StreamIoInternTest, ExhaustedSymbolBudgetFailsTheReadLoudly) {
+  TempFile file("intern_budget.csv");
+  EventTypeRegistry registry = EventTypeRegistry::MakeDense(1, "t");
+  // More distinct payloads than the budget we will set leaves room for.
+  EventStream stream;
+  for (size_t i = 0; i < 32; ++i) {
+    Event e(0, static_cast<Timestamp>(i), 0);
+    e.SetAttribute("payload",
+                   Value("unique-payload-" + std::to_string(i) +
+                         "-of-unbounded-cardinality"));
+    stream.AppendUnchecked(std::move(e));
+  }
+  ASSERT_TRUE(WriteStreamCsv(file.path(), stream, registry).ok());
+
+  // Budget = whatever is interned now + 8: the 32 distinct payloads above
+  // must exhaust it mid-read.
+  InternTable& symbols = SymbolNames();
+  symbols.SetBudget(symbols.size() + 8);
+  StreamCsvOptions options;
+  options.intern_strings = true;
+  EventTypeRegistry reg = EventTypeRegistry::MakeDense(1, "t");
+  auto result = ReadStreamCsv(file.path(), &reg, options);
+  symbols.SetBudget(0);  // restore the default before asserting
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+
+  // Without interning the same file reads fine regardless of any budget.
+  auto legacy = ReadStreamCsv(file.path(), &reg);
+  EXPECT_TRUE(legacy.ok());
+}
+
+}  // namespace
+}  // namespace pldp
