@@ -33,6 +33,15 @@
 // in BENCH_runtime.json, which CI archives per push, so allocation
 // regressions are as diffable as throughput regressions.
 //
+// Telemetry columns: each shard budget additionally runs the batched
+// ingest once with metrics enabled (EnableMetrics on the builder — every
+// counter/histogram/gauge wired). The run reports p50/p99/p999 per-event
+// processing latency from the pipeline-wide aggregate of the
+// pldp_shard_process_latency_ns histograms, plus the relative throughput
+// overhead of instrumentation vs the metrics-off batched run (target:
+// under ~2% — instrument updates are relaxed atomics on pre-registered
+// slots).
+//
 // Every configuration is cross-checked against the sequential
 // StreamingCepEngine's detection count; the bench exits non-zero on a
 // mismatch.
@@ -187,16 +196,31 @@ struct AllocPerEvent {
   double bytes = -1.0;
 };
 
+/// Per-event processing latency quantiles (ns) from the pipeline-wide
+/// aggregate of the per-shard latency histograms; negative when the run
+/// had metrics disabled.
+struct LatencyQuantiles {
+  double p50 = -1.0;
+  double p99 = -1.0;
+  double p999 = -1.0;
+};
+
 /// Ingests `stream` into a fresh engine; returns steady-state events/sec,
 /// or a negative value on error. With `exchange`, the queries run as cross
 /// queries on an NxN exchange pipeline keyed by group. The first ~6% of
 /// the stream is untimed, uncounted warmup (see file comment);
 /// `waits`/`detections`/`alloc` report the steady-state segment's
-/// counters (waits = stage-1 queue + exchange lane backpressure).
+/// counters (waits = stage-1 queue + exchange lane backpressure). With
+/// `metrics`, the pipeline is built fully instrumented and `latency` (if
+/// non-null) receives p50/p99/p999 of the pipeline-wide
+/// pldp_shard_process_latency_ns aggregate (warmup events included — the
+/// histogram spans the pipeline's whole life, and the steady state
+/// dominates the distribution).
 double TimedIngest(const EventStream& stream, size_t groups,
                    Timestamp window, size_t shards, bool exchange,
                    IngestMode mode, size_t* waits, size_t* detections,
-                   AllocPerEvent* alloc) {
+                   AllocPerEvent* alloc, bool metrics = false,
+                   LatencyQuantiles* latency = nullptr) {
   // Declarative construction: the builder plans the topology from the
   // queries (a shard budget of 1 plans the sequential in-process engine —
   // the honest single-core baseline; the exchange workload's custom
@@ -207,6 +231,7 @@ double TimedIngest(const EventStream& stream, size_t groups,
                          .WithCrossShards(shards)
                          .WithQueueCapacity(4096)
                          .WithExchangeCapacity(4096)
+                         .EnableMetrics(metrics)
                          .Build();
   if (!pipeline_or.ok()) return -1.0;
   Pipeline& pipeline = *pipeline_or.value();
@@ -233,6 +258,15 @@ double TimedIngest(const EventStream& stream, size_t groups,
         static_cast<double>(counters.allocs) / static_cast<double>(measured);
     alloc->bytes =
         static_cast<double>(counters.bytes) / static_cast<double>(measured);
+  }
+
+  if (metrics && latency != nullptr) {
+    const obs::MetricsSnapshot snapshot = pipeline.MetricsSnapshot();
+    const obs::HistogramData hist = obs::AggregateHistogram(
+        snapshot.Find("pldp_shard_process_latency_ns"));
+    latency->p50 = hist.Quantile(0.50);
+    latency->p99 = hist.Quantile(0.99);
+    latency->p999 = hist.Quantile(0.999);
   }
 
   *waits = 0;
@@ -266,7 +300,10 @@ double SequentialReference(const EventStream& stream, size_t groups,
 /// Benches one workload into `table` (label_suffix distinguishes the
 /// sections: "" plain, "+attrs" attributed, exchange rows are "NxN");
 /// returns false on a detection mismatch. Allocation columns come from the
-/// batched run (the production ingest path).
+/// metrics-off batched run (the production ingest path); the latency
+/// quantiles, the overhead column, and metrics_allocs_per_event (the
+/// zero-allocation guarantee must survive full instrumentation) come from
+/// a third, fully instrumented batched run against the same stream.
 bool BenchWorkload(const EventStream& stream, size_t groups,
                    Timestamp window, bool exchange, size_t reference_count,
                    const char* label_suffix, ResultTable* table) {
@@ -283,10 +320,16 @@ bool BenchWorkload(const EventStream& stream, size_t groups,
     const double batched_eps =
         TimedIngest(stream, groups, window, shards, exchange,
                     IngestMode::kBatched, &b_waits, &b_detections, &alloc);
-    if (per_event_eps < 0 || batched_eps < 0) return false;
+    size_t m_waits = 0, m_detections = 0;
+    AllocPerEvent metrics_alloc;
+    LatencyQuantiles latency;
+    const double metrics_eps = TimedIngest(
+        stream, groups, window, shards, exchange, IngestMode::kBatched,
+        &m_waits, &m_detections, &metrics_alloc, /*metrics=*/true, &latency);
+    if (per_event_eps < 0 || batched_eps < 0 || metrics_eps < 0) return false;
     if (shards == 1) one_shard_batched = batched_eps;
 
-    for (size_t detections : {pe_detections, b_detections}) {
+    for (size_t detections : {pe_detections, b_detections, m_detections}) {
       if (detections != reference_count) {
         std::fprintf(
             stderr,
@@ -300,12 +343,15 @@ bool BenchWorkload(const EventStream& stream, size_t groups,
     const std::string label =
         exchange ? StrFormat("%zux%zu", shards, shards)
                  : StrFormat("%zu%s", shards, label_suffix);
+    const double overhead_pct = (batched_eps / metrics_eps - 1.0) * 100.0;
     (void)table->AddRow(label,
                         {per_event_eps, batched_eps,
                          batched_eps / per_event_eps,
                          batched_eps / one_shard_batched,
                          static_cast<double>(pe_waits + b_waits),
-                         alloc.allocs, alloc.bytes});
+                         alloc.allocs, alloc.bytes, metrics_eps,
+                         overhead_pct, metrics_alloc.allocs, latency.p50,
+                         latency.p99, latency.p999});
   }
   return ok;
 }
@@ -370,7 +416,9 @@ int Run(const bench::HarnessArgs& args) {
   ResultTable table({"shards", "per_event_eps", "batched_eps",
                      "batched_vs_per_event", "batched_speedup_vs_1",
                      "backpressure_waits", "allocs_per_event",
-                     "bytes_per_event"});
+                     "bytes_per_event", "metrics_batched_eps",
+                     "metrics_overhead_pct", "metrics_allocs_per_event",
+                     "latency_p50_ns", "latency_p99_ns", "latency_p999_ns"});
   bool ok = BenchWorkload(keyed, groups, window, /*exchange=*/false,
                           plain_reference, "", &table);
   ok = BenchWorkload(attributed, groups, window, /*exchange=*/false,
@@ -382,9 +430,10 @@ int Run(const bench::HarnessArgs& args) {
 
   const int rc = bench::EmitTable(
       table, args,
-      "Runtime throughput + steady-state allocations: per-event vs batched "
-      "ingest; N = subject-local shards, N+attrs = attributed events, "
-      "NxN = exchange pipeline (stage1 x stage2)");
+      "Runtime throughput + steady-state allocations + telemetry: per-event "
+      "vs batched ingest; N = subject-local shards, N+attrs = attributed "
+      "events, NxN = exchange pipeline (stage1 x stage2); metrics_* columns "
+      "and latency quantiles from a fully instrumented batched run");
   return ok ? rc : 1;
 }
 

@@ -12,14 +12,35 @@
 // sharding preserves detection semantics exactly while scaling ingest
 // across cores.
 
+// `--metrics-port=P` builds the pipeline with telemetry and serves
+// GET /metrics, /metrics.json, /healthz on port P until the process is
+// killed; without the flag the example runs to completion and exits.
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "core/pldp.h"
 
 namespace {
 
-pldp::Status Run() {
+/// Parses `--metrics-port=P` / `--metrics-port P`; -1 = flag absent.
+int ParseMetricsPort(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-port=", 15) == 0) {
+      return std::atoi(argv[i] + 15);
+    }
+    if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return -1;
+}
+
+pldp::Status Run(int metrics_port) {
   // Event vocabulary shared by every home: each subject emits the same
   // logical types; the subject id on the event keeps streams apart.
   pldp::EventTypeRegistry types;
@@ -53,9 +74,38 @@ pldp::Status Run() {
       pldp::Pattern::Create("came_home", {door, motion, kettle},
                             pldp::DetectionMode::kSequence),
       /*window=*/10);
+  // Streaming observer: fires the moment a match completes, on the owning
+  // shard's worker thread — hence the atomic.
+  std::atomic<size_t> live_detections{0};
+  came_home.OnDetection([&live_detections](pldp::Timestamp) {
+    live_detections.fetch_add(1, std::memory_order_relaxed);
+  });
   PLDP_ASSIGN_OR_RETURN(std::unique_ptr<pldp::Pipeline> pipeline,
-                        builder.WithShards(0).WithQueueCapacity(1024).Build());
+                        builder.WithShards(0)
+                            .WithQueueCapacity(1024)
+                            .EnableMetrics(metrics_port >= 0)
+                            .Build());
   std::printf("planned topology:\n%s\n", pipeline->plan().Describe().c_str());
+
+  std::unique_ptr<pldp::obs::TextEndpoint> endpoint;
+  if (metrics_port >= 0) {
+    pldp::obs::TextEndpoint::Routes routes;
+    pldp::Pipeline* p = pipeline.get();
+    routes.metrics_text = [p] {
+      return pldp::obs::RenderPrometheusText(p->MetricsSnapshot());
+    };
+    routes.metrics_json = [p] {
+      return pldp::obs::RenderJson(p->MetricsSnapshot());
+    };
+    routes.health_json = [p] {
+      return pldp::obs::RenderHealthJson(p->Health());
+    };
+    endpoint = std::make_unique<pldp::obs::TextEndpoint>(std::move(routes));
+    PLDP_RETURN_IF_ERROR(
+        endpoint->Start(static_cast<uint16_t>(metrics_port)));
+    std::printf("metrics endpoint: http://localhost:%u/metrics\n",
+                endpoint->port());
+  }
 
   // Per-tick batch delivery: the replayer hands the pipeline one span per
   // tick and OnEventBatch bulk-pushes per shard — the cheap ingest path.
@@ -72,7 +122,8 @@ pldp::Status Run() {
   std::printf("ingested %zu events from %zu homes across %zu shards\n",
               finished.events_processed(), kHomes,
               pipeline->plan().shard_count);
-  std::printf("'came_home' detections: %zu", detections.size());
+  std::printf("'came_home' detections: %zu (%zu seen live via OnDetection)",
+              detections.size(), live_detections.load());
   if (!detections.empty()) {
     std::printf(" (first at t=%lld, last at t=%lld)",
                 static_cast<long long>(detections.front()),
@@ -85,13 +136,21 @@ pldp::Status Run() {
         s.shard_index, s.events_processed, s.detections,
         s.backpressure_waits);
   }
+
+  if (endpoint != nullptr) {
+    std::printf("serving metrics until killed (Ctrl-C to exit)\n");
+    std::fflush(stdout);
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+  }
   return pipeline->Stop();
 }
 
 }  // namespace
 
-int main() {
-  pldp::Status status = Run();
+int main(int argc, char** argv) {
+  pldp::Status status = Run(ParseMetricsPort(argc, argv));
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

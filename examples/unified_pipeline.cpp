@@ -13,14 +13,38 @@
 //
 // The builder plans the topology from the declarations; the typed handles
 // are the only way to read each lane's results, and only after Finish().
+//
+// With `--metrics-port=P` the pipeline is built with telemetry enabled and
+// a scrape endpoint serves GET /metrics (Prometheus text), /metrics.json,
+// and /healthz on port P until the process is killed:
+//
+//   ./example_unified_pipeline --metrics-port=9464 &
+//   curl http://localhost:9464/metrics
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "core/pldp.h"
 
 namespace {
 
-pldp::Status Run() {
+/// Parses `--metrics-port=P` / `--metrics-port P`; -1 = flag absent.
+int ParseMetricsPort(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-port=", 15) == 0) {
+      return std::atoi(argv[i] + 15);
+    }
+    if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return -1;
+}
+
+pldp::Status Run(int metrics_port) {
   using pldp::DetectionMode;
   using pldp::Event;
   using pldp::EventTypeId;
@@ -76,8 +100,31 @@ pldp::Status Run() {
                             .WithPrivacyWindow(20)
                             .WithMechanism("uniform")
                             .WithEpsilon(kEpsilon)
+                            .EnableMetrics(metrics_port >= 0)
                             .Build());
   std::printf("planned topology:\n%s\n", pipeline->plan().Describe().c_str());
+
+  // Scrape endpoint (only with --metrics-port): every route reads the live
+  // pipeline — MetricsSnapshot/Health are safe concurrent with ingestion.
+  std::unique_ptr<pldp::obs::TextEndpoint> endpoint;
+  if (metrics_port >= 0) {
+    pldp::obs::TextEndpoint::Routes routes;
+    pldp::Pipeline* p = pipeline.get();
+    routes.metrics_text = [p] {
+      return pldp::obs::RenderPrometheusText(p->MetricsSnapshot());
+    };
+    routes.metrics_json = [p] {
+      return pldp::obs::RenderJson(p->MetricsSnapshot());
+    };
+    routes.health_json = [p] {
+      return pldp::obs::RenderHealthJson(p->Health());
+    };
+    endpoint = std::make_unique<pldp::obs::TextEndpoint>(std::move(routes));
+    PLDP_RETURN_IF_ERROR(
+        endpoint->Start(static_cast<uint16_t>(metrics_port)));
+    std::printf("metrics endpoint: http://localhost:%u/metrics\n",
+                endpoint->port());
+  }
 
   // Synthetic city traffic.
   const pldp::AttrId zone_attr = pldp::AttrNames().Intern("zone");
@@ -136,13 +183,21 @@ pldp::Status Run() {
   std::printf("protected 'clinic_visit' windows: %zu positive of %zu "
               "(ε=%.1f)\n",
               clinic_positives, finished.total_windows(), kEpsilon);
+
+  if (endpoint != nullptr) {
+    std::printf("serving metrics until killed (Ctrl-C to exit)\n");
+    std::fflush(stdout);
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+  }
   return pipeline->Stop();
 }
 
 }  // namespace
 
-int main() {
-  pldp::Status status = Run();
+int main(int argc, char** argv) {
+  pldp::Status status = Run(ParseMetricsPort(argc, argv));
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "event/symbol_table.h"
 #include "ppm/factory.h"
 
 namespace pldp {
@@ -71,6 +72,24 @@ CorrelationKey CorrelationKey::Custom(std::string name, CorrelationKeyFn fn) {
 }
 
 // ---------------------------------------------------------------------------
+// Query handles
+
+QueryHandle& QueryHandle::OnDetection(std::function<void(Timestamp)> callback) {
+  if (builder_ != nullptr && rep_.valid()) {
+    builder_->SetPlainCallback(rep_.index, std::move(callback));
+  }
+  return *this;
+}
+
+CrossQueryHandle& CrossQueryHandle::OnDetection(
+    std::function<void(Timestamp)> callback) {
+  if (builder_ != nullptr && rep_.valid()) {
+    builder_->SetCrossCallback(rep_.index, std::move(callback));
+  }
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
 // PipelinePlan
 
 std::string PipelinePlan::Describe() const {
@@ -132,6 +151,23 @@ PipelineBuilder& PipelineBuilder::WithSeed(uint64_t seed) {
   return *this;
 }
 
+PipelineBuilder& PipelineBuilder::EnableMetrics(bool enabled) {
+  metrics_enabled_ = enabled;
+  return *this;
+}
+
+void PipelineBuilder::SetPlainCallback(size_t index,
+                                       std::function<void(Timestamp)> cb) {
+  if (built_ || index >= plain_.size()) return;
+  plain_[index].callback = std::move(cb);
+}
+
+void PipelineBuilder::SetCrossCallback(size_t index,
+                                       std::function<void(Timestamp)> cb) {
+  if (built_ || index >= cross_.size()) return;
+  cross_[index].callback = std::move(cb);
+}
+
 PipelineBuilder& PipelineBuilder::WithPrivacyWindow(Timestamp size,
                                                     Timestamp origin) {
   window_size_ = size;
@@ -181,6 +217,7 @@ QueryHandle PipelineBuilder::AddQuery(StatusOr<Pattern> pattern,
                                       Timestamp window) {
   QueryHandle handle;
   handle.rep_.builder_uid = uid_;
+  handle.builder_ = this;
   if (!pattern.ok()) {
     LatchError(pattern.status());
     return handle;
@@ -198,6 +235,7 @@ CrossQueryHandle PipelineBuilder::AddCrossQuery(StatusOr<Pattern> pattern,
                                                 CorrelationKey key) {
   CrossQueryHandle handle;
   handle.rep_.builder_uid = uid_;
+  handle.builder_ = this;
   if (!pattern.ok()) {
     LatchError(pattern.status());
     return handle;
@@ -323,6 +361,9 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
 
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
   pipeline->builder_uid_ = uid_;
+  if (metrics_enabled_) {
+    pipeline->metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
   PipelinePlan& plan = pipeline->plan_;
   plan.shard_count = ResolveShardBudget(shard_budget_);
   plan.plain_queries = plain_.size();
@@ -388,6 +429,55 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
             pipeline->sequential_->AddQuery(decl.pattern, decl.window));
         pipeline->cross_map_.push_back(index);
       }
+      // The sequential engine hosts plain AND cross queries in one index
+      // space; dispatch per-query detection callbacks through one table.
+      bool any_callback = false;
+      for (const PlainDecl& decl : plain_) {
+        any_callback = any_callback || decl.callback != nullptr;
+      }
+      for (const CrossDecl& decl : cross_) {
+        any_callback = any_callback || decl.callback != nullptr;
+      }
+      if (any_callback) {
+        std::vector<std::function<void(Timestamp)>> dispatch(
+            pipeline->sequential_->query_count());
+        for (size_t i = 0; i < plain_.size(); ++i) {
+          if (plain_[i].callback) {
+            dispatch[pipeline->plain_map_[i]] = plain_[i].callback;
+          }
+        }
+        for (size_t i = 0; i < cross_.size(); ++i) {
+          if (cross_[i].callback) {
+            dispatch[pipeline->cross_map_[i]] = cross_[i].callback;
+          }
+        }
+        pipeline->sequential_->SetCallback(
+            [dispatch =
+                 std::move(dispatch)](const StreamingDetection& detection) {
+              if (detection.query_index < dispatch.size() &&
+                  dispatch[detection.query_index]) {
+                dispatch[detection.query_index](detection.at);
+              }
+            });
+      }
+      // No Shard worker exists in this plan, so the pipeline itself
+      // records the shard-level instruments around the in-process engine —
+      // same exposition schema at every shard budget.
+      if (obs::MetricsRegistry* registry = pipeline->metrics_.get()) {
+        obs::ShardInstruments ins;
+        ins.events = registry->AddCounter(
+            "pldp_shard_events_total", "Events popped and processed by a shard",
+            {{"lane", "plain"}, {"shard", "0"}});
+        ins.batch_size = registry->AddHistogram(
+            "pldp_shard_batch_size", "Events per worker pop burst",
+            {{"lane", "plain"}, {"shard", "0"}});
+        ins.process_latency_ns = registry->AddHistogram(
+            "pldp_shard_process_latency_ns",
+            "Per-event shard processing latency (engine + sink + exchange), "
+            "ns",
+            {{"lane", "plain"}, {"shard", "0"}});
+        pipeline->seq_obs_ = ins;
+      }
     } else {
       ParallelEngineOptions options;
       options.shard_count = plan.shard_count;
@@ -410,6 +500,23 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
                 cross_[i].pattern, cross_[i].window, resolved[i].key_id,
                 resolved[i].fn));
         pipeline->cross_map_.push_back(index);
+      }
+      for (size_t i = 0; i < plain_.size(); ++i) {
+        if (plain_[i].callback) {
+          PLDP_RETURN_IF_ERROR(pipeline->runtime_->SetQueryCallback(
+              pipeline->plain_map_[i], plain_[i].callback));
+        }
+      }
+      for (size_t i = 0; i < cross_.size(); ++i) {
+        if (cross_[i].callback) {
+          PLDP_RETURN_IF_ERROR(pipeline->runtime_->SetCrossQueryCallback(
+              pipeline->cross_map_[i], cross_[i].callback));
+        }
+      }
+      if (pipeline->metrics_ != nullptr) {
+        PLDP_RETURN_IF_ERROR(
+            pipeline->runtime_->EnableMetrics(pipeline->metrics_.get(),
+                                              "plain"));
       }
       PLDP_RETURN_IF_ERROR(pipeline->runtime_->Start());
     }
@@ -447,7 +554,28 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
                                 decl.name, decl.pattern, decl.window));
       pipeline->private_cross_map_.push_back(index);
     }
+    if (pipeline->metrics_ != nullptr) {
+      PLDP_RETURN_IF_ERROR(engine.EnableMetrics(pipeline->metrics_.get()));
+    }
     PLDP_RETURN_IF_ERROR(engine.Activate(mechanism_factory_, epsilon_));
+  }
+
+  // --- Pipeline-level instruments -----------------------------------------
+  if (obs::MetricsRegistry* registry = pipeline->metrics_.get()) {
+    pipeline->ingest_counter_ = registry->AddCounter(
+        "pldp_pipeline_events_ingested_total",
+        "Events accepted by Pipeline::OnEvent/OnEventBatch");
+    pipeline->intern_attr_entries_ = registry->AddGauge(
+        "pldp_intern_attr_entries",
+        "Interned attribute names (process-wide AttrNames table)");
+    pipeline->intern_attr_budget_ = registry->AddGauge(
+        "pldp_intern_attr_budget", "Entry cap of the AttrNames intern table");
+    pipeline->intern_symbol_entries_ = registry->AddGauge(
+        "pldp_intern_symbol_entries",
+        "Interned string payloads (process-wide SymbolNames table)");
+    pipeline->intern_symbol_budget_ = registry->AddGauge(
+        "pldp_intern_symbol_budget",
+        "Entry cap of the SymbolNames intern table");
   }
 
   return pipeline;
@@ -463,7 +591,14 @@ Status Pipeline::OnEvent(const Event& event) {
     return Status::FailedPrecondition("ingestion after Finish()/OnEnd");
   }
   if (sequential_ != nullptr) {
+    const uint64_t t0 =
+        seq_obs_.process_latency_ns != nullptr ? obs::MonotonicNowNs() : 0;
     PLDP_RETURN_IF_ERROR(sequential_->OnEvent(event));
+    if (seq_obs_.process_latency_ns != nullptr) {
+      seq_obs_.process_latency_ns->Record(obs::MonotonicNowNs() - t0);
+    }
+    if (seq_obs_.batch_size != nullptr) seq_obs_.batch_size->Record(1);
+    if (seq_obs_.events != nullptr) seq_obs_.events->Inc();
   }
   if (runtime_ != nullptr) {
     PLDP_RETURN_IF_ERROR(runtime_->OnEvent(event));
@@ -471,7 +606,8 @@ Status Pipeline::OnEvent(const Event& event) {
   if (private_engine_ != nullptr) {
     PLDP_RETURN_IF_ERROR(private_engine_->OnEvent(event));
   }
-  ++events_ingested_;
+  events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  if (ingest_counter_ != nullptr) ingest_counter_->Inc();
   return Status::OK();
 }
 
@@ -480,7 +616,27 @@ Status Pipeline::OnEventBatch(EventSpan events) {
     return Status::FailedPrecondition("ingestion after Finish()/OnEnd");
   }
   if (sequential_ != nullptr) {
-    PLDP_RETURN_IF_ERROR(sequential_->OnEventBatch(events));
+    if (seq_obs_.events != nullptr && !events.empty()) {
+      // Per-event loop (identical semantics to the base-class batch) with
+      // a chained clock: one MonotonicNowNs per event, like Shard does.
+      uint64_t t_prev = seq_obs_.process_latency_ns != nullptr
+                            ? obs::MonotonicNowNs()
+                            : 0;
+      for (const Event& event : events) {
+        PLDP_RETURN_IF_ERROR(sequential_->OnEvent(event));
+        if (seq_obs_.process_latency_ns != nullptr) {
+          const uint64_t t_now = obs::MonotonicNowNs();
+          seq_obs_.process_latency_ns->Record(t_now - t_prev);
+          t_prev = t_now;
+        }
+      }
+      if (seq_obs_.batch_size != nullptr) {
+        seq_obs_.batch_size->Record(events.size());
+      }
+      seq_obs_.events->Inc(events.size());
+    } else {
+      PLDP_RETURN_IF_ERROR(sequential_->OnEventBatch(events));
+    }
   }
   if (runtime_ != nullptr) {
     PLDP_RETURN_IF_ERROR(runtime_->OnEventBatch(events));
@@ -488,7 +644,8 @@ Status Pipeline::OnEventBatch(EventSpan events) {
   if (private_engine_ != nullptr) {
     PLDP_RETURN_IF_ERROR(private_engine_->OnEventBatch(events));
   }
-  events_ingested_ += events.size();
+  events_ingested_.fetch_add(events.size(), std::memory_order_relaxed);
+  if (ingest_counter_ != nullptr) ingest_counter_->Inc(events.size());
   return Status::OK();
 }
 
@@ -533,7 +690,32 @@ Status Pipeline::Stop() {
   return result;
 }
 
-size_t Pipeline::events_processed() const { return events_ingested_; }
+size_t Pipeline::events_processed() const {
+  return static_cast<size_t>(
+      events_ingested_.load(std::memory_order_relaxed));
+}
+
+obs::MetricsSnapshot Pipeline::MetricsSnapshot() {
+  if (metrics_ == nullptr) return obs::MetricsSnapshot();
+  if (runtime_ != nullptr) runtime_->RefreshMetricGauges();
+  if (private_engine_ != nullptr) private_engine_->RefreshMetricGauges();
+  if (intern_attr_entries_ != nullptr) {
+    intern_attr_entries_->Set(static_cast<double>(AttrNames().size()));
+    intern_attr_budget_->Set(static_cast<double>(AttrNames().budget()));
+    intern_symbol_entries_->Set(static_cast<double>(SymbolNames().size()));
+    intern_symbol_budget_->Set(static_cast<double>(SymbolNames().budget()));
+  }
+  return metrics_->Snapshot();
+}
+
+obs::PipelineHealth Pipeline::Health(
+    const obs::HealthThresholds& thresholds) const {
+  obs::PipelineHealth health;
+  if (runtime_ != nullptr) runtime_->CollectHealth(&health, "plain");
+  if (private_engine_ != nullptr) private_engine_->CollectHealth(&health);
+  obs::FinalizeHealth(&health, thresholds);
+  return health;
+}
 
 std::vector<ShardStats> Pipeline::ShardStatsSnapshot() const {
   if (runtime_ != nullptr) return runtime_->ShardStatsSnapshot();

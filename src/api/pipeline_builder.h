@@ -47,6 +47,8 @@
 #ifndef PLDP_API_PIPELINE_BUILDER_H_
 #define PLDP_API_PIPELINE_BUILDER_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +57,9 @@
 #include "cep/streaming_engine.h"
 #include "common/status.h"
 #include "core/parallel_private_engine.h"
+#include "obs/health.h"
+#include "obs/instruments.h"
+#include "obs/metrics.h"
 #include "ppm/mechanism.h"
 #include "runtime/parallel_engine.h"
 #include "stream/replay.h"
@@ -113,10 +118,19 @@ class QueryHandle {
   /// error itself is reported by PipelineBuilder::Build()).
   bool valid() const { return rep_.valid(); }
 
+  /// Registers a streaming detection callback for this query, called with
+  /// the completion timestamp of every match the moment it fires. Must be
+  /// called before Build() while the builder is alive (later calls are
+  /// ignored). Sequential plans invoke the callback synchronously on the
+  /// ingest thread; sharded plans invoke it on the owning worker thread,
+  /// so the callback must be thread-safe. No-op on invalid handles.
+  QueryHandle& OnDetection(std::function<void(Timestamp)> callback);
+
  private:
   friend class PipelineBuilder;
   friend class FinishedPipeline;
   internal::QueryHandleRep rep_;
+  PipelineBuilder* builder_ = nullptr;
 };
 
 /// Handle of a cross-subject query (its own correlation key / lane-group).
@@ -125,10 +139,15 @@ class CrossQueryHandle {
   CrossQueryHandle() = default;
   bool valid() const { return rep_.valid(); }
 
+  /// Streaming detection callback; see QueryHandle::OnDetection. Sharded
+  /// plans invoke it on the query's merge-shard worker thread.
+  CrossQueryHandle& OnDetection(std::function<void(Timestamp)> callback);
+
  private:
   friend class PipelineBuilder;
   friend class FinishedPipeline;
   internal::QueryHandleRep rep_;
+  PipelineBuilder* builder_ = nullptr;
 };
 
 /// Handle of a private (per-subject, protected-view) target query.
@@ -267,6 +286,23 @@ class Pipeline : public StreamSubscriber {
   std::vector<ShardStats> ShardStatsSnapshot() const;
   std::vector<ShardStats> CrossShardStatsSnapshot() const;
 
+  // --- Telemetry (PipelineBuilder::EnableMetrics) -------------------------
+
+  /// Point-in-time view of every registered instrument: refreshes the
+  /// snapshot-time gauges (queue depths, exchange occupancy, watermark
+  /// lag, intern-table occupancy) and freezes the registry. Safe from any
+  /// thread, concurrent with ingestion — this is what a scrape thread
+  /// calls. Empty when metrics are disabled.
+  obs::MetricsSnapshot MetricsSnapshot();
+
+  /// Pipeline-wide health roll-up from live runtime state (works with or
+  /// without metrics). Safe from any thread while the pipeline runs.
+  obs::PipelineHealth Health(const obs::HealthThresholds& thresholds =
+                                 obs::HealthThresholds()) const;
+
+  /// The instrument registry; nullptr when metrics are disabled.
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
  private:
   friend class PipelineBuilder;
   friend class FinishedPipeline;
@@ -293,9 +329,23 @@ class Pipeline : public StreamSubscriber {
   std::vector<QueryId> private_map_;
   std::vector<size_t> private_cross_map_;
 
+  /// Telemetry (set iff the builder enabled metrics). The registry owns
+  /// every instrument; the raw pointers below are stable borrows. The
+  /// sequential plan has no Shard worker, so the pipeline itself records
+  /// the lane="plain",shard="0" instruments around the in-process engine —
+  /// keeping the exposition schema identical across plans.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* ingest_counter_ = nullptr;
+  obs::ShardInstruments seq_obs_;
+  obs::Gauge* intern_attr_entries_ = nullptr;
+  obs::Gauge* intern_attr_budget_ = nullptr;
+  obs::Gauge* intern_symbol_entries_ = nullptr;
+  obs::Gauge* intern_symbol_budget_ = nullptr;
+
   bool finished_ = false;
   Status finish_status_ = Status::OK();
-  uint64_t events_ingested_ = 0;
+  /// Atomic so a scrape thread may read events_processed() mid-ingest.
+  std::atomic<uint64_t> events_ingested_{0};
 };
 
 /// Declarative builder: declare queries and budgets, then Build() to plan,
@@ -317,6 +367,14 @@ class PipelineBuilder {
   /// Base seed for every deterministic Rng in the pipeline (per-shard and
   /// per-subject mechanism Rngs derive from it).
   PipelineBuilder& WithSeed(uint64_t seed);
+
+  // --- Telemetry ----------------------------------------------------------
+
+  /// Builds the pipeline with a `obs::MetricsRegistry` and instruments
+  /// every stage (shards, exchange lanes, merge shards, private
+  /// publishers, budget ledger, intern tables). Hot-path cost is a few
+  /// relaxed atomic ops per event — still allocation-free. Off by default.
+  PipelineBuilder& EnableMetrics(bool enabled = true);
 
   // --- Privacy configuration (required iff private queries exist) --------
 
@@ -378,14 +436,19 @@ class PipelineBuilder {
   StatusOr<std::unique_ptr<Pipeline>> Build();
 
  private:
+  friend class QueryHandle;
+  friend class CrossQueryHandle;
+
   struct PlainDecl {
     Pattern pattern;
     Timestamp window = 0;
+    std::function<void(Timestamp)> callback;
   };
   struct CrossDecl {
     Pattern pattern;
     Timestamp window = 0;
     CorrelationKey key;
+    std::function<void(Timestamp)> callback;
   };
   struct PrivateDecl {
     std::string name;
@@ -402,9 +465,14 @@ class PipelineBuilder {
   StatusOr<std::pair<std::string, CorrelationKeyFn>> ResolveKey(
       const CorrelationKey& key, const Pattern& pattern) const;
 
+  /// Handle back-channels (QueryHandle::OnDetection). No-ops after Build().
+  void SetPlainCallback(size_t index, std::function<void(Timestamp)> callback);
+  void SetCrossCallback(size_t index, std::function<void(Timestamp)> callback);
+
   uint64_t uid_ = 0;
   Status error_ = Status::OK();
   bool built_ = false;
+  bool metrics_enabled_ = false;
 
   size_t shard_budget_ = 0;
   size_t cross_shards_ = 0;

@@ -4,13 +4,43 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 
 namespace pldp {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Initial threshold: the PLDP_LOG_LEVEL environment variable when set
+/// ("debug"/"info"/"warning"/"error"/"off", or the numeric 0-4), warning
+/// otherwise. Read once at static-init time; SetLogLevel overrides later.
+int InitialLevel() {
+  const char* env = std::getenv("PLDP_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0) {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::strcmp(env, "warning") == 0 || std::strcmp(env, "warn") == 0 ||
+      std::strcmp(env, "2") == 0) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0) {
+    return static_cast<int>(LogLevel::kError);
+  }
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "none") == 0 ||
+      std::strcmp(env, "4") == 0) {
+    return static_cast<int>(LogLevel::kOff);
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
 std::mutex g_emit_mutex;
 
 const char* LevelTag(LogLevel level) {

@@ -3,6 +3,8 @@
 // Minimal leveled logging for library diagnostics. Streams to stderr;
 // the threshold is process-global and settable by applications
 // (benchmark harnesses silence INFO, tests raise it for debugging).
+// The initial threshold honors the PLDP_LOG_LEVEL environment variable
+// ("debug"/"info"/"warning"/"error"/"off" or 0-4); default is warning.
 
 #ifndef PLDP_COMMON_LOGGING_H_
 #define PLDP_COMMON_LOGGING_H_

@@ -171,12 +171,88 @@ Status ParallelPrivateEngine::Activate(MechanismFactory factory,
       return added.status();
     }
   }
+
+  // Budget accounting: this activation spends each private pattern's
+  // lifetime budget ε (sequential composition — a later re-activation
+  // would need a fresh ledger). Recorded whether or not metrics are on.
+  for (PatternId id : setup_.private_patterns()) {
+    Status granted = ledger_.Grant(id, epsilon_);
+    if (granted.ok()) {
+      granted = ledger_.Charge(id, epsilon_, "service activation");
+    }
+    if (!granted.ok()) {
+      runtime_.reset();
+      publishers_.clear();
+      return granted;
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    Status wired = runtime_->EnableMetrics(metrics_, "private");
+    if (!wired.ok()) {
+      runtime_.reset();
+      publishers_.clear();
+      return wired;
+    }
+    for (size_t i = 0; i < publishers_.size(); ++i) {
+      const std::string shard_label = std::to_string(i);
+      obs::PublisherInstruments ins;
+      ins.windows = metrics_->AddCounter(
+          "pldp_private_windows_total",
+          "Protected windows published by a shard's publisher",
+          {{"lane", "private"}, {"shard", shard_label}});
+      ins.subjects = metrics_->AddGauge(
+          "pldp_private_subjects",
+          "Distinct data subjects with live state on a shard",
+          {{"lane", "private"}, {"shard", shard_label}});
+      publishers_[i]->SetInstruments(ins);
+    }
+    for (PatternId id : setup_.private_patterns()) {
+      const std::string& name = setup_.patterns().Get(id).name();
+      obs::Gauge* granted = metrics_->AddGauge(
+          "pldp_dp_budget_granted",
+          "Lifetime privacy budget granted to a private pattern (epsilon)",
+          {{"pattern", name}});
+      if (granted != nullptr) granted->Set(epsilon_);
+      obs::Gauge* spent = metrics_->AddGauge(
+          "pldp_dp_budget_spent",
+          "Privacy budget charged against a private pattern (epsilon)",
+          {{"pattern", name}});
+      StatusOr<double> remaining = ledger_.Remaining(id);
+      if (spent != nullptr && remaining.ok()) {
+        spent->Set(epsilon_ - remaining.value());
+      }
+    }
+  }
+
   Status started = runtime_->Start();
   if (!started.ok()) {
     runtime_.reset();
     publishers_.clear();
   }
   return started;
+}
+
+Status ParallelPrivateEngine::EnableMetrics(obs::MetricsRegistry* registry) {
+  if (active()) {
+    return Status::FailedPrecondition("EnableMetrics must precede Activate()");
+  }
+  if (registry == nullptr) {
+    return Status::InvalidArgument("registry must not be null");
+  }
+  if (metrics_ != nullptr) {
+    return Status::FailedPrecondition("metrics already enabled");
+  }
+  metrics_ = registry;
+  return Status::OK();
+}
+
+void ParallelPrivateEngine::RefreshMetricGauges() {
+  if (runtime_ != nullptr) runtime_->RefreshMetricGauges();
+}
+
+void ParallelPrivateEngine::CollectHealth(obs::PipelineHealth* health) const {
+  if (runtime_ != nullptr) runtime_->CollectHealth(health, "private");
 }
 
 Status ParallelPrivateEngine::OnEvent(const Event& event) {

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "core/private_engine.h"
+#include "dp/ledger.h"
 #include "ppm/subject_publisher.h"
 #include "runtime/parallel_engine.h"
 
@@ -126,6 +127,23 @@ class ParallelPrivateEngine : public StreamSubscriber {
   /// and starts the workers. `factory` creates one fresh mechanism per
   /// data subject (see MechanismFactory).
   Status Activate(MechanismFactory factory, double epsilon);
+
+  /// Registers this lane's instruments in `registry` when Activate builds
+  /// the runtime: the underlying sharded runtime under lane="private",
+  /// per-shard publisher windows/subjects, and per-pattern budget-ledger
+  /// gauges. Must precede Activate; `registry` must outlive the engine.
+  Status EnableMetrics(obs::MetricsRegistry* registry);
+
+  /// Refreshes the private lane's snapshot-time gauges. No-op before
+  /// Activate or without metrics.
+  void RefreshMetricGauges();
+
+  /// Appends this lane's health rows (lane="private"). Safe while active.
+  void CollectHealth(obs::PipelineHealth* health) const;
+
+  /// The per-pattern budget audit trail: Activate grants every private
+  /// pattern its lifetime budget ε and charges the activation against it.
+  const PatternBudgetLedger& ledger() const { return ledger_; }
 
   bool active() const { return runtime_ != nullptr; }
 
@@ -204,6 +222,11 @@ class ParallelPrivateEngine : public StreamSubscriber {
   std::unique_ptr<ParallelStreamingEngine> runtime_;
   /// One publisher per shard, owned by the shards (via their sinks).
   std::vector<SubjectViewPublisher*> publishers_;
+  /// Activation budget audit: one grant + one activation charge per
+  /// private pattern (always maintained, metrics or not).
+  PatternBudgetLedger ledger_;
+  /// Registry recorded by EnableMetrics, wired during Activate.
+  obs::MetricsRegistry* metrics_ = nullptr;
   bool finished_ = false;
   /// First Finalize error, re-returned by every later Finish().
   Status finish_status_ = Status::OK();

@@ -17,6 +17,8 @@
 //   datasets/  Algorithm-2 synthetic generator, taxi simulator
 //   runtime/   sharded parallel streaming runtime (SPSC queues, router,
 //              shards, ParallelStreamingEngine, batched ingest)
+//   obs/       telemetry: metrics registry, per-stage instruments,
+//              Prometheus/JSON exposition, health roll-up, TCP endpoint
 //   core/      PrivateCepEngine facade, ParallelPrivateEngine (sharded
 //              service phase), evaluation pipeline
 
@@ -56,6 +58,10 @@
 #include "event/event.h"
 #include "event/event_type.h"
 #include "event/value.h"
+#include "obs/endpoint.h"
+#include "obs/health.h"
+#include "obs/instruments.h"
+#include "obs/metrics.h"
 #include "ppm/adaptive.h"
 #include "ppm/factory.h"
 #include "ppm/landmark.h"

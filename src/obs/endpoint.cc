@@ -1,0 +1,154 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "obs/endpoint.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+/// Reads until the end of the request headers (or the buffer cap) and
+/// returns the request line's path, empty on malformed input.
+std::string ReadRequestPath(int fd) {
+  char buf[2048];
+  size_t used = 0;
+  while (used < sizeof(buf) - 1) {
+    const ssize_t n = ::recv(fd, buf + used, sizeof(buf) - 1 - used, 0);
+    if (n <= 0) break;
+    used += static_cast<size_t>(n);
+    buf[used] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  buf[used] = '\0';
+  // Request line: METHOD SP PATH SP VERSION.
+  const char* sp1 = std::strchr(buf, ' ');
+  if (sp1 == nullptr) return "";
+  const char* sp2 = std::strchr(sp1 + 1, ' ');
+  if (sp2 == nullptr) return "";
+  if (std::strncmp(buf, "GET ", 4) != 0) return "";
+  return std::string(sp1 + 1, sp2);
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+void WriteResponse(int fd, int status, const char* status_text,
+                   const char* content_type, const std::string& body) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " + status_text +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  WriteAll(fd, head);
+  WriteAll(fd, body);
+}
+
+}  // namespace
+
+TextEndpoint::TextEndpoint(Routes routes) : routes_(std::move(routes)) {}
+
+TextEndpoint::~TextEndpoint() { Stop(); }
+
+Status TextEndpoint::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("endpoint already running");
+  }
+  if (!routes_.metrics_text) {
+    return Status::InvalidArgument("metrics_text route is required");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind: " + err);
+  }
+  if (::listen(listen_fd_, 8) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&TextEndpoint::Serve, this);
+  PLDP_LOG(Info) << "metrics endpoint listening on port " << port_.load();
+  return Status::OK();
+}
+
+void TextEndpoint::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() unblocks the accept() call so the thread can observe the
+  // running_ flip and exit. The fd variable itself is only reset after
+  // the join — the accept thread reads it until the very end.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  port_.store(0, std::memory_order_release);
+}
+
+void TextEndpoint::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void TextEndpoint::HandleConnection(int client_fd) {
+  const std::string path = ReadRequestPath(client_fd);
+  if (path == "/metrics") {
+    WriteResponse(client_fd, 200, "OK",
+                  "text/plain; version=0.0.4; charset=utf-8",
+                  routes_.metrics_text());
+  } else if (path == "/metrics.json" && routes_.metrics_json) {
+    WriteResponse(client_fd, 200, "OK", "application/json",
+                  routes_.metrics_json());
+  } else if (path == "/healthz" && routes_.health_json) {
+    WriteResponse(client_fd, 200, "OK", "application/json",
+                  routes_.health_json());
+  } else if (path.empty()) {
+    WriteResponse(client_fd, 400, "Bad Request", "text/plain", "bad request\n");
+  } else {
+    WriteResponse(client_fd, 404, "Not Found", "text/plain", "not found\n");
+  }
+}
+
+}  // namespace obs
+}  // namespace pldp

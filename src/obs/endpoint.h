@@ -1,0 +1,71 @@
+// Copyright 2026 The PLDP Authors.
+//
+// A deliberately tiny blocking scrape endpoint: one listener socket, one
+// accept thread, one request served at a time. This is NOT a web server —
+// it exists so `curl http://host:port/metrics` and a Prometheus scraper
+// work against the service examples with zero dependencies. Routes:
+//
+//   GET /metrics        -> Prometheus text exposition (format 0.0.4)
+//   GET /metrics.json   -> obs::RenderJson document
+//   GET /healthz        -> obs::RenderHealthJson document
+//
+// The payload producers are caller-supplied callbacks invoked per request
+// on the accept thread; they must be thread-safe against the running
+// pipeline (Pipeline::MetricsSnapshot and Health are).
+
+#ifndef PLDP_OBS_ENDPOINT_H_
+#define PLDP_OBS_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace pldp {
+namespace obs {
+
+class TextEndpoint {
+ public:
+  /// Route payload producer; returns the response body.
+  using Producer = std::function<std::string()>;
+
+  struct Routes {
+    Producer metrics_text;  ///< /metrics (required)
+    Producer metrics_json;  ///< /metrics.json (optional; 404 when absent)
+    Producer health_json;   ///< /healthz (optional; 404 when absent)
+  };
+
+  explicit TextEndpoint(Routes routes);
+  ~TextEndpoint();
+
+  TextEndpoint(const TextEndpoint&) = delete;
+  TextEndpoint& operator=(const TextEndpoint&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port — read it back via
+  /// port()) and starts the accept thread.
+  Status Start(uint16_t port);
+
+  /// Closes the listener and joins the accept thread. Idempotent.
+  void Stop();
+
+  /// The bound port; 0 before Start.
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  void Serve();
+  void HandleConnection(int client_fd);
+
+  Routes routes_;
+  int listen_fd_ = -1;
+  std::atomic<uint16_t> port_{0};
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_ENDPOINT_H_

@@ -1,0 +1,233 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Unified telemetry: a process-local metrics registry with typed,
+// allocation-free-on-the-hot-path instruments.
+//
+// Instruments follow the PR 4 bind-at-registration discipline: every
+// Counter/Gauge/Histogram is registered ONCE at topology build time (the
+// registry hands out stable pointers), and hot-path updates are single
+// relaxed atomic operations on cache-line-padded slots — no locks, no
+// allocation, no stringly-keyed lookups anywhere near a worker thread.
+// Registration and Snapshot() take a mutex; both run on the orchestrator
+// or a scrape thread, never on the data plane.
+//
+//   - `Counter`: monotonically increasing uint64 (events, waits, windows).
+//   - `Gauge`: instantaneous double (queue depths, budget remainders);
+//     snapshot-time gauges are refreshed by the owning engine right before
+//     the registry snapshot, from accessors that are already atomic.
+//   - `Histogram`: fixed-bucket log-scale distribution — bucket i counts
+//     values <= 2^i (the last bucket is +Inf), so a nanosecond latency
+//     histogram spans 1ns..~4.5min in 38 buckets with one CLZ and one
+//     relaxed fetch_add per Record. No floats, no dynamic buckets.
+//
+// `MetricsSnapshot` is the stable exposition struct: families grouped by
+// name, each sample carrying its label set and (for histograms) per-bucket
+// counts plus count/sum and quantile estimation. `RenderPrometheusText`
+// emits Prometheus exposition format 0.0.4; `RenderJson` a stable JSON
+// document. Both operate on the snapshot only — serialization never
+// touches live instruments.
+
+#ifndef PLDP_OBS_METRICS_H_
+#define PLDP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pldp {
+namespace obs {
+
+/// Label set of one instrument, in registration order (rendered verbatim).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Monotonic counter. One cache line per instrument so two shards
+/// incrementing their own counters never false-share.
+class alignas(64) Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous value (doubles, so privacy budgets fit). Set() is a plain
+/// store; Add() is a CAS loop — fine for its callers (subject creation,
+/// snapshot-time refresh), not meant for per-event paths.
+class alignas(64) Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale histogram with power-of-two buckets: bucket i counts values
+/// <= 2^i for i in [0, kBuckets-2]; the last bucket is +Inf. Record is one
+/// CLZ plus three relaxed fetch_adds — allocation-free and wait-free.
+class alignas(64) Histogram {
+ public:
+  /// 38 finite power-of-two bounds (2^0 .. 2^37 ns ~ 2.3 min) + overflow.
+  static constexpr size_t kBuckets = 39;
+
+  void Record(uint64_t value) {
+    bins_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BinCount(size_t i) const {
+    return bins_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of finite bucket i (2^i). The last bucket has no finite
+  /// bound.
+  static uint64_t UpperBound(size_t i) { return uint64_t{1} << i; }
+
+  static size_t BucketOf(uint64_t value) {
+    if (value <= 1) return 0;
+    const size_t bits = 64 - static_cast<size_t>(CountLeadingZeros(value - 1));
+    return bits < kBuckets - 1 ? bits : kBuckets - 1;
+  }
+
+ private:
+  static int CountLeadingZeros(uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_clzll(v);
+#else
+    int n = 0;
+    for (uint64_t bit = uint64_t{1} << 63; bit != 0 && !(v & bit); bit >>= 1) {
+      ++n;
+    }
+    return n;
+#endif
+  }
+
+  std::atomic<uint64_t> bins_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Monotonic wall-independent clock read, in nanoseconds — the latency
+/// histograms' time base (one call per event on instrumented hot paths).
+uint64_t MonotonicNowNs();
+
+/// Frozen view of one histogram: per-bucket (non-cumulative) counts
+/// aligned with `upper_bounds` plus one trailing +Inf bucket.
+struct HistogramData {
+  std::vector<double> upper_bounds;  ///< finite bounds; counts has one more
+  std::vector<uint64_t> counts;      ///< per-bucket, counts.back() = +Inf bin
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation within the
+  /// containing bucket. 0 when the histogram is empty.
+  double Quantile(double q) const;
+};
+
+/// One (label set, value) sample of a family.
+struct MetricSample {
+  MetricLabels labels;
+  /// Counters and gauges.
+  double value = 0.0;
+  /// Histograms only (empty otherwise).
+  HistogramData histogram;
+};
+
+/// All samples sharing one metric name.
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<MetricSample> samples;
+};
+
+/// The stable exposition struct Pipeline::MetricsSnapshot() returns.
+struct MetricsSnapshot {
+  std::vector<MetricFamily> families;
+
+  /// Family by name; nullptr when absent.
+  const MetricFamily* Find(const std::string& name) const;
+};
+
+/// Registry of instruments. Registration returns stable pointers (each
+/// instrument is its own heap slot, never reallocated); same-name
+/// registrations with distinct labels form one family and must agree on
+/// type (a mismatch returns nullptr — a wiring bug surfaced loudly at
+/// build time, not a silent family corruption).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* AddCounter(const std::string& name, const std::string& help,
+                      MetricLabels labels = {});
+  Gauge* AddGauge(const std::string& name, const std::string& help,
+                  MetricLabels labels = {});
+  Histogram* AddHistogram(const std::string& name, const std::string& help,
+                          MetricLabels labels = {});
+
+  size_t instrument_count() const;
+
+  /// Freezes every instrument's current value into the exposition struct.
+  /// Safe from any thread, concurrent with hot-path updates (relaxed
+  /// reads; a snapshot is a consistent-enough point-in-time view, not a
+  /// linearizable cut).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* AddEntry(MetricType type, const std::string& name,
+                  const std::string& help, MetricLabels labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Prometheus text exposition format 0.0.4: # HELP / # TYPE headers,
+/// cumulative `_bucket{le=...}` + `_sum` + `_count` for histograms.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Stable JSON rendering: {"families":[{name,type,help,samples:[...]}]}.
+/// Histogram samples carry count/sum/buckets plus p50/p99/p999 estimates.
+std::string RenderJson(const MetricsSnapshot& snapshot);
+
+/// Merges every sample of a histogram family into one distribution (e.g.
+/// the per-shard latency histograms into a pipeline-wide one). Empty data
+/// when `family` is null or not a histogram family.
+HistogramData AggregateHistogram(const MetricFamily* family);
+
+/// Sum of a counter/gauge family's sample values (0 when null).
+double SumSamples(const MetricFamily* family);
+
+}  // namespace obs
+}  // namespace pldp
+
+#endif  // PLDP_OBS_METRICS_H_

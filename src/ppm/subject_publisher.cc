@@ -40,6 +40,7 @@ StatusOr<SubjectViewPublisher::SubjectState*> SubjectViewPublisher::GetOrCreate(
   state.current.end = state.current.start + options_.window_size;
   state.results.answers.resize(options_.queries.size());
   auto inserted = subjects_.emplace(event.stream(), std::move(state));
+  if (obs_.subjects) obs_.subjects->Add(1.0);
   return &inserted.first->second;
 }
 
@@ -56,6 +57,7 @@ Status SubjectViewPublisher::PublishCurrent(SubjectState* state) {
   }
   ++state->results.window_count;
   ++total_windows_;
+  if (obs_.windows) obs_.windows->Inc();
   state->current.events.clear();
   state->current.start = state->current.end;
   state->current.end += options_.window_size;

@@ -31,6 +31,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "event/event.h"
+#include "obs/instruments.h"
 #include "ppm/mechanism.h"
 #include "stream/window.h"
 
@@ -94,6 +95,12 @@ class SubjectViewPublisher {
     view_callback_ = std::move(callback);
   }
 
+  /// Binds telemetry instruments (windows counter, live-subjects gauge).
+  /// Call before the first Absorb; updates run on the owning worker.
+  void SetInstruments(const obs::PublisherInstruments& instruments) {
+    obs_ = instruments;
+  }
+
   /// Absorbs one event. Events of one subject must arrive in non-decreasing
   /// timestamp order (the stream contract). Errors (mechanism creation or
   /// publication failures) latch: the first one is kept and returned by
@@ -137,6 +144,7 @@ class SubjectViewPublisher {
 
   SubjectPublisherOptions options_;
   ViewCallback view_callback_;
+  obs::PublisherInstruments obs_;
   /// targets_[i] is queries[i]'s target pattern, resolved once (the query
   /// set is frozen at construction; this runs on the worker's hot path).
   std::vector<const Pattern*> targets_;

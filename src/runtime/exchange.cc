@@ -50,7 +50,10 @@ Status ExchangeEmitter::PushToLane(size_t consumer, ExchangeItem item) {
     waited = true;
     backoff.Wait();
   }
-  if (waited) backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+  if (waited) {
+    backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.backpressure_waits) obs_.backpressure_waits->Inc();
+  }
   return Status::OK();
 }
 
@@ -61,6 +64,7 @@ Status ExchangeEmitter::Emit(const Event& event) {
   const size_t consumer = router_.ShardOf(item.event);
   PLDP_RETURN_IF_ERROR(PushToLane(consumer, std::move(item)));
   forwarded_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_.forwarded) obs_.forwarded->Inc();
   return Status::OK();
 }
 
@@ -75,6 +79,7 @@ Status ExchangeEmitter::Broadcast(uint64_t bound) {
   last_broadcast_ = bound;
   broadcast_any_ = true;
   watermarks_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_.watermarks) obs_.watermarks->Inc();
   return Status::OK();
 }
 

@@ -42,6 +42,7 @@
 
 #include "common/status.h"
 #include "event/event.h"
+#include "obs/instruments.h"
 #include "runtime/router.h"
 #include "runtime/spsc_queue.h"
 
@@ -160,6 +161,20 @@ class ExchangeEmitter {
 
   ExchangeEmitterStats stats() const;
 
+  /// Binds telemetry instruments. Must precede the owning shard's Start()
+  /// (the emitter is driven by that shard's worker).
+  void SetInstruments(const obs::ExchangeInstruments& instruments) {
+    obs_ = instruments;
+  }
+
+  /// Instantaneous sum of this row's lane occupancies — safe from any
+  /// thread (SPSC indices are atomics); the lane-depth gauge source.
+  size_t RowDepth() const {
+    size_t depth = 0;
+    for (const ExchangeLane* lane : row_) depth += lane->queue.ApproxSize();
+    return depth;
+  }
+
  private:
   Status PushToLane(size_t consumer, ExchangeItem item);
 
@@ -177,6 +192,9 @@ class ExchangeEmitter {
   std::atomic<uint64_t> forwarded_{0};
   std::atomic<uint64_t> watermarks_{0};
   std::atomic<uint64_t> backpressure_waits_{0};
+
+  // Telemetry bundle (null fields = un-instrumented), fixed before Start.
+  obs::ExchangeInstruments obs_;
 };
 
 }  // namespace pldp

@@ -19,8 +19,9 @@ MergeShard::MergeShard(size_t index, std::vector<ExchangeLane*> inputs)
     : index_(index) {
   lanes_.reserve(inputs.size());
   for (ExchangeLane* lane : inputs) lanes_.emplace_back(lane);
-  engine_.SetCallback([this](const StreamingDetection&) {
+  engine_.SetCallback([this](const StreamingDetection& d) {
     detections_.fetch_add(1, std::memory_order_relaxed);
+    if (user_callback_) user_callback_(d);
   });
 }
 
@@ -32,6 +33,24 @@ StatusOr<size_t> MergeShard::AddQuery(Pattern pattern, Timestamp window) {
         "MergeShard::AddQuery must precede Start()");
   }
   return engine_.AddQuery(std::move(pattern), window);
+}
+
+Status MergeShard::SetInstruments(const obs::MergeInstruments& instruments) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "MergeShard::SetInstruments must precede Start()");
+  }
+  obs_ = instruments;
+  return Status::OK();
+}
+
+Status MergeShard::SetDetectionCallback(DetectionCallback callback) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "MergeShard::SetDetectionCallback must precede Start()");
+  }
+  user_callback_ = std::move(callback);
+  return Status::OK();
 }
 
 Status MergeShard::Start() {
@@ -82,6 +101,7 @@ ShardStats MergeShard::stats() const {
 
 bool MergeShard::ReceiveAvailable() {
   bool any = false;
+  size_t received = 0;
   ExchangeItem burst[kReceiveBatch];
   for (LaneState& lane : lanes_) {
     for (;;) {
@@ -97,16 +117,23 @@ bool MergeShard::ReceiveAvailable() {
           // Events bound the future strictly: later keys exceed this one.
           lane.bound = ExchangeKey{item.key.primary, item.key.sub + 1};
           lane.buffer.push_back(std::move(item));
+          ++received;
         }
       }
       if (n < kReceiveBatch) break;
     }
+  }
+  if (received > 0) {
+    buffered_.fetch_add(received, std::memory_order_relaxed);
+    if (obs_.events_received) obs_.events_received->Inc(received);
   }
   return any;
 }
 
 bool MergeShard::MergePass(bool force) {
   size_t released = 0;
+  // Chained clock reads: one MonotonicNowNs per released event.
+  uint64_t t_prev = obs_.merge_latency_ns ? obs::MonotonicNowNs() : 0;
   for (;;) {
     // Candidate: the globally smallest buffered key.
     LaneState* best = nullptr;
@@ -135,8 +162,17 @@ bool MergeShard::MergePass(bool force) {
     (void)engine_.OnEvent(best->buffer.front().event);
     best->buffer.pop_front();
     ++released;
+    if (obs_.merge_latency_ns) {
+      const uint64_t t_now = obs::MonotonicNowNs();
+      obs_.merge_latency_ns->Record(t_now - t_prev);
+      t_prev = t_now;
+    }
   }
-  if (released > 0) merged_.fetch_add(released, std::memory_order_release);
+  if (released > 0) {
+    merged_.fetch_add(released, std::memory_order_release);
+    buffered_.fetch_sub(released, std::memory_order_relaxed);
+    if (obs_.events_merged) obs_.events_merged->Inc(released);
+  }
   return released > 0;
 }
 

@@ -42,6 +42,7 @@
 
 #include "cep/streaming_engine.h"
 #include "common/status.h"
+#include "obs/instruments.h"
 #include "runtime/exchange.h"
 #include "runtime/ring_buffer.h"
 #include "runtime/shard.h"
@@ -63,6 +64,14 @@ class MergeShard {
 
   /// Registers a cross-partition query. Must precede Start().
   StatusOr<size_t> AddQuery(Pattern pattern, Timestamp window);
+
+  /// Binds telemetry instruments (null fields are skipped). Must precede
+  /// Start().
+  Status SetInstruments(const obs::MergeInstruments& instruments);
+
+  /// Installs a user detection callback (worker thread) invoked for every
+  /// detection of this partition's engine. Must precede Start().
+  Status SetDetectionCallback(DetectionCallback callback);
 
   /// Launches the worker thread. Returns FailedPrecondition if running.
   Status Start();
@@ -92,6 +101,13 @@ class MergeShard {
   /// released to the engine; backpressure_waits stays 0 (producer-side
   /// waits are counted by the emitters).
   ShardStats stats() const;
+
+  /// Instantaneous reorder-buffer occupancy across all lanes — safe from
+  /// any thread (dedicated atomic; the ring buffers themselves are
+  /// worker-local). Gauge/health source.
+  size_t reorder_buffered() const {
+    return static_cast<size_t>(buffered_.load(std::memory_order_relaxed));
+  }
 
  private:
   struct LaneState {
@@ -127,6 +143,14 @@ class MergeShard {
   std::atomic<uint64_t> safe_primary_{0};
   std::atomic<uint64_t> merged_{0};
   std::atomic<uint64_t> detections_{0};
+  /// Events sitting in reorder buffers (receive increments, release
+  /// decrements) — kept as an atomic so scrape threads never touch the
+  /// worker-local ring buffers.
+  std::atomic<uint64_t> buffered_{0};
+
+  // Telemetry bundle and optional user callback, fixed before Start.
+  obs::MergeInstruments obs_;
+  DetectionCallback user_callback_;
 };
 
 }  // namespace pldp

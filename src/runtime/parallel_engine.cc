@@ -3,6 +3,8 @@
 #include "runtime/parallel_engine.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -156,11 +158,266 @@ StatusOr<size_t> ParallelStreamingEngine::AddCrossQueryKeyed(
   return AddCrossQueryToGroup(group_index, std::move(pattern), window);
 }
 
+Status ParallelStreamingEngine::EnableMetrics(obs::MetricsRegistry* registry,
+                                              const std::string& lane) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "EnableMetrics must precede Start()");
+  }
+  if (registry == nullptr) {
+    return Status::InvalidArgument("registry must not be null");
+  }
+  if (metrics_ != nullptr) {
+    return Status::FailedPrecondition("metrics already enabled");
+  }
+  metrics_ = registry;
+  metrics_lane_ = lane;
+
+  shard_queue_gauges_.resize(shards_.size(), nullptr);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string shard_label = std::to_string(i);
+    obs::ShardInstruments ins;
+    ins.events = registry->AddCounter(
+        "pldp_shard_events_total", "Events popped and processed by a shard",
+        {{"lane", lane}, {"shard", shard_label}});
+    ins.backpressure_waits = registry->AddCounter(
+        "pldp_shard_backpressure_waits_total",
+        "Full-queue waits a producer spent pushing to a shard",
+        {{"lane", lane}, {"shard", shard_label}});
+    ins.batch_size = registry->AddHistogram(
+        "pldp_shard_batch_size", "Events per worker pop burst",
+        {{"lane", lane}, {"shard", shard_label}});
+    ins.process_latency_ns = registry->AddHistogram(
+        "pldp_shard_process_latency_ns",
+        "Per-event shard processing latency (engine + sink + exchange), ns",
+        {{"lane", lane}, {"shard", shard_label}});
+    shard_queue_gauges_[i] = registry->AddGauge(
+        "pldp_shard_queue_depth", "Instantaneous shard input-queue depth",
+        {{"lane", lane}, {"shard", shard_label}});
+    ins.queue_depth = shard_queue_gauges_[i];
+    PLDP_RETURN_IF_ERROR(shards_[i]->SetInstruments(ins));
+  }
+
+  lane_depth_gauges_.assign(groups_.size(), {});
+  merge_reorder_gauges_.assign(groups_.size(), {});
+  merge_lag_gauges_.assign(groups_.size(), {});
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const ExchangeGroup& group = groups_[g];
+    const std::string group_label =
+        group.key_id.empty() ? "default" : group.key_id;
+    lane_depth_gauges_[g].resize(shards_.size(), nullptr);
+    for (size_t p = 0; p < shards_.size(); ++p) {
+      const std::string producer_label = std::to_string(p);
+      obs::ExchangeInstruments ins;
+      ins.forwarded = registry->AddCounter(
+          "pldp_exchange_forwarded_total",
+          "Events a producer emitted into an exchange lane-group",
+          {{"lane", lane}, {"group", group_label},
+           {"producer", producer_label}});
+      ins.watermarks = registry->AddCounter(
+          "pldp_exchange_watermarks_total",
+          "Watermark broadcasts on a producer's exchange row",
+          {{"lane", lane}, {"group", group_label},
+           {"producer", producer_label}});
+      ins.backpressure_waits = registry->AddCounter(
+          "pldp_exchange_backpressure_waits_total",
+          "Full-lane waits a producer spent emitting downstream",
+          {{"lane", lane}, {"group", group_label},
+           {"producer", producer_label}});
+      lane_depth_gauges_[g][p] = registry->AddGauge(
+          "pldp_exchange_lane_depth",
+          "Instantaneous occupancy of a producer's exchange row",
+          {{"lane", lane}, {"group", group_label},
+           {"producer", producer_label}});
+      ins.lane_depth = lane_depth_gauges_[g][p];
+      // Shard hook index g is groups_[g]'s emitter (see header invariant).
+      shards_[p]->exchange_emitter(g)->SetInstruments(ins);
+    }
+    merge_reorder_gauges_[g].resize(group.merge_shards.size(), nullptr);
+    merge_lag_gauges_[g].resize(group.merge_shards.size(), nullptr);
+    for (size_t c = 0; c < group.merge_shards.size(); ++c) {
+      const std::string shard_label = std::to_string(c);
+      obs::MergeInstruments ins;
+      ins.events_received = registry->AddCounter(
+          "pldp_merge_events_received_total",
+          "Events a merge shard popped from its exchange lanes",
+          {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
+      ins.events_merged = registry->AddCounter(
+          "pldp_merge_events_total",
+          "Events a merge shard released to its engine in global order",
+          {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
+      ins.merge_latency_ns = registry->AddHistogram(
+          "pldp_merge_latency_ns",
+          "Per-released-event merge+match latency, ns",
+          {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
+      merge_reorder_gauges_[g][c] = registry->AddGauge(
+          "pldp_merge_reorder_depth",
+          "Instantaneous reorder-buffer occupancy of a merge shard",
+          {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
+      ins.reorder_depth = merge_reorder_gauges_[g][c];
+      merge_lag_gauges_[g][c] = registry->AddGauge(
+          "pldp_merge_watermark_lag",
+          "Ingest frontier minus a merge shard's safe watermark (events)",
+          {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
+      ins.watermark_lag = merge_lag_gauges_[g][c];
+      PLDP_RETURN_IF_ERROR(group.merge_shards[c]->SetInstruments(ins));
+    }
+  }
+  return Status::OK();
+}
+
+void ParallelStreamingEngine::RefreshMetricGauges() {
+  if (metrics_ == nullptr) return;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shard_queue_gauges_[i] != nullptr) {
+      shard_queue_gauges_[i]->Set(
+          static_cast<double>(shards_[i]->queue_depth()));
+    }
+  }
+  const uint64_t frontier = next_seq_.load(std::memory_order_relaxed);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (size_t p = 0; p < shards_.size(); ++p) {
+      if (lane_depth_gauges_[g][p] != nullptr) {
+        lane_depth_gauges_[g][p]->Set(
+            static_cast<double>(shards_[p]->exchange_emitter(g)->RowDepth()));
+      }
+    }
+    for (size_t c = 0; c < groups_[g].merge_shards.size(); ++c) {
+      const MergeShard& merge = *groups_[g].merge_shards[c];
+      if (merge_reorder_gauges_[g][c] != nullptr) {
+        merge_reorder_gauges_[g][c]->Set(
+            static_cast<double>(merge.reorder_buffered()));
+      }
+      if (merge_lag_gauges_[g][c] != nullptr) {
+        const uint64_t safe = merge.safe_primary();
+        merge_lag_gauges_[g][c]->Set(
+            safe >= frontier ? 0.0
+                             : static_cast<double>(frontier - safe));
+      }
+    }
+  }
+}
+
+Status ParallelStreamingEngine::SetQueryCallback(
+    size_t query_index, std::function<void(Timestamp)> callback) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "SetQueryCallback must precede Start()");
+  }
+  if (query_index >= query_count_) {
+    return Status::OutOfRange("unknown stage-1 query index " +
+                              std::to_string(query_index));
+  }
+  if (query_callbacks_.size() < query_count_) {
+    query_callbacks_.resize(query_count_);
+  }
+  query_callbacks_[query_index] = std::move(callback);
+  return Status::OK();
+}
+
+Status ParallelStreamingEngine::SetCrossQueryCallback(
+    size_t cross_query_index, std::function<void(Timestamp)> callback) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "SetCrossQueryCallback must precede Start()");
+  }
+  if (cross_query_index >= cross_index_.size()) {
+    return Status::OutOfRange("unknown cross query index " +
+                              std::to_string(cross_query_index));
+  }
+  if (cross_query_callbacks_.size() < cross_index_.size()) {
+    cross_query_callbacks_.resize(cross_index_.size());
+  }
+  cross_query_callbacks_[cross_query_index] = std::move(callback);
+  return Status::OK();
+}
+
+void ParallelStreamingEngine::InstallCallbackDispatchers() {
+  bool any_plain = false;
+  for (const auto& cb : query_callbacks_) {
+    if (cb) any_plain = true;
+  }
+  if (any_plain) {
+    for (auto& shard : shards_) {
+      // One dispatcher per shard; callbacks_ is frozen once Start ran, so
+      // worker-thread reads are race-free. The same user callback may fire
+      // concurrently from several shards — documented as thread-safe.
+      (void)shard->SetDetectionCallback([this](const StreamingDetection& d) {
+        if (d.query_index < query_callbacks_.size() &&
+            query_callbacks_[d.query_index]) {
+          query_callbacks_[d.query_index](d.at);
+        }
+      });
+    }
+  }
+  bool any_cross = false;
+  for (const auto& cb : cross_query_callbacks_) {
+    if (cb) any_cross = true;
+  }
+  if (any_cross) {
+    // Merge-shard engines use group-local indices; invert cross_index_
+    // into one local->global map per group for the dispatchers.
+    std::vector<std::vector<size_t>> local_to_global(groups_.size());
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      local_to_global[g].resize(groups_[g].query_count, SIZE_MAX);
+    }
+    for (size_t global = 0; global < cross_index_.size(); ++global) {
+      const auto [g, local] = cross_index_[global];
+      local_to_global[g][local] = global;
+    }
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      auto map = local_to_global[g];
+      for (auto& merge_shard : groups_[g].merge_shards) {
+        (void)merge_shard->SetDetectionCallback(
+            [this, map](const StreamingDetection& d) {
+              if (d.query_index >= map.size()) return;
+              const size_t global = map[d.query_index];
+              if (global < cross_query_callbacks_.size() &&
+                  cross_query_callbacks_[global]) {
+                cross_query_callbacks_[global](d.at);
+              }
+            });
+      }
+    }
+  }
+}
+
+void ParallelStreamingEngine::CollectHealth(obs::PipelineHealth* health,
+                                            const std::string& lane) const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    obs::PipelineHealth::ShardRow row;
+    row.lane = lane;
+    row.shard = i;
+    row.queue_depth = shards_[i]->queue_depth();
+    row.queue_capacity = shards_[i]->queue_capacity();
+    row.saturation = row.queue_capacity == 0
+                         ? 0.0
+                         : static_cast<double>(row.queue_depth) /
+                               static_cast<double>(row.queue_capacity);
+    health->shards.push_back(std::move(row));
+  }
+  const uint64_t frontier = next_seq_.load(std::memory_order_relaxed);
+  for (const auto& group : groups_) {
+    for (size_t c = 0; c < group.merge_shards.size(); ++c) {
+      const MergeShard& merge = *group.merge_shards[c];
+      obs::PipelineHealth::GroupRow row;
+      row.lane = lane;
+      row.group = group.key_id.empty() ? "default" : group.key_id;
+      row.merge_shard = c;
+      const uint64_t safe = merge.safe_primary();
+      row.watermark_lag = safe >= frontier ? 0 : frontier - safe;
+      row.reorder_depth = merge.reorder_buffered();
+      health->groups.push_back(std::move(row));
+    }
+  }
+}
+
 Status ParallelStreamingEngine::Start() {
   if (running_) {
     return Status::FailedPrecondition("engine already running");
   }
   PLDP_RETURN_IF_ERROR(init_error_);
+  InstallCallbackDispatchers();
   // Consumers before producers: a stage-1 worker may block on a full lane
   // the moment it starts, and only a live merge shard ever frees one.
   for (auto& group : groups_) {

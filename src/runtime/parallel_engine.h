@@ -64,6 +64,8 @@
 #include "cep/correlation_key.h"
 #include "cep/streaming_engine.h"
 #include "common/status.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
 #include "runtime/exchange.h"
 #include "runtime/merge_shard.h"
 #include "runtime/router.h"
@@ -159,6 +161,36 @@ class ParallelStreamingEngine : public StreamSubscriber {
 
   size_t query_count() const { return query_count_; }
   size_t cross_query_count() const { return cross_index_.size(); }
+
+  /// Registers this engine's instruments in `registry` and wires them into
+  /// every stage (shards, exchange emitters, merge shards). `lane` labels
+  /// every metric ("plain" for the raw runtime, "private" for the PLDP
+  /// lane) so two runtimes can share one registry. Call after all queries
+  /// and lane-groups are registered and before Start(); at most once.
+  /// `registry` must outlive the engine.
+  Status EnableMetrics(obs::MetricsRegistry* registry,
+                       const std::string& lane = "plain");
+
+  /// Refreshes the snapshot-time gauges (queue depths, lane depths,
+  /// reorder occupancy, watermark lag) from the live atomics. Safe from
+  /// any thread; no-op when metrics are off.
+  void RefreshMetricGauges();
+
+  /// Per-query detection callback (stage-1 index space), invoked on the
+  /// worker thread that matched — so implementations must be thread-safe
+  /// across shards. Must precede Start().
+  Status SetQueryCallback(size_t query_index,
+                          std::function<void(Timestamp)> callback);
+
+  /// Per-cross-query detection callback (global cross index space),
+  /// invoked on the matching merge-shard worker. Must precede Start().
+  Status SetCrossQueryCallback(size_t cross_query_index,
+                               std::function<void(Timestamp)> callback);
+
+  /// Appends this engine's health rows (per-shard queue saturation,
+  /// per-group merge lag/occupancy) to `health`. Safe while running.
+  void CollectHealth(obs::PipelineHealth* health,
+                     const std::string& lane) const;
 
   /// Launches all workers (stage-2 consumers first, then stage-1).
   Status Start();
@@ -279,8 +311,25 @@ class ParallelStreamingEngine : public StreamSubscriber {
   /// Latched first Finish() outcome (orchestrator thread only).
   Status finish_status_ = Status::OK();
 
+  // Telemetry (EnableMetrics). The registry owns the instruments; the
+  // engine keeps only the snapshot-time gauges it refreshes itself.
+  // Invariant used below: shard hook index g == groups_[g] (every group
+  // adds exactly one emitter to every shard, in group-creation order).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string metrics_lane_;
+  std::vector<obs::Gauge*> shard_queue_gauges_;
+  std::vector<std::vector<obs::Gauge*>> lane_depth_gauges_;    // [grp][prod]
+  std::vector<std::vector<obs::Gauge*>> merge_reorder_gauges_;  // [grp][cons]
+  std::vector<std::vector<obs::Gauge*>> merge_lag_gauges_;      // [grp][cons]
+
+  // Per-query user detection callbacks (set before Start; dispatched on
+  // worker threads via one dispatcher per shard / merge shard).
+  std::vector<std::function<void(Timestamp)>> query_callbacks_;
+  std::vector<std::function<void(Timestamp)>> cross_query_callbacks_;
+
   Status FinishInternal();
   void PublishProducerFloor(uint64_t floor);
+  void InstallCallbackDispatchers();
 };
 
 }  // namespace pldp

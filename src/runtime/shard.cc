@@ -4,6 +4,7 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "runtime/backoff.h"
 
 namespace pldp {
@@ -20,8 +21,9 @@ Shard::Shard(size_t index, size_t queue_capacity, uint64_t seed)
     : index_(index),
       queue_(queue_capacity),
       rng_(SplitMix64(seed ^ (0xdecaf000ULL + index)).Next()) {
-  engine_.SetCallback([this](const StreamingDetection&) {
+  engine_.SetCallback([this](const StreamingDetection& d) {
     detections_.fetch_add(1, std::memory_order_relaxed);
+    if (user_callback_) user_callback_(d);
   });
 }
 
@@ -47,6 +49,24 @@ Status Shard::SetEventSink(std::unique_ptr<ShardEventSink> sink) {
       sink_->AttachExchangeEmitter(hook.emitter.get());
     }
   }
+  return Status::OK();
+}
+
+Status Shard::SetInstruments(const obs::ShardInstruments& instruments) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "Shard::SetInstruments must precede Start()");
+  }
+  obs_ = instruments;
+  return Status::OK();
+}
+
+Status Shard::SetDetectionCallback(DetectionCallback callback) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "Shard::SetDetectionCallback must precede Start()");
+  }
+  user_callback_ = std::move(callback);
   return Status::OK();
 }
 
@@ -116,6 +136,9 @@ Status Shard::PushStampedN(StampedEvent* events, size_t count,
     if (stop_requested_.load(std::memory_order_relaxed)) {
       if (done > 0) pushed_.fetch_add(done, std::memory_order_relaxed);
       if (accepted != nullptr) *accepted = done;
+      PLDP_LOG(Warning) << "shard " << index_ << ": push after stop, "
+                        << (count - done) << " of " << count
+                        << " events rejected";
       return Status::FailedPrecondition("push after shard stop");
     }
     const size_t n = queue_.TryPushN(events + done, count - done);
@@ -127,7 +150,10 @@ Status Shard::PushStampedN(StampedEvent* events, size_t count,
       backoff.Reset();
     }
   }
-  if (waited) backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+  if (waited) {
+    backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.backpressure_waits) obs_.backpressure_waits->Inc();
+  }
   pushed_.fetch_add(count, std::memory_order_relaxed);
   if (accepted != nullptr) *accepted = count;
   return Status::OK();
@@ -185,6 +211,9 @@ Status Shard::Stop() {
     for (ExchangeHook& hook : hooks_) {
       if (hook.forward_raw_events) (void)hook.emitter->Emit(leftover.event);
     }
+    if (obs_.events) obs_.events->Inc();
+    if (obs_.batch_size) obs_.batch_size->Record(1);
+    if (obs_.process_latency_ns) obs_.process_latency_ns->Record(0);
     processed_.fetch_add(1, std::memory_order_release);
   }
   running_ = false;
@@ -240,6 +269,10 @@ void Shard::RunLoop() {
     const size_t n = queue_.TryPopN(batch.data(), batch.size());
     if (n > 0) {
       backoff.Reset();
+      if (obs_.batch_size) obs_.batch_size->Record(n);
+      // Chained clock reads: one MonotonicNowNs per event, each delta is
+      // that event's full processing latency (engine + sink + exchange).
+      uint64_t t_prev = obs_.process_latency_ns ? obs::MonotonicNowNs() : 0;
       for (size_t i = 0; i < n; ++i) {
         const StampedEvent& stamped = batch[i];
         // One exchange trigger scope per event and per lane-group:
@@ -258,7 +291,13 @@ void Shard::RunLoop() {
         }
         last_seq_ = stamped.seq;
         processed_any_ = true;
+        if (obs_.process_latency_ns) {
+          const uint64_t t_now = obs::MonotonicNowNs();
+          obs_.process_latency_ns->Record(t_now - t_prev);
+          t_prev = t_now;
+        }
       }
+      if (obs_.events) obs_.events->Inc(n);
       // One release store per burst: the publication point Drain acquires.
       processed_.fetch_add(n, std::memory_order_release);
       // Commands are handled on burst boundaries too, so a saturating

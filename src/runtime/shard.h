@@ -54,6 +54,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "event/event.h"
+#include "obs/instruments.h"
 #include "runtime/exchange.h"
 #include "runtime/spsc_queue.h"
 
@@ -125,6 +126,16 @@ class Shard {
 
   /// Installs the worker-side event sink. Must precede Start().
   Status SetEventSink(std::unique_ptr<ShardEventSink> sink);
+
+  /// Binds telemetry instruments (obs/instruments.h). Null fields are
+  /// skipped at update sites; copy-by-value, the registry owns the
+  /// instruments. Must precede Start().
+  Status SetInstruments(const obs::ShardInstruments& instruments);
+
+  /// Installs a user detection callback invoked on the worker thread for
+  /// every detection this shard's engine fires, in addition to the internal
+  /// detection counter. Must precede Start().
+  Status SetDetectionCallback(DetectionCallback callback);
 
   ShardEventSink* event_sink() const { return sink_.get(); }
 
@@ -200,6 +211,19 @@ class Shard {
   /// Safe from any thread at any time (all counters are atomics).
   ShardStats stats() const;
 
+  /// Instantaneous queue occupancy / capacity — safe from any thread
+  /// (SPSC indices are atomics); used for queue-depth gauges and health.
+  size_t queue_depth() const { return queue_.ApproxSize(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
+
+  /// Attached exchange lane-groups, in AddExchange order (which is the
+  /// orchestrator's group order). Emitter stats/depth reads are
+  /// thread-safe; used to wire per-lane instruments.
+  size_t exchange_count() const { return hooks_.size(); }
+  ExchangeEmitter* exchange_emitter(size_t i) {
+    return hooks_[i].emitter.get();
+  }
+
  private:
   enum CommandKind : uint32_t {
     kCmdNone = 0,
@@ -224,6 +248,10 @@ class Shard {
   Rng rng_;
   std::unique_ptr<ShardEventSink> sink_;
   std::vector<ExchangeHook> hooks_;
+  // Telemetry bundle (null fields = un-instrumented) and the optional user
+  // detection callback; both fixed before Start, read on the worker.
+  obs::ShardInstruments obs_;
+  DetectionCallback user_callback_;
   std::thread worker_;
   // Written only by Start/Stop; atomic so Drain/stats from other threads
   // read it race-free.

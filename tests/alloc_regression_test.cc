@@ -22,6 +22,7 @@
 
 #include "common/random.h"
 #include "event/symbol_table.h"
+#include "obs/metrics.h"
 #include "runtime/parallel_engine.h"
 #include "stream/event_stream.h"
 
@@ -123,6 +124,64 @@ TEST(AllocRegressionTest, ShardedPlainPipelineSteadyStateIsAllocationFree) {
 
   EXPECT_EQ(engine.events_processed(),
             warmup.size() + batched.size() + per_event.size());
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+// Telemetry must not break the zero-allocation guarantee: with every
+// instrument wired (counters, latency histograms, queue gauges), the
+// steady-state hot path still performs ZERO heap allocations — instrument
+// updates are relaxed atomics on pre-registered slots, never lookups.
+TEST(AllocRegressionTest, MetricsEnabledSteadyStateIsAllocationFree) {
+  if (!bench::kAllocHookActive) {
+    GTEST_SKIP() << "allocation hook inactive under sanitizers";
+  }
+
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 4096;
+  ParallelStreamingEngine engine(options);
+  for (size_t k = 0; k < kSubjects; ++k) {
+    const auto base = static_cast<EventTypeId>(k * kTypesPerSubject);
+    auto pattern = Pattern::Create("seq", {base, base + 1, base + 2},
+                                   DetectionMode::kSequence);
+    ASSERT_TRUE(pattern.ok());
+    ASSERT_TRUE(engine.AddQuery(std::move(pattern).value(), kWindow).ok());
+  }
+  obs::MetricsRegistry registry;
+  ASSERT_TRUE(engine.EnableMetrics(&registry, "plain").ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  const EventStream warmup =
+      MakeStream(40000, /*full_alphabet=*/true, /*ts_base=*/0, /*seed=*/7);
+  ASSERT_TRUE(IngestBatched(engine, warmup).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+
+  const Timestamp warm_end = 40000 / 8 + 1;
+  const EventStream batched =
+      MakeStream(50000, /*full_alphabet=*/false, warm_end, /*seed=*/11);
+
+  bench::ResetAllocCounters();
+  bench::SetAllocCounting(true);
+  ASSERT_TRUE(IngestBatched(engine, batched).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  bench::SetAllocCounting(false);
+
+  const bench::AllocCounters counters = bench::GetAllocCounters();
+  EXPECT_EQ(counters.allocs, 0u)
+      << "metrics-enabled hot path allocated " << counters.allocs
+      << " times (" << counters.bytes << " bytes) across " << batched.size()
+      << " events";
+
+  // The instruments reconciled exactly while staying allocation-free.
+  engine.RefreshMetricGauges();
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const size_t total = warmup.size() + batched.size();
+  EXPECT_EQ(obs::SumSamples(snapshot.Find("pldp_shard_events_total")),
+            static_cast<double>(total));
+  EXPECT_EQ(
+      obs::AggregateHistogram(snapshot.Find("pldp_shard_process_latency_ns"))
+          .count,
+      static_cast<uint64_t>(total));
   ASSERT_TRUE(engine.Stop().ok());
 }
 

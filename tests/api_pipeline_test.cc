@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -441,9 +442,98 @@ TEST(PipelineHandleTest, ForeignAndInvalidHandlesAreHardErrors) {
   EXPECT_TRUE(
       finished_a.value().Detections(q_b).status().IsInvalidArgument());
   // A default-constructed (never registered) handle is refused too.
-  EXPECT_TRUE(
-      finished_a.value().Detections(QueryHandle()).status().IsInvalidArgument());
+  EXPECT_TRUE(finished_a.value()
+                  .Detections(QueryHandle())
+                  .status()
+                  .IsInvalidArgument());
   (void)pipeline_b.value()->Finish();
+}
+
+// --- Detection callbacks (QueryHandle::OnDetection) ------------------------
+
+TEST(PipelineCallbackTest, SequentialCallbacksFireSynchronously) {
+  const EventStream stream = SubjectStream(8000, 19);
+  const Pattern pattern = GroupPattern(0, DetectionMode::kSequence);
+  const auto reference = SequentialDetections(stream, {pattern});
+
+  PipelineBuilder builder;
+  std::vector<Timestamp> fired;
+  QueryHandle q = builder.AddQuery(pattern, kQueryWindow);
+  q.OnDetection([&fired](Timestamp at) { fired.push_back(at); });
+  auto pipeline_or = builder.WithShards(1).WithSeed(kSeed).Build();
+  ASSERT_TRUE(pipeline_or.ok()) << pipeline_or.status().ToString();
+  Pipeline& pipeline = *pipeline_or.value();
+  ASSERT_TRUE(pipeline.plan().sequential);
+
+  StreamReplayer replayer;
+  replayer.Subscribe(&pipeline);
+  ASSERT_TRUE(replayer.Run(stream, ReplayMode::kBatchPerTick).ok());
+  auto finished_or = pipeline.Finish();
+  ASSERT_TRUE(finished_or.ok());
+
+  ASSERT_FALSE(reference[0].empty());
+  EXPECT_EQ(Sorted(fired), reference[0]);
+  EXPECT_EQ(Sorted(fired),
+            Sorted(finished_or.value().Detections(q).value()));
+}
+
+TEST(PipelineCallbackTest, ShardedPlainAndCrossCallbacksSeeEveryDetection) {
+  const EventStream stream = CrossStream(12000, 31);
+  const Pattern plain_pattern = GroupPattern(0, DetectionMode::kSequence);
+  const Pattern cross_pattern = GroupPattern(1, DetectionMode::kConjunction);
+
+  for (size_t shards : {2u, 4u}) {
+    PipelineBuilder builder;
+    // Sharded plans dispatch on worker threads, so the sinks take a lock.
+    std::mutex mu;
+    std::vector<Timestamp> plain_fired;
+    std::vector<Timestamp> cross_fired;
+    QueryHandle plain_q = builder.AddQuery(plain_pattern, kQueryWindow);
+    plain_q.OnDetection([&](Timestamp at) {
+      std::lock_guard<std::mutex> lock(mu);
+      plain_fired.push_back(at);
+    });
+    CrossQueryHandle cross_q = builder.AddCrossQuery(
+        cross_pattern, kQueryWindow, CorrelationKey::Global());
+    cross_q.OnDetection([&](Timestamp at) {
+      std::lock_guard<std::mutex> lock(mu);
+      cross_fired.push_back(at);
+    });
+    auto pipeline_or =
+        builder.WithShards(shards).WithCrossShards(2).WithSeed(kSeed).Build();
+    ASSERT_TRUE(pipeline_or.ok()) << pipeline_or.status().ToString();
+    Pipeline& pipeline = *pipeline_or.value();
+    ASSERT_FALSE(pipeline.plan().sequential);
+
+    StreamReplayer replayer;
+    replayer.Subscribe(&pipeline);
+    ASSERT_TRUE(replayer.Run(stream, ReplayMode::kBatchPerTick).ok());
+    auto finished_or = pipeline.Finish();
+    ASSERT_TRUE(finished_or.ok());
+    const FinishedPipeline& finished = finished_or.value();
+
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_FALSE(plain_fired.empty()) << "shards=" << shards;
+    EXPECT_EQ(Sorted(plain_fired),
+              Sorted(finished.Detections(plain_q).value()))
+        << "shards=" << shards;
+    EXPECT_EQ(Sorted(cross_fired),
+              Sorted(finished.Detections(cross_q).value()))
+        << "shards=" << shards;
+  }
+}
+
+TEST(PipelineCallbackTest, InvalidHandleCallbackIsIgnored) {
+  PipelineBuilder builder;
+  QueryHandle bad = builder.AddQuery(
+      Pattern::Create("empty", {}, DetectionMode::kSequence), kQueryWindow);
+  EXPECT_FALSE(bad.valid());
+  // Must not crash or register anything; the latched pattern error still
+  // surfaces at Build().
+  bad.OnDetection([](Timestamp) {});
+  QueryHandle detached;
+  detached.OnDetection([](Timestamp) {});
+  EXPECT_FALSE(builder.Build().ok());
 }
 
 TEST(PipelineHandleTest, IngestionAfterFinishIsRefusedAndFinishIdempotent) {
