@@ -81,7 +81,9 @@ int Run(const bench::HarnessArgs& args) {
     (void)steps.AddRow(StrFormat("%.2fx", factor),
                        {aopt.step_epsilon, *q});
   }
-  rc |= bench::EmitTable(steps, bench::HarnessArgs{args.effort, ""},
+  bench::HarnessArgs step_args;
+  step_args.effort = args.effort;
+  rc |= bench::EmitTable(steps, step_args,
                          "Algorithm 1: step-size δε ablation (ε=1)");
   return rc;
 }

@@ -65,7 +65,9 @@ int Run(const bench::HarnessArgs& args) {
                           {analytic, rate}, 4);
   }
   // Rename the first column content: AddRow(label,...) already carries role.
-  rc |= bench::EmitTable(patterns, bench::HarnessArgs{args.effort, ""},
+  bench::HarnessArgs table_args;
+  table_args.effort = args.effort;
+  rc |= bench::EmitTable(patterns, table_args,
                          "Algorithm 2: pattern detection rates");
   return rc;
 }

@@ -587,6 +587,7 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
 Pipeline::~Pipeline() { (void)Stop(); }
 
 Status Pipeline::OnEvent(const Event& event) {
+  driver_role_.Assert();
   if (finished_) {
     return Status::FailedPrecondition("ingestion after Finish()/OnEnd");
   }
@@ -612,6 +613,7 @@ Status Pipeline::OnEvent(const Event& event) {
 }
 
 Status Pipeline::OnEventBatch(EventSpan events) {
+  driver_role_.Assert();
   if (finished_) {
     return Status::FailedPrecondition("ingestion after Finish()/OnEnd");
   }
@@ -657,6 +659,7 @@ Status Pipeline::Drain() {
 }
 
 Status Pipeline::FinishInternal() {
+  driver_role_.Assert();
   if (finished_) return finish_status_;
   finished_ = true;
   Status result = Status::OK();

@@ -56,6 +56,7 @@
 #include "cep/correlation_key.h"
 #include "cep/streaming_engine.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/parallel_private_engine.h"
 #include "obs/health.h"
 #include "obs/instruments.h"
@@ -342,8 +343,13 @@ class Pipeline : public StreamSubscriber {
   obs::Gauge* intern_symbol_entries_ = nullptr;
   obs::Gauge* intern_symbol_budget_ = nullptr;
 
-  bool finished_ = false;
-  Status finish_status_ = Status::OK();
+  /// Single-driver contract: one thread drives ingest and the terminal
+  /// finish (a StreamReplayer calls OnEvent*/OnEnd from its one thread).
+  /// Scrape-side entry points (MetricsSnapshot, Health, events_processed)
+  /// deliberately touch only atomics and engine-internal synchronization.
+  ThreadRole driver_role_;
+  bool finished_ PLDP_GUARDED_BY(driver_role_) = false;
+  Status finish_status_ PLDP_GUARDED_BY(driver_role_) = Status::OK();
   /// Atomic so a scrape thread may read events_processed() mid-ingest.
   std::atomic<uint64_t> events_ingested_{0};
 };

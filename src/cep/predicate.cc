@@ -49,7 +49,7 @@ bool CompareDoubles(double lhs, CompareOp op, double rhs) {
 
 class TruePredicate final : public Predicate {
  public:
-  StatusOr<bool> Eval(const Event&) const override { return true; }
+  PLDP_HOT StatusOr<bool> Eval(const Event&) const override { return true; }
   std::string ToString() const override { return "true"; }
 };
 
@@ -57,7 +57,7 @@ class TypeIsPredicate final : public Predicate {
  public:
   explicit TypeIsPredicate(EventTypeId type) : type_(type) {}
 
-  StatusOr<bool> Eval(const Event& event) const override {
+  PLDP_HOT StatusOr<bool> Eval(const Event& event) const override {
     return event.type() == type_;
   }
   std::string ToString() const override {
@@ -76,7 +76,7 @@ class NumericComparePredicate final : public Predicate {
         op_(op),
         constant_(constant) {}
 
-  StatusOr<bool> Eval(const Event& event) const override {
+  PLDP_HOT StatusOr<bool> Eval(const Event& event) const override {
     const Value* v = event.FindAttribute(attr_id_);
     if (v == nullptr) return false;
     PLDP_ASSIGN_OR_RETURN(double num, v->AsNumeric());
@@ -104,7 +104,7 @@ class StringComparePredicate final : public Predicate {
         constant_(std::move(constant)),
         constant_sym_(SymbolNames().Intern(constant_)) {}
 
-  StatusOr<bool> Eval(const Event& event) const override {
+  PLDP_HOT StatusOr<bool> Eval(const Event& event) const override {
     const Value* v = event.FindAttribute(attr_id_);
     if (v == nullptr) return false;
     bool eq;
@@ -140,7 +140,7 @@ class IntSetMemberPredicate final : public Predicate {
         attr_id_(AttrNames().Intern(attr_)),
         members_(members.begin(), members.end()) {}
 
-  StatusOr<bool> Eval(const Event& event) const override {
+  PLDP_HOT StatusOr<bool> Eval(const Event& event) const override {
     const Value* v = event.FindAttribute(attr_id_);
     if (v == nullptr) return false;
     PLDP_ASSIGN_OR_RETURN(int64_t i, v->AsInt());
@@ -162,7 +162,7 @@ class AndPredicate final : public Predicate {
   explicit AndPredicate(std::vector<PredicatePtr> operands)
       : operands_(std::move(operands)) {}
 
-  StatusOr<bool> Eval(const Event& event) const override {
+  PLDP_HOT StatusOr<bool> Eval(const Event& event) const override {
     for (const auto& p : operands_) {
       PLDP_ASSIGN_OR_RETURN(bool b, p->Eval(event));
       if (!b) return false;
@@ -186,7 +186,7 @@ class OrPredicate final : public Predicate {
   explicit OrPredicate(std::vector<PredicatePtr> operands)
       : operands_(std::move(operands)) {}
 
-  StatusOr<bool> Eval(const Event& event) const override {
+  PLDP_HOT StatusOr<bool> Eval(const Event& event) const override {
     for (const auto& p : operands_) {
       PLDP_ASSIGN_OR_RETURN(bool b, p->Eval(event));
       if (b) return true;
@@ -209,7 +209,7 @@ class NotPredicate final : public Predicate {
  public:
   explicit NotPredicate(PredicatePtr operand) : operand_(std::move(operand)) {}
 
-  StatusOr<bool> Eval(const Event& event) const override {
+  PLDP_HOT StatusOr<bool> Eval(const Event& event) const override {
     PLDP_ASSIGN_OR_RETURN(bool b, operand_->Eval(event));
     return !b;
   }

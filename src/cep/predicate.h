@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "event/event.h"
 
 namespace pldp {
@@ -39,8 +40,10 @@ class Predicate {
   virtual ~Predicate() = default;
 
   /// Evaluates against `event`. Errors propagate (e.g. missing attribute
-  /// with `require_attribute` semantics).
-  virtual StatusOr<bool> Eval(const Event& event) const = 0;
+  /// with `require_attribute` semantics). Runs once per event per pattern
+  /// element on worker threads — implementations must stay allocation-free
+  /// (integer lookups over pre-interned ids; see the bind step above).
+  PLDP_HOT virtual StatusOr<bool> Eval(const Event& event) const = 0;
 
   /// Human-readable rendering for diagnostics.
   virtual std::string ToString() const = 0;

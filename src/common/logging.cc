@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace pldp {
 
@@ -41,7 +42,9 @@ int InitialLevel() {
 }
 
 std::atomic<int> g_min_level{InitialLevel()};
-std::mutex g_emit_mutex;
+/// Serializes emission only (one stderr line at a time); the level gate is
+/// the lock-free atomic above.
+Mutex g_emit_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -87,7 +90,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

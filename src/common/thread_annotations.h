@@ -1,0 +1,163 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Portable Clang Thread Safety Analysis annotations, plus the two
+// capability types the runtime annotates with:
+//
+//   - `Mutex` / `MutexLock`: a zero-overhead annotated wrapper around
+//     std::mutex / std::lock_guard. libstdc++'s std::mutex carries no
+//     capability attributes, so guarding members with a bare std::mutex
+//     makes -Wthread-safety silently vacuous; the wrapper is the canonical
+//     fix (see the "mutex.h" example in the Clang TSA documentation).
+//   - `ThreadRole`: a zero-size, zero-cost capability token modelling
+//     thread confinement ("the shard's worker thread", "the single ingest
+//     producer"). It is not a lock — Acquire/Release/Assert generate no
+//     code. A thread's entry point Acquires the role; functions that must
+//     only run on that thread take PLDP_REQUIRES(role); public entry
+//     points whose caller contracts promise confinement (e.g. "single
+//     producer thread") Assert the role, turning the documented contract
+//     into a machine-checked one for everything downstream.
+//
+// The macros expand to clang attributes under clang and to nothing under
+// GCC/MSVC, so annotated code builds everywhere; only clang checks it.
+// CI compiles the clang legs with -Wthread-safety -Werror=thread-safety.
+//
+// Annotation discipline (see README "Static analysis"):
+//   - every member guarded by a Mutex is PLDP_GUARDED_BY(mu_);
+//   - every member confined to one thread is PLDP_GUARDED_BY(role_);
+//   - private helpers running under a lock/role take PLDP_REQUIRES(...);
+//   - orchestrator handoffs (absorbing worker state after a join) acquire
+//     the worker's role explicitly, with a comment citing the join.
+//
+// `PLDP_HOT` marks per-event-path functions. It expands to a clang
+// `annotate` attribute (queryable by tooling) and is the marker
+// tools/lint_hotpath.py keys on: bodies of PLDP_HOT functions must not
+// heap-allocate, construct std::string, or take locks. See the lint for
+// the enforced rules and the `hotpath-allow:` escape hatch.
+
+#ifndef PLDP_COMMON_THREAD_ANNOTATIONS_H_
+#define PLDP_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PLDP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PLDP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#define PLDP_CAPABILITY(x) PLDP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define PLDP_SCOPED_CAPABILITY \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define PLDP_GUARDED_BY(x) PLDP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PLDP_PT_GUARDED_BY(x) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define PLDP_ACQUIRED_BEFORE(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define PLDP_ACQUIRED_AFTER(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define PLDP_REQUIRES(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define PLDP_REQUIRES_SHARED(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define PLDP_ACQUIRE(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define PLDP_ACQUIRE_SHARED(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define PLDP_RELEASE(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define PLDP_RELEASE_SHARED(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define PLDP_TRY_ACQUIRE(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define PLDP_EXCLUDES(...) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define PLDP_ASSERT_CAPABILITY(x) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define PLDP_RETURN_CAPABILITY(x) \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define PLDP_NO_THREAD_SAFETY_ANALYSIS \
+  PLDP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// Hot-path marker: the function runs once (or more) per event in steady
+// state. Enforced by tools/lint_hotpath.py (no heap allocation, no
+// std::string construction, no lock acquisition in the body); under clang
+// the annotate attribute additionally makes the set queryable by AST
+// tooling (clang-query: functionDecl(hasAttr(annotate("pldp_hot")))).
+#if defined(__clang__)
+#define PLDP_HOT __attribute__((annotate("pldp_hot")))
+#else
+#define PLDP_HOT
+#endif
+
+namespace pldp {
+
+/// Annotated drop-in for std::mutex. Same size, same codegen; the
+/// attributes are what let -Wthread-safety connect PLDP_GUARDED_BY
+/// members to the lock protecting them.
+class PLDP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PLDP_ACQUIRE() { mu_.lock(); }
+  void unlock() PLDP_RELEASE() { mu_.unlock(); }
+  bool try_lock() PLDP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis the mutex is held without acquiring it — for
+  /// call paths whose caller provably holds it in ways the intraprocedural
+  /// analysis cannot see. Prefer PLDP_REQUIRES.
+  void AssertHeld() const PLDP_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated scoped lock (std::lock_guard shape — no unlock before scope
+/// exit, which keeps the analysis exact).
+class PLDP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PLDP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PLDP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Zero-cost capability token modelling thread confinement (see file
+/// comment). Acquire/Release mark the owning thread's entry/exit; Assert
+/// states a caller contract ("this is the single producer thread") at a
+/// public entry point so the body and its callees are checked against it.
+class PLDP_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Acquire() PLDP_ACQUIRE() {}
+  void Release() PLDP_RELEASE() {}
+  void Assert() const PLDP_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_COMMON_THREAD_ANNOTATIONS_H_

@@ -256,6 +256,7 @@ void ParallelPrivateEngine::CollectHealth(obs::PipelineHealth* health) const {
 }
 
 Status ParallelPrivateEngine::OnEvent(const Event& event) {
+  driver_role_.Assert();
   if (!active()) return Status::FailedPrecondition("Activate() not called");
   if (finished_) {
     return Status::FailedPrecondition("ingestion after Finish()");
@@ -264,6 +265,7 @@ Status ParallelPrivateEngine::OnEvent(const Event& event) {
 }
 
 Status ParallelPrivateEngine::OnEventBatch(EventSpan events) {
+  driver_role_.Assert();
   if (!active()) return Status::FailedPrecondition("Activate() not called");
   if (finished_) {
     return Status::FailedPrecondition("ingestion after Finish()");
@@ -272,6 +274,7 @@ Status ParallelPrivateEngine::OnEventBatch(EventSpan events) {
 }
 
 Status ParallelPrivateEngine::Finish() {
+  driver_role_.Assert();
   if (!active()) return Status::FailedPrecondition("Activate() not called");
   if (finished_) return finish_status_;
   // The runtime's Finish runs every publisher's Finalize on its own worker
@@ -294,6 +297,7 @@ Status ParallelPrivateEngine::Stop() {
 }
 
 std::vector<StreamId> ParallelPrivateEngine::SubjectIds() const {
+  driver_role_.Assert();
   std::vector<StreamId> ids;
   if (!finished_) return ids;  // publisher state is worker-owned until then
   for (const SubjectViewPublisher* publisher : publishers_) {
@@ -313,6 +317,7 @@ StatusOr<SubjectResults> ParallelPrivateEngine::ResultsFor(
 
 StatusOr<const SubjectResults*> ParallelPrivateEngine::ResultsViewFor(
     StreamId subject) const {
+  driver_role_.Assert();
   if (!finished_) {
     return Status::FailedPrecondition(
         "results are only stable after Finish()/OnEnd");
@@ -326,6 +331,7 @@ StatusOr<const SubjectResults*> ParallelPrivateEngine::ResultsViewFor(
 
 StatusOr<std::vector<Timestamp>> ParallelPrivateEngine::CrossDetectionsOf(
     size_t cross_query_index) const {
+  driver_role_.Assert();
   if (!finished_) {
     return Status::FailedPrecondition(
         "cross detections are only stable after Finish()/OnEnd");
@@ -350,11 +356,13 @@ StatusOr<size_t> ParallelPrivateEngine::CrossQueryIndexOf(
 }
 
 size_t ParallelPrivateEngine::total_cross_detections() const {
+  driver_role_.Assert();
   if (!finished_ || runtime_ == nullptr) return 0;
   return runtime_->total_cross_detections();
 }
 
 size_t ParallelPrivateEngine::total_windows() const {
+  driver_role_.Assert();
   size_t total = 0;
   if (!finished_) return total;  // worker-owned until the Finish barrier
   for (const SubjectViewPublisher* publisher : publishers_) {

@@ -59,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/private_engine.h"
 #include "dp/ledger.h"
 #include "ppm/subject_publisher.h"
@@ -227,9 +228,12 @@ class ParallelPrivateEngine : public StreamSubscriber {
   PatternBudgetLedger ledger_;
   /// Registry recorded by EnableMetrics, wired during Activate.
   obs::MetricsRegistry* metrics_ = nullptr;
-  bool finished_ = false;
+  /// Single-driver contract: one thread drives ingest, Finish, and the
+  /// post-Finish result reads (asserted at those entry points).
+  ThreadRole driver_role_;
+  bool finished_ PLDP_GUARDED_BY(driver_role_) = false;
   /// First Finalize error, re-returned by every later Finish().
-  Status finish_status_ = Status::OK();
+  Status finish_status_ PLDP_GUARDED_BY(driver_role_) = Status::OK();
 };
 
 }  // namespace pldp

@@ -17,7 +17,7 @@ InternTable::~InternTable() {
 }
 
 uint32_t InternTable::Intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
 
@@ -51,7 +51,7 @@ StatusOr<uint32_t> InternTable::TryIntern(std::string_view name) {
 }
 
 void InternTable::SetBudget(size_t max_entries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (max_entries == 0 || max_entries > kMaxEntries) {
     max_entries = kMaxEntries;
   }
@@ -59,7 +59,7 @@ void InternTable::SetBudget(size_t max_entries) {
 }
 
 uint32_t InternTable::Find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ids_.find(name);
   return it == ids_.end() ? kInvalidInternId : it->second;
 }

@@ -37,12 +37,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace pldp {
 
@@ -73,21 +73,21 @@ class InternTable {
   /// Get-or-create: returns the existing id or registers a new one.
   /// Returns kInvalidInternId only when the table is full (the configured
   /// budget, or kMaxEntries).
-  uint32_t Intern(std::string_view name);
+  uint32_t Intern(std::string_view name) PLDP_EXCLUDES(mu_);
 
   /// Get-or-create with a loud failure mode: like Intern, but exhaustion
   /// (the budget or kMaxEntries) is a ResourceExhausted error naming the
   /// limit instead of a sentinel id. The right call for inputs of
   /// unbounded cardinality — e.g. string payloads arriving off the wire
   /// (stream/stream_io.h's intern-on-decode path).
-  StatusOr<uint32_t> TryIntern(std::string_view name);
+  StatusOr<uint32_t> TryIntern(std::string_view name) PLDP_EXCLUDES(mu_);
 
   /// Caps the table at `max_entries` interned names (clamped to
   /// kMaxEntries; 0 restores the default). Already-interned names stay
   /// valid and keep resolving even when they exceed a newly lowered
   /// budget — the budget only stops *new* registrations, so it guards
   /// against unbounded payload cardinality without invalidating ids.
-  void SetBudget(size_t max_entries);
+  void SetBudget(size_t max_entries) PLDP_EXCLUDES(mu_);
 
   /// The active cap on interned entries.
   size_t budget() const { return budget_.load(std::memory_order_relaxed); }
@@ -95,11 +95,11 @@ class InternTable {
   /// Id of `name`, or kInvalidInternId when it was never interned. Unlike
   /// Intern, never grows the table — the right call for lookups that must
   /// not pollute the id space (e.g. Event::FindAttribute by name).
-  uint32_t Find(std::string_view name) const;
+  uint32_t Find(std::string_view name) const PLDP_EXCLUDES(mu_);
 
   /// Name of `id`; empty view for invalid ids. Lock-free, allocation-free,
   /// and the view is stable forever (entries never move).
-  std::string_view NameOf(uint32_t id) const;
+  PLDP_HOT std::string_view NameOf(uint32_t id) const;
 
   /// Number of interned entries. Ids are exactly [0, size()).
   size_t size() const { return size_.load(std::memory_order_acquire); }
@@ -112,15 +112,17 @@ class InternTable {
   static constexpr size_t kBlockSize = size_t{1} << kBlockBits;  // 1024
   static constexpr size_t kMaxBlocks = kMaxEntries / kBlockSize;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Active entry cap (<= kMaxEntries). Atomic so budget() is readable
   /// without the mutex; mutations happen under it.
   std::atomic<size_t> budget_{kMaxEntries};
   /// Keys are views into the block storage below (strings never move).
-  std::unordered_map<std::string_view, uint32_t> ids_;
+  std::unordered_map<std::string_view, uint32_t> ids_ PLDP_GUARDED_BY(mu_);
   /// Two-level directory: block pointers are published with release stores
   /// and block contents are immutable once `size_` covers them, which is
-  /// what makes NameOf lock-free.
+  /// what makes NameOf lock-free. The mutex serializes writers; the
+  /// lock-free reader side (NameOf) is safe through the release/acquire
+  /// pairing on size_, which TSA cannot express — hence no GUARDED_BY.
   std::array<std::atomic<std::string*>, kMaxBlocks> blocks_;
   std::atomic<size_t> size_{0};
 };

@@ -66,6 +66,7 @@ TextEndpoint::TextEndpoint(Routes routes) : routes_(std::move(routes)) {}
 TextEndpoint::~TextEndpoint() { Stop(); }
 
 Status TextEndpoint::Start(uint16_t port) {
+  lifecycle_role_.Assert();
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("endpoint already running");
   }
@@ -108,13 +109,18 @@ Status TextEndpoint::Start(uint16_t port) {
 }
 
 void TextEndpoint::Stop() {
+  lifecycle_role_.Assert();
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   // shutdown() unblocks the accept() call so the thread can observe the
-  // running_ flip and exit. The fd variable itself is only reset after
-  // the join — the accept thread reads it until the very end.
+  // running_ flip and exit. The fd is closed only AFTER the join: closing
+  // first would free the descriptor number while the accept thread may
+  // still be entering accept(listen_fd_), and the kernel can hand the same
+  // number to any concurrently opened socket or file — the loop would then
+  // accept() on an unrelated descriptor. Pinned by
+  // tests/obs_endpoint_race_test.cc.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
   listen_fd_ = -1;
   port_.store(0, std::memory_order_release);
 }

@@ -23,6 +23,7 @@
 #include <thread>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace pldp {
 namespace obs {
@@ -45,10 +46,11 @@ class TextEndpoint {
   TextEndpoint& operator=(const TextEndpoint&) = delete;
 
   /// Binds 0.0.0.0:`port` (0 picks an ephemeral port — read it back via
-  /// port()) and starts the accept thread.
+  /// port()) and starts the accept thread. Lifecycle calls (Start/Stop/
+  /// destructor) must come from one orchestrating thread at a time.
   Status Start(uint16_t port);
 
-  /// Closes the listener and joins the accept thread. Idempotent.
+  /// Joins the accept thread, then closes the listener. Idempotent.
   void Stop();
 
   /// The bound port; 0 before Start.
@@ -58,11 +60,17 @@ class TextEndpoint {
   void Serve();
   void HandleConnection(int client_fd);
 
+  /// Single-orchestrator contract on Start/Stop (asserted, not acquired —
+  /// see common/thread_annotations.h on caller-contract roles).
+  ThreadRole lifecycle_role_;
+
   Routes routes_;
+  /// Written by the orchestrator only; the accept thread reads it until
+  /// its join, which is why Stop() must join before closing/resetting it.
   int listen_fd_ = -1;
   std::atomic<uint16_t> port_{0};
   std::atomic<bool> running_{false};
-  std::thread accept_thread_;
+  std::thread accept_thread_ PLDP_GUARDED_BY(lifecycle_role_);
 };
 
 }  // namespace obs

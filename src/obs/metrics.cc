@@ -162,7 +162,6 @@ MetricsRegistry::Entry* MetricsRegistry::AddEntry(MetricType type,
                                                   const std::string& name,
                                                   const std::string& help,
                                                   MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& entry : entries_) {
     if (entry->name == name && entry->type != type) return nullptr;
     if (entry->name == name && entry->labels == labels) return nullptr;
@@ -172,9 +171,15 @@ MetricsRegistry::Entry* MetricsRegistry::AddEntry(MetricType type,
   return entries_.back().get();
 }
 
+// The instrument is created while the registration lock is still held: a
+// Snapshot racing the registration (scrape endpoint up before Build()
+// finishes) must never observe an Entry whose instrument pointer is still
+// null — PLDP_REQUIRES(mu_) on AddEntry is what pins this shape.
+
 Counter* MetricsRegistry::AddCounter(const std::string& name,
                                      const std::string& help,
                                      MetricLabels labels) {
+  MutexLock lock(mu_);
   Entry* entry = AddEntry(MetricType::kCounter, name, help, std::move(labels));
   if (entry == nullptr) return nullptr;
   entry->counter.reset(new Counter());
@@ -184,6 +189,7 @@ Counter* MetricsRegistry::AddCounter(const std::string& name,
 Gauge* MetricsRegistry::AddGauge(const std::string& name,
                                  const std::string& help,
                                  MetricLabels labels) {
+  MutexLock lock(mu_);
   Entry* entry = AddEntry(MetricType::kGauge, name, help, std::move(labels));
   if (entry == nullptr) return nullptr;
   entry->gauge.reset(new Gauge());
@@ -193,6 +199,7 @@ Gauge* MetricsRegistry::AddGauge(const std::string& name,
 Histogram* MetricsRegistry::AddHistogram(const std::string& name,
                                          const std::string& help,
                                          MetricLabels labels) {
+  MutexLock lock(mu_);
   Entry* entry =
       AddEntry(MetricType::kHistogram, name, help, std::move(labels));
   if (entry == nullptr) return nullptr;
@@ -201,12 +208,12 @@ Histogram* MetricsRegistry::AddHistogram(const std::string& name,
 }
 
 size_t MetricsRegistry::instrument_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   // Families keep first-registration order; samples keep registration order
   // within a family — exposition output is deterministic run to run.

@@ -33,10 +33,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace pldp {
 namespace obs {
@@ -50,7 +51,9 @@ enum class MetricType { kCounter, kGauge, kHistogram };
 /// incrementing their own counters never false-share.
 class alignas(64) Counter {
  public:
-  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  PLDP_HOT void Inc(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -62,7 +65,7 @@ class alignas(64) Counter {
 /// snapshot-time refresh), not meant for per-event paths.
 class alignas(64) Gauge {
  public:
-  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  PLDP_HOT void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   void Add(double delta) {
     double cur = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(cur, cur + delta,
@@ -83,7 +86,7 @@ class alignas(64) Histogram {
   /// 38 finite power-of-two bounds (2^0 .. 2^37 ns ~ 2.3 min) + overflow.
   static constexpr size_t kBuckets = 39;
 
-  void Record(uint64_t value) {
+  PLDP_HOT void Record(uint64_t value) {
     bins_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
@@ -179,19 +182,19 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter* AddCounter(const std::string& name, const std::string& help,
-                      MetricLabels labels = {});
+                      MetricLabels labels = {}) PLDP_EXCLUDES(mu_);
   Gauge* AddGauge(const std::string& name, const std::string& help,
-                  MetricLabels labels = {});
+                  MetricLabels labels = {}) PLDP_EXCLUDES(mu_);
   Histogram* AddHistogram(const std::string& name, const std::string& help,
-                          MetricLabels labels = {});
+                          MetricLabels labels = {}) PLDP_EXCLUDES(mu_);
 
-  size_t instrument_count() const;
+  size_t instrument_count() const PLDP_EXCLUDES(mu_);
 
   /// Freezes every instrument's current value into the exposition struct.
   /// Safe from any thread, concurrent with hot-path updates (relaxed
   /// reads; a snapshot is a consistent-enough point-in-time view, not a
   /// linearizable cut).
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const PLDP_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -205,10 +208,15 @@ class MetricsRegistry {
   };
 
   Entry* AddEntry(MetricType type, const std::string& name,
-                  const std::string& help, MetricLabels labels);
+                  const std::string& help, MetricLabels labels)
+      PLDP_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  /// Guards registration (entries_ growth). Hot-path updates go through
+  /// the stable instrument pointers handed out at registration and never
+  /// touch the registry, so they need no lock — the wait-free half of the
+  /// registration/update split.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ PLDP_GUARDED_BY(mu_);
 };
 
 /// Prometheus text exposition format 0.0.4: # HELP / # TYPE headers,

@@ -65,6 +65,7 @@ Status SubjectViewPublisher::PublishCurrent(SubjectState* state) {
 }
 
 void SubjectViewPublisher::Absorb(const Event& event) {
+  owner_role_.Assert();
   if (!error_.ok() || finalized_) return;
   StatusOr<SubjectState*> state_or = GetOrCreate(event);
   if (!state_or.ok()) {
@@ -86,6 +87,7 @@ void SubjectViewPublisher::Absorb(const Event& event) {
 }
 
 Status SubjectViewPublisher::Finalize() {
+  owner_role_.Assert();
   if (finalized_) return error_;
   finalized_ = true;
   if (!error_.ok()) return error_;
@@ -107,6 +109,7 @@ Status SubjectViewPublisher::Finalize() {
 }
 
 std::vector<StreamId> SubjectViewPublisher::SubjectIds() const {
+  owner_role_.Assert();
   std::vector<StreamId> ids;
   ids.reserve(subjects_.size());
   for (const auto& entry : subjects_) ids.push_back(entry.first);
@@ -116,6 +119,7 @@ std::vector<StreamId> SubjectViewPublisher::SubjectIds() const {
 
 const SubjectResults* SubjectViewPublisher::ResultsFor(
     StreamId subject) const {
+  owner_role_.Assert();
   auto it = subjects_.find(subject);
   return it == subjects_.end() ? nullptr : &it->second.results;
 }

@@ -30,6 +30,7 @@
 #include "cep/query.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "event/event.h"
 #include "obs/instruments.h"
 #include "ppm/mechanism.h"
@@ -112,7 +113,10 @@ class SubjectViewPublisher {
   /// encountered by Absorb/Finalize, if any.
   Status Finalize();
 
-  bool finalized() const { return finalized_; }
+  bool finalized() const {
+    owner_role_.Assert();
+    return finalized_;
+  }
 
   /// Subjects seen so far, ascending.
   std::vector<StreamId> SubjectIds() const;
@@ -121,10 +125,16 @@ class SubjectViewPublisher {
   /// Stable only after Finalize().
   const SubjectResults* ResultsFor(StreamId subject) const;
 
-  size_t subject_count() const { return subjects_.size(); }
+  size_t subject_count() const {
+    owner_role_.Assert();
+    return subjects_.size();
+  }
 
   /// Windows published across all subjects.
-  size_t total_windows() const { return total_windows_; }
+  size_t total_windows() const {
+    owner_role_.Assert();
+    return total_windows_;
+  }
 
  private:
   struct SubjectState {
@@ -137,10 +147,17 @@ class SubjectViewPublisher {
     SubjectResults results;
   };
 
-  StatusOr<SubjectState*> GetOrCreate(const Event& event);
+  StatusOr<SubjectState*> GetOrCreate(const Event& event)
+      PLDP_REQUIRES(owner_role_);
 
   /// Publishes the open window and advances to the next one.
-  Status PublishCurrent(SubjectState* state);
+  Status PublishCurrent(SubjectState* state) PLDP_REQUIRES(owner_role_);
+
+  /// Single-owner contract (see class comment): one shard worker drives
+  /// Absorb/Finalize; result reads happen on the orchestrator only after
+  /// the drain/stop barrier transferred ownership. Asserted, not acquired —
+  /// the barrier itself (worker join) is the synchronization.
+  mutable ThreadRole owner_role_;
 
   SubjectPublisherOptions options_;
   ViewCallback view_callback_;
@@ -148,10 +165,11 @@ class SubjectViewPublisher {
   /// targets_[i] is queries[i]'s target pattern, resolved once (the query
   /// set is frozen at construction; this runs on the worker's hot path).
   std::vector<const Pattern*> targets_;
-  std::unordered_map<StreamId, SubjectState> subjects_;
-  size_t total_windows_ = 0;
-  Status error_ = Status::OK();
-  bool finalized_ = false;
+  std::unordered_map<StreamId, SubjectState> subjects_
+      PLDP_GUARDED_BY(owner_role_);
+  size_t total_windows_ PLDP_GUARDED_BY(owner_role_) = 0;
+  Status error_ PLDP_GUARDED_BY(owner_role_) = Status::OK();
+  bool finalized_ PLDP_GUARDED_BY(owner_role_) = false;
 };
 
 }  // namespace pldp

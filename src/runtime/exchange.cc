@@ -58,6 +58,7 @@ Status ExchangeEmitter::PushToLane(size_t consumer, ExchangeItem item) {
 }
 
 Status ExchangeEmitter::Emit(const Event& event) {
+  driver_role_.Assert();
   ExchangeItem item;
   item.key = ExchangeKey{trigger_, sub_next_++};
   item.event = event;
@@ -69,6 +70,7 @@ Status ExchangeEmitter::Emit(const Event& event) {
 }
 
 Status ExchangeEmitter::Broadcast(uint64_t bound) {
+  driver_role_.Assert();
   if (broadcast_any_ && bound <= last_broadcast_) return Status::OK();
   for (size_t c = 0; c < row_.size(); ++c) {
     ExchangeItem item;

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "event/event.h"
 #include "obs/instruments.h"
 #include "runtime/router.h"
@@ -145,14 +146,15 @@ class ExchangeEmitter {
   /// (primary, sub_base + n) for n = 0, 1, ... Keys must be opened in
   /// strictly increasing order per emitter; the worker opens one scope per
   /// processed event (primary = the event's ingest sequence number).
-  void BeginTrigger(uint64_t primary, uint64_t sub_base = 0) {
+  PLDP_HOT void BeginTrigger(uint64_t primary, uint64_t sub_base = 0) {
+    driver_role_.Assert();
     trigger_ = primary;
     sub_next_ = sub_base;
   }
 
   /// Routes `event` to its consumer lane, blocking (with backoff) while the
   /// lane is full. Fails fast when the fabric was aborted.
-  Status Emit(const Event& event);
+  PLDP_HOT Status Emit(const Event& event);
 
   /// Sends `watermark(bound)` — every future item on this row has key >=
   /// (bound, 0) — to all lanes. Monotone: bounds at or below the last
@@ -176,17 +178,25 @@ class ExchangeEmitter {
   }
 
  private:
-  Status PushToLane(size_t consumer, ExchangeItem item);
+  PLDP_HOT Status PushToLane(size_t consumer, ExchangeItem item)
+      PLDP_REQUIRES(driver_role_);
 
   std::vector<ExchangeLane*> row_;
   EventRouter router_;
   ExchangeFabric* fabric_;
 
+  /// Single-driver contract: BeginTrigger/Emit/Broadcast are driven by one
+  /// thread at a time — the owning shard's worker while it runs, the
+  /// orchestrator absorbing leftovers after the join. Asserted (not
+  /// acquired) at each entry point so the capability documents the caller
+  /// contract without a handoff protocol of its own.
+  ThreadRole driver_role_;
+
   // Worker-local emission state.
-  uint64_t trigger_ = 0;
-  uint64_t sub_next_ = 0;
-  uint64_t last_broadcast_ = 0;
-  bool broadcast_any_ = false;
+  uint64_t trigger_ PLDP_GUARDED_BY(driver_role_) = 0;
+  uint64_t sub_next_ PLDP_GUARDED_BY(driver_role_) = 0;
+  uint64_t last_broadcast_ PLDP_GUARDED_BY(driver_role_) = 0;
+  bool broadcast_any_ PLDP_GUARDED_BY(driver_role_) = false;
 
   // Stats written by the worker (relaxed), read from any thread.
   std::atomic<uint64_t> forwarded_{0};

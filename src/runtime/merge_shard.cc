@@ -57,11 +57,20 @@ Status MergeShard::Start() {
   if (running_) {
     return Status::FailedPrecondition("merge shard already running");
   }
-  if (lanes_.empty()) {
+  // Pre-launch the orchestrator owns the worker role; it hands it over by
+  // the thread launch (the lambda acquires it on entry).
+  worker_role_.Acquire();
+  const bool no_lanes = lanes_.empty();
+  worker_role_.Release();
+  if (no_lanes) {
     return Status::FailedPrecondition("merge shard has no input lanes");
   }
   stop_requested_.store(false, std::memory_order_relaxed);
-  worker_ = std::thread([this] { RunLoop(); });
+  worker_ = std::thread([this] {
+    worker_role_.Acquire();
+    RunLoop();
+    worker_role_.Release();
+  });
   running_ = true;
   return Status::OK();
 }
@@ -79,11 +88,13 @@ Status MergeShard::Stop() {
   stop_requested_.store(true, std::memory_order_release);
   if (worker_.joinable()) worker_.join();
   // The worker is gone and (by the orchestrator's teardown order) so are
-  // the producers; this thread is the sole owner now. Absorb anything a
-  // skipped barrier left behind, still in key order so the result is a
-  // deterministic function of what arrived.
+  // the producers; this thread is the sole owner now — take the worker
+  // role back. Absorb anything a skipped barrier left behind, still in
+  // key order so the result is a deterministic function of what arrived.
+  worker_role_.Acquire();
   (void)ReceiveAvailable();
   (void)MergePass(/*force=*/true);
+  worker_role_.Release();
   safe_primary_.store(kExchangeSeqEnd, std::memory_order_release);
   running_ = false;
   return Status::OK();

@@ -42,6 +42,7 @@
 
 #include "cep/streaming_engine.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/instruments.h"
 #include "runtime/exchange.h"
 #include "runtime/ring_buffer.h"
@@ -122,17 +123,24 @@ class MergeShard {
     ExchangeKey bound{0, 0};
   };
 
-  void RunLoop();
+  void RunLoop() PLDP_REQUIRES(worker_role_);
   /// Drains whatever the lanes currently hold into the reorder buffers.
-  bool ReceiveAvailable();
+  PLDP_HOT bool ReceiveAvailable() PLDP_REQUIRES(worker_role_);
   /// Releases every safe buffered event to the engine, in key order.
   /// When `force` (only after the producers are joined), gating by lane
   /// bounds is skipped and everything buffered is released.
-  bool MergePass(bool force);
-  void PublishSafeBound();
+  PLDP_HOT bool MergePass(bool force) PLDP_REQUIRES(worker_role_);
+  void PublishSafeBound() PLDP_REQUIRES(worker_role_);
 
   const size_t index_;
-  std::vector<LaneState> lanes_;
+  /// Worker-thread confinement of the merge state: the orchestrator holds
+  /// the role from construction until Start() launches the worker, the
+  /// worker holds it for the thread's lifetime, and Stop() takes it back
+  /// after the join to absorb leftovers. Zero-size, zero-cost — exists so
+  /// the thread-safety analysis can prove the reorder buffers are never
+  /// touched concurrently.
+  ThreadRole worker_role_;
+  std::vector<LaneState> lanes_ PLDP_GUARDED_BY(worker_role_);
   StreamingCepEngine engine_;
   std::thread worker_;
   std::atomic<bool> running_{false};

@@ -518,6 +518,7 @@ Status ParallelStreamingEngine::Stop() {
 }
 
 Status ParallelStreamingEngine::OnEvent(const Event& event) {
+  ingest_role_.Assert();
   if (!running_) {
     return Status::FailedPrecondition(
         "ParallelStreamingEngine::OnEvent before Start()");
@@ -542,6 +543,7 @@ Status ParallelStreamingEngine::OnEvent(const Event& event) {
 }
 
 Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
+  ingest_role_.Assert();
   if (!running_) {
     return Status::FailedPrecondition(
         "ParallelStreamingEngine::OnEventBatch before Start()");

@@ -64,6 +64,7 @@
 #include "cep/correlation_key.h"
 #include "cep/streaming_engine.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "runtime/exchange.h"
@@ -295,8 +296,13 @@ class ParallelStreamingEngine : public StreamSubscriber {
   /// fabrics are destroyed after every thread that touches their lanes.
   std::vector<ExchangeGroup> groups_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Single-producer ingest contract (StreamSubscriber: one thread drives
+  /// OnEvent/OnEventBatch/OnEnd). Asserted at the ingest entry points so
+  /// the analysis ties the staging buffers to that one thread.
+  ThreadRole ingest_role_;
   /// Per-shard staging buffers reused across OnEventBatch calls.
-  std::vector<std::vector<StampedEvent>> staging_;
+  std::vector<std::vector<StampedEvent>> staging_
+      PLDP_GUARDED_BY(ingest_role_);
   size_t query_count_ = 0;
   /// Global cross-query index -> (lane-group, group-local index).
   std::vector<std::pair<size_t, size_t>> cross_index_;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/thread_annotations.h"
 #include "event/event.h"
 
 namespace pldp {
@@ -37,15 +38,15 @@ class EventRouter {
   size_t shard_count() const { return shard_count_; }
 
   /// The partition key of `event`.
-  uint64_t KeyOf(const Event& event) const;
+  PLDP_HOT uint64_t KeyOf(const Event& event) const;
 
   /// Deterministic shard assignment: MixKey(KeyOf(event)) mapped onto
   /// [0, shard_count) by multiply-shift range reduction (see ShardOfKey).
-  size_t ShardOf(const Event& event) const;
+  PLDP_HOT size_t ShardOf(const Event& event) const;
 
   /// Shard assignment for a raw key (exposed so tests and capacity planners
   /// can reason about placement without building events).
-  size_t ShardOfKey(uint64_t key) const;
+  PLDP_HOT size_t ShardOfKey(uint64_t key) const;
 
   /// SplitMix64 — scrambles dense subject ids (0,1,2,...) into well-spread
   /// hashes so range-reduced placement stays balanced.

@@ -45,6 +45,7 @@ Status Shard::SetEventSink(std::unique_ptr<ShardEventSink> sink) {
   sink_ = std::move(sink);
   if (sink_ != nullptr) {
     // Emitters wired in before the sink existed still reach it.
+    MutexLock lock(reg_mu_);
     for (ExchangeHook& hook : hooks_) {
       sink_->AttachExchangeEmitter(hook.emitter.get());
     }
@@ -79,6 +80,11 @@ Status Shard::AddExchange(std::unique_ptr<ExchangeEmitter> emitter,
   if (emitter == nullptr) {
     return Status::InvalidArgument("emitter must not be null");
   }
+  // The lock makes a late AddExchange well-defined against a concurrent
+  // stats()/exchange_count() scrape: push_back can reallocate the vector
+  // under an unlocked reader (the bug -Wthread-safety pinned down once
+  // hooks_ was annotated; regression: runtime_shard_race_test).
+  MutexLock lock(reg_mu_);
   ExchangeHook hook;
   hook.emitter = std::move(emitter);
   hook.forward_raw_events = forward_raw_events;
@@ -89,17 +95,32 @@ Status Shard::AddExchange(std::unique_ptr<ExchangeEmitter> emitter,
   return Status::OK();
 }
 
+std::vector<Shard::ExchangeHookRef> Shard::SnapshotHooks() const {
+  MutexLock lock(reg_mu_);
+  std::vector<ExchangeHookRef> refs;
+  refs.reserve(hooks_.size());
+  for (const ExchangeHook& hook : hooks_) {
+    refs.push_back({hook.emitter.get(), hook.forward_raw_events});
+  }
+  return refs;
+}
+
 Status Shard::Start() {
   if (running_) {
     return Status::FailedPrecondition("shard already running");
   }
   stop_requested_.store(false, std::memory_order_relaxed);
-  worker_ = std::thread([this] { RunLoop(); });
+  worker_ = std::thread([this] {
+    worker_role_.Acquire();
+    RunLoop();
+    worker_role_.Release();
+  });
   running_ = true;
   return Status::OK();
 }
 
 Status Shard::Push(Event event) {
+  producer_role_.Assert();  // Single-producer contract (see header).
   StampedEvent stamped;
   stamped.seq = auto_seq_++;
   stamped.event = std::move(event);
@@ -107,6 +128,7 @@ Status Shard::Push(Event event) {
 }
 
 Status Shard::PushN(Event* events, size_t count, size_t* accepted) {
+  producer_role_.Assert();  // Single-producer contract (see header).
   scratch_.clear();
   scratch_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -200,22 +222,21 @@ Status Shard::Stop() {
   stop_requested_.store(true, std::memory_order_release);
   if (worker_.joinable()) worker_.join();
   // A push racing the stop flag can land an event after the worker's final
-  // empty-queue check. The join above makes this thread the sole owner, so
-  // absorb any leftovers here — no pushed event is ever silently dropped,
-  // and a concurrent Drain() waiting on processed_ is released.
+  // empty-queue check. The join above makes this thread the sole owner —
+  // the worker-role handoff — so absorb any leftovers here: no pushed
+  // event is ever silently dropped, and a concurrent Drain() waiting on
+  // processed_ is released.
+  worker_role_.Acquire();
+  const std::vector<ExchangeHookRef> hooks = SnapshotHooks();
   StampedEvent leftover;
   while (queue_.TryPop(leftover)) {
-    for (ExchangeHook& hook : hooks_) hook.emitter->BeginTrigger(leftover.seq);
-    (void)engine_.OnEvent(leftover.event);
-    if (sink_ != nullptr) sink_->OnShardEvent(leftover.event);
-    for (ExchangeHook& hook : hooks_) {
-      if (hook.forward_raw_events) (void)hook.emitter->Emit(leftover.event);
-    }
+    ProcessOne(leftover, hooks);
     if (obs_.events) obs_.events->Inc();
     if (obs_.batch_size) obs_.batch_size->Record(1);
     if (obs_.process_latency_ns) obs_.process_latency_ns->Record(0);
     processed_.fetch_add(1, std::memory_order_release);
   }
+  worker_role_.Release();
   running_ = false;
   return drained;
 }
@@ -229,6 +250,7 @@ ShardStats Shard::stats() const {
       static_cast<size_t>(detections_.load(std::memory_order_relaxed));
   s.backpressure_waits = static_cast<size_t>(
       backpressure_waits_.load(std::memory_order_relaxed));
+  MutexLock lock(reg_mu_);
   for (const ExchangeHook& hook : hooks_) {
     const ExchangeEmitterStats e = hook.emitter->stats();
     s.forwarded += e.forwarded;
@@ -237,7 +259,7 @@ ShardStats Shard::stats() const {
   return s;
 }
 
-void Shard::ExecuteCommand() {
+void Shard::ExecuteCommand(const std::vector<ExchangeHookRef>& hooks) {
   const uint64_t gen = cmd_gen_.load(std::memory_order_acquire);
   if (gen == cmd_ack_.load(std::memory_order_relaxed)) return;
   const uint32_t kind = cmd_kind_.load(std::memory_order_relaxed);
@@ -246,13 +268,15 @@ void Shard::ExecuteCommand() {
     case kCmdFlushWatermark:
       // The emitters skip bounds they already passed, so a stale request
       // (issued before newer idle watermarks) is free.
-      for (ExchangeHook& hook : hooks_) (void)hook.emitter->Broadcast(payload);
+      for (const ExchangeHookRef& hook : hooks) {
+        (void)hook.emitter->Broadcast(payload);
+      }
       break;
     case kCmdFinish:
       // End-of-stream: finalize-time sink output first (stamped with the
       // finish bound), then close every lane of every row for good.
       if (sink_ != nullptr) sink_->OnShardFinish(payload);
-      for (ExchangeHook& hook : hooks_) {
+      for (const ExchangeHookRef& hook : hooks) {
         (void)hook.emitter->Broadcast(kExchangeSeqEnd);
       }
       break;
@@ -262,9 +286,33 @@ void Shard::ExecuteCommand() {
   cmd_ack_.store(gen, std::memory_order_release);
 }
 
+void Shard::ProcessOne(const StampedEvent& stamped,
+                       const std::vector<ExchangeHookRef>& hooks) {
+  // One exchange trigger scope per event and per lane-group: everything
+  // emitted while processing it — raw forwards and sink-driven output
+  // alike — is stamped (seq, 0), (seq, 1), ... independently on every
+  // group's row.
+  for (const ExchangeHookRef& hook : hooks) {
+    hook.emitter->BeginTrigger(stamped.seq);
+  }
+  // The engine's status is always OK today (OnEvent cannot fail); if
+  // a future engine surfaces errors we will carry them to Drain().
+  (void)engine_.OnEvent(stamped.event);
+  if (sink_ != nullptr) sink_->OnShardEvent(stamped.event);
+  for (const ExchangeHookRef& hook : hooks) {
+    if (hook.forward_raw_events) (void)hook.emitter->Emit(stamped.event);
+  }
+  last_seq_ = stamped.seq;
+  processed_any_ = true;
+}
+
 void Shard::RunLoop() {
   Backoff backoff;
   std::vector<StampedEvent> batch(kPopBatch);
+  // One snapshot for the thread's lifetime: AddExchange refuses once the
+  // shard runs, so the list is frozen and the per-event path stays off
+  // the registration mutex.
+  const std::vector<ExchangeHookRef> hooks = SnapshotHooks();
   for (;;) {
     const size_t n = queue_.TryPopN(batch.data(), batch.size());
     if (n > 0) {
@@ -274,23 +322,7 @@ void Shard::RunLoop() {
       // that event's full processing latency (engine + sink + exchange).
       uint64_t t_prev = obs_.process_latency_ns ? obs::MonotonicNowNs() : 0;
       for (size_t i = 0; i < n; ++i) {
-        const StampedEvent& stamped = batch[i];
-        // One exchange trigger scope per event and per lane-group:
-        // everything emitted while processing it — raw forwards and
-        // sink-driven output alike — is stamped (seq, 0), (seq, 1), ...
-        // independently on every group's row.
-        for (ExchangeHook& hook : hooks_) {
-          hook.emitter->BeginTrigger(stamped.seq);
-        }
-        // The engine's status is always OK today (OnEvent cannot fail); if
-        // a future engine surfaces errors we will carry them to Drain().
-        (void)engine_.OnEvent(stamped.event);
-        if (sink_ != nullptr) sink_->OnShardEvent(stamped.event);
-        for (ExchangeHook& hook : hooks_) {
-          if (hook.forward_raw_events) (void)hook.emitter->Emit(stamped.event);
-        }
-        last_seq_ = stamped.seq;
-        processed_any_ = true;
+        ProcessOne(batch[i], hooks);
         if (obs_.process_latency_ns) {
           const uint64_t t_now = obs::MonotonicNowNs();
           obs_.process_latency_ns->Record(t_now - t_prev);
@@ -302,10 +334,10 @@ void Shard::RunLoop() {
       processed_.fetch_add(n, std::memory_order_release);
       // Commands are handled on burst boundaries too, so a saturating
       // producer cannot starve a drain barrier.
-      ExecuteCommand();
+      ExecuteCommand(hooks);
       continue;
     }
-    ExecuteCommand();
+    ExecuteCommand(hooks);
     if (stop_requested_.load(std::memory_order_acquire) &&
         queue_.ApproxEmpty()) {
       return;
@@ -315,7 +347,7 @@ void Shard::RunLoop() {
     // been pushed somewhere and our queue is empty, past the global floor
     // (a shard starved by routing skew must not silence its lanes).
     // Broadcast dedups repeat bounds, so the steady idle loop stays free.
-    if (!hooks_.empty()) {
+    if (!hooks.empty()) {
       uint64_t bound = processed_any_ ? last_seq_ + 1 : 0;
       const uint64_t floor =
           producer_floor_.load(std::memory_order_acquire);
@@ -323,7 +355,9 @@ void Shard::RunLoop() {
       // queue observed after the acquire means we processed all of ours.
       if (floor > bound && queue_.ApproxEmpty()) bound = floor;
       if (bound > 0) {
-        for (ExchangeHook& hook : hooks_) (void)hook.emitter->Broadcast(bound);
+        for (const ExchangeHookRef& hook : hooks) {
+          (void)hook.emitter->Broadcast(bound);
+        }
       }
     }
     backoff.Wait();

@@ -53,6 +53,7 @@
 #include "cep/streaming_engine.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "event/event.h"
 #include "obs/instruments.h"
 #include "runtime/exchange.h"
@@ -146,7 +147,7 @@ class Shard {
   /// only protected views may cross). May be called once per lane-group;
   /// must precede Start().
   Status AddExchange(std::unique_ptr<ExchangeEmitter> emitter,
-                     bool forward_raw_events);
+                     bool forward_raw_events) PLDP_EXCLUDES(reg_mu_);
 
   /// Launches the worker thread. Returns FailedPrecondition if running.
   Status Start();
@@ -208,8 +209,10 @@ class Shard {
   /// Shard-local deterministic Rng (shard-local stochastic work).
   Rng& rng() { return rng_; }
 
-  /// Safe from any thread at any time (all counters are atomics).
-  ShardStats stats() const;
+  /// Safe from any thread at any time: the counters are atomics, and the
+  /// attached-hook list is read under the registration mutex so a scrape
+  /// racing a late AddExchange (both pre-Start) is well-defined.
+  ShardStats stats() const PLDP_EXCLUDES(reg_mu_);
 
   /// Instantaneous queue occupancy / capacity — safe from any thread
   /// (SPSC indices are atomics); used for queue-depth gauges and health.
@@ -219,8 +222,12 @@ class Shard {
   /// Attached exchange lane-groups, in AddExchange order (which is the
   /// orchestrator's group order). Emitter stats/depth reads are
   /// thread-safe; used to wire per-lane instruments.
-  size_t exchange_count() const { return hooks_.size(); }
-  ExchangeEmitter* exchange_emitter(size_t i) {
+  size_t exchange_count() const PLDP_EXCLUDES(reg_mu_) {
+    MutexLock lock(reg_mu_);
+    return hooks_.size();
+  }
+  ExchangeEmitter* exchange_emitter(size_t i) PLDP_EXCLUDES(reg_mu_) {
+    MutexLock lock(reg_mu_);
     return hooks_[i].emitter.get();
   }
 
@@ -238,8 +245,26 @@ class Shard {
     bool forward_raw_events = false;
   };
 
-  void RunLoop();
-  void ExecuteCommand();
+  /// Non-owning view of one hook: what the worker loop actually iterates.
+  /// The worker snapshots the hook list once at startup (the list is
+  /// frozen by then — AddExchange refuses while running) so the per-event
+  /// path never touches the mutex-guarded vector.
+  struct ExchangeHookRef {
+    ExchangeEmitter* emitter = nullptr;
+    bool forward_raw_events = false;
+  };
+
+  std::vector<ExchangeHookRef> SnapshotHooks() const PLDP_EXCLUDES(reg_mu_);
+
+  void RunLoop() PLDP_REQUIRES(worker_role_);
+  /// Delivers one event to the engine, the sink, and every exchange hook —
+  /// the per-event section of the worker loop (also used by Stop's
+  /// post-join leftover absorption, under the role handoff).
+  PLDP_HOT void ProcessOne(const StampedEvent& stamped,
+                           const std::vector<ExchangeHookRef>& hooks)
+      PLDP_REQUIRES(worker_role_);
+  void ExecuteCommand(const std::vector<ExchangeHookRef>& hooks)
+      PLDP_REQUIRES(worker_role_);
   Status RequestCommand(uint32_t kind, uint64_t payload);
 
   const size_t index_;
@@ -247,7 +272,11 @@ class Shard {
   StreamingCepEngine engine_;
   Rng rng_;
   std::unique_ptr<ShardEventSink> sink_;
-  std::vector<ExchangeHook> hooks_;
+  /// Guards the hook list: AddExchange (orchestrator, pre-Start) can race
+  /// a stats()/exchange_count() scrape, and vector growth is not atomic.
+  /// The worker never takes it (see SnapshotHooks).
+  mutable Mutex reg_mu_;
+  std::vector<ExchangeHook> hooks_ PLDP_GUARDED_BY(reg_mu_);
   // Telemetry bundle (null fields = un-instrumented) and the optional user
   // detection callback; both fixed before Start, read on the worker.
   obs::ShardInstruments obs_;
@@ -257,14 +286,21 @@ class Shard {
   // read it race-free.
   std::atomic<bool> running_{false};
 
+  /// Confinement tokens (zero-size, zero-cost — see thread_annotations.h):
+  /// worker_role_ is held by the worker thread (and by Stop after the
+  /// join, the documented handoff); producer_role_ is the single-pushing-
+  /// thread contract, asserted at the Push entry points.
+  ThreadRole worker_role_;
+  ThreadRole producer_role_;
+
   // Producer-side state. The counters are written by the producer thread
   // only (relaxed) but read from arbitrary threads by Drain()/stats(),
   // hence atomic; auto_seq_/scratch_ are producer-private.
   std::atomic<uint64_t> pushed_{0};
   std::atomic<uint64_t> backpressure_waits_{0};
   std::atomic<uint64_t> producer_floor_{0};
-  uint64_t auto_seq_ = 0;
-  std::vector<StampedEvent> scratch_;
+  uint64_t auto_seq_ PLDP_GUARDED_BY(producer_role_) = 0;
+  std::vector<StampedEvent> scratch_ PLDP_GUARDED_BY(producer_role_);
 
   // Orchestrator → worker command channel: payload/kind are published by
   // the generation counter (release) and acknowledged by the worker
@@ -284,8 +320,8 @@ class Shard {
 
   // Worker-local: sequence of the last processed event, for idle-time
   // progress watermarks.
-  uint64_t last_seq_ = 0;
-  bool processed_any_ = false;
+  uint64_t last_seq_ PLDP_GUARDED_BY(worker_role_) = 0;
+  bool processed_any_ PLDP_GUARDED_BY(worker_role_) = false;
 };
 
 }  // namespace pldp

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace pldp {
 
 /// Rounds `n` up to the next power of two (minimum 2). Inputs above the
@@ -62,7 +64,7 @@ class SpscQueue {
   size_t capacity() const { return mask_ + 1; }
 
   /// Producer side. Returns false when the queue is full.
-  bool TryPush(T&& value) {
+  PLDP_HOT bool TryPush(T&& value) {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ > mask_) {
       // Looks full; refresh the consumer index and re-check.
@@ -84,7 +86,7 @@ class SpscQueue {
   /// for TryPush — the atomic amortization batched ingest is built on).
   /// Returns the number pushed; 0 when full. Items beyond the return value
   /// are left untouched.
-  size_t TryPushN(T* items, size_t count) {
+  PLDP_HOT size_t TryPushN(T* items, size_t count) {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     size_t free = capacity() - (tail - cached_head_);
     if (free < count) {
@@ -100,7 +102,7 @@ class SpscQueue {
   }
 
   /// Consumer side. Returns false when the queue is empty.
-  bool TryPop(T& out) {
+  PLDP_HOT bool TryPop(T& out) {
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -114,7 +116,7 @@ class SpscQueue {
   /// Bulk consumer path: moves up to `max_count` items into `out`, freeing
   /// all of their slots with a single release store. Returns the number
   /// popped; 0 when empty.
-  size_t TryPopN(T* out, size_t max_count) {
+  PLDP_HOT size_t TryPopN(T* out, size_t max_count) {
     const size_t head = head_.load(std::memory_order_relaxed);
     size_t avail = cached_tail_ - head;
     if (avail < max_count) {

@@ -1,0 +1,21 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Negative fixture for tools/lint_hotpath.py: a PLDP_HOT function whose
+// direct body allocates. The `hotpath_lint_negative` ctest case runs the
+// lint over this file alone and asserts (via WILL_FAIL) that it exits
+// non-zero — proving the lint actually catches the violation class it
+// claims to, not just that it exits 0 on clean trees.
+//
+// This file is NOT part of any build target; it only exists to be linted.
+
+#include "common/thread_annotations.h"
+
+namespace pldp {
+namespace {
+
+PLDP_HOT int* HotButAllocates() {
+  return new int(42);  // the violation the lint must flag
+}
+
+}  // namespace
+}  // namespace pldp

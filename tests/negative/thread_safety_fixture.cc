@@ -1,0 +1,53 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Negative-compile fixture for the thread-safety annotation layer.
+//
+// Compiled two ways by CMake (clang only, `-fsyntax-only -Wthread-safety
+// -Werror=thread-safety`):
+//
+//   * `thread_safety_control` — no defines. Must compile clean: proves the
+//     shim macros expand to attributes clang accepts and the locked path
+//     below satisfies the analysis.
+//   * `thread_safety_negative` — with -DPLDP_SEED_TSA_VIOLATION. Seeds an
+//     unlocked read of a PLDP_GUARDED_BY member; the ctest case is marked
+//     WILL_FAIL, so the suite goes red if the analysis ever stops flagging
+//     it (e.g. the shim silently degrading to no-ops under clang).
+//
+// This file is NOT part of any build target; it is only ever syntax-checked.
+
+#include "common/thread_annotations.h"
+
+namespace pldp {
+namespace {
+
+class GuardedCounter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Load() {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+#if defined(PLDP_SEED_TSA_VIOLATION)
+  // Unlocked access to a guarded member: -Wthread-safety must reject this.
+  int LoadUnlocked() { return value_; }
+#endif
+
+ private:
+  Mutex mu_;
+  int value_ PLDP_GUARDED_BY(mu_) = 0;
+};
+
+// Odr-use the class so the compiler fully checks it even at -fsyntax-only.
+int UseCounter() {
+  GuardedCounter counter;
+  counter.Increment();
+  return counter.Load();
+}
+
+}  // namespace
+}  // namespace pldp

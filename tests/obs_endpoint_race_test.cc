@@ -1,0 +1,129 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Pins the TextEndpoint shutdown ordering bug: Stop() used to close the
+// listener fd BEFORE joining the accept thread. Between the close and the
+// join the kernel may hand the same fd number to a concurrently opened
+// socket (any client connection in these loops), so the accept thread's
+// in-flight ::accept could then operate on a stranger's descriptor. The
+// fix (src/obs/endpoint.cc) shuts the listener down to unblock the accept
+// thread, joins it, and only then closes the fd. These loops turn that
+// window into a reliably exercised path — rapid Start/Stop cycles with
+// client traffic in flight — and double as a TSan check in CI.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/endpoint.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+/// Minimal HTTP client: one GET, full response; "" on any socket failure
+/// (connection refusals while the endpoint restarts are expected here).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(EndpointRaceTest, StopRacingInFlightRequests) {
+  TextEndpoint::Routes routes;
+  routes.metrics_text = [] { return std::string("metric_a 1\n"); };
+  TextEndpoint endpoint(std::move(routes));
+  ASSERT_TRUE(endpoint.Start(0).ok());
+  const uint16_t port = endpoint.port();
+  ASSERT_NE(port, 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> served{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (HttpGet(port, "/metrics").find("200 OK") != std::string::npos) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Let the clients get requests in flight, then stop the endpoint from
+  // under them. With join-before-close this is clean; with the old
+  // ordering the accept thread could touch a recycled fd number owned by
+  // one of the client sockets above.
+  while (served.load(std::memory_order_relaxed) < 8) {
+    std::this_thread::yield();
+  }
+  endpoint.Stop();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_GE(served.load(), 8u);
+}
+
+TEST(EndpointRaceTest, RapidStartStopCyclesWithTraffic) {
+  TextEndpoint::Routes routes;
+  routes.metrics_text = [] { return std::string("cycle_metric 1\n"); };
+  TextEndpoint endpoint(std::move(routes));
+
+  std::atomic<uint16_t> current_port{0};
+  std::atomic<bool> stop{false};
+  std::thread client([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint16_t port = current_port.load(std::memory_order_acquire);
+      if (port != 0) (void)HttpGet(port, "/metrics");
+    }
+  });
+
+  for (int cycle = 0; cycle < 24; ++cycle) {
+    ASSERT_TRUE(endpoint.Start(0).ok());
+    current_port.store(endpoint.port(), std::memory_order_release);
+    // At least one successful scrape per cycle keeps the accept thread
+    // genuinely busy when Stop lands.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      if (HttpGet(endpoint.port(), "/metrics").find("200 OK") !=
+          std::string::npos) {
+        break;
+      }
+    }
+    current_port.store(0, std::memory_order_release);
+    endpoint.Stop();
+    endpoint.Stop();  // idempotent under the new ordering too
+  }
+
+  stop.store(true, std::memory_order_release);
+  client.join();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pldp

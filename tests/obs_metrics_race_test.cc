@@ -1,0 +1,121 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Pins the MetricsRegistry registration/snapshot race: Snapshot() (scrape
+// thread) walks the entry list while Add* (topology build) grows it. The
+// registry's contract is that registration happens under `mu_` and every
+// Snapshot/instrument_count read takes the same mutex — instruments
+// themselves live in stable heap slots, so handed-out pointers stay valid
+// across later registrations. Before entries were created fully under the
+// lock, a scrape racing a registration could observe a half-constructed
+// Entry or a vector mid-growth. These loops exercise exactly that window;
+// the TSan CI job turns any regression into a hard failure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pldp {
+namespace obs {
+namespace {
+
+TEST(MetricsRaceTest, SnapshotRacingRegistration) {
+  MetricsRegistry registry;
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> snapshots{0};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snapshot = registry.Snapshot();
+      // Families appear atomically: a visible family always has >= 1
+      // fully-formed sample.
+      for (const MetricFamily& family : snapshot.families) {
+        ASSERT_FALSE(family.name.empty());
+        ASSERT_FALSE(family.samples.empty());
+      }
+      (void)registry.instrument_count();
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Registration is fast; make sure the scraper is actually running before
+  // the window this test exists to exercise opens.
+  while (snapshots.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+
+  constexpr size_t kPerType = 64;
+  std::vector<Counter*> counters;
+  for (size_t i = 0; i < kPerType; ++i) {
+    const std::string label = std::to_string(i);
+    Counter* counter = registry.AddCounter(
+        "race_events_total", "events", {{"shard", label}});
+    ASSERT_NE(counter, nullptr);
+    counter->Inc(i);
+    counters.push_back(counter);
+
+    Gauge* gauge =
+        registry.AddGauge("race_depth", "queue depth", {{"shard", label}});
+    ASSERT_NE(gauge, nullptr);
+    gauge->Set(static_cast<double>(i));
+
+    Histogram* histogram = registry.AddHistogram(
+        "race_latency_ns", "latency", {{"shard", label}});
+    ASSERT_NE(histogram, nullptr);
+    histogram->Record(i + 1);
+  }
+
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_GT(snapshots.load(), 0u);
+  EXPECT_EQ(registry.instrument_count(), 3 * kPerType);
+
+  // Pointers handed out during the race stay live and exact.
+  for (size_t i = 0; i < counters.size(); ++i) {
+    EXPECT_EQ(counters[i]->Value(), i);
+  }
+  const MetricsSnapshot final_snapshot = registry.Snapshot();
+  const MetricFamily* events = final_snapshot.Find("race_events_total");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->samples.size(), kPerType);
+}
+
+TEST(MetricsRaceTest, HotUpdatesRacingSnapshots) {
+  // The wait-free half of the split: instrument updates never take the
+  // registry mutex, so a tight update loop must coexist with a tight
+  // snapshot loop (and the final values must reconcile exactly once the
+  // writer is done).
+  MetricsRegistry registry;
+  Counter* counter = registry.AddCounter("hot_total", "hot counter");
+  Histogram* histogram = registry.AddHistogram("hot_ns", "hot histogram");
+  ASSERT_NE(counter, nullptr);
+  ASSERT_NE(histogram, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)registry.Snapshot();
+    }
+  });
+
+  constexpr uint64_t kUpdates = 200000;
+  for (uint64_t i = 0; i < kUpdates; ++i) {
+    counter->Inc();
+    histogram->Record(i & 1023);
+  }
+
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(counter->Value(), kUpdates);
+  EXPECT_EQ(histogram->TotalCount(), kUpdates);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pldp

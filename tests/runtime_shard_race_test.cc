@@ -1,0 +1,106 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Pins the Shard exchange-hook registration race: AddExchange (orchestrator,
+// pre-Start) grows the hook vector while stats() / exchange_count() scrapes
+// may run from any thread at any time. The fix routes every hook-list read
+// through `reg_mu_` and hands the worker a one-time snapshot at startup
+// (src/runtime/shard.h, `SnapshotHooks`). Before the fix, a scrape racing a
+// registration read a std::vector mid-growth — undefined behavior that TSan
+// flags reliably; this test is the regression pin (it runs in the TSan CI
+// job like every other test).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/exchange.h"
+#include "runtime/shard.h"
+
+namespace pldp {
+namespace {
+
+constexpr uint64_t kSeed = 0x5eedc0deULL;
+
+TEST(ShardRaceTest, StatsScrapeRacingExchangeRegistration) {
+  constexpr size_t kRounds = 32;
+  constexpr size_t kHooks = 4;
+
+  for (size_t round = 0; round < kRounds; ++round) {
+    Shard shard(0, 64, kSeed + round);
+    std::vector<std::unique_ptr<ExchangeFabric>> fabrics;
+
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> scrapes{0};
+    std::thread scraper([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const ShardStats stats = shard.stats();
+        ASSERT_EQ(stats.shard_index, 0u);
+        const size_t count = shard.exchange_count();
+        ASSERT_LE(count, kHooks);
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+    // Registrations are microseconds of work; without this the scraper may
+    // not even be scheduled before they finish and the round tests nothing.
+    while (scrapes.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::yield();
+    }
+
+    for (size_t i = 0; i < kHooks; ++i) {
+      fabrics.push_back(std::make_unique<ExchangeFabric>(1, 1, 64));
+      auto emitter = std::make_unique<ExchangeEmitter>(
+          fabrics.back()->Row(0), nullptr, fabrics.back().get());
+      ASSERT_TRUE(
+          shard.AddExchange(std::move(emitter), /*forward_raw_events=*/false)
+              .ok());
+    }
+
+    stop.store(true, std::memory_order_release);
+    scraper.join();
+
+    EXPECT_EQ(shard.exchange_count(), kHooks);
+    EXPECT_GT(scrapes.load(), 0u);
+  }
+}
+
+TEST(ShardRaceTest, WorkerSnapshotSurvivesConcurrentScrapes) {
+  // A running worker iterates its startup snapshot of the hook list while
+  // scrape threads take the registration mutex — the two must not contend
+  // or race. Sink-driven hooks only (nothing drains the lanes here).
+  Shard shard(0, 64, kSeed);
+  ExchangeFabric fabric(1, 1, 64);
+  auto emitter =
+      std::make_unique<ExchangeEmitter>(fabric.Row(0), nullptr, &fabric);
+  ASSERT_TRUE(
+      shard.AddExchange(std::move(emitter), /*forward_raw_events=*/false)
+          .ok());
+  ASSERT_TRUE(shard.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)shard.stats();
+      (void)shard.exchange_count();
+    }
+  });
+
+  for (uint64_t i = 0; i < 512; ++i) {
+    ASSERT_TRUE(
+        shard.Push(Event(/*type=*/0, static_cast<Timestamp>(i))).ok());
+  }
+  ASSERT_TRUE(shard.Drain().ok());
+
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(shard.stats().events_processed, 512u);
+  ASSERT_TRUE(shard.Stop().ok());
+}
+
+}  // namespace
+}  // namespace pldp

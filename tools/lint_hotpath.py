@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+# Copyright 2026 The PLDP Authors.
+"""Static no-allocation / no-lock lint for PLDP_HOT functions.
+
+The runtime's per-event path (shard worker loop, predicate evaluation,
+exchange emit, merge release, instrument updates) is annotated with
+`PLDP_HOT` (src/common/thread_annotations.h). This lint enforces the
+contract the annotation documents: the DIRECT BODY of a hot function must
+not
+
+  * allocate (`new`, make_unique/make_shared, malloc/calloc/realloc),
+  * build strings (`std::string(...)`, std::to_string, stringstreams), or
+  * take locks (lock_guard/unique_lock/scoped_lock/shared_lock, MutexLock,
+    `.lock()` / `->lock()`).
+
+Amortized container growth (push_back on a pre-reserved vector / ring) is
+deliberately NOT banned here — the runtime's allocation-counting bench
+(bench/runtime_throughput, the CI allocation gate) owns that boundary; this
+lint catches the categorical mistakes a reviewer can miss in a diff.
+
+Scope and limitations (kept deliberately simple — no compiler needed):
+
+  * Only the direct body of a PLDP_HOT function is checked; callees are
+    not followed. Marking a wrapper hot does not transitively check what
+    it calls — mark the callee too (the runtime does).
+  * Functions declared PLDP_HOT without an inline body are matched to
+    their out-of-line definitions by `Qualified::Name(` lookup across the
+    scanned files.
+  * A finding can be suppressed on its line with
+    `// hotpath-allow: <reason>` — the reason is mandatory and shows up
+    in review.
+
+Exit status: 0 when clean, 1 with findings (one `file:line: message` per
+finding), 2 on usage errors.
+
+Usage: lint_hotpath.py <dir-or-file> [<dir-or-file> ...]
+"""
+
+import os
+import re
+import sys
+
+BANNED = [
+    (re.compile(r"(?<!::)\bnew\b"), "operator new in hot path"),
+    (re.compile(r"\bmake_unique\s*<"), "std::make_unique allocates"),
+    (re.compile(r"\bmake_shared\s*<"), "std::make_shared allocates"),
+    (re.compile(r"\b(?:malloc|calloc|realloc)\s*\("), "C allocation"),
+    (re.compile(r"\bstd::string\s*[({]"), "std::string construction"),
+    (re.compile(r"\bstd::to_string\s*\("), "std::to_string allocates"),
+    (re.compile(r"\b[oi]?stringstream\b"), "stringstream allocates"),
+    (re.compile(r"\b(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+     "lock acquisition"),
+    (re.compile(r"\bMutexLock\b"), "lock acquisition (MutexLock)"),
+    (re.compile(r"(?:\.|->)lock\s*\("), "explicit .lock()"),
+]
+
+ALLOW_RE = re.compile(r"//\s*hotpath-allow:\s*\S")
+HOT_RE = re.compile(r"\bPLDP_HOT\b")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Newlines inside block comments survive so byte offsets keep mapping to
+    the original line numbers.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            chunk = text[i:j + 2]
+            out.append(re.sub(r"[^\n]", " ", chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            chunk = text[i:j + 1]
+            out.append(quote + re.sub(r"[^\n]", " ", chunk[1:-1]) + quote
+                       if len(chunk) >= 2 else chunk)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def find_body(text, start):
+    """From `start`, returns (body_start, body_end, had_body).
+
+    Scans forward to the first `{` or `;` at paren depth 0; `{` opens a
+    body, which is brace-matched. `= 0;` pure declarations and prototypes
+    report had_body=False.
+    """
+    depth = 0
+    i = start
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif depth == 0 and c == ";":
+            return i, i, False
+        elif depth == 0 and c == "{":
+            brace = 1
+            j = i + 1
+            while j < n and brace > 0:
+                if text[j] == "{":
+                    brace += 1
+                elif text[j] == "}":
+                    brace -= 1
+                j += 1
+            return i + 1, j - 1, True
+        i += 1
+    return n, n, False
+
+
+def hot_function_name(text, hot_end):
+    """Name of the function a PLDP_HOT marker annotates: the identifier
+    immediately before the first `(` after the marker."""
+    m = re.compile(r"([A-Za-z_]\w*)\s*\(").search(text, hot_end)
+    return m.group(1) if m else None
+
+
+def scan_body(path, raw_lines, stripped, body_start, body_end, func, findings):
+    body = stripped[body_start:body_end]
+    base_line = line_of(stripped, body_start)
+    for rel, line in enumerate(body.split("\n")):
+        lineno = base_line + rel
+        raw = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        if ALLOW_RE.search(raw):
+            continue
+        for pattern, message in BANNED:
+            if pattern.search(line):
+                findings.append(
+                    f"{path}:{lineno}: in PLDP_HOT `{func}`: {message}")
+
+
+def collect_files(args):
+    files = []
+    for arg in args:
+        if os.path.isfile(arg):
+            files.append(arg)
+        elif os.path.isdir(arg):
+            for root, _, names in os.walk(arg):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"lint_hotpath: no such path: {arg}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = collect_files(argv[1:])
+    contents = {}
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        contents[path] = (raw, raw.split("\n"), strip_comments_and_strings(raw))
+
+    findings = []
+    # Hot functions whose marker had no inline body: name -> marker site.
+    pending = {}
+    hot_total = 0
+    for path, (raw, raw_lines, stripped) in contents.items():
+        for m in HOT_RE.finditer(stripped):
+            # The marker's own `#define PLDP_HOT ...` lines (and any other
+            # preprocessor use) are not annotation sites.
+            line_start = stripped.rfind("\n", 0, m.start()) + 1
+            if stripped[line_start:m.start()].lstrip().startswith("#"):
+                continue
+            name = hot_function_name(stripped, m.end())
+            if name is None:
+                findings.append(
+                    f"{path}:{line_of(stripped, m.start())}: PLDP_HOT marker "
+                    "with no function declaration after it")
+                continue
+            hot_total += 1
+            body_start, body_end, had_body = find_body(stripped, m.end())
+            if had_body:
+                scan_body(path, raw_lines, stripped, body_start, body_end,
+                          name, findings)
+            else:
+                pending.setdefault(name, []).append(
+                    f"{path}:{line_of(stripped, m.start())}")
+
+    # Out-of-line definitions of the pending names.
+    for name, sites in pending.items():
+        defined = False
+        def_re = re.compile(r"\b[A-Za-z_]\w*(?:<[^<>]*>)?::" + re.escape(name)
+                            + r"\s*\(")
+        for path, (raw, raw_lines, stripped) in contents.items():
+            for m in def_re.finditer(stripped):
+                body_start, body_end, had_body = find_body(stripped, m.end())
+                if not had_body:
+                    continue
+                defined = True
+                scan_body(path, raw_lines, stripped, body_start, body_end,
+                          name, findings)
+        if not defined:
+            # Pure-virtual hot interfaces (e.g. Predicate::Eval) are fine as
+            # long as at least one override was scanned somewhere; a name
+            # with neither inline body nor definition in the scanned set is
+            # reported so a typo'd marker cannot silently check nothing.
+            override_re = re.compile(r"\b" + re.escape(name) + r"\s*\(")
+            covered = any(
+                HOT_RE.search(stripped[max(0, m.start() - 120):m.start()])
+                for _, (_, _, stripped) in contents.items()
+                for m in override_re.finditer(stripped))
+            if not covered:
+                for site in sites:
+                    findings.append(
+                        f"{site}: PLDP_HOT `{name}` has no body in the "
+                        "scanned files (definition outside the lint scope?)")
+
+    if findings:
+        for f in findings:
+            print(f)
+        print(f"lint_hotpath: {len(findings)} finding(s) across "
+              f"{hot_total} hot function site(s)", file=sys.stderr)
+        return 1
+    print(f"lint_hotpath: OK ({hot_total} PLDP_HOT site(s), "
+          f"{len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
