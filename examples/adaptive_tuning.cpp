@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/pldp.h"
+#include "example_util.h"
 
 namespace {
 
@@ -91,7 +92,16 @@ pldp::Status Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (example_util::WantsHelp(argc, argv)) {
+    example_util::PrintUsage(
+        argv[0],
+        "Adaptive PPM budget tuning (Algorithm 1): a stepwise search\n"
+        "discovers per-element skew from historical data and shifts budget\n"
+        "onto the elements the consumers' target query depends on.",
+        nullptr, 0);
+    return 0;
+  }
   pldp::Status status = Run();
   if (!status.ok()) {
     std::fprintf(stderr, "adaptive_tuning failed: %s\n",

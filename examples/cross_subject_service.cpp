@@ -14,10 +14,20 @@
 #include <cstdio>
 
 #include "core/pldp.h"
+#include "example_util.h"
 
 using namespace pldp;  // NOLINT — example brevity
 
-int main() {
+int main(int argc, char** argv) {
+  if (example_util::WantsHelp(argc, argv)) {
+    example_util::PrintUsage(
+        argv[0],
+        "Cross-subject correlation through the declarative pipeline API:\n"
+        "a zone-keyed conjunction no single vehicle's stream can answer,\n"
+        "compiled onto the two-stage exchange topology.",
+        nullptr, 0);
+    return 0;
+  }
   constexpr EventTypeId kEntry = 0;
   constexpr EventTypeId kCongestion = 1;
   constexpr EventTypeId kIncident = 2;

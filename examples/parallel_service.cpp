@@ -15,32 +15,31 @@
 // `--metrics-port=P` builds the pipeline with telemetry and serves
 // GET /metrics, /metrics.json, /healthz on port P until the process is
 // killed; without the flag the example runs to completion and exits.
+// `--overload-policy=block|shed-oldest|shed-by-subject` selects the
+// full-queue ingest behavior (docs/OPERATIONS.md, "Overload policy
+// tuning").
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <thread>
 
 #include "core/pldp.h"
+#include "example_util.h"
 
 namespace {
 
-/// Parses `--metrics-port=P` / `--metrics-port P`; -1 = flag absent.
-int ParseMetricsPort(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--metrics-port=", 15) == 0) {
-      return std::atoi(argv[i] + 15);
-    }
-    if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
-      return std::atoi(argv[i + 1]);
-    }
-  }
-  return -1;
-}
+constexpr example_util::OptionDoc kOptions[] = {
+    {"--metrics-port=PORT",
+     "enable telemetry and serve /metrics, /metrics.json, /healthz "
+     "(0 = ephemeral port)"},
+    {"--overload-policy=NAME",
+     "full-queue ingest policy: block (default, lossless), shed-oldest, "
+     "shed-by-subject"},
+};
 
-pldp::Status Run(int metrics_port) {
+pldp::Status Run(int metrics_port, pldp::OverloadPolicy overload_policy) {
   // Event vocabulary shared by every home: each subject emits the same
   // logical types; the subject id on the event keeps streams apart.
   pldp::EventTypeRegistry types;
@@ -83,6 +82,7 @@ pldp::Status Run(int metrics_port) {
   PLDP_ASSIGN_OR_RETURN(std::unique_ptr<pldp::Pipeline> pipeline,
                         builder.WithShards(0)
                             .WithQueueCapacity(1024)
+                            .WithOverloadPolicy(overload_policy)
                             .EnableMetrics(metrics_port >= 0)
                             .Build());
   std::printf("planned topology:\n%s\n", pipeline->plan().Describe().c_str());
@@ -136,6 +136,11 @@ pldp::Status Run(int metrics_port) {
         s.shard_index, s.events_processed, s.detections,
         s.backpressure_waits);
   }
+  if (overload_policy != pldp::OverloadPolicy::kBlock) {
+    std::printf("events shed (%s policy): %llu\n",
+                pldp::OverloadPolicyName(overload_policy),
+                static_cast<unsigned long long>(pipeline->events_shed()));
+  }
 
   if (endpoint != nullptr) {
     std::printf("serving metrics until killed (Ctrl-C to exit)\n");
@@ -150,7 +155,31 @@ pldp::Status Run(int metrics_port) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  pldp::Status status = Run(ParseMetricsPort(argc, argv));
+  if (example_util::WantsHelp(argc, argv)) {
+    example_util::PrintUsage(
+        argv[0],
+        "Sharded-runtime deployment demo: 1000 smart homes stream into\n"
+        "a subject-sharded pipeline answering one sequence query, with\n"
+        "live detection callbacks and per-shard load stats.",
+        kOptions, sizeof(kOptions) / sizeof(kOptions[0]));
+    return 0;
+  }
+  const char* port_arg =
+      example_util::FlagValue(argc, argv, "--metrics-port");
+  const int metrics_port = port_arg != nullptr ? std::atoi(port_arg) : -1;
+  pldp::OverloadPolicy policy = pldp::OverloadPolicy::kBlock;
+  if (const char* name =
+          example_util::FlagValue(argc, argv, "--overload-policy")) {
+    pldp::StatusOr<pldp::OverloadPolicy> parsed =
+        pldp::ParseOverloadPolicy(name);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    policy = parsed.value();
+  }
+  pldp::Status status = Run(metrics_port, policy);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/pldp.h"
+#include "example_util.h"
 
 namespace {
 
@@ -84,7 +85,16 @@ pldp::Status Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (example_util::WantsHelp(argc, argv)) {
+    example_util::PrintUsage(
+        argv[0],
+        "Quickstart: protect one private pattern in a small event stream\n"
+        "with the uniform pattern-level PPM and answer a target query\n"
+        "through the trusted engine.",
+        nullptr, 0);
+    return 0;
+  }
   pldp::Status status = Run();
   if (!status.ok()) {
     std::fprintf(stderr, "quickstart failed: %s\n", status.ToString().c_str());

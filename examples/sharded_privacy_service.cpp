@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "core/pldp.h"
+#include "example_util.h"
 
 namespace {
 
@@ -108,7 +109,17 @@ pldp::Status Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (example_util::WantsHelp(argc, argv)) {
+    example_util::PrintUsage(
+        argv[0],
+        "The paper's full service phase, sharded: private patterns,\n"
+        "private queries, and a mechanism declared on the builder; each\n"
+        "subject is windowed and protected shard-locally, and queries are\n"
+        "answered from protected views only.",
+        nullptr, 0);
+    return 0;
+  }
   pldp::Status status = Run();
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());

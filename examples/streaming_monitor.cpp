@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/pldp.h"
+#include "example_util.h"
 
 namespace {
 
@@ -105,7 +106,16 @@ pldp::Status Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (example_util::WantsHelp(argc, argv)) {
+    example_util::PrintUsage(
+        argv[0],
+        "Online deployment flavour: event-at-a-time replay through the\n"
+        "incremental CEP engine, after the correlation advisor warns about\n"
+        "event types correlated with the private pattern but undeclared.",
+        nullptr, 0);
+    return 0;
+  }
   pldp::Status status = Run();
   if (!status.ok()) {
     std::fprintf(stderr, "streaming_monitor failed: %s\n",

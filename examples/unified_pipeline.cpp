@@ -20,31 +20,31 @@
 //
 //   ./example_unified_pipeline --metrics-port=9464 &
 //   curl http://localhost:9464/metrics
+//
+// `--overload-policy=block|shed-oldest|shed-by-subject` selects what
+// ingestion does when a shard queue stays full (docs/OPERATIONS.md,
+// "Overload policy tuning"); any shed events are reported at the end.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <thread>
 
 #include "core/pldp.h"
+#include "example_util.h"
 
 namespace {
 
-/// Parses `--metrics-port=P` / `--metrics-port P`; -1 = flag absent.
-int ParseMetricsPort(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--metrics-port=", 15) == 0) {
-      return std::atoi(argv[i] + 15);
-    }
-    if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
-      return std::atoi(argv[i + 1]);
-    }
-  }
-  return -1;
-}
+constexpr example_util::OptionDoc kOptions[] = {
+    {"--metrics-port=PORT",
+     "enable telemetry and serve /metrics, /metrics.json, /healthz "
+     "(0 = ephemeral port)"},
+    {"--overload-policy=NAME",
+     "full-queue ingest policy: block (default, lossless), shed-oldest, "
+     "shed-by-subject"},
+};
 
-pldp::Status Run(int metrics_port) {
+pldp::Status Run(int metrics_port, pldp::OverloadPolicy overload_policy) {
   using pldp::DetectionMode;
   using pldp::Event;
   using pldp::EventTypeId;
@@ -100,6 +100,7 @@ pldp::Status Run(int metrics_port) {
                             .WithPrivacyWindow(20)
                             .WithMechanism("uniform")
                             .WithEpsilon(kEpsilon)
+                            .WithOverloadPolicy(overload_policy)
                             .EnableMetrics(metrics_port >= 0)
                             .Build());
   std::printf("planned topology:\n%s\n", pipeline->plan().Describe().c_str());
@@ -183,6 +184,11 @@ pldp::Status Run(int metrics_port) {
   std::printf("protected 'clinic_visit' windows: %zu positive of %zu "
               "(ε=%.1f)\n",
               clinic_positives, finished.total_windows(), kEpsilon);
+  if (overload_policy != pldp::OverloadPolicy::kBlock) {
+    std::printf("events shed (%s policy):          %llu\n",
+                pldp::OverloadPolicyName(overload_policy),
+                static_cast<unsigned long long>(pipeline->events_shed()));
+  }
 
   if (endpoint != nullptr) {
     std::printf("serving metrics until killed (Ctrl-C to exit)\n");
@@ -197,7 +203,31 @@ pldp::Status Run(int metrics_port) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  pldp::Status status = Run(ParseMetricsPort(argc, argv));
+  if (example_util::WantsHelp(argc, argv)) {
+    example_util::PrintUsage(
+        argv[0],
+        "One declarative pipeline serving three lanes at once: a plain\n"
+        "per-subject query, two cross-subject queries under different\n"
+        "correlation keys, and a PLDP-protected private query.",
+        kOptions, sizeof(kOptions) / sizeof(kOptions[0]));
+    return 0;
+  }
+  const char* port_arg =
+      example_util::FlagValue(argc, argv, "--metrics-port");
+  const int metrics_port = port_arg != nullptr ? std::atoi(port_arg) : -1;
+  pldp::OverloadPolicy policy = pldp::OverloadPolicy::kBlock;
+  if (const char* name =
+          example_util::FlagValue(argc, argv, "--overload-policy")) {
+    pldp::StatusOr<pldp::OverloadPolicy> parsed =
+        pldp::ParseOverloadPolicy(name);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    policy = parsed.value();
+  }
+  pldp::Status status = Run(metrics_port, policy);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

@@ -116,6 +116,14 @@ std::string PipelinePlan::Describe() const {
         "private lane: %zu shards (%zu target queries, %zu cross)\n",
         shard_count, private_queries, private_cross_queries);
   }
+  if (overload_policy != OverloadPolicy::kBlock) {
+    out += StrFormat("overload policy: %s\n",
+                     OverloadPolicyName(overload_policy));
+  }
+  if (reorder_capacity > 0) {
+    out += StrFormat("exchange reorder credits: %zu per lane\n",
+                     reorder_capacity);
+  }
   if (out.empty()) out = "empty plan\n";
   return out;
 }
@@ -143,6 +151,19 @@ PipelineBuilder& PipelineBuilder::WithQueueCapacity(size_t capacity) {
 
 PipelineBuilder& PipelineBuilder::WithExchangeCapacity(size_t lane_capacity) {
   exchange_capacity_ = lane_capacity;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithReorderCapacity(
+    size_t credits_per_lane) {
+  reorder_capacity_ = credits_per_lane;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithOverloadPolicy(OverloadPolicy policy,
+                                                     size_t pending_capacity) {
+  overload_.policy = policy;
+  overload_.pending_capacity = pending_capacity;
   return *this;
 }
 
@@ -370,6 +391,12 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
   plan.has_private = has_private;
   plan.private_queries = private_queries_.size();
   plan.private_cross_queries = private_cross_.size();
+  plan.reorder_capacity = reorder_capacity_;
+  // The sequential plan has no queues, so the overload policy is moot
+  // there; the plan records kBlock to say "nothing will ever shed".
+  plan.overload_policy =
+      plan.shard_count == 1 && !has_private ? OverloadPolicy::kBlock
+                                            : overload_.policy;
 
   // Resolve every cross query's correlation key up front: the planner
   // dedupes equal keys into shared lane-groups and validates the rest.
@@ -485,6 +512,8 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
       options.seed = seed_;
       options.exchange.shard_count = merge_shards;
       options.exchange.lane_capacity = exchange_capacity_;
+      options.exchange.reorder_capacity = reorder_capacity_;
+      options.overload = overload_;
       pipeline->runtime_ =
           std::make_unique<ParallelStreamingEngine>(std::move(options));
       for (const PlainDecl& decl : plain_) {
@@ -532,6 +561,8 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
     options.window_origin = window_origin_;
     options.exchange.shard_count = merge_shards;
     options.exchange.lane_capacity = exchange_capacity_;
+    options.exchange.reorder_capacity = reorder_capacity_;
+    options.overload = overload_;
     pipeline->private_engine_ =
         std::make_unique<ParallelPrivateEngine>(options);
     ParallelPrivateEngine& engine = *pipeline->private_engine_;
@@ -696,6 +727,23 @@ Status Pipeline::Stop() {
 size_t Pipeline::events_processed() const {
   return static_cast<size_t>(
       events_ingested_.load(std::memory_order_relaxed));
+}
+
+uint64_t Pipeline::events_shed() const {
+  uint64_t total = 0;
+  if (runtime_ != nullptr) total += runtime_->events_shed();
+  if (private_engine_ != nullptr) total += private_engine_->events_shed();
+  return total;
+}
+
+SheddingStats Pipeline::shedding_stats() const {
+  SheddingStats s;
+  s.shed = events_shed();
+  const uint64_t seen = events_ingested_.load(std::memory_order_relaxed);
+  // events_ingested_ counts OnEvent acceptances (offered events); admitted
+  // is what actually survived the overload policy.
+  s.admitted = seen >= s.shed ? seen - s.shed : 0;
+  return s;
 }
 
 obs::MetricsSnapshot Pipeline::MetricsSnapshot() {

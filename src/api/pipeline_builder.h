@@ -199,6 +199,12 @@ struct PipelinePlan {
   size_t private_queries = 0;
   size_t private_cross_queries = 0;
 
+  /// Resolved ingest overload policy (kBlock unless WithOverloadPolicy
+  /// chose a shedding policy; always kBlock for the sequential plan).
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Per-lane exchange credit budget (0 = engine default).
+  size_t reorder_capacity = 0;
+
   /// Multi-line rendering of the plan.
   std::string Describe() const;
 };
@@ -258,8 +264,23 @@ class Pipeline : public StreamSubscriber {
 
   const PipelinePlan& plan() const { return plan_; }
 
-  // Ingest (single producer thread).
+  // Ingest (single producer thread; the driver-role contract below).
+
+  /// Feeds one event to every lane. Thread contract: one thread drives all
+  /// of OnEvent/OnEventBatch/OnEnd/Finish (a StreamReplayer satisfies
+  /// this). Backpressure: under the default overload policy a full shard
+  /// queue BLOCKS this call until the worker catches up — memory stays
+  /// bounded, the caller slows to the pipeline's pace; under a shedding
+  /// policy the call never blocks on a full queue and may drop instead
+  /// (see PipelineBuilder::WithOverloadPolicy). Errors:
+  /// FailedPrecondition after Finish()/OnEnd or when a worker stopped
+  /// mid-push.
   Status OnEvent(const Event& event) override;
+
+  /// Bulk ingest; semantically identical to calling OnEvent per element
+  /// but several times cheaper on the ingest thread (per-shard staging,
+  /// one queue release store per shard burst). Same thread, backpressure,
+  /// and error contract as OnEvent.
   Status OnEventBatch(EventSpan events) override;
 
   /// End-of-stream from a StreamReplayer: runs the terminal finish (drain
@@ -284,6 +305,17 @@ class Pipeline : public StreamSubscriber {
   Status Stop();
 
   size_t events_processed() const;
+
+  /// Events deliberately dropped by the overload policy across all lanes
+  /// (always 0 under the default kBlock policy and in sequential plans).
+  /// Safe from any thread, concurrent with ingestion.
+  uint64_t events_shed() const;
+
+  /// Admitted/shed roll-up for quality accounting. A
+  /// RecallLowerBound() of 1.0 certifies the run was lossless — its
+  /// detections are bit-identical to a kBlock run. Safe from any thread.
+  SheddingStats shedding_stats() const;
+
   std::vector<ShardStats> ShardStatsSnapshot() const;
   std::vector<ShardStats> CrossShardStatsSnapshot() const;
 
@@ -368,8 +400,30 @@ class PipelineBuilder {
   PipelineBuilder& WithShards(size_t shard_budget);
   /// Stage-2 merge shards per exchange lane-group. 0 = same as stage-1.
   PipelineBuilder& WithCrossShards(size_t merge_shards);
+  /// Per-shard input-queue capacity (rounded up to a power of two). This
+  /// is the primary memory/backpressure knob: a full queue blocks the
+  /// ingest thread (default policy) or triggers the overload policy.
   PipelineBuilder& WithQueueCapacity(size_t capacity);
+  /// Capacity of each exchange lane (rounded up to a power of two).
   PipelineBuilder& WithExchangeCapacity(size_t lane_capacity);
+  /// Per-lane flow-control credit budget of the exchange: a hard bound on
+  /// how many events one stage-1 producer may have waiting in one merge
+  /// shard's reorder buffer. A merge shard's reorder memory is bounded by
+  /// shards × this value; exhausted credit backpressures the producer
+  /// (counted by pldp_exchange_credit_exhausted_waits_total). 0 (default)
+  /// = kDefaultExchangeReorderCapacity.
+  PipelineBuilder& WithReorderCapacity(size_t credits_per_lane);
+  /// What ingestion does when a shard queue is full. kBlock (default)
+  /// blocks the ingest thread until the worker catches up — lossless.
+  /// kShedOldest / kShedBySubject bound ingest latency instead by
+  /// dropping events once a per-shard pending buffer of
+  /// `pending_capacity` events (0 = queue capacity) also fills; drops are
+  /// counted in pldp_shed_events_total and Pipeline::events_shed().
+  /// Shedding never reorders admitted events, so a run that sheds nothing
+  /// is bit-identical to kBlock. Ignored by the sequential plan (no
+  /// queues). See runtime/overload.h for the policy semantics.
+  PipelineBuilder& WithOverloadPolicy(OverloadPolicy policy,
+                                      size_t pending_capacity = 0);
   /// Base seed for every deterministic Rng in the pipeline (per-shard and
   /// per-subject mechanism Rngs derive from it).
   PipelineBuilder& WithSeed(uint64_t seed);
@@ -484,6 +538,8 @@ class PipelineBuilder {
   size_t cross_shards_ = 0;
   size_t queue_capacity_ = 1024;
   size_t exchange_capacity_ = 1024;
+  size_t reorder_capacity_ = 0;
+  OverloadOptions overload_;
   uint64_t seed_ = 0x9111bea5ULL;
 
   Timestamp window_size_ = 0;

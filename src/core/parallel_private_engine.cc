@@ -149,6 +149,7 @@ Status ParallelPrivateEngine::Activate(MechanismFactory factory,
   runtime_options.shard_count = options_.shard_count;
   runtime_options.queue_capacity = options_.queue_capacity;
   runtime_options.seed = options_.seed;
+  runtime_options.overload = options_.overload;
   runtime_options.sink_factory = [this](size_t) {
     auto sink = std::make_unique<PublisherSink>(MakePublisherOptions());
     publishers_.push_back(sink->publisher());

@@ -85,6 +85,11 @@ struct ParallelPrivateOptions {
   /// forward_raw_events is always forced off — only protected views may
   /// cross the exchange.
   RuntimeExchangeOptions exchange;
+  /// Ingest overload policy (runtime/overload.h). Shedding drops raw
+  /// events BEFORE perturbation — dropped events consume no privacy
+  /// budget, but the affected subjects' windows are computed on a thinned
+  /// substream.
+  OverloadOptions overload;
 };
 
 /// Sharded drop-in for the PrivateCepEngine service phase. Lifecycle:
@@ -202,6 +207,13 @@ class ParallelPrivateEngine : public StreamSubscriber {
   size_t total_windows() const;
 
   size_t events_processed() const;
+
+  /// Events dropped by the overload policy (0 under the default kBlock
+  /// policy or before Activate). Safe from any thread.
+  uint64_t events_shed() const {
+    return runtime_ != nullptr ? runtime_->events_shed() : 0;
+  }
+
   size_t shard_count() const;
   std::vector<ShardStats> ShardStatsSnapshot() const;
   std::vector<ShardStats> CrossShardStatsSnapshot() const;

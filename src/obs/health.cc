@@ -48,6 +48,25 @@ void FinalizeHealth(PipelineHealth* health, const HealthThresholds& t) {
     }
   }
   for (const PipelineHealth::GroupRow& row : health->groups) {
+    // A reorder buffer near its credit bound means producers are (or are
+    // about to start) spinning on exhausted credits: stage 2 is not keeping
+    // up and backpressure is propagating upstream.
+    if (row.reorder_capacity > 0 &&
+        static_cast<double>(row.reorder_depth) /
+                static_cast<double>(row.reorder_capacity) >=
+            t.degraded_saturation) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "%s group '%s' merge %zu reorder buffer at %llu/%llu "
+                    "(credit exhaustion imminent)",
+                    row.lane.c_str(), row.group.c_str(), row.merge_shard,
+                    static_cast<unsigned long long>(row.reorder_depth),
+                    static_cast<unsigned long long>(row.reorder_capacity));
+      health->issues.push_back(buf);
+      if (health->state == PipelineHealth::State::kHealthy) {
+        health->state = PipelineHealth::State::kDegraded;
+      }
+    }
     // A large lag with nothing buffered just means the pipeline is idle; a
     // large lag WITH buffered events means the merge cannot advance — some
     // producer lane stopped delivering watermarks.
@@ -85,7 +104,8 @@ std::string RenderHealthJson(const PipelineHealth& health) {
     out << "{\"lane\":\"" << row.lane << "\",\"group\":\"" << row.group
         << "\",\"merge_shard\":" << row.merge_shard
         << ",\"watermark_lag\":" << row.watermark_lag
-        << ",\"reorder_depth\":" << row.reorder_depth << "}";
+        << ",\"reorder_depth\":" << row.reorder_depth
+        << ",\"reorder_capacity\":" << row.reorder_capacity << "}";
   }
   out << "],\"issues\":[";
   for (size_t i = 0; i < health.issues.size(); ++i) {

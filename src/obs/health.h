@@ -43,6 +43,9 @@ struct PipelineHealth {
     size_t merge_shard = 0;
     uint64_t watermark_lag = 0;   ///< ingest frontier − safe watermark
     uint64_t reorder_depth = 0;   ///< events waiting in the reorder buffer
+    /// Hard reorder-buffer bound (sum of the input lanes' credit budgets);
+    /// 0 when the engine predates flow control.
+    uint64_t reorder_capacity = 0;
   };
 
   State state = State::kHealthy;

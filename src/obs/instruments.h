@@ -31,6 +31,7 @@ struct ExchangeInstruments {
   Counter* forwarded = nullptr;           ///< events pushed into lanes
   Counter* watermarks = nullptr;          ///< watermark broadcasts
   Counter* backpressure_waits = nullptr;  ///< full-lane spins on emit
+  Counter* credit_exhausted_waits = nullptr;  ///< flow-control credit stalls
   Gauge* lane_depth = nullptr;            ///< snapshot-time sum of lane sizes
 };
 
@@ -40,6 +41,7 @@ struct MergeInstruments {
   Counter* events_merged = nullptr;    ///< released to the engine in order
   Histogram* merge_latency_ns = nullptr;  ///< per-released-event latency
   Gauge* reorder_depth = nullptr;      ///< snapshot-time buffered events
+  Gauge* reorder_capacity = nullptr;   ///< hard bound (sum of lane credits)
   Gauge* watermark_lag = nullptr;  ///< snapshot-time ingest vs safe seq
 };
 

@@ -71,6 +71,18 @@ StatusOr<ConfusionMatrix> CompareSeries(const AnswerSeries& truth,
   return cm;
 }
 
+double SheddingStats::ShedFraction() const {
+  const uint64_t total = offered();
+  if (total == 0) return 0.0;
+  return static_cast<double>(shed) / static_cast<double>(total);
+}
+
+double SheddingStats::RecallLowerBound() const {
+  const uint64_t total = offered();
+  if (total == 0) return 1.0;
+  return static_cast<double>(admitted) / static_cast<double>(total);
+}
+
 StatusOr<double> MeanRelativeError(double q_ordinary, double q_ppm) {
   if (!(q_ordinary > 0.0) || !std::isfinite(q_ordinary)) {
     return Status::InvalidArgument(

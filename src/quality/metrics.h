@@ -69,6 +69,27 @@ StatusOr<ConfusionMatrix> CompareSeries(const AnswerSeries& truth,
 /// averaging over repetitions needs them.
 StatusOr<double> MeanRelativeError(double q_ordinary, double q_ppm);
 
+/// Load-shedding accounting for overload runs (runtime/overload.h). Unlike
+/// the confusion matrix — which needs ground truth — this is computable
+/// online: shedding only ever removes input events, so it can only cause
+/// false NEGATIVES, never false positives, and the admitted fraction is a
+/// conservative per-event recall proxy.
+struct SheddingStats {
+  uint64_t admitted = 0;  ///< events that entered a shard queue
+  uint64_t shed = 0;      ///< events deliberately dropped at admission
+
+  uint64_t offered() const { return admitted + shed; }
+
+  /// Fraction of offered events dropped (0 when nothing was offered).
+  double ShedFraction() const;
+
+  /// Worst-case recall floor under the (pessimistic) assumption that every
+  /// shed event would have completed a distinct match: admitted / offered.
+  /// 1.0 when nothing was shed — detections are then exactly the no-shed
+  /// run's detections (admission never reorders).
+  double RecallLowerBound() const;
+};
+
 }  // namespace pldp
 
 #endif  // PLDP_QUALITY_METRICS_H_

@@ -9,12 +9,16 @@
 namespace pldp {
 
 ExchangeFabric::ExchangeFabric(size_t producers, size_t consumers,
-                               size_t lane_capacity)
+                               size_t lane_capacity,
+                               size_t reorder_capacity)
     : producers_(producers < 1 ? 1 : producers),
       consumers_(consumers < 1 ? 1 : consumers) {
+  const size_t credits = reorder_capacity == 0
+                             ? kDefaultExchangeReorderCapacity
+                             : reorder_capacity;
   lanes_.reserve(producers_ * consumers_);
   for (size_t i = 0; i < producers_ * consumers_; ++i) {
-    lanes_.push_back(std::make_unique<ExchangeLane>(lane_capacity));
+    lanes_.push_back(std::make_unique<ExchangeLane>(lane_capacity, credits));
   }
 }
 
@@ -57,24 +61,51 @@ Status ExchangeEmitter::PushToLane(size_t consumer, ExchangeItem item) {
   return Status::OK();
 }
 
+Status ExchangeEmitter::AcquireCreditSlow(ExchangeLane& lane) {
+  // One count per wait episode (mirrors the backpressure-wait accounting).
+  credit_exhausted_waits_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_.credit_exhausted_waits) obs_.credit_exhausted_waits->Inc();
+  // Publish the exact frontier before blocking: every future item of this
+  // row has key >= (trigger_, sub_next_) — including the one we are about
+  // to emit. This lets the merge release every buffered item strictly
+  // below the frontier even though this row has gone quiet, which returns
+  // the credits we are waiting for. Without it, two producers blocked on
+  // each other's unreleased items would deadlock the merge.
+  PLDP_RETURN_IF_ERROR(BroadcastKey(ExchangeKey{trigger_, sub_next_}));
+  Backoff backoff;
+  while (lane.credits.load(std::memory_order_acquire) == 0) {
+    if (fabric_->aborted()) {
+      return Status::FailedPrecondition("exchange fabric aborted");
+    }
+    backoff.Wait();
+  }
+  return Status::OK();
+}
+
 Status ExchangeEmitter::Emit(const Event& event) {
   driver_role_.Assert();
   ExchangeItem item;
   item.key = ExchangeKey{trigger_, sub_next_++};
   item.event = event;
   const size_t consumer = router_.ShardOf(item.event);
+  ExchangeLane& lane = *row_[consumer];
+  // One credit per event. Only this thread decrements (single producer
+  // per lane), so a non-zero read cannot underflow on the fetch_sub.
+  if (lane.credits.load(std::memory_order_acquire) == 0) {
+    PLDP_RETURN_IF_ERROR(AcquireCreditSlow(lane));
+  }
+  lane.credits.fetch_sub(1, std::memory_order_acq_rel);
   PLDP_RETURN_IF_ERROR(PushToLane(consumer, std::move(item)));
   forwarded_.fetch_add(1, std::memory_order_relaxed);
   if (obs_.forwarded) obs_.forwarded->Inc();
   return Status::OK();
 }
 
-Status ExchangeEmitter::Broadcast(uint64_t bound) {
-  driver_role_.Assert();
+Status ExchangeEmitter::BroadcastKey(ExchangeKey bound) {
   if (broadcast_any_ && bound <= last_broadcast_) return Status::OK();
   for (size_t c = 0; c < row_.size(); ++c) {
     ExchangeItem item;
-    item.key = ExchangeKey{bound, 0};
+    item.key = bound;
     item.watermark = true;
     PLDP_RETURN_IF_ERROR(PushToLane(c, std::move(item)));
   }
@@ -85,6 +116,11 @@ Status ExchangeEmitter::Broadcast(uint64_t bound) {
   return Status::OK();
 }
 
+Status ExchangeEmitter::Broadcast(uint64_t bound) {
+  driver_role_.Assert();
+  return BroadcastKey(ExchangeKey{bound, 0});
+}
+
 ExchangeEmitterStats ExchangeEmitter::stats() const {
   ExchangeEmitterStats s;
   s.forwarded =
@@ -93,6 +129,8 @@ ExchangeEmitterStats ExchangeEmitter::stats() const {
       static_cast<size_t>(watermarks_.load(std::memory_order_relaxed));
   s.backpressure_waits = static_cast<size_t>(
       backpressure_waits_.load(std::memory_order_relaxed));
+  s.credit_exhausted_waits = static_cast<size_t>(
+      credit_exhausted_waits_.load(std::memory_order_relaxed));
   return s;
 }
 

@@ -31,6 +31,20 @@
 // broadcasts `watermark(b)` ("every future item on this lane has key >=
 // (b, 0)") when idle and at drain barriers; `kExchangeSeqEnd` is the
 // terminal watermark closing a lane at end of stream.
+//
+// Flow control: each lane carries a credit counter initialized to the
+// consumer's reorder-buffer capacity. An Emit consumes one credit; the
+// merge returns it when the event is released to the engine. Events
+// in flight on a lane (queue + reorder buffer) therefore never exceed
+// the credit budget, which caps the reorder buffer — a stalled merge
+// shard backpressures its producers (and transitively the ingest
+// thread) instead of buffering without bound. Watermarks are credit-free:
+// they carry no payload and the merge consumes them immediately, so flow
+// control can never silence the progress protocol. A credit-blocked
+// producer broadcasts its exact frontier before spinning, which lets the
+// merge release everything below it and return credits — the liveness
+// argument is spelled out in docs/ARCHITECTURE.md ("Credit-based flow
+// control").
 
 #ifndef PLDP_RUNTIME_EXCHANGE_H_
 #define PLDP_RUNTIME_EXCHANGE_H_
@@ -78,10 +92,24 @@ struct ExchangeItem {
   Event event;
 };
 
-/// One SPSC lane of the matrix.
+/// Default per-lane credit budget (== the consumer's per-lane reorder
+/// capacity) when the caller does not size it explicitly.
+inline constexpr size_t kDefaultExchangeReorderCapacity = 1024;
+
+/// One SPSC lane of the matrix, plus its flow-control credit counter.
 struct ExchangeLane {
-  explicit ExchangeLane(size_t capacity) : queue(capacity) {}
+  ExchangeLane(size_t capacity, size_t credit_budget)
+      : queue(capacity),
+        initial_credits(credit_budget),
+        credits(credit_budget) {}
   SpscQueue<ExchangeItem> queue;
+  /// The lane's credit budget — also the hard capacity of the consumer's
+  /// per-lane reorder buffer (see MergeShard). Fixed at construction.
+  const size_t initial_credits;
+  /// Remaining credits. Decremented by the producer (one per Emit),
+  /// incremented by the consumer (one per event released to its engine).
+  /// Watermarks bypass it entirely.
+  std::atomic<uint64_t> credits;
 };
 
 /// The N1×N2 lane matrix. Constructed before the shards on either side and
@@ -90,7 +118,11 @@ class ExchangeFabric {
  public:
   /// `producers`/`consumers` must be >= 1; `lane_capacity` bounds each lane
   /// like any runtime queue (rounded up to a power of two, clamped).
-  ExchangeFabric(size_t producers, size_t consumers, size_t lane_capacity);
+  /// `reorder_capacity` is each lane's credit budget == the hard capacity
+  /// of the consumer-side reorder buffer fed by that lane (0 = the
+  /// default, kDefaultExchangeReorderCapacity).
+  ExchangeFabric(size_t producers, size_t consumers, size_t lane_capacity,
+                 size_t reorder_capacity = 0);
 
   size_t producer_count() const { return producers_; }
   size_t consumer_count() const { return consumers_; }
@@ -124,6 +156,9 @@ struct ExchangeEmitterStats {
   size_t watermarks = 0;
   /// Times a full lane made the producer wait.
   size_t backpressure_waits = 0;
+  /// Times an exhausted credit budget made the producer wait for the
+  /// consumer to release buffered events (one per wait episode).
+  size_t credit_exhausted_waits = 0;
 };
 
 /// The stage-1 side of the fabric: owned by one shard, driven only by that
@@ -152,13 +187,16 @@ class ExchangeEmitter {
     sub_next_ = sub_base;
   }
 
-  /// Routes `event` to its consumer lane, blocking (with backoff) while the
-  /// lane is full. Fails fast when the fabric was aborted.
+  /// Routes `event` to its consumer lane, blocking (with backoff) while
+  /// the lane is full or its credit budget is exhausted (i.e. the
+  /// consumer's reorder buffer holds the whole budget). Fails fast when
+  /// the fabric was aborted.
   PLDP_HOT Status Emit(const Event& event);
 
   /// Sends `watermark(bound)` — every future item on this row has key >=
   /// (bound, 0) — to all lanes. Monotone: bounds at or below the last
-  /// broadcast are skipped. Same blocking/abort behavior as Emit.
+  /// broadcast are skipped. Watermarks consume no credits; blocking/abort
+  /// behavior on a full queue is the same as Emit's.
   Status Broadcast(uint64_t bound);
 
   ExchangeEmitterStats stats() const;
@@ -181,6 +219,18 @@ class ExchangeEmitter {
   PLDP_HOT Status PushToLane(size_t consumer, ExchangeItem item)
       PLDP_REQUIRES(driver_role_);
 
+  /// Full-key watermark: every future item on this row has key >= `bound`.
+  /// Broadcast(b) is BroadcastKey({b, 0}); the credit slow path uses the
+  /// exact frontier (trigger_, sub_next_) so consumers can release
+  /// everything strictly below the item the producer is blocked on.
+  Status BroadcastKey(ExchangeKey bound) PLDP_REQUIRES(driver_role_);
+
+  /// Credit-exhaustion wait: counts the episode, publishes the frontier
+  /// watermark (without it a cycle of credit-blocked producers could
+  /// deadlock the merge), then spins until the consumer returns a credit
+  /// or the fabric aborts.
+  Status AcquireCreditSlow(ExchangeLane& lane) PLDP_REQUIRES(driver_role_);
+
   std::vector<ExchangeLane*> row_;
   EventRouter router_;
   ExchangeFabric* fabric_;
@@ -195,13 +245,14 @@ class ExchangeEmitter {
   // Worker-local emission state.
   uint64_t trigger_ PLDP_GUARDED_BY(driver_role_) = 0;
   uint64_t sub_next_ PLDP_GUARDED_BY(driver_role_) = 0;
-  uint64_t last_broadcast_ PLDP_GUARDED_BY(driver_role_) = 0;
+  ExchangeKey last_broadcast_ PLDP_GUARDED_BY(driver_role_) = {0, 0};
   bool broadcast_any_ PLDP_GUARDED_BY(driver_role_) = false;
 
   // Stats written by the worker (relaxed), read from any thread.
   std::atomic<uint64_t> forwarded_{0};
   std::atomic<uint64_t> watermarks_{0};
   std::atomic<uint64_t> backpressure_waits_{0};
+  std::atomic<uint64_t> credit_exhausted_waits_{0};
 
   // Telemetry bundle (null fields = un-instrumented), fixed before Start.
   obs::ExchangeInstruments obs_;

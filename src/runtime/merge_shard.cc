@@ -15,10 +15,26 @@ constexpr size_t kReceiveBatch = 128;
 
 }  // namespace
 
+namespace {
+
+size_t SumCredits(const std::vector<ExchangeLane*>& inputs) {
+  size_t total = 0;
+  for (const ExchangeLane* lane : inputs) total += lane->initial_credits;
+  return total;
+}
+
+}  // namespace
+
 MergeShard::MergeShard(size_t index, std::vector<ExchangeLane*> inputs)
-    : index_(index) {
+    : index_(index), reorder_capacity_(SumCredits(inputs)) {
   lanes_.reserve(inputs.size());
-  for (ExchangeLane* lane : inputs) lanes_.emplace_back(lane);
+  for (ExchangeLane* lane : inputs) {
+    lanes_.emplace_back(lane);
+    // Defense-in-depth: under credit accounting a lane can never buffer
+    // more than its budget; the cap turns a broken invariant into a debug
+    // assert instead of silent unbounded growth.
+    lanes_.back().buffer.set_capacity_limit(lane->initial_credits);
+  }
   engine_.SetCallback([this](const StreamingDetection& d) {
     detections_.fetch_add(1, std::memory_order_relaxed);
     if (user_callback_) user_callback_(d);
@@ -172,6 +188,9 @@ bool MergeShard::MergePass(bool force) {
     // failing engine would latch the error for the drain barrier.
     (void)engine_.OnEvent(best->buffer.front().event);
     best->buffer.pop_front();
+    // Return the flow-control credit: the event left the reorder buffer,
+    // so its producer may put another one in flight on this lane.
+    best->lane->credits.fetch_add(1, std::memory_order_release);
     ++released;
     if (obs_.merge_latency_ns) {
       const uint64_t t_now = obs::MonotonicNowNs();

@@ -19,12 +19,18 @@
 //     number through which everything has been merged and processed. Drain
 //     barriers wait on it; `kExchangeSeqEnd` means the pipeline is sealed.
 //
-// The reorder buffers are unbounded; in steady state they hold at most a
-// few lane bursts, because every producer keeps watermarking its lanes
-// when idle — even one that receives no traffic at all (the router
-// periodically publishes a producer floor for exactly that case). A
-// producer that stalls mid-burst still lets the other buffers grow until
-// the next barrier (see ROADMAP: credit-based exchange flow control).
+// The reorder buffers are hard-bounded by the exchange's credit protocol:
+// each lane carries a credit budget equal to its reorder capacity
+// (ExchangeLane::initial_credits), an Emit consumes one credit, and this
+// shard returns it when the event is released to the engine — so a lane's
+// in-flight events (queue + buffer) never exceed the budget, whatever the
+// producers do. In steady state the buffers hold at most a few lane
+// bursts, because every producer keeps watermarking its lanes when idle —
+// even one that receives no traffic at all (the router periodically
+// publishes a producer floor for exactly that case). When this shard
+// stalls, the exhausted credits backpressure the producers (and
+// transitively the ingest thread) instead of growing the buffers; the
+// buffers carry a debug-assert capacity cap documenting that bound.
 //
 // Threading contract: AddQuery before Start; exactly one orchestrator
 // thread calls Start/Stop; WaitSafe/stats may be called from any thread.
@@ -110,6 +116,11 @@ class MergeShard {
     return static_cast<size_t>(buffered_.load(std::memory_order_relaxed));
   }
 
+  /// Hard occupancy bound across all lanes (sum of the lanes' credit
+  /// budgets) — the denominator of reorder saturation in health/metrics.
+  /// Constant after construction; safe from any thread.
+  size_t reorder_capacity() const { return reorder_capacity_; }
+
  private:
   struct LaneState {
     explicit LaneState(ExchangeLane* l) : lane(l) {}
@@ -133,6 +144,8 @@ class MergeShard {
   void PublishSafeBound() PLDP_REQUIRES(worker_role_);
 
   const size_t index_;
+  /// Sum of the input lanes' credit budgets (constant after construction).
+  const size_t reorder_capacity_;
   /// Worker-thread confinement of the merge state: the orchestrator holds
   /// the role from construction until Start() launches the worker, the
   /// worker holds it for the thread's lifetime, and Stop() takes it back

@@ -1,0 +1,28 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "runtime/overload.h"
+
+namespace pldp {
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kShedOldest:
+      return "shed-oldest";
+    case OverloadPolicy::kShedBySubject:
+      return "shed-by-subject";
+  }
+  return "unknown";
+}
+
+StatusOr<OverloadPolicy> ParseOverloadPolicy(const std::string& name) {
+  if (name == "block") return OverloadPolicy::kBlock;
+  if (name == "shed-oldest") return OverloadPolicy::kShedOldest;
+  if (name == "shed-by-subject") return OverloadPolicy::kShedBySubject;
+  return Status::InvalidArgument(
+      "unknown overload policy '" + name +
+      "' (expected block | shed-oldest | shed-by-subject)");
+}
+
+}  // namespace pldp

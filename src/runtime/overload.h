@@ -1,0 +1,67 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Ingest overload policies: what the runtime does when a stage-1 shard
+// queue is full and stays full.
+//
+// The default (`kBlock`) is the behavior the pipeline always had — the
+// ingest thread spins with backoff until the queue drains, so overload
+// turns into caller-side latency and nothing is ever lost. The shedding
+// policies trade completeness for bounded ingest latency instead: events
+// are parked in a small per-shard pending buffer and, when that overflows
+// too, deliberately dropped — counted per shard through the
+// `pldp_shed_events_total` metric family and the engine's
+// `quality::SheddingStats` roll-up so the degradation is measurable
+// (see docs/OPERATIONS.md, "Overload policy tuning").
+//
+// Shedding never reorders: admitted events reach their shard in exact
+// ingest order, so a run in which nothing was shed is bit-identical to a
+// `kBlock` run (pinned by runtime_admission_test).
+
+#ifndef PLDP_RUNTIME_OVERLOAD_H_
+#define PLDP_RUNTIME_OVERLOAD_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace pldp {
+
+/// What to do when a shard queue (and the pending buffer behind it) is
+/// full at ingest time.
+enum class OverloadPolicy {
+  /// Block the ingest thread (spin + yield) until the queue drains. The
+  /// lossless default; overload becomes caller-visible backpressure.
+  kBlock,
+  /// Drop the OLDEST parked event to admit the newest — freshness wins.
+  /// Good for monitoring workloads where a stale event is worth less than
+  /// a current one.
+  kShedOldest,
+  /// Drop every event of the subjects that overflowed the buffer, for as
+  /// long as the overload episode lasts (the shed set clears when the
+  /// pending buffers fully drain). Keeps the other subjects' detection
+  /// streams complete instead of degrading everyone a little.
+  kShedBySubject,
+};
+
+/// Admission-control configuration (ParallelEngineOptions::overload,
+/// PipelineBuilder::WithOverloadPolicy).
+struct OverloadOptions {
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  /// Per-shard pending-buffer capacity for the shedding policies: how many
+  /// events may be parked behind a full queue before the policy starts
+  /// dropping. 0 = same as the shard queue capacity. Ignored under kBlock.
+  size_t pending_capacity = 0;
+};
+
+/// Stable lower-case name ("block", "shed-oldest", "shed-by-subject") —
+/// the `policy` metric label and the `--overload-policy` flag vocabulary.
+const char* OverloadPolicyName(OverloadPolicy policy);
+
+/// Parses what OverloadPolicyName produces. InvalidArgument on anything
+/// else (the error message lists the accepted spellings).
+StatusOr<OverloadPolicy> ParseOverloadPolicy(const std::string& name);
+
+}  // namespace pldp
+
+#endif  // PLDP_RUNTIME_OVERLOAD_H_

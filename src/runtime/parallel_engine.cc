@@ -25,7 +25,8 @@ constexpr uint64_t kProducerFloorPeriod = 1024;
 
 ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
     : router_(ResolveShardCount(options.shard_count), options.key_fn),
-      exchange_options_(options.exchange) {
+      exchange_options_(options.exchange),
+      overload_options_(options.overload) {
   const size_t n = router_.shard_count();
 
   shards_.reserve(n);
@@ -40,6 +41,16 @@ ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
     if (options.sink_factory) {
       (void)shards_.back()->SetEventSink(options.sink_factory(i));
     }
+  }
+
+  if (overload_options_.policy != OverloadPolicy::kBlock) {
+    // The shedding policies interpose the admission layer; the blocking
+    // default keeps the historic direct-push path with zero overhead.
+    std::vector<Shard*> raw;
+    raw.reserve(shards_.size());
+    for (auto& shard : shards_) raw.push_back(shard.get());
+    admission_ = std::make_unique<AdmissionQueue>(
+        overload_options_, std::move(raw), &events_ingested_);
   }
 
   if (options.exchange.enabled) {
@@ -100,7 +111,8 @@ StatusOr<size_t> ParallelStreamingEngine::GetOrCreateGroup(
   ExchangeGroup group;
   group.key_id = key_id;
   group.fabric = std::make_unique<ExchangeFabric>(
-      n1, n2, exchange_options_.lane_capacity);
+      n1, n2, exchange_options_.lane_capacity,
+      exchange_options_.reorder_capacity);
   group.merge_shards.reserve(n2);
   for (size_t c = 0; c < n2; ++c) {
     group.merge_shards.push_back(
@@ -196,11 +208,21 @@ Status ParallelStreamingEngine::EnableMetrics(obs::MetricsRegistry* registry,
         {{"lane", lane}, {"shard", shard_label}});
     ins.queue_depth = shard_queue_gauges_[i];
     PLDP_RETURN_IF_ERROR(shards_[i]->SetInstruments(ins));
+    if (admission_ != nullptr) {
+      admission_->SetShedInstrument(
+          i, registry->AddCounter(
+                 "pldp_shed_events_total",
+                 "Events deliberately dropped by the overload policy",
+                 {{"lane", lane},
+                  {"shard", shard_label},
+                  {"policy", OverloadPolicyName(overload_options_.policy)}}));
+    }
   }
 
   lane_depth_gauges_.assign(groups_.size(), {});
   merge_reorder_gauges_.assign(groups_.size(), {});
   merge_lag_gauges_.assign(groups_.size(), {});
+  merge_capacity_gauges_.assign(groups_.size(), {});
   for (size_t g = 0; g < groups_.size(); ++g) {
     const ExchangeGroup& group = groups_[g];
     const std::string group_label =
@@ -224,6 +246,11 @@ Status ParallelStreamingEngine::EnableMetrics(obs::MetricsRegistry* registry,
           "Full-lane waits a producer spent emitting downstream",
           {{"lane", lane}, {"group", group_label},
            {"producer", producer_label}});
+      ins.credit_exhausted_waits = registry->AddCounter(
+          "pldp_exchange_credit_exhausted_waits_total",
+          "Credit-exhausted stalls a producer spent waiting on a merge shard",
+          {{"lane", lane}, {"group", group_label},
+           {"producer", producer_label}});
       lane_depth_gauges_[g][p] = registry->AddGauge(
           "pldp_exchange_lane_depth",
           "Instantaneous occupancy of a producer's exchange row",
@@ -235,6 +262,7 @@ Status ParallelStreamingEngine::EnableMetrics(obs::MetricsRegistry* registry,
     }
     merge_reorder_gauges_[g].resize(group.merge_shards.size(), nullptr);
     merge_lag_gauges_[g].resize(group.merge_shards.size(), nullptr);
+    merge_capacity_gauges_[g].resize(group.merge_shards.size(), nullptr);
     for (size_t c = 0; c < group.merge_shards.size(); ++c) {
       const std::string shard_label = std::to_string(c);
       obs::MergeInstruments ins;
@@ -260,6 +288,13 @@ Status ParallelStreamingEngine::EnableMetrics(obs::MetricsRegistry* registry,
           "Ingest frontier minus a merge shard's safe watermark (events)",
           {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
       ins.watermark_lag = merge_lag_gauges_[g][c];
+      merge_capacity_gauges_[g][c] = registry->AddGauge(
+          "pldp_merge_reorder_capacity",
+          "Hard reorder-buffer bound of a merge shard (sum of lane credits)",
+          {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
+      ins.reorder_capacity = merge_capacity_gauges_[g][c];
+      merge_capacity_gauges_[g][c]->Set(
+          static_cast<double>(group.merge_shards[c]->reorder_capacity()));
       PLDP_RETURN_IF_ERROR(group.merge_shards[c]->SetInstruments(ins));
     }
   }
@@ -293,6 +328,10 @@ void ParallelStreamingEngine::RefreshMetricGauges() {
         merge_lag_gauges_[g][c]->Set(
             safe >= frontier ? 0.0
                              : static_cast<double>(frontier - safe));
+      }
+      if (merge_capacity_gauges_[g][c] != nullptr) {
+        merge_capacity_gauges_[g][c]->Set(
+            static_cast<double>(merge.reorder_capacity()));
       }
     }
   }
@@ -407,6 +446,7 @@ void ParallelStreamingEngine::CollectHealth(obs::PipelineHealth* health,
       const uint64_t safe = merge.safe_primary();
       row.watermark_lag = safe >= frontier ? 0 : frontier - safe;
       row.reorder_depth = merge.reorder_buffered();
+      row.reorder_capacity = merge.reorder_capacity();
       health->groups.push_back(std::move(row));
     }
   }
@@ -437,6 +477,11 @@ Status ParallelStreamingEngine::Start() {
 
 Status ParallelStreamingEngine::Drain() {
   if (!running_) return Status::OK();
+  if (admission_ != nullptr) {
+    // Parked events are part of the ingested stream; the barrier is only a
+    // barrier once they have landed in their shard queues.
+    PLDP_RETURN_IF_ERROR(admission_->FlushBlocking());
+  }
   for (auto& shard : shards_) {
     Status s = shard->Drain();
     if (!s.ok()) return s;
@@ -478,12 +523,26 @@ Status ParallelStreamingEngine::Finish() {
 }
 
 Status ParallelStreamingEngine::FinishInternal() {
+  if (admission_ != nullptr) {
+    PLDP_RETURN_IF_ERROR(admission_->FlushBlocking());
+  }
   for (auto& shard : shards_) {
     PLDP_RETURN_IF_ERROR(shard->Drain());
   }
   const uint64_t bound = next_seq_.load(std::memory_order_relaxed);
+  // Post the finish command to EVERY shard before waiting on ANY ack.
+  // Finalize-time emissions run against bounded credit budgets: shard A's
+  // sink output may only become releasable — and its credits returnable —
+  // once shard B's terminal watermark is in flight. Waiting for A's ack
+  // before posting to B would deadlock under small reorder capacities.
+  std::vector<uint64_t> tokens;
+  tokens.reserve(shards_.size());
   for (auto& shard : shards_) {
-    PLDP_RETURN_IF_ERROR(shard->RequestFinish(bound));
+    PLDP_ASSIGN_OR_RETURN(uint64_t token, shard->PostFinish(bound));
+    tokens.push_back(token);
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    PLDP_RETURN_IF_ERROR(shards_[i]->WaitCommandAck(tokens[i]));
   }
   for (auto& group : groups_) {
     for (auto& merge_shard : group.merge_shards) {
@@ -496,6 +555,12 @@ Status ParallelStreamingEngine::FinishInternal() {
 Status ParallelStreamingEngine::Stop() {
   if (!running_) return Status::OK();
   Status result = Status::OK();
+  if (admission_ != nullptr) {
+    // Land parked events before the shards go away; a shard racing into
+    // stop makes this fail fast, which is the best Stop can do.
+    Status s = admission_->FlushBlocking();
+    if (result.ok() && !s.ok()) result = s;
+  }
   if (!groups_.empty() && !finished_.load(std::memory_order_relaxed)) {
     // Make sure stage-2 holds everything before the producers go away.
     result = Drain();
@@ -526,18 +591,30 @@ Status ParallelStreamingEngine::OnEvent(const Event& event) {
   if (finished_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("ingestion after Finish()");
   }
-  StampedEvent stamped;
-  stamped.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-  stamped.event = event;
   const size_t target = router_.ShardOf(event);
-  PLDP_RETURN_IF_ERROR(shards_[target]->PushStampedN(&stamped, 1));
-  events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  if (admission_ != nullptr &&
+      admission_->ShouldShedBeforeStamp(target, event)) {
+    // Dropped pre-stamping: the sequence space stays gapless, so shedding
+    // leaves the watermark protocol untouched.
+    return Status::OK();
+  }
+  StampedEvent stamped;
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  stamped.seq = seq;
+  stamped.event = event;
+  if (admission_ != nullptr) {
+    // Queue full turns into park-or-shed instead of blocking; admitted
+    // events are counted (via the shared counter) only when they land.
+    (void)admission_->Offer(target, std::move(stamped));
+  } else {
+    PLDP_RETURN_IF_ERROR(shards_[target]->PushStampedN(&stamped, 1));
+    events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Periodically tell every shard how far the stream has advanced, so
   // shards starved by routing skew keep watermarking their lanes (see
   // Shard::NoteProducerFloor).
-  if ((stamped.seq & (kProducerFloorPeriod - 1)) ==
-      kProducerFloorPeriod - 1) {
-    PublishProducerFloor(stamped.seq + 1);
+  if ((seq & (kProducerFloorPeriod - 1)) == kProducerFloorPeriod - 1) {
+    PublishProducerFloor(seq + 1);
   }
   return Status::OK();
 }
@@ -552,6 +629,21 @@ Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
     return Status::FailedPrecondition("ingestion after Finish()");
   }
   if (events.empty()) return Status::OK();
+  if (admission_ != nullptr) {
+    // Per-event admission: the policies need the queue-full decision at
+    // event granularity, so the bulk staging fast path does not apply.
+    for (const Event& e : events) {
+      const size_t target = router_.ShardOf(e);
+      if (admission_->ShouldShedBeforeStamp(target, e)) continue;
+      StampedEvent stamped;
+      stamped.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+      stamped.event = e;
+      (void)admission_->Offer(target, std::move(stamped));
+    }
+    admission_->Pump();
+    PublishProducerFloor(next_seq_.load(std::memory_order_relaxed));
+    return Status::OK();
+  }
   for (auto& buf : staging_) buf.clear();
   for (const Event& e : events) {
     StampedEvent stamped;
@@ -577,6 +669,11 @@ Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
 
 void ParallelStreamingEngine::PublishProducerFloor(uint64_t floor) {
   if (groups_.empty()) return;
+  if (admission_ != nullptr) {
+    // A parked event's sequence number must never fall below a published
+    // floor — a late flush would then violate watermark monotonicity.
+    floor = admission_->ClampFloor(floor);
+  }
   for (auto& shard : shards_) shard->NoteProducerFloor(floor);
 }
 

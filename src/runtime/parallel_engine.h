@@ -67,8 +67,11 @@
 #include "common/thread_annotations.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "quality/metrics.h"
+#include "runtime/admission.h"
 #include "runtime/exchange.h"
 #include "runtime/merge_shard.h"
+#include "runtime/overload.h"
 #include "runtime/router.h"
 #include "runtime/shard.h"
 #include "stream/replay.h"
@@ -83,6 +86,11 @@ struct RuntimeExchangeOptions {
   size_t shard_count = 0;
   /// Capacity of each exchange lane (rounded up to a power of two).
   size_t lane_capacity = 1024;
+  /// Per-lane flow-control credit budget: a hard bound on how many events
+  /// one producer may have buffered in one merge shard's reorder buffer
+  /// (runtime/exchange.h). 0 = kDefaultExchangeReorderCapacity. A merge
+  /// shard's total reorder memory is bounded by N1 × this value.
+  size_t reorder_capacity = 0;
   /// How stage-1 output is re-keyed. Ignored when key_fn is set.
   CorrelationKeySpec key = CorrelationKeySpec::Global();
   /// Custom correlation key extractor; overrides `key` when set.
@@ -112,6 +120,11 @@ struct ParallelEngineOptions {
       sink_factory;
   /// The cross-subject exchange stage.
   RuntimeExchangeOptions exchange;
+  /// What ingestion does when a shard queue is full (runtime/overload.h).
+  /// The default (kBlock) keeps the historic lossless backpressure path
+  /// with zero added overhead; the shedding policies interpose an
+  /// AdmissionQueue in front of the shard queues.
+  OverloadOptions overload;
 };
 
 /// Multi-threaded drop-in for StreamingCepEngine (see file comment for the
@@ -250,6 +263,26 @@ class ParallelStreamingEngine : public StreamSubscriber {
     return events_ingested_.load(std::memory_order_relaxed);
   }
 
+  /// The active overload policy (kBlock unless options.overload said
+  /// otherwise).
+  OverloadPolicy overload_policy() const { return overload_options_.policy; }
+
+  /// Events deliberately dropped by the overload policy (0 under kBlock).
+  /// Safe from any thread.
+  uint64_t events_shed() const {
+    return admission_ ? admission_->shed_total() : 0;
+  }
+
+  /// Admitted/shed roll-up for quality accounting (quality/metrics.h).
+  /// RecallLowerBound() == 1.0 certifies a lossless run: detections are
+  /// bit-identical to the blocking policy's. Safe from any thread.
+  SheddingStats shedding_stats() const {
+    SheddingStats s;
+    s.admitted = events_ingested_.load(std::memory_order_relaxed);
+    s.shed = events_shed();
+    return s;
+  }
+
   /// Per-shard stage-1 counters, indexed by shard.
   std::vector<ShardStats> ShardStatsSnapshot() const;
 
@@ -292,10 +325,16 @@ class ParallelStreamingEngine : public StreamSubscriber {
   Status init_error_ = Status::OK();
   /// Exchange defaults applied to lane-groups created after construction.
   RuntimeExchangeOptions exchange_options_;
+  /// Overload policy (kBlock = admission_ stays null, historic path).
+  OverloadOptions overload_options_;
   /// Exchange lane-groups. Declared before the stage-1 shards so the
   /// fabrics are destroyed after every thread that touches their lanes.
   std::vector<ExchangeGroup> groups_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Non-null only under a shedding policy; sits between the router and
+  /// the shard queues on the ingest thread. Declared after shards_ (it
+  /// borrows them).
+  std::unique_ptr<AdmissionQueue> admission_;
   /// Single-producer ingest contract (StreamSubscriber: one thread drives
   /// OnEvent/OnEventBatch/OnEnd). Asserted at the ingest entry points so
   /// the analysis ties the staging buffers to that one thread.
@@ -327,6 +366,7 @@ class ParallelStreamingEngine : public StreamSubscriber {
   std::vector<std::vector<obs::Gauge*>> lane_depth_gauges_;    // [grp][prod]
   std::vector<std::vector<obs::Gauge*>> merge_reorder_gauges_;  // [grp][cons]
   std::vector<std::vector<obs::Gauge*>> merge_lag_gauges_;      // [grp][cons]
+  std::vector<std::vector<obs::Gauge*>> merge_capacity_gauges_;  // [grp][cons]
 
   // Per-query user detection callbacks (set before Start; dispatched on
   // worker threads via one dispatcher per shard / merge shard).

@@ -14,6 +14,7 @@
 #ifndef PLDP_RUNTIME_RING_BUFFER_H_
 #define PLDP_RUNTIME_RING_BUFFER_H_
 
+#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -31,11 +32,20 @@ class RingBuffer {
   size_t size() const { return tail_ - head_; }
   size_t capacity() const { return slots_.size(); }
 
+  /// Optional hard occupancy cap (0 = unlimited, the default). Exceeding
+  /// it is a caller bug, checked by assert in debug builds: the merge
+  /// shards set it to their lane's credit budget, under which the producer
+  /// can never have more items in flight than the limit — the assert is
+  /// the defense-in-depth proof that the credit accounting holds.
+  void set_capacity_limit(size_t limit) { capacity_limit_ = limit; }
+  size_t capacity_limit() const { return capacity_limit_; }
+
   /// The oldest element; undefined when empty.
   T& front() { return slots_[head_ & mask_]; }
   const T& front() const { return slots_[head_ & mask_]; }
 
   void push_back(T value) {
+    assert(capacity_limit_ == 0 || size() < capacity_limit_);
     if (size() == slots_.size()) Grow();
     slots_[tail_ & mask_] = std::move(value);
     ++tail_;
@@ -70,6 +80,7 @@ class RingBuffer {
 
   static constexpr size_t kInitialCapacity = 16;
 
+  size_t capacity_limit_ = 0;
   std::vector<T> slots_;
   size_t mask_ = 0;
   /// Monotone indices; position = index & mask_. head_ == tail_ means

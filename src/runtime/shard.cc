@@ -181,6 +181,15 @@ Status Shard::PushStampedN(StampedEvent* events, size_t count,
   return Status::OK();
 }
 
+size_t Shard::TryPushStampedN(StampedEvent* events, size_t count) {
+  if (!running_ || stop_requested_.load(std::memory_order_relaxed)) {
+    return 0;
+  }
+  const size_t n = queue_.TryPushN(events, count);
+  if (n > 0) pushed_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
 Status Shard::Drain() {
   if (!running_) return Status::OK();
   const uint64_t target = pushed_.load(std::memory_order_relaxed);
@@ -191,15 +200,18 @@ Status Shard::Drain() {
   return Status::OK();
 }
 
-Status Shard::RequestCommand(uint32_t kind, uint64_t payload) {
+StatusOr<uint64_t> Shard::PostCommand(uint32_t kind, uint64_t payload) {
   if (!running_) {
     return Status::FailedPrecondition("shard not running");
   }
   cmd_payload_.store(payload, std::memory_order_relaxed);
   cmd_kind_.store(kind, std::memory_order_relaxed);
-  const uint64_t gen = cmd_gen_.fetch_add(1, std::memory_order_release) + 1;
+  return cmd_gen_.fetch_add(1, std::memory_order_release) + 1;
+}
+
+Status Shard::WaitCommandAck(uint64_t token) {
   Backoff backoff;
-  while (cmd_ack_.load(std::memory_order_acquire) < gen) {
+  while (cmd_ack_.load(std::memory_order_acquire) < token) {
     if (stop_requested_.load(std::memory_order_relaxed)) {
       return Status::FailedPrecondition("shard stopping before command ran");
     }
@@ -208,12 +220,21 @@ Status Shard::RequestCommand(uint32_t kind, uint64_t payload) {
   return Status::OK();
 }
 
+Status Shard::RequestCommand(uint32_t kind, uint64_t payload) {
+  PLDP_ASSIGN_OR_RETURN(uint64_t token, PostCommand(kind, payload));
+  return WaitCommandAck(token);
+}
+
 Status Shard::RequestFlushWatermark(uint64_t bound) {
   return RequestCommand(kCmdFlushWatermark, bound);
 }
 
 Status Shard::RequestFinish(uint64_t finish_seq) {
   return RequestCommand(kCmdFinish, finish_seq);
+}
+
+StatusOr<uint64_t> Shard::PostFinish(uint64_t finish_seq) {
+  return PostCommand(kCmdFinish, finish_seq);
 }
 
 Status Shard::Stop() {

@@ -172,6 +172,13 @@ class Shard {
   Status PushStampedN(StampedEvent* events, size_t count,
                       size_t* accepted = nullptr);
 
+  /// Non-blocking variant: enqueues as many leading events as the queue
+  /// has room for and returns that number (0 when full, stopped, or not
+  /// running — never waits). Same producer contract and stamping rules as
+  /// PushStampedN; the admission/shedding layer (runtime/admission.h) is
+  /// built on it.
+  size_t TryPushStampedN(StampedEvent* events, size_t count);
+
   /// Producer-side progress hint: every event with seq < `floor` has been
   /// pushed to its target shard already (this one or another). Lets a
   /// shard that receives little or no traffic broadcast idle watermarks
@@ -196,6 +203,18 @@ class Shard {
   /// (emitting any finalize-time output), then the exchange row is closed
   /// with terminal watermarks. Call after Drain, with ingestion stopped.
   Status RequestFinish(uint64_t finish_seq);
+
+  /// Split finish for multi-shard orchestration: posts the end-of-stream
+  /// command without waiting and returns the acknowledgement token for
+  /// WaitCommandAck. Under bounded exchange credits one shard's finalize
+  /// emissions may only be releasable once every other shard's terminal
+  /// watermark is in flight — so the orchestrator must post finish to ALL
+  /// shards before waiting on ANY (see ParallelStreamingEngine::Finish).
+  StatusOr<uint64_t> PostFinish(uint64_t finish_seq);
+
+  /// Blocks until the worker acknowledged the posted command `token`.
+  /// Fails fast when the shard begins stopping first.
+  Status WaitCommandAck(uint64_t token);
 
   /// Drains, stops, and joins the worker. Idempotent.
   Status Stop();
@@ -265,6 +284,7 @@ class Shard {
       PLDP_REQUIRES(worker_role_);
   void ExecuteCommand(const std::vector<ExchangeHookRef>& hooks)
       PLDP_REQUIRES(worker_role_);
+  StatusOr<uint64_t> PostCommand(uint32_t kind, uint64_t payload);
   Status RequestCommand(uint32_t kind, uint64_t payload);
 
   const size_t index_;

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+# Copyright 2026 The PLDP Authors.
+"""Intra-repo link-and-anchor checker for the project's markdown.
+
+The docs layer (README.md, docs/, ROADMAP.md) cross-references itself
+heavily — README points at docs/OPERATIONS.md sections, source-file
+comments name docs/ARCHITECTURE.md headings, the docs link back. A rename
+or heading edit silently strands those references; this checker makes the
+break loud. For every markdown file it verifies that
+
+  * relative link targets exist on disk (resolved against the linking
+    file's directory, `path`, `path#anchor`, and `#anchor` forms), and
+  * `#anchor` fragments name a real heading in the target file, using
+    GitHub's slug rules (lowercase; drop everything but word characters,
+    spaces, and hyphens; spaces become hyphens; duplicate slugs get -1,
+    -2, ... suffixes).
+
+External links (http/https/mailto/ftp) are deliberately NOT fetched —
+this runs in CI before anything compiles and must not depend on the
+network. Fenced code blocks and inline code spans are ignored on both
+sides: a `](` inside a diagram is not a link, and a `# comment` inside a
+```sh block is not a heading.
+
+Scope and limitations (kept deliberately simple — stdlib only):
+
+  * Inline `[text](target)` and image `![alt](target)` links only;
+    reference-style `[text][ref]` links are not resolved (the repo's
+    docs do not use them).
+  * Anchor checking applies to markdown targets; links into source files
+    (`src/...`) are checked for existence only.
+
+Exit status: 0 when clean, 1 with findings (one `file:line: message` per
+finding), 2 on usage errors.
+
+Usage: check_markdown_links.py <dir-or-file> [<dir-or-file> ...]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.+?)\s*#*\s*$")
+EXTERNAL_RE = re.compile(r"^(?:[a-z][a-z0-9+.-]*:)")
+FENCE_RE = re.compile(r"^(\s*)(```|~~~)")
+MARKDOWN_EXTS = (".md", ".markdown")
+
+
+def blank_code_regions(lines):
+    """Returns the lines with fenced blocks and inline code spans blanked,
+    preserving line count so indices keep mapping to the original file."""
+    out = []
+    fence = None
+    for line in lines:
+        m = FENCE_RE.match(line)
+        if fence is None and m:
+            fence = m.group(2)
+            out.append("")
+            continue
+        if fence is not None:
+            if m and m.group(2) == fence:
+                fence = None
+            out.append("")
+            continue
+        # Inline spans: `...` must open and close on one line in the repo's
+        # style; unbalanced backticks are left alone.
+        out.append(re.sub(r"`[^`]*`", "", line))
+    return out
+
+
+def slugify(heading):
+    """GitHub's heading-to-anchor slug, close enough for ASCII docs."""
+    text = heading.strip()
+    # Unwrap markdown decorations that do not contribute to the slug.
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.replace("`", "")
+    # NOTE: *emphasis* markers are not stripped — GitHub keeps mid-word
+    # underscores (PLDP_LOG_LEVEL) and telling the two apart needs a real
+    # parser. The repo's headings use code spans, never emphasis.
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(lines):
+    """Slug set of a file's headings, with GitHub's -1/-2 dedup suffixes."""
+    anchors = set()
+    seen = {}
+    for line in blank_code_regions(lines):
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def collect_files(args):
+    files = []
+    for arg in args:
+        if os.path.isfile(arg):
+            files.append(arg)
+        elif os.path.isdir(arg):
+            for root, _, names in os.walk(arg):
+                for name in sorted(names):
+                    if name.endswith(MARKDOWN_EXTS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"check_markdown_links: no such path: {arg}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    files = collect_files(argv[1:])
+    contents = {}
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            contents[os.path.abspath(path)] = f.read().split("\n")
+
+    anchor_cache = {}
+
+    def anchors_of(abs_path):
+        if abs_path not in anchor_cache:
+            if abs_path in contents:
+                lines = contents[abs_path]
+            else:
+                with open(abs_path, encoding="utf-8",
+                          errors="replace") as f:
+                    lines = f.read().split("\n")
+            anchor_cache[abs_path] = collect_anchors(lines)
+        return anchor_cache[abs_path]
+
+    findings = []
+    checked = 0
+    for path in files:
+        abs_path = os.path.abspath(path)
+        lines = contents[abs_path]
+        base_dir = os.path.dirname(abs_path)
+        for lineno, line in enumerate(blank_code_regions(lines), start=1):
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if EXTERNAL_RE.match(target):
+                    continue
+                checked += 1
+                rel, _, fragment = target.partition("#")
+                if rel:
+                    dest = os.path.normpath(os.path.join(base_dir, rel))
+                    if not os.path.exists(dest):
+                        findings.append(
+                            f"{path}:{lineno}: dead link `{target}` "
+                            f"({rel} does not exist)")
+                        continue
+                else:
+                    dest = abs_path  # same-file `#anchor`
+                if not fragment:
+                    continue
+                if not dest.endswith(MARKDOWN_EXTS):
+                    findings.append(
+                        f"{path}:{lineno}: anchor `#{fragment}` on "
+                        f"non-markdown target `{rel}`")
+                    continue
+                if fragment not in anchors_of(dest):
+                    findings.append(
+                        f"{path}:{lineno}: dead anchor `{target}` "
+                        f"(no heading slugs to `{fragment}` in "
+                        f"{rel or os.path.basename(dest)})")
+
+    if findings:
+        for f in findings:
+            print(f)
+        print(f"check_markdown_links: {len(findings)} finding(s) across "
+              f"{checked} intra-repo link(s)", file=sys.stderr)
+        return 1
+    print(f"check_markdown_links: OK ({checked} intra-repo link(s), "
+          f"{len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
