@@ -105,6 +105,9 @@ struct HarnessArgs {
   std::string csv_out;
   /// JSON output path; empty = no JSON.
   std::string json_out;
+  /// Pin worker threads round-robin to this many cores (0 = no pinning).
+  /// Harnesses that build pipelines forward this via WithCoreAffinity.
+  size_t cores = 0;
 };
 
 inline HarnessArgs ParseArgs(int argc, char** argv) {
@@ -120,10 +123,14 @@ inline HarnessArgs ParseArgs(int argc, char** argv) {
       args.json_out = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--cores=", 8) == 0) {
+      args.cores = static_cast<size_t>(std::strtoul(argv[i] + 8, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--cores") == 0 && i + 1 < argc) {
+      args.cores = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --quick --full --out=F "
-                   "--json F)\n",
+                   "--json F --cores N)\n",
                    argv[i]);
     }
   }
@@ -163,14 +170,17 @@ inline std::string JsonCell(const std::string& cell) {
   return "\"" + JsonEscape(cell) + "\"";
 }
 
-/// Writes {"schema_version":1,"title":...,"columns":[...],"rows":[[...]]}.
+/// Writes {"schema_version":2,"title":...,"columns":[...],"rows":[[...]]}.
+/// Schema history: v1 had no affinity columns; v2 adds `cores` (the
+/// --cores pinning budget, 0 = unpinned) and park counters to the
+/// runtime-throughput table.
 inline Status WriteJson(const ResultTable& table, const std::string& path,
                         const std::string& title) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::Internal("cannot open JSON output file: " + path);
   }
-  std::fprintf(f, "{\n  \"schema_version\": 1,\n  \"title\": \"%s\",\n",
+  std::fprintf(f, "{\n  \"schema_version\": 2,\n  \"title\": \"%s\",\n",
                JsonEscape(title).c_str());
   std::fprintf(f, "  \"columns\": [");
   for (size_t i = 0; i < table.headers().size(); ++i) {

@@ -42,6 +42,13 @@
 // under ~2% — instrument updates are relaxed atomics on pre-registered
 // slots).
 //
+// Core affinity: `--cores N` pins workers round-robin to the first N
+// cores via WithCoreAffinity (stage-1 shards first, then merge shards).
+// The `cores` column records the pinning budget (0 = unpinned) and the
+// `parks` column the total doorbell parks across the three runs of each
+// row — both land in the schema_version-2 JSON so CI can assert the
+// parking path actually engages on idle-heavy runs.
+//
 // Every configuration is cross-checked against the sequential
 // StreamingCepEngine's detection count; the bench exits non-zero on a
 // mismatch.
@@ -219,7 +226,8 @@ struct LatencyQuantiles {
 double TimedIngest(const EventStream& stream, size_t groups,
                    Timestamp window, size_t shards, bool exchange,
                    IngestMode mode, size_t* waits, size_t* detections,
-                   AllocPerEvent* alloc, bool metrics = false,
+                   AllocPerEvent* alloc, size_t cores, size_t* parks,
+                   bool metrics = false,
                    LatencyQuantiles* latency = nullptr) {
   // Declarative construction: the builder plans the topology from the
   // queries (a shard budget of 1 plans the sequential in-process engine —
@@ -227,12 +235,15 @@ double TimedIngest(const EventStream& stream, size_t groups,
   // "group" key compiles into one shared lane-group).
   PipelineBuilder builder;
   DeclareAlphabetQueries(builder, groups, window, exchange);
-  auto pipeline_or = builder.WithShards(shards)
-                         .WithCrossShards(shards)
-                         .WithQueueCapacity(4096)
-                         .WithExchangeCapacity(4096)
-                         .EnableMetrics(metrics)
-                         .Build();
+  builder.WithShards(shards)
+      .WithCrossShards(shards)
+      .WithQueueCapacity(4096)
+      .WithExchangeCapacity(4096)
+      .EnableMetrics(metrics);
+  // --cores N: pin workers round-robin to the first N cores (graceful
+  // no-op on machines without pthread affinity support).
+  if (cores > 0) builder.WithCoreAffinity(cores);
+  auto pipeline_or = builder.Build();
   if (!pipeline_or.ok()) return -1.0;
   Pipeline& pipeline = *pipeline_or.value();
 
@@ -270,9 +281,15 @@ double TimedIngest(const EventStream& stream, size_t groups,
   }
 
   *waits = 0;
+  size_t park_total = 0;
   for (const ShardStats& s : pipeline.ShardStatsSnapshot()) {
     *waits += s.backpressure_waits + s.exchange_backpressure_waits;
+    park_total += s.parks;
   }
+  for (const ShardStats& s : pipeline.CrossShardStatsSnapshot()) {
+    park_total += s.parks;
+  }
+  if (parks != nullptr) *parks = park_total;
   // Detections live behind the typed drain barrier.
   auto finished = pipeline.Finish();
   if (!finished.ok()) return -1.0;
@@ -306,26 +323,28 @@ double SequentialReference(const EventStream& stream, size_t groups,
 /// a third, fully instrumented batched run against the same stream.
 bool BenchWorkload(const EventStream& stream, size_t groups,
                    Timestamp window, bool exchange, size_t reference_count,
-                   const char* label_suffix, ResultTable* table) {
+                   const char* label_suffix, size_t cores,
+                   ResultTable* table) {
   double one_shard_batched = 0.0;
   bool ok = true;
   for (size_t shards : {1u, 2u, 4u, 8u}) {
-    size_t pe_waits = 0, pe_detections = 0;
+    size_t pe_waits = 0, pe_detections = 0, pe_parks = 0;
     const double per_event_eps =
         TimedIngest(stream, groups, window, shards, exchange,
                     IngestMode::kPerEvent, &pe_waits, &pe_detections,
-                    nullptr);
-    size_t b_waits = 0, b_detections = 0;
+                    nullptr, cores, &pe_parks);
+    size_t b_waits = 0, b_detections = 0, b_parks = 0;
     AllocPerEvent alloc;
-    const double batched_eps =
-        TimedIngest(stream, groups, window, shards, exchange,
-                    IngestMode::kBatched, &b_waits, &b_detections, &alloc);
-    size_t m_waits = 0, m_detections = 0;
+    const double batched_eps = TimedIngest(
+        stream, groups, window, shards, exchange, IngestMode::kBatched,
+        &b_waits, &b_detections, &alloc, cores, &b_parks);
+    size_t m_waits = 0, m_detections = 0, m_parks = 0;
     AllocPerEvent metrics_alloc;
     LatencyQuantiles latency;
     const double metrics_eps = TimedIngest(
         stream, groups, window, shards, exchange, IngestMode::kBatched,
-        &m_waits, &m_detections, &metrics_alloc, /*metrics=*/true, &latency);
+        &m_waits, &m_detections, &metrics_alloc, cores, &m_parks,
+        /*metrics=*/true, &latency);
     if (per_event_eps < 0 || batched_eps < 0 || metrics_eps < 0) return false;
     if (shards == 1) one_shard_batched = batched_eps;
 
@@ -351,7 +370,9 @@ bool BenchWorkload(const EventStream& stream, size_t groups,
                          static_cast<double>(pe_waits + b_waits),
                          alloc.allocs, alloc.bytes, metrics_eps,
                          overhead_pct, metrics_alloc.allocs, latency.p50,
-                         latency.p99, latency.p999});
+                         latency.p99, latency.p999,
+                         static_cast<double>(cores),
+                         static_cast<double>(pe_parks + b_parks + m_parks)});
   }
   return ok;
 }
@@ -368,13 +389,34 @@ int Run(const bench::HarnessArgs& args) {
   const size_t groups = 256;
   const Timestamp window = 4;
 
-  const unsigned cores = std::thread::hardware_concurrency();
-  std::printf("hardware threads: %u\n", cores);
-  if (cores < 4) {
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u\n", hw_threads);
+  if (hw_threads < 4) {
     std::printf(
         "WARNING: fewer than 4 hardware threads — shards time-slice one "
         "core, so expect speedup ~1.0x (the run then measures runtime "
         "overhead, not scaling).\n");
+  }
+  // The widest configuration below runs 8 stage-1 shards (the exchange
+  // rows add 8 merge workers on top); warn when the machine cannot give
+  // each worker a hardware thread, because the scaling columns are then
+  // measuring time-slicing, not parallelism.
+  if (hw_threads < 8) {
+    std::fprintf(stderr,
+                 "WARNING: hardware_concurrency()=%u < %u worker threads at "
+                 "the widest shard budget; throughput/speedup columns "
+                 "measure oversubscription on this machine.\n",
+                 hw_threads, 8u);
+  }
+  if (args.cores > 0) {
+    std::printf("core affinity: pinning workers round-robin to %zu cores\n",
+                args.cores);
+    if (hw_threads != 0 && args.cores > hw_threads) {
+      std::fprintf(stderr,
+                   "WARNING: --cores %zu exceeds hardware_concurrency()=%u; "
+                   "pinning is clamped to the cores that exist.\n",
+                   args.cores, hw_threads);
+    }
   }
   if (!bench::kAllocHookActive) {
     std::printf(
@@ -418,14 +460,15 @@ int Run(const bench::HarnessArgs& args) {
                      "backpressure_waits", "allocs_per_event",
                      "bytes_per_event", "metrics_batched_eps",
                      "metrics_overhead_pct", "metrics_allocs_per_event",
-                     "latency_p50_ns", "latency_p99_ns", "latency_p999_ns"});
+                     "latency_p50_ns", "latency_p99_ns", "latency_p999_ns",
+                     "cores", "parks"});
   bool ok = BenchWorkload(keyed, groups, window, /*exchange=*/false,
-                          plain_reference, "", &table);
+                          plain_reference, "", args.cores, &table);
   ok = BenchWorkload(attributed, groups, window, /*exchange=*/false,
-                     attr_reference, "+attrs", &table) &&
+                     attr_reference, "+attrs", args.cores, &table) &&
        ok;
   ok = BenchWorkload(crossed, groups, window, /*exchange=*/true,
-                     cross_reference, "", &table) &&
+                     cross_reference, "", args.cores, &table) &&
        ok;
 
   const int rc = bench::EmitTable(

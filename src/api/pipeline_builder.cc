@@ -116,6 +116,12 @@ std::string PipelinePlan::Describe() const {
         "private lane: %zu shards (%zu target queries, %zu cross)\n",
         shard_count, private_queries, private_cross_queries);
   }
+  if (ingest_producers > 1) {
+    out += StrFormat("ingest: %zu MPSC producer handles\n", ingest_producers);
+  }
+  if (pin_threads) {
+    out += "affinity: workers pinned round-robin to cores\n";
+  }
   if (overload_policy != OverloadPolicy::kBlock) {
     out += StrFormat("overload policy: %s\n",
                      OverloadPolicyName(overload_policy));
@@ -169,6 +175,17 @@ PipelineBuilder& PipelineBuilder::WithOverloadPolicy(OverloadPolicy policy,
 
 PipelineBuilder& PipelineBuilder::WithSeed(uint64_t seed) {
   seed_ = seed;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithIngestProducers(size_t producers) {
+  ingest_producers_ = producers == 0 ? 1 : producers;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithCoreAffinity(size_t max_cores) {
+  pin_threads_ = true;
+  affinity_cores_ = max_cores;
   return *this;
 }
 
@@ -379,6 +396,18 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
           "mechanism protects)");
     }
   }
+  if (ingest_producers_ > 1) {
+    if (has_private) {
+      return Status::InvalidArgument(
+          "WithIngestProducers(>1) is incompatible with private queries: "
+          "the private lane's ingest contract is single-producer");
+    }
+    if (overload_.policy != OverloadPolicy::kBlock) {
+      return Status::InvalidArgument(
+          "WithIngestProducers(>1) requires the blocking overload policy "
+          "(the admission/shedding layer is single-producer)");
+    }
+  }
 
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
   pipeline->builder_uid_ = uid_;
@@ -392,11 +421,14 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
   plan.private_queries = private_queries_.size();
   plan.private_cross_queries = private_cross_.size();
   plan.reorder_capacity = reorder_capacity_;
+  plan.ingest_producers = ingest_producers_;
+  plan.pin_threads = pin_threads_;
   // The sequential plan has no queues, so the overload policy is moot
   // there; the plan records kBlock to say "nothing will ever shed".
   plan.overload_policy =
-      plan.shard_count == 1 && !has_private ? OverloadPolicy::kBlock
-                                            : overload_.policy;
+      plan.shard_count == 1 && !has_private && ingest_producers_ <= 1
+          ? OverloadPolicy::kBlock
+          : overload_.policy;
 
   // Resolve every cross query's correlation key up front: the planner
   // dedupes equal keys into shared lane-groups and validates the rest.
@@ -435,7 +467,9 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
 
   // --- Plain/cross lane ----------------------------------------------------
   if (!plain_.empty() || !cross_.empty()) {
-    plan.sequential = plan.shard_count == 1;
+    // MPSC ingest needs the sharded runtime even at budget 1: only Shard
+    // has per-producer lanes and the merging worker.
+    plan.sequential = plan.shard_count == 1 && ingest_producers_ <= 1;
     if (plan.sequential) {
       // Budget 1: one in-process engine answers plain AND cross queries
       // exactly (a single partition sees the whole stream in order) with
@@ -514,6 +548,9 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
       options.exchange.lane_capacity = exchange_capacity_;
       options.exchange.reorder_capacity = reorder_capacity_;
       options.overload = overload_;
+      options.ingest_producers = ingest_producers_;
+      options.pin_threads = pin_threads_;
+      options.affinity_cores = affinity_cores_;
       pipeline->runtime_ =
           std::make_unique<ParallelStreamingEngine>(std::move(options));
       for (const PlainDecl& decl : plain_) {
@@ -548,6 +585,13 @@ StatusOr<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
                                               "plain"));
       }
       PLDP_RETURN_IF_ERROR(pipeline->runtime_->Start());
+      if (ingest_producers_ > 1) {
+        for (size_t p = 0; p < pipeline->runtime_->producer_count(); ++p) {
+          pipeline->producers_.push_back(std::unique_ptr<PipelineProducer>(
+              new PipelineProducer(pipeline.get(),
+                                   pipeline->runtime_->producer(p))));
+        }
+      }
     }
   }
 
@@ -787,6 +831,32 @@ std::vector<ShardStats> Pipeline::CrossShardStatsSnapshot() const {
   }
   return stats;
 }
+
+// ---------------------------------------------------------------------------
+// PipelineProducer
+
+Status PipelineProducer::OnEvent(const Event& event) {
+  PLDP_RETURN_IF_ERROR(producer_->OnEvent(event));
+  pipeline_->events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  if (pipeline_->ingest_counter_ != nullptr) {
+    pipeline_->ingest_counter_->Inc();
+  }
+  return Status::OK();
+}
+
+Status PipelineProducer::OnEventBatch(EventSpan events) {
+  PLDP_RETURN_IF_ERROR(producer_->OnEventBatch(events));
+  pipeline_->events_ingested_.fetch_add(events.size(),
+                                        std::memory_order_relaxed);
+  if (pipeline_->ingest_counter_ != nullptr) {
+    pipeline_->ingest_counter_->Inc(events.size());
+  }
+  return Status::OK();
+}
+
+void PipelineProducer::PublishFloor() { producer_->PublishFloor(); }
+
+size_t PipelineProducer::index() const { return producer_->index(); }
 
 // ---------------------------------------------------------------------------
 // FinishedPipeline

@@ -69,6 +69,7 @@ namespace pldp {
 
 class PipelineBuilder;
 class Pipeline;
+class PipelineProducer;
 class FinishedPipeline;
 
 /// How a cross-subject query's correlation key is derived. `Auto()` lets
@@ -199,6 +200,13 @@ struct PipelinePlan {
   size_t private_queries = 0;
   size_t private_cross_queries = 0;
 
+  /// Concurrent ingest producer handles (the MPSC front-end). 1 = the
+  /// classic single-driver ingest; > 1 forces the sharded plan (even at
+  /// shard budget 1) and moves ingestion to Pipeline::producer handles.
+  size_t ingest_producers = 1;
+  /// True when worker threads are pinned round-robin to cores at start.
+  bool pin_threads = false;
+
   /// Resolved ingest overload policy (kBlock unless WithOverloadPolicy
   /// chose a shedding policy; always kBlock for the sequential plan).
   OverloadPolicy overload_policy = OverloadPolicy::kBlock;
@@ -295,6 +303,14 @@ class Pipeline : public StreamSubscriber {
   /// (e.g. the bench harness). The private lane only drains at Finish().
   Status Drain();
 
+  /// MPSC ingest handles (WithIngestProducers). Empty unless the plan has
+  /// ingest_producers > 1; then handle i may be driven by exactly one
+  /// thread at a time (one thread may drive several handles), the
+  /// engine-level OnEvent/OnEventBatch are refused, and the terminal
+  /// Finish()/OnEnd must run only after every producer thread quiesced.
+  size_t producer_count() const { return producers_.size(); }
+  PipelineProducer* producer(size_t i) const { return producers_[i].get(); }
+
   /// Terminal drain barrier: drains every lane, finalizes the private
   /// publishers, seals the exchanges, and returns the typed result view.
   /// Idempotent — later calls return the same view. The view borrows this
@@ -338,6 +354,7 @@ class Pipeline : public StreamSubscriber {
 
  private:
   friend class PipelineBuilder;
+  friend class PipelineProducer;
   friend class FinishedPipeline;
 
   Pipeline() = default;
@@ -353,6 +370,9 @@ class Pipeline : public StreamSubscriber {
 
   /// Private lane.
   std::unique_ptr<ParallelPrivateEngine> private_engine_;
+
+  /// MPSC ingest handles (populated by Build() iff ingest_producers > 1).
+  std::vector<std::unique_ptr<PipelineProducer>> producers_;
 
   /// Handle-index translation: registration index -> engine query index.
   /// (Sequential mode interleaves plain and cross queries in one engine's
@@ -384,6 +404,37 @@ class Pipeline : public StreamSubscriber {
   Status finish_status_ PLDP_GUARDED_BY(driver_role_) = Status::OK();
   /// Atomic so a scrape thread may read events_processed() mid-ingest.
   std::atomic<uint64_t> events_ingested_{0};
+};
+
+/// One MPSC ingest handle of a pipeline built WithIngestProducers(P > 1)
+/// (see Pipeline::producer). Thin typed wrapper over the runtime's
+/// IngestProducer that keeps the pipeline-level ingest accounting
+/// (events_processed, pldp_pipeline_events_ingested_total) consistent
+/// with the classic single-driver path.
+class PipelineProducer {
+ public:
+  PipelineProducer(const PipelineProducer&) = delete;
+  PipelineProducer& operator=(const PipelineProducer&) = delete;
+
+  /// Stamps and routes one event / one batch; blocks on full lanes.
+  /// Exactly one thread at a time per handle.
+  Status OnEvent(const Event& event);
+  Status OnEventBatch(EventSpan events);
+
+  /// Publishes this producer's sequence floor to every shard. Call when
+  /// the handle goes idle while other producers keep ingesting — a stale
+  /// floor gates the shard merges until the next Finish() barrier.
+  void PublishFloor();
+
+  size_t index() const;
+
+ private:
+  friend class PipelineBuilder;
+  PipelineProducer(Pipeline* pipeline, IngestProducer* producer)
+      : pipeline_(pipeline), producer_(producer) {}
+
+  Pipeline* const pipeline_;
+  IngestProducer* const producer_;
 };
 
 /// Declarative builder: declare queries and budgets, then Build() to plan,
@@ -427,6 +478,21 @@ class PipelineBuilder {
   /// Base seed for every deterministic Rng in the pipeline (per-shard and
   /// per-subject mechanism Rngs derive from it).
   PipelineBuilder& WithSeed(uint64_t seed);
+  /// Concurrent ingest producer handles (the MPSC front-end). 1 (default)
+  /// keeps the classic single-driver StreamSubscriber ingest. With P > 1
+  /// the plan is always sharded (even at shard budget 1), ingestion moves
+  /// to the Pipeline::producer handles (the pipeline-level OnEvent /
+  /// OnEventBatch are refused), and producer p stamps the arithmetic
+  /// progression p, p+P, p+2P, ... — so a stream partitioned round-robin
+  /// over the handles reproduces single-producer results bit-for-bit.
+  /// Build() errors when combined with private queries or a shedding
+  /// overload policy (both are single-producer components).
+  PipelineBuilder& WithIngestProducers(size_t producers);
+  /// Pins worker threads round-robin to cores at start (stage-1 shards
+  /// first, then merge shards), capped to `max_cores` distinct cores
+  /// (0 = all available). A placement hint: unsupported platforms and
+  /// oversubscribed budgets degrade gracefully, never fail.
+  PipelineBuilder& WithCoreAffinity(size_t max_cores = 0);
 
   // --- Telemetry ----------------------------------------------------------
 
@@ -541,6 +607,9 @@ class PipelineBuilder {
   size_t reorder_capacity_ = 0;
   OverloadOptions overload_;
   uint64_t seed_ = 0x9111bea5ULL;
+  size_t ingest_producers_ = 1;
+  bool pin_threads_ = false;
+  size_t affinity_cores_ = 0;
 
   Timestamp window_size_ = 0;
   Timestamp window_origin_ = 0;

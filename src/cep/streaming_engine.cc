@@ -2,6 +2,8 @@
 
 #include "cep/streaming_engine.h"
 
+#include <algorithm>
+
 namespace pldp {
 
 StatusOr<size_t> StreamingCepEngine::AddQuery(Pattern pattern,
@@ -25,6 +27,17 @@ StatusOr<std::vector<Timestamp>> StreamingCepEngine::DetectionsOf(
                               std::to_string(query_index));
   }
   return matchers_[query_index]->detections();
+}
+
+std::vector<EventTypeId> StreamingCepEngine::RelevantEventTypes() const {
+  std::vector<EventTypeId> types;
+  for (const Pattern& pattern : patterns_) {
+    const std::vector<EventTypeId>& elements = pattern.elements();
+    types.insert(types.end(), elements.begin(), elements.end());
+  }
+  std::sort(types.begin(), types.end());
+  types.erase(std::unique(types.begin(), types.end()), types.end());
+  return types;
 }
 
 void StreamingCepEngine::ResetState() {

@@ -68,6 +68,12 @@ class StreamingCepEngine : public StreamSubscriber {
   /// Number of events ingested.
   size_t events_processed() const { return events_processed_; }
 
+  /// Sorted distinct union of the event types any registered pattern
+  /// references. An event whose type is absent from this set is a no-op
+  /// for every matcher — the contract the shard pop loop's batch
+  /// prefilter (cep/predicate.h TypeAnyOfPredicate) relies on.
+  std::vector<EventTypeId> RelevantEventTypes() const;
+
   /// Clears all matcher state and counters (queries stay registered).
   void ResetState();
 

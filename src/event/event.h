@@ -149,6 +149,29 @@ class Event {
   std::unique_ptr<std::vector<Attr>> spill_;
 };
 
+/// Non-owning view of a contiguous run of events (C++17 stand-in for
+/// std::span<const Event>). Batched ingest and batch predicate evaluation
+/// hand these out so bulk paths never copy. Lives here rather than the
+/// stream layer because both the replay machinery and the CEP predicate
+/// layer consume it.
+class EventSpan {
+ public:
+  constexpr EventSpan() = default;
+  constexpr EventSpan(const Event* data, size_t size)
+      : data_(data), size_(size) {}
+
+  const Event* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Event& operator[](size_t i) const { return data_[i]; }
+  const Event* begin() const { return data_; }
+  const Event* end() const { return data_ + size_; }
+
+ private:
+  const Event* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// Strict-weak temporal order used when merging streams: by timestamp, ties
 /// broken by stream id then type id to keep merges deterministic (the paper
 /// notes same-timestamp order is semantically arbitrary; we fix one).

@@ -23,6 +23,8 @@ struct ShardInstruments {
   Histogram* batch_size = nullptr;        ///< events per pop burst
   Histogram* process_latency_ns = nullptr;  ///< per-event engine latency
   Gauge* queue_depth = nullptr;           ///< snapshot-time ApproxSize
+  Counter* parks = nullptr;               ///< idle worker cv parks
+  Counter* wakes = nullptr;               ///< doorbell slow-path notifies
 };
 
 /// Per-emitter exchange-lane instruments (runtime/exchange.h). One bundle
@@ -43,6 +45,8 @@ struct MergeInstruments {
   Gauge* reorder_depth = nullptr;      ///< snapshot-time buffered events
   Gauge* reorder_capacity = nullptr;   ///< hard bound (sum of lane credits)
   Gauge* watermark_lag = nullptr;  ///< snapshot-time ingest vs safe seq
+  Counter* parks = nullptr;        ///< idle worker cv parks
+  Counter* wakes = nullptr;        ///< doorbell slow-path notifies
 };
 
 /// Private-lane publisher instruments (ppm/subject_publisher.h).

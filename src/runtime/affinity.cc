@@ -1,0 +1,32 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "runtime/affinity.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pldp {
+
+bool PinCurrentThreadToCore(int core) {
+#if defined(__linux__)
+  if (core < 0 || static_cast<size_t>(core) >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<size_t>(core), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+size_t AvailableCoreCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace pldp

@@ -4,12 +4,26 @@
 // full queue, workers on an empty queue, drain barriers on a lagging
 // counter. Burn a few iterations, then yield, then sleep — low latency
 // under load without pinning a core when idle.
+//
+// Workers additionally escalate past the sleep phase into a real park on a
+// `Doorbell` (condition-variable wait): once ShouldPark() reports that the
+// spin and yield budgets are exhausted, the worker re-checks its work
+// predicate under the doorbell's protocol and blocks until a producer
+// rings. Producers never park — their wait is always bounded by a live
+// consumer draining the queue.
 
 #ifndef PLDP_RUNTIME_BACKOFF_H_
 #define PLDP_RUNTIME_BACKOFF_H_
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <thread>
+
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace pldp {
 
@@ -26,12 +40,125 @@ class Backoff {
     }
   }
 
+  /// True once the spin and yield budgets are exhausted — the point where a
+  /// worker that owns a Doorbell should park instead of sleep-polling.
+  bool ShouldPark() const { return spins_ >= kSpinLimit + kYieldLimit; }
+
   void Reset() { spins_ = 0; }
 
  private:
   static constexpr int kSpinLimit = 64;
   static constexpr int kYieldLimit = 64;
   int spins_ = 0;
+};
+
+/// Wake-on-work doorbell: one parked consumer, any number of ringers.
+///
+/// The consumer calls `ParkUnless(has_work)` when its queues look empty;
+/// producers call `Ring()` after publishing work (an SpscQueue push, a
+/// command post, a producer-floor store, a stop flag). The fast path of
+/// Ring() is a fence plus one relaxed load — no lock, no allocation — so
+/// ringing with no one parked (the common case under load) is nearly free.
+///
+/// Lost-wakeup argument (why a Ring between the consumer's last empty
+/// check and its cv wait cannot strand it):
+///
+///   1. Producer order:  publish work (atomic store) → seq_cst fence
+///      [inside Ring] → load waiters_. Consumer order: increment waiters_
+///      → seq_cst fence → has_work() (atomic loads). These fences form the
+///      classic Dekker/store-buffering pair: in the single total order of
+///      seq_cst fences, one executes first. If the consumer's fence is
+///      first, the producer's waiters_ load sees the increment and Ring
+///      takes the slow path (notify). If the producer's fence is first,
+///      the consumer's has_work() is guaranteed to observe the published
+///      work and the consumer does not park. Either way: no lost wakeup
+///      at the predicate check.
+///   2. Between has_work() returning false and the cv wait actually
+///      blocking there is still a window. It is closed by the epoch: the
+///      consumer reads epoch_ BEFORE advertising itself as a waiter, and
+///      RingSlow() bumps epoch_ under the mutex before notifying. The cv
+///      wait's predicate is `epoch_ != observed` and is evaluated under
+///      that same mutex, so a bump from any concurrent ring — even one
+///      that fired before the consumer reached the wait — is seen there
+///      and the wait returns immediately.
+///   3. A bump from an unrelated ring at worst causes a spurious return;
+///      the consumer re-polls its queues, which is always correct.
+///
+/// The mutex is a plain std::mutex (not the annotated wrapper) because the
+/// condition variable needs it; nothing else is guarded by it — epoch_ is
+/// bumped under it purely to order the bump against the wait predicate.
+class Doorbell {
+ public:
+  /// Producer side: call after publishing work with at least one atomic
+  /// release store (queue tail, command generation, stop flag, floor).
+  /// Nearly free when no one is parked.
+  PLDP_HOT void Ring() {
+    // Pairs with the fence in ParkUnless (see the file comment, point 1).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_relaxed) != 0) RingSlow();
+  }
+
+  /// Consumer side: parks until the next Ring unless `has_work` already
+  /// holds. `has_work` must read only atomics (it runs on this thread but
+  /// races producers by design) and must be monotone under the producers'
+  /// publications: once work is published, it returns true until the
+  /// consumer itself consumes it. Returns true when the thread actually
+  /// parked (and was woken), false when has_work() preempted the park.
+  /// At most one thread may park on a doorbell at a time.
+  template <typename HasWork>
+  bool ParkUnless(HasWork&& has_work) {
+    const uint64_t observed = epoch_.load(std::memory_order_acquire);
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (has_work()) {
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    if (park_counter_ != nullptr) park_counter_->Inc();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_relaxed) != observed;
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Optional telemetry counters (obs registry owns them); set before the
+  /// consumer starts. The internal atomics below always count, so tests
+  /// can assert parking behavior without a registry.
+  void SetCounters(obs::Counter* parks, obs::Counter* wakes) {
+    park_counter_ = parks;
+    wake_counter_ = wakes;
+  }
+
+  uint64_t parks() const { return parks_.load(std::memory_order_relaxed); }
+  uint64_t wakes() const { return wakes_.load(std::memory_order_relaxed); }
+
+ private:
+  void RingSlow() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+    wakes_.fetch_add(1, std::memory_order_relaxed);
+    if (wake_counter_ != nullptr) wake_counter_->Inc();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// Number of threads past the park decision (0 or 1 in practice).
+  std::atomic<int> waiters_{0};
+  /// Ring generation; bumped under mu_ so the cv predicate orders against
+  /// it without further fences.
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> parks_{0};
+  std::atomic<uint64_t> wakes_{0};
+  obs::Counter* park_counter_ = nullptr;
+  obs::Counter* wake_counter_ = nullptr;
 };
 
 }  // namespace pldp

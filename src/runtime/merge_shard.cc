@@ -4,6 +4,7 @@
 
 #include <utility>
 
+#include "runtime/affinity.h"
 #include "runtime/backoff.h"
 
 namespace pldp {
@@ -34,6 +35,14 @@ MergeShard::MergeShard(size_t index, std::vector<ExchangeLane*> inputs)
     // more than its budget; the cap turns a broken invariant into a debug
     // assert instead of silent unbounded growth.
     lanes_.back().buffer.set_capacity_limit(lane->initial_credits);
+    // Pre-size the reorder ring to that same bound: the credit budget is
+    // the exact worst-case occupancy, so paying the allocation here (at
+    // Build()) makes the steady state allocation-flat instead of growing
+    // the ring through log2(credits) reallocations under load.
+    lanes_.back().buffer.reserve(lane->initial_credits);
+    // This shard's worker is the lane queue's sole consumer: route the
+    // lane's push doorbell (events and watermarks alike) to it.
+    lane->queue.SetWaker(&doorbell_);
   }
   engine_.SetCallback([this](const StreamingDetection& d) {
     detections_.fetch_add(1, std::memory_order_relaxed);
@@ -82,7 +91,9 @@ Status MergeShard::Start() {
     return Status::FailedPrecondition("merge shard has no input lanes");
   }
   stop_requested_.store(false, std::memory_order_relaxed);
+  doorbell_.SetCounters(obs_.parks, obs_.wakes);
   worker_ = std::thread([this] {
+    if (affinity_core_ >= 0) (void)PinCurrentThreadToCore(affinity_core_);
     worker_role_.Acquire();
     RunLoop();
     worker_role_.Release();
@@ -102,6 +113,7 @@ Status MergeShard::WaitSafe(uint64_t bound) {
 Status MergeShard::Stop() {
   if (!running_) return Status::OK();
   stop_requested_.store(true, std::memory_order_release);
+  doorbell_.Ring();  // A parked worker must observe the stop flag.
   if (worker_.joinable()) worker_.join();
   // The worker is gone and (by the orchestrator's teardown order) so are
   // the producers; this thread is the sole owner now — take the worker
@@ -123,6 +135,8 @@ ShardStats MergeShard::stats() const {
       static_cast<size_t>(merged_.load(std::memory_order_acquire));
   s.detections =
       static_cast<size_t>(detections_.load(std::memory_order_relaxed));
+  s.parks = static_cast<size_t>(doorbell_.parks());
+  s.wakes = static_cast<size_t>(doorbell_.wakes());
   return s;
 }
 
@@ -221,6 +235,13 @@ void MergeShard::PublishSafeBound() {
 
 void MergeShard::RunLoop() {
   Backoff backoff;
+  // Plain queue-pointer snapshot for the park predicate: the lane set is
+  // frozen at construction, but `lanes_` itself is worker-role-guarded and
+  // the predicate lambda is analyzed as an unannotated function — so it
+  // captures only this unguarded local.
+  std::vector<SpscQueue<ExchangeItem>*> lane_queues;
+  lane_queues.reserve(lanes_.size());
+  for (LaneState& lane : lanes_) lane_queues.push_back(&lane.lane->queue);
   for (;;) {
     const bool received = ReceiveAvailable();
     const bool merged = MergePass(/*force=*/false);
@@ -230,6 +251,21 @@ void MergeShard::RunLoop() {
       continue;
     }
     if (stop_requested_.load(std::memory_order_acquire)) return;
+    if (backoff.ShouldPark()) {
+      // Every wake source rings this doorbell: lane pushes (events and
+      // watermarks, via SetWaker) and Stop(). Merge progress is entirely
+      // driven by lane input, so an all-empty column with no stop is
+      // genuinely idle. See runtime/backoff.h for the lost-wakeup
+      // argument.
+      (void)doorbell_.ParkUnless([this, &lane_queues] {
+        for (SpscQueue<ExchangeItem>* queue : lane_queues) {
+          if (!queue->ApproxEmpty()) return true;
+        }
+        return stop_requested_.load(std::memory_order_acquire);
+      });
+      backoff.Reset();
+      continue;
+    }
     backoff.Wait();
   }
 }

@@ -50,6 +50,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "obs/instruments.h"
+#include "runtime/backoff.h"
 #include "runtime/exchange.h"
 #include "runtime/ring_buffer.h"
 #include "runtime/shard.h"
@@ -79,6 +80,14 @@ class MergeShard {
   /// Installs a user detection callback (worker thread) invoked for every
   /// detection of this partition's engine. Must precede Start().
   Status SetDetectionCallback(DetectionCallback callback);
+
+  /// Pins the worker thread to `core` at startup (no-op when negative or
+  /// unsupported). Must precede Start().
+  void SetAffinityCore(int core) { affinity_core_ = core; }
+
+  /// Doorbell park/wake counts (parking-liveness tests; also in stats()).
+  uint64_t parks() const { return doorbell_.parks(); }
+  uint64_t wakes() const { return doorbell_.wakes(); }
 
   /// Launches the worker thread. Returns FailedPrecondition if running.
   Status Start();
@@ -154,6 +163,12 @@ class MergeShard {
   /// touched concurrently.
   ThreadRole worker_role_;
   std::vector<LaneState> lanes_ PLDP_GUARDED_BY(worker_role_);
+  /// Wake-on-work doorbell the idle worker parks on; every input lane's
+  /// queue rings it on push (events and watermarks alike), Stop() rings
+  /// it directly.
+  Doorbell doorbell_;
+  /// Worker thread CPU affinity (-1 = unpinned).
+  int affinity_core_ = -1;
   StreamingCepEngine engine_;
   std::thread worker_;
   std::atomic<bool> running_{false};

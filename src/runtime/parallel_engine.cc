@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <utility>
+
+#include "runtime/affinity.h"
 
 namespace pldp {
 namespace {
@@ -26,7 +29,9 @@ constexpr uint64_t kProducerFloorPeriod = 1024;
 ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
     : router_(ResolveShardCount(options.shard_count), options.key_fn),
       exchange_options_(options.exchange),
-      overload_options_(options.overload) {
+      overload_options_(options.overload),
+      pin_threads_(options.pin_threads),
+      affinity_cores_(options.affinity_cores) {
   const size_t n = router_.shard_count();
 
   shards_.reserve(n);
@@ -51,6 +56,28 @@ ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
     for (auto& shard : shards_) raw.push_back(shard.get());
     admission_ = std::make_unique<AdmissionQueue>(
         overload_options_, std::move(raw), &events_ingested_);
+  }
+
+  const size_t producer_count =
+      options.ingest_producers == 0 ? 1 : options.ingest_producers;
+  if (producer_count > 1) {
+    if (overload_options_.policy != OverloadPolicy::kBlock) {
+      // The admission layer is a single-producer component (it owns the
+      // TryPush path and the parked-event floor clamp); shedding under
+      // MPSC ingest would need per-producer admission state.
+      init_error_ = Status::FailedPrecondition(
+          "ingest_producers > 1 requires the blocking overload policy");
+    } else {
+      for (auto& shard : shards_) {
+        Status s = shard->EnableMultiProducer(producer_count);
+        if (init_error_.ok() && !s.ok()) init_error_ = s;
+      }
+    }
+  }
+  producers_.reserve(producer_count);
+  for (size_t p = 0; p < producer_count; ++p) {
+    producers_.push_back(std::unique_ptr<IngestProducer>(
+        new IngestProducer(this, p, producer_count)));
   }
 
   if (options.exchange.enabled) {
@@ -203,6 +230,14 @@ Status ParallelStreamingEngine::EnableMetrics(obs::MetricsRegistry* registry,
         "pldp_shard_process_latency_ns",
         "Per-event shard processing latency (engine + sink + exchange), ns",
         {{"lane", lane}, {"shard", shard_label}});
+    ins.parks = registry->AddCounter(
+        "pldp_shard_parks_total",
+        "Times an idle shard worker parked on its doorbell",
+        {{"lane", lane}, {"shard", shard_label}});
+    ins.wakes = registry->AddCounter(
+        "pldp_shard_wakes_total",
+        "Slow-path doorbell notifies that woke a parked shard worker",
+        {{"lane", lane}, {"shard", shard_label}});
     shard_queue_gauges_[i] = registry->AddGauge(
         "pldp_shard_queue_depth", "Instantaneous shard input-queue depth",
         {{"lane", lane}, {"shard", shard_label}});
@@ -278,6 +313,14 @@ Status ParallelStreamingEngine::EnableMetrics(obs::MetricsRegistry* registry,
           "pldp_merge_latency_ns",
           "Per-released-event merge+match latency, ns",
           {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
+      ins.parks = registry->AddCounter(
+          "pldp_merge_parks_total",
+          "Times an idle merge-shard worker parked on its doorbell",
+          {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
+      ins.wakes = registry->AddCounter(
+          "pldp_merge_wakes_total",
+          "Slow-path doorbell notifies that woke a parked merge worker",
+          {{"lane", lane}, {"group", group_label}, {"shard", shard_label}});
       merge_reorder_gauges_[g][c] = registry->AddGauge(
           "pldp_merge_reorder_depth",
           "Instantaneous reorder-buffer occupancy of a merge shard",
@@ -298,6 +341,12 @@ Status ParallelStreamingEngine::EnableMetrics(obs::MetricsRegistry* registry,
       PLDP_RETURN_IF_ERROR(group.merge_shards[c]->SetInstruments(ins));
     }
   }
+  for (size_t p = 0; p < producers_.size(); ++p) {
+    producers_[p]->ingest_counter_ = registry->AddCounter(
+        "pldp_ingest_events_total",
+        "Events accepted through an ingest producer handle",
+        {{"lane", lane}, {"producer", std::to_string(p)}});
+  }
   return Status::OK();
 }
 
@@ -309,7 +358,7 @@ void ParallelStreamingEngine::RefreshMetricGauges() {
           static_cast<double>(shards_[i]->queue_depth()));
     }
   }
-  const uint64_t frontier = next_seq_.load(std::memory_order_relaxed);
+  const uint64_t frontier = IngestFrontier();
   for (size_t g = 0; g < groups_.size(); ++g) {
     for (size_t p = 0; p < shards_.size(); ++p) {
       if (lane_depth_gauges_[g][p] != nullptr) {
@@ -435,7 +484,7 @@ void ParallelStreamingEngine::CollectHealth(obs::PipelineHealth* health,
                                static_cast<double>(row.queue_capacity);
     health->shards.push_back(std::move(row));
   }
-  const uint64_t frontier = next_seq_.load(std::memory_order_relaxed);
+  const uint64_t frontier = IngestFrontier();
   for (const auto& group : groups_) {
     for (size_t c = 0; c < group.merge_shards.size(); ++c) {
       const MergeShard& merge = *group.merge_shards[c];
@@ -458,6 +507,25 @@ Status ParallelStreamingEngine::Start() {
   }
   PLDP_RETURN_IF_ERROR(init_error_);
   InstallCallbackDispatchers();
+  if (pin_threads_) {
+    // Round-robin core assignment, stage-1 shards first so they land on
+    // distinct cores before the merge shards start sharing. Purely a
+    // placement hint: PinCurrentThreadToCore degrades to a no-op on
+    // unsupported platforms, and oversubscription just wraps around.
+    size_t cores = AvailableCoreCount();
+    if (affinity_cores_ > 0 && affinity_cores_ < cores) {
+      cores = affinity_cores_;
+    }
+    size_t next_core = 0;
+    for (auto& shard : shards_) {
+      shard->SetAffinityCore(static_cast<int>(next_core++ % cores));
+    }
+    for (auto& group : groups_) {
+      for (auto& merge_shard : group.merge_shards) {
+        merge_shard->SetAffinityCore(static_cast<int>(next_core++ % cores));
+      }
+    }
+  }
   // Consumers before producers: a stage-1 worker may block on a full lane
   // the moment it starts, and only a live merge shard ever frees one.
   for (auto& group : groups_) {
@@ -482,6 +550,10 @@ Status ParallelStreamingEngine::Drain() {
     // barrier once they have landed in their shard queues.
     PLDP_RETURN_IF_ERROR(admission_->FlushBlocking());
   }
+  // The ingest fence must precede the shard drains: in MPSC mode a shard
+  // can only run its lanes dry once every producer's floor passed the
+  // bound (a stale floor gates the lane merge forever).
+  const uint64_t bound = PrepareIngestBarrier();
   for (auto& shard : shards_) {
     Status s = shard->Drain();
     if (!s.ok()) return s;
@@ -492,7 +564,6 @@ Status ParallelStreamingEngine::Drain() {
     // broadcasts on every lane-group's row), then every merge shard of
     // every group is waited past that bound. Inherits Drain's best-effort
     // semantics when a producer keeps pushing concurrently.
-    const uint64_t bound = next_seq_.load(std::memory_order_relaxed);
     for (auto& shard : shards_) {
       Status s = shard->RequestFlushWatermark(bound);
       if (!s.ok()) return s;
@@ -526,10 +597,11 @@ Status ParallelStreamingEngine::FinishInternal() {
   if (admission_ != nullptr) {
     PLDP_RETURN_IF_ERROR(admission_->FlushBlocking());
   }
+  // Ingest fence before the shard drains — see Drain() for why.
+  const uint64_t bound = PrepareIngestBarrier();
   for (auto& shard : shards_) {
     PLDP_RETURN_IF_ERROR(shard->Drain());
   }
-  const uint64_t bound = next_seq_.load(std::memory_order_relaxed);
   // Post the finish command to EVERY shard before waiting on ANY ack.
   // Finalize-time emissions run against bounded credit budgets: shard A's
   // sink output may only become releasable — and its credits returnable —
@@ -583,6 +655,11 @@ Status ParallelStreamingEngine::Stop() {
 }
 
 Status ParallelStreamingEngine::OnEvent(const Event& event) {
+  if (producers_.size() > 1) {
+    return Status::FailedPrecondition(
+        "MPSC ingest: drive the per-producer handles (producer(i)), not "
+        "the engine-level OnEvent");
+  }
   ingest_role_.Assert();
   if (!running_) {
     return Status::FailedPrecondition(
@@ -620,6 +697,11 @@ Status ParallelStreamingEngine::OnEvent(const Event& event) {
 }
 
 Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
+  if (producers_.size() > 1) {
+    return Status::FailedPrecondition(
+        "MPSC ingest: drive the per-producer handles (producer(i)), not "
+        "the engine-level OnEventBatch");
+  }
   ingest_role_.Assert();
   if (!running_) {
     return Status::FailedPrecondition(
@@ -753,6 +835,205 @@ std::vector<ShardStats> ParallelStreamingEngine::ShardStatsSnapshot() const {
   stats.reserve(shards_.size());
   for (const auto& shard : shards_) stats.push_back(shard->stats());
   return stats;
+}
+
+uint64_t ParallelStreamingEngine::IngestFrontier() const {
+  if (producers_.size() <= 1) {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  uint64_t frontier = 0;
+  for (const auto& producer : producers_) {
+    frontier = std::max(frontier, producer->seq_frontier());
+  }
+  return frontier;
+}
+
+uint64_t ParallelStreamingEngine::PrepareIngestBarrier() {
+  if (producers_.size() <= 1) {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  const uint64_t bound = IngestFrontier();
+  // Arm the producer-side resync first: a producer ingesting again after
+  // this barrier must stamp at or above `bound`, or its events would fall
+  // below the watermark the barrier is about to flush (monotone CAS — a
+  // concurrent barrier with a larger bound must win).
+  uint64_t prev = resync_floor_.load(std::memory_order_relaxed);
+  while (prev < bound &&
+         !resync_floor_.compare_exchange_weak(prev, bound,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+  }
+  // Publish `bound` as every producer's floor on every shard: quiescent
+  // producers' lanes are then provably past every pending candidate, so
+  // the lane merges can run dry during the shard drains that follow.
+  for (size_t p = 0; p < producers_.size(); ++p) {
+    for (auto& shard : shards_) shard->NoteLaneFloor(p, bound);
+  }
+  return bound;
+}
+
+void ParallelStreamingEngine::PublishStallFloors(size_t stalled,
+                                                 uint64_t own_floor) {
+  // The stalled producer's own claim first: every sequence it stamped
+  // below `own_floor` has landed in a lane already (own_floor is its
+  // smallest unpushed stamp), so this is sound even mid-push — and it is
+  // what lets a SECOND stalled producer's shard merge past this one.
+  for (auto& shard : shards_) shard->NoteLaneFloor(stalled, own_floor);
+  // Quiescent peers: lift their lane floors to the ingest frontier so a
+  // merge gated on an idle peer cannot hold this push full forever. Arm
+  // the resync floor BEFORE proving quiescence: with the seq_cst fence
+  // below pairing against the one in CallScope, a peer whose in_call_
+  // reads false here either never enters a stamping call again or enters
+  // one whose MaybeResync observes the armed bound — both keep every
+  // future stamp of that peer at or above the floor published for it.
+  // A peer seen in-call is skipped: its own pushes, periodic floors, and
+  // (should it stall too) its own stall hook keep its lanes live.
+  const uint64_t bound = IngestFrontier();
+  uint64_t prev = resync_floor_.load(std::memory_order_relaxed);
+  while (prev < bound &&
+         !resync_floor_.compare_exchange_weak(prev, bound,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  for (size_t p = 0; p < producers_.size(); ++p) {
+    if (p == stalled) continue;
+    if (producers_[p]->in_call_.load(std::memory_order_relaxed)) continue;
+    for (auto& shard : shards_) shard->NoteLaneFloor(p, bound);
+  }
+}
+
+void IngestProducer::OnLaneStall(void* ctx, uint64_t next_seq) {
+  auto* stall = static_cast<StallContext*>(ctx);
+  stall->engine->PublishStallFloors(stall->producer,
+                                    std::min(next_seq, stall->rest_min));
+}
+
+IngestProducer::IngestProducer(ParallelStreamingEngine* engine, size_t index,
+                               size_t stride)
+    : engine_(engine), index_(index), stride_(stride), seq_next_(index) {
+  if (stride_ > 1) {
+    staging_.resize(engine_->shards_.size());
+    // Mirror the engine-level staging: pre-size to the per-lane queue
+    // capacity so steady-state batched ingest never grows the buffers
+    // (queue_capacity() aggregates over the P lanes, hence the division).
+    for (auto& buf : staging_) {
+      buf.reserve(engine_->shards_.empty()
+                      ? 0
+                      : engine_->shards_[0]->queue_capacity() / stride_);
+    }
+  }
+}
+
+void IngestProducer::MaybeResync() {
+  // Callers enter through CallScope, whose seq_cst fence precedes this
+  // load: paired with the fence in PublishStallFloors it guarantees that
+  // a handle proven out-of-call there cannot miss a bound armed there.
+  const uint64_t rf = engine_->resync_floor_.load(std::memory_order_acquire);
+  const uint64_t next = seq_next_.load(std::memory_order_relaxed);
+  if (next >= rf) return;
+  // Smallest value >= rf that keeps this producer's residue (mod stride).
+  seq_next_.store(rf + (index_ + stride_ - rf % stride_) % stride_,
+                  std::memory_order_relaxed);
+}
+
+void IngestProducer::PublishFloor() {
+  role_.Assert();
+  if (stride_ == 1) return;  // single-producer floors ride the engine path
+  const uint64_t floor = seq_next_.load(std::memory_order_relaxed);
+  for (auto& shard : engine_->shards_) shard->NoteLaneFloor(index_, floor);
+  since_floor_ = 0;
+}
+
+Status IngestProducer::OnEvent(const Event& event) {
+  if (stride_ == 1) {
+    Status s = engine_->OnEvent(event);
+    if (s.ok() && ingest_counter_ != nullptr) ingest_counter_->Inc(1);
+    return s;
+  }
+  role_.Assert();
+  if (!engine_->running_) {
+    return Status::FailedPrecondition(
+        "IngestProducer::OnEvent before Start()");
+  }
+  if (engine_->finished_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("ingestion after Finish()");
+  }
+  CallScope in_call(this);
+  MaybeResync();
+  StampedEvent stamped;
+  const uint64_t seq = seq_next_.load(std::memory_order_relaxed);
+  stamped.seq = seq;
+  stamped.event = event;
+  // Frontier semantics ("every handed-out seq is strictly below it")
+  // require the advance before the possibly-blocking push.
+  seq_next_.store(seq + stride_, std::memory_order_release);
+  const size_t target = engine_->router_.ShardOf(event);
+  StallContext stall{engine_, index_,
+                     std::numeric_limits<uint64_t>::max()};
+  PLDP_RETURN_IF_ERROR(engine_->shards_[target]->PushStampedLaneN(
+      index_, &stamped, 1, nullptr, &IngestProducer::OnLaneStall, &stall));
+  engine_->events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  if (ingest_counter_ != nullptr) ingest_counter_->Inc(1);
+  if (++since_floor_ >= kProducerFloorPeriod) PublishFloor();
+  return Status::OK();
+}
+
+Status IngestProducer::OnEventBatch(EventSpan events) {
+  if (stride_ == 1) {
+    Status s = engine_->OnEventBatch(events);
+    if (s.ok() && ingest_counter_ != nullptr) {
+      ingest_counter_->Inc(events.size());
+    }
+    return s;
+  }
+  role_.Assert();
+  if (!engine_->running_) {
+    return Status::FailedPrecondition(
+        "IngestProducer::OnEventBatch before Start()");
+  }
+  if (engine_->finished_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("ingestion after Finish()");
+  }
+  if (events.empty()) return Status::OK();
+  CallScope in_call(this);
+  MaybeResync();
+  for (auto& buf : staging_) buf.clear();
+  uint64_t seq = seq_next_.load(std::memory_order_relaxed);
+  for (const Event& e : events) {
+    StampedEvent stamped;
+    stamped.seq = seq;
+    seq += stride_;
+    stamped.event = e;
+    staging_[engine_->router_.ShardOf(e)].push_back(std::move(stamped));
+  }
+  seq_next_.store(seq, std::memory_order_release);
+  for (size_t i = 0; i < staging_.size(); ++i) {
+    if (staging_[i].empty()) continue;
+    // Stall floor while this shard's push blocks: the smallest sequence
+    // this producer has not landed anywhere is either still inside THIS
+    // buffer (the hook receives it) or the head of a buffer yet to be
+    // pushed — buffers are filled in stream order, so a later buffer can
+    // hold smaller sequences than this one's tail.
+    uint64_t rest_min = std::numeric_limits<uint64_t>::max();
+    for (size_t j = i + 1; j < staging_.size(); ++j) {
+      if (!staging_[j].empty() && staging_[j].front().seq < rest_min) {
+        rest_min = staging_[j].front().seq;
+      }
+    }
+    StallContext stall{engine_, index_, rest_min};
+    size_t accepted = 0;
+    const Status s = engine_->shards_[i]->PushStampedLaneN(
+        index_, staging_[i].data(), staging_[i].size(), &accepted,
+        &IngestProducer::OnLaneStall, &stall);
+    engine_->events_ingested_.fetch_add(accepted,
+                                        std::memory_order_relaxed);
+    if (ingest_counter_ != nullptr) ingest_counter_->Inc(accepted);
+    PLDP_RETURN_IF_ERROR(s);
+  }
+  // Every staged event is pushed; the whole batch is a safe floor.
+  PublishFloor();
+  return Status::OK();
 }
 
 std::vector<ShardStats> ParallelStreamingEngine::CrossShardStatsSnapshot()

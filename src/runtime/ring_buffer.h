@@ -62,11 +62,23 @@ class RingBuffer {
     while (!empty()) pop_front();
   }
 
+  /// Grows capacity to the next power of two >= `n` up front (contents
+  /// preserved; no-op when already that large). Callers that know their
+  /// occupancy bound — the merge shards' per-lane credit budget — reserve
+  /// at wiring time so the steady state never pays a growth allocation.
+  void reserve(size_t n) {
+    if (n <= slots_.size()) return;
+    size_t target = slots_.size() == 0 ? kInitialCapacity : slots_.size();
+    while (target < n) target *= 2;
+    GrowTo(target);
+  }
+
  private:
   void Grow() {
-    const size_t old_capacity = slots_.size();
-    const size_t new_capacity = old_capacity == 0 ? kInitialCapacity
-                                                  : old_capacity * 2;
+    GrowTo(slots_.size() == 0 ? kInitialCapacity : slots_.size() * 2);
+  }
+
+  void GrowTo(size_t new_capacity) {
     std::vector<T> grown(new_capacity);
     const size_t count = size();
     for (size_t i = 0; i < count; ++i) {

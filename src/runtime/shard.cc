@@ -2,9 +2,12 @@
 
 #include "runtime/shard.h"
 
+#include <limits>
 #include <utility>
 
+#include "cep/predicate.h"
 #include "common/logging.h"
+#include "runtime/affinity.h"
 #include "runtime/backoff.h"
 
 namespace pldp {
@@ -21,6 +24,7 @@ Shard::Shard(size_t index, size_t queue_capacity, uint64_t seed)
     : index_(index),
       queue_(queue_capacity),
       rng_(SplitMix64(seed ^ (0xdecaf000ULL + index)).Next()) {
+  queue_.SetWaker(&doorbell_);
   engine_.SetCallback([this](const StreamingDetection& d) {
     detections_.fetch_add(1, std::memory_order_relaxed);
     if (user_callback_) user_callback_(d);
@@ -71,6 +75,30 @@ Status Shard::SetDetectionCallback(DetectionCallback callback) {
   return Status::OK();
 }
 
+Status Shard::EnableMultiProducer(size_t producer_count) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "Shard::EnableMultiProducer must precede Start()");
+  }
+  if (producer_count == 0) {
+    return Status::InvalidArgument("producer_count must be >= 1");
+  }
+  lanes_.clear();
+  lanes_.reserve(producer_count);
+  for (size_t p = 0; p < producer_count; ++p) {
+    // Each producer gets the full configured capacity: per-lane
+    // backpressure then behaves like single-lane mode per producer.
+    lanes_.push_back(std::make_unique<SpscQueue<StampedEvent>>(
+        queue_.capacity()));
+    lanes_.back()->SetWaker(&doorbell_);
+  }
+  lane_floors_ = std::make_unique<std::atomic<uint64_t>[]>(producer_count);
+  for (size_t p = 0; p < producer_count; ++p) {
+    lane_floors_[p].store(0, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
 Status Shard::AddExchange(std::unique_ptr<ExchangeEmitter> emitter,
                           bool forward_raw_events) {
   if (running_) {
@@ -110,9 +138,15 @@ Status Shard::Start() {
     return Status::FailedPrecondition("shard already running");
   }
   stop_requested_.store(false, std::memory_order_relaxed);
+  doorbell_.SetCounters(obs_.parks, obs_.wakes);
   worker_ = std::thread([this] {
+    if (affinity_core_ >= 0) (void)PinCurrentThreadToCore(affinity_core_);
     worker_role_.Acquire();
-    RunLoop();
+    if (lanes_.empty()) {
+      RunLoop();
+    } else {
+      MultiRunLoop();
+    }
     worker_role_.Release();
   });
   running_ = true;
@@ -145,6 +179,10 @@ Status Shard::PushStampedN(StampedEvent* events, size_t count,
   if (accepted != nullptr) *accepted = 0;
   if (!running_) {
     return Status::FailedPrecondition("shard not running");
+  }
+  if (!lanes_.empty()) {
+    return Status::FailedPrecondition(
+        "shard is in multi-producer mode; use PushStampedLaneN");
   }
   Backoff backoff;
   bool waited = false;
@@ -182,12 +220,64 @@ Status Shard::PushStampedN(StampedEvent* events, size_t count,
 }
 
 size_t Shard::TryPushStampedN(StampedEvent* events, size_t count) {
-  if (!running_ || stop_requested_.load(std::memory_order_relaxed)) {
+  if (!running_ || !lanes_.empty() ||
+      stop_requested_.load(std::memory_order_relaxed)) {
     return 0;
   }
   const size_t n = queue_.TryPushN(events, count);
   if (n > 0) pushed_.fetch_add(n, std::memory_order_relaxed);
   return n;
+}
+
+Status Shard::PushStampedLaneN(size_t producer, StampedEvent* events,
+                               size_t count, size_t* accepted,
+                               StallFn stall, void* stall_ctx) {
+  if (accepted != nullptr) *accepted = 0;
+  if (producer >= lanes_.size()) {
+    return Status::InvalidArgument("producer lane index out of range");
+  }
+  if (!running_) {
+    return Status::FailedPrecondition("shard not running");
+  }
+  SpscQueue<StampedEvent>& lane = *lanes_[producer];
+  Backoff backoff;
+  bool waited = false;
+  size_t done = 0;
+  while (done < count) {
+    // Same fail-fast-on-stop contract as PushStampedN.
+    if (stop_requested_.load(std::memory_order_relaxed)) {
+      if (done > 0) pushed_.fetch_add(done, std::memory_order_relaxed);
+      if (accepted != nullptr) *accepted = done;
+      PLDP_LOG(Warning) << "shard " << index_ << ": lane " << producer
+                        << " push after stop, " << (count - done) << " of "
+                        << count << " events rejected";
+      return Status::FailedPrecondition("push after shard stop");
+    }
+    const size_t n = lane.TryPushN(events + done, count - done);
+    if (n == 0) {
+      waited = true;
+      // A persistently full lane means the worker is not merging — which
+      // in MPSC mode can be THIS producer's fault structurally: the merge
+      // may be gated on a quiescent peer's stale floor that only an
+      // ingest barrier would normally refresh, and the barrier can never
+      // run while this call blocks. The stall hook breaks the cycle from
+      // here (throttled to the post-budget backoff cadence, ~50us).
+      if (stall != nullptr && backoff.ShouldPark()) {
+        stall(stall_ctx, events[done].seq);
+      }
+      backoff.Wait();
+    } else {
+      done += n;
+      backoff.Reset();
+    }
+  }
+  if (waited) {
+    backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.backpressure_waits) obs_.backpressure_waits->Inc();
+  }
+  pushed_.fetch_add(count, std::memory_order_relaxed);
+  if (accepted != nullptr) *accepted = count;
+  return Status::OK();
 }
 
 Status Shard::Drain() {
@@ -206,7 +296,9 @@ StatusOr<uint64_t> Shard::PostCommand(uint32_t kind, uint64_t payload) {
   }
   cmd_payload_.store(payload, std::memory_order_relaxed);
   cmd_kind_.store(kind, std::memory_order_relaxed);
-  return cmd_gen_.fetch_add(1, std::memory_order_release) + 1;
+  const uint64_t token = cmd_gen_.fetch_add(1, std::memory_order_release) + 1;
+  doorbell_.Ring();
+  return token;
 }
 
 Status Shard::WaitCommandAck(uint64_t token) {
@@ -241,6 +333,7 @@ Status Shard::Stop() {
   if (!running_) return Status::OK();
   Status drained = Drain();
   stop_requested_.store(true, std::memory_order_release);
+  doorbell_.Ring();  // A parked worker must observe the stop flag.
   if (worker_.joinable()) worker_.join();
   // A push racing the stop flag can land an event after the worker's final
   // empty-queue check. The join above makes this thread the sole owner —
@@ -249,13 +342,38 @@ Status Shard::Stop() {
   // processed_ is released.
   worker_role_.Acquire();
   const std::vector<ExchangeHookRef> hooks = SnapshotHooks();
-  StampedEvent leftover;
-  while (queue_.TryPop(leftover)) {
-    ProcessOne(leftover, hooks);
-    if (obs_.events) obs_.events->Inc();
-    if (obs_.batch_size) obs_.batch_size->Record(1);
-    if (obs_.process_latency_ns) obs_.process_latency_ns->Record(0);
-    processed_.fetch_add(1, std::memory_order_release);
+  if (lanes_.empty()) {
+    StampedEvent leftover;
+    while (queue_.TryPop(leftover)) {
+      ProcessOne(leftover, hooks);
+      if (obs_.events) obs_.events->Inc();
+      if (obs_.batch_size) obs_.batch_size->Record(1);
+      if (obs_.process_latency_ns) obs_.process_latency_ns->Record(0);
+      processed_.fetch_add(1, std::memory_order_release);
+    }
+  } else {
+    // Multi-producer leftovers merge across lanes in sequence order
+    // (ingest is over, so the floors no longer gate anything).
+    const size_t lane_count = lanes_.size();
+    std::vector<StampedEvent> heads(lane_count);
+    std::vector<char> valid(lane_count, 0);
+    for (;;) {
+      size_t min_p = lane_count;
+      for (size_t p = 0; p < lane_count; ++p) {
+        if (!valid[p]) valid[p] = lanes_[p]->TryPop(heads[p]) ? 1 : 0;
+        if (valid[p] &&
+            (min_p == lane_count || heads[p].seq < heads[min_p].seq)) {
+          min_p = p;
+        }
+      }
+      if (min_p == lane_count) break;
+      ProcessOne(heads[min_p], hooks);
+      if (obs_.events) obs_.events->Inc();
+      if (obs_.batch_size) obs_.batch_size->Record(1);
+      if (obs_.process_latency_ns) obs_.process_latency_ns->Record(0);
+      processed_.fetch_add(1, std::memory_order_release);
+      valid[min_p] = 0;
+    }
   }
   worker_role_.Release();
   running_ = false;
@@ -271,6 +389,8 @@ ShardStats Shard::stats() const {
       static_cast<size_t>(detections_.load(std::memory_order_relaxed));
   s.backpressure_waits = static_cast<size_t>(
       backpressure_waits_.load(std::memory_order_relaxed));
+  s.parks = static_cast<size_t>(doorbell_.parks());
+  s.wakes = static_cast<size_t>(doorbell_.wakes());
   MutexLock lock(reg_mu_);
   for (const ExchangeHook& hook : hooks_) {
     const ExchangeEmitterStats e = hook.emitter->stats();
@@ -308,7 +428,8 @@ void Shard::ExecuteCommand(const std::vector<ExchangeHookRef>& hooks) {
 }
 
 void Shard::ProcessOne(const StampedEvent& stamped,
-                       const std::vector<ExchangeHookRef>& hooks) {
+                       const std::vector<ExchangeHookRef>& hooks,
+                       bool engine_relevant) {
   // One exchange trigger scope per event and per lane-group: everything
   // emitted while processing it — raw forwards and sink-driven output
   // alike — is stamped (seq, 0), (seq, 1), ... independently on every
@@ -318,7 +439,10 @@ void Shard::ProcessOne(const StampedEvent& stamped,
   }
   // The engine's status is always OK today (OnEvent cannot fail); if
   // a future engine surfaces errors we will carry them to Drain().
-  (void)engine_.OnEvent(stamped.event);
+  // `engine_relevant` is the batch prefilter's verdict: an event whose
+  // type no pattern references is a matcher no-op, so the call is skipped
+  // wholesale (pinned equivalent by the EvalBatch fixed-seed tests).
+  if (engine_relevant) (void)engine_.OnEvent(stamped.event);
   if (sink_ != nullptr) sink_->OnShardEvent(stamped.event);
   for (const ExchangeHookRef& hook : hooks) {
     if (hook.forward_raw_events) (void)hook.emitter->Emit(stamped.event);
@@ -334,16 +458,29 @@ void Shard::RunLoop() {
   // shard runs, so the list is frozen and the per-event path stays off
   // the registration mutex.
   const std::vector<ExchangeHookRef> hooks = SnapshotHooks();
+  // Engine-relevance prefilter: one vectorizable type-compare pass per pop
+  // burst replaces a per-event engine dispatch for every event whose type
+  // no registered pattern references (cep/predicate.h).
+  const std::shared_ptr<const TypeAnyOfPredicate> prefilter =
+      MakeTypeAnyOf(engine_.RelevantEventTypes());
+  uint64_t relevance[kPopBatch / 64];
+  // Sequence bound of the last idle watermark this loop broadcast — the
+  // park predicate watches the producer floor against it.
+  uint64_t last_idle_bound = 0;
   for (;;) {
     const size_t n = queue_.TryPopN(batch.data(), batch.size());
     if (n > 0) {
       backoff.Reset();
       if (obs_.batch_size) obs_.batch_size->Record(n);
+      prefilter->EvalTypesStrided(&batch[0].event, sizeof(StampedEvent), n,
+                                  relevance);
       // Chained clock reads: one MonotonicNowNs per event, each delta is
       // that event's full processing latency (engine + sink + exchange).
       uint64_t t_prev = obs_.process_latency_ns ? obs::MonotonicNowNs() : 0;
       for (size_t i = 0; i < n; ++i) {
-        ProcessOne(batch[i], hooks);
+        const bool relevant =
+            ((relevance[i >> 6] >> (i & 63)) & uint64_t{1}) != 0;
+        ProcessOne(batch[i], hooks, relevant);
         if (obs_.process_latency_ns) {
           const uint64_t t_now = obs::MonotonicNowNs();
           obs_.process_latency_ns->Record(t_now - t_prev);
@@ -379,7 +516,168 @@ void Shard::RunLoop() {
         for (const ExchangeHookRef& hook : hooks) {
           (void)hook.emitter->Broadcast(bound);
         }
+        last_idle_bound = bound;
       }
+    }
+    if (backoff.ShouldPark()) {
+      // Park until work arrives. The predicate reads only atomics (queue
+      // indices, command generation, stop flag, producer floor) — never
+      // worker-guarded state — and covers every wake source: a push rings
+      // via the queue's waker, PostCommand / Stop / NoteProducerFloor
+      // ring directly. See runtime/backoff.h for the lost-wakeup
+      // argument; `watch_floor` wakes the loop when there is new idle-
+      // watermark progress to broadcast.
+      const bool watch_floor = !hooks.empty();
+      const uint64_t idle_bound = last_idle_bound;
+      (void)doorbell_.ParkUnless([this, watch_floor, idle_bound] {
+        if (!queue_.ApproxEmpty()) return true;
+        if (cmd_gen_.load(std::memory_order_acquire) !=
+            cmd_ack_.load(std::memory_order_relaxed)) {
+          return true;
+        }
+        if (stop_requested_.load(std::memory_order_acquire)) return true;
+        return watch_floor &&
+               producer_floor_.load(std::memory_order_acquire) > idle_bound;
+      });
+      // Woken (or preempted by work) — spin afresh before parking again.
+      backoff.Reset();
+      continue;
+    }
+    backoff.Wait();
+  }
+}
+
+void Shard::MultiRunLoop() {
+  Backoff backoff;
+  const std::vector<ExchangeHookRef> hooks = SnapshotHooks();
+  const size_t lane_count = lanes_.size();
+  // Per-lane merge state: the head slot (smallest not-yet-released event
+  // of that lane) and the last floor observed from its producer.
+  std::vector<StampedEvent> heads(lane_count);
+  std::vector<char> valid(lane_count, 0);
+  std::vector<uint64_t> floors(lane_count, 0);
+  std::vector<StampedEvent> batch;
+  batch.reserve(kPopBatch);
+  uint64_t last_idle_bound = 0;
+  for (;;) {
+    // Refill order matters: floor first, head second. A producer release-
+    // stores its floor after the pushes it covers, so a floor acquired
+    // BEFORE an empty TryPop proves the lane holds nothing below it.
+    for (size_t p = 0; p < lane_count; ++p) {
+      floors[p] = lane_floors_[p].load(std::memory_order_acquire);
+      if (!valid[p]) valid[p] = lanes_[p]->TryPop(heads[p]) ? 1 : 0;
+    }
+    // Merge pass: release the minimum head while every headless lane's
+    // floor proves it cannot still produce something smaller — the same
+    // watermark-style gate the stage-2 exchange merge uses.
+    batch.clear();
+    while (batch.size() < kPopBatch) {
+      size_t min_p = lane_count;
+      for (size_t p = 0; p < lane_count; ++p) {
+        if (valid[p] &&
+            (min_p == lane_count || heads[p].seq < heads[min_p].seq)) {
+          min_p = p;
+        }
+      }
+      if (min_p == lane_count) break;
+      const uint64_t candidate = heads[min_p].seq;
+      bool gated = false;
+      for (size_t p = 0; p < lane_count; ++p) {
+        if (!valid[p] && floors[p] <= candidate) {
+          gated = true;
+          break;
+        }
+      }
+      if (gated) break;  // The outer loop re-reads floors and retries.
+      batch.push_back(std::move(heads[min_p]));
+      valid[min_p] = lanes_[min_p]->TryPop(heads[min_p]) ? 1 : 0;
+    }
+    if (!batch.empty()) {
+      backoff.Reset();
+      const size_t n = batch.size();
+      if (obs_.batch_size) obs_.batch_size->Record(n);
+      uint64_t t_prev = obs_.process_latency_ns ? obs::MonotonicNowNs() : 0;
+      for (size_t i = 0; i < n; ++i) {
+        ProcessOne(batch[i], hooks);
+        if (obs_.process_latency_ns) {
+          const uint64_t t_now = obs::MonotonicNowNs();
+          obs_.process_latency_ns->Record(t_now - t_prev);
+          t_prev = t_now;
+        }
+      }
+      if (obs_.events) obs_.events->Inc(n);
+      processed_.fetch_add(n, std::memory_order_release);
+      ExecuteCommand(hooks);
+      continue;
+    }
+    ExecuteCommand(hooks);
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      // Ingest is over: force-merge every remaining head and lane
+      // leftover in sequence order, ignoring the (possibly stale) floors
+      // — no smaller sequence can arrive anymore. The worker never
+      // returns holding a valid head.
+      for (;;) {
+        size_t min_p = lane_count;
+        for (size_t p = 0; p < lane_count; ++p) {
+          if (!valid[p]) valid[p] = lanes_[p]->TryPop(heads[p]) ? 1 : 0;
+          if (valid[p] &&
+              (min_p == lane_count || heads[p].seq < heads[min_p].seq)) {
+            min_p = p;
+          }
+        }
+        if (min_p == lane_count) return;
+        ProcessOne(heads[min_p], hooks);
+        if (obs_.events) obs_.events->Inc();
+        if (obs_.batch_size) obs_.batch_size->Record(1);
+        if (obs_.process_latency_ns) obs_.process_latency_ns->Record(0);
+        processed_.fetch_add(1, std::memory_order_release);
+        valid[min_p] = 0;
+      }
+    }
+    // Idle watermark: everything merged so far — or the lanes' common
+    // floor when every lane is drained and headless (all producers vouch
+    // nothing below it is outstanding).
+    if (!hooks.empty()) {
+      uint64_t bound = processed_any_ ? last_seq_ + 1 : 0;
+      bool all_idle = true;
+      uint64_t min_floor = std::numeric_limits<uint64_t>::max();
+      for (size_t p = 0; p < lane_count; ++p) {
+        if (valid[p] || !lanes_[p]->ApproxEmpty()) {
+          all_idle = false;
+          break;
+        }
+        if (floors[p] < min_floor) min_floor = floors[p];
+      }
+      if (all_idle && lane_count > 0 && min_floor > bound) bound = min_floor;
+      if (bound > 0) {
+        for (const ExchangeHookRef& hook : hooks) {
+          (void)hook.emitter->Broadcast(bound);
+        }
+        last_idle_bound = bound;
+      }
+    }
+    if (backoff.ShouldPark()) {
+      // Wake on: any lane push (queue waker), any floor movement vs the
+      // snapshot in `floors` (NoteLaneFloor rings), a posted command, or
+      // stop. Only atomics and loop-local state — no guarded members.
+      const bool watch_floor = !hooks.empty();
+      const uint64_t idle_bound = last_idle_bound;
+      (void)doorbell_.ParkUnless([this, &floors, lane_count, watch_floor,
+                                  idle_bound] {
+        for (size_t p = 0; p < lane_count; ++p) {
+          if (!lanes_[p]->ApproxEmpty()) return true;
+          const uint64_t f = lane_floors_[p].load(std::memory_order_acquire);
+          if (f != floors[p]) return true;
+          if (watch_floor && f > idle_bound) return true;
+        }
+        if (cmd_gen_.load(std::memory_order_acquire) !=
+            cmd_ack_.load(std::memory_order_relaxed)) {
+          return true;
+        }
+        return stop_requested_.load(std::memory_order_acquire);
+      });
+      backoff.Reset();
+      continue;
     }
     backoff.Wait();
   }

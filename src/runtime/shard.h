@@ -19,8 +19,12 @@
 // global order on the stage-2 side.
 //
 // Threading contract:
-//   - Exactly one thread (the router / ParallelStreamingEngine caller) may
-//     call Push / PushN at a time; the worker thread is the only consumer.
+//   - Default (single-lane) mode: exactly one thread (the router /
+//     ParallelStreamingEngine caller) may call Push / PushN at a time; the
+//     worker thread is the only consumer. With EnableMultiProducer(P) the
+//     shard instead exposes P independent SPSC ingest lanes — exactly one
+//     thread per lane index may call PushStampedLaneN / NoteLaneFloor, and
+//     the worker merges the lanes back into global sequence order.
 //   - AddQuery / SetEventSink / AddExchange must happen before Start. Start
 //     and Stop must not race each other or a pushing producer (they manage
 //     the worker thread), but Push racing a Stop fails fast instead of
@@ -56,6 +60,7 @@
 #include "common/thread_annotations.h"
 #include "event/event.h"
 #include "obs/instruments.h"
+#include "runtime/backoff.h"
 #include "runtime/exchange.h"
 #include "runtime/spsc_queue.h"
 
@@ -77,6 +82,10 @@ struct ShardStats {
   /// Times a full exchange lane made this shard's worker wait — direct
   /// backpressure from stage-2 (0 without an emitter).
   size_t exchange_backpressure_waits = 0;
+  /// Times the idle worker parked on its doorbell (runtime/backoff.h) and
+  /// how often a producer's ring took the slow notify path.
+  size_t parks = 0;
+  size_t wakes = 0;
 };
 
 /// A queued event plus its global ingest sequence number — the exchange
@@ -140,6 +149,25 @@ class Shard {
 
   ShardEventSink* event_sink() const { return sink_.get(); }
 
+  /// Switches ingest to `producer_count` independent SPSC lanes (the MPSC
+  /// front-end): producer `p` pushes pre-stamped events with strictly
+  /// increasing sequence numbers through PushStampedLaneN(p, ...), and the
+  /// worker merges all lanes back into global sequence order before
+  /// processing. Merge progress across an idle lane requires its producer
+  /// to publish floors via NoteLaneFloor (the engine's per-producer floor
+  /// protocol; the engine's stall-floor path publishes on behalf of
+  /// quiescent producers so an idle lane cannot wedge a push — see
+  /// ParallelStreamingEngine::PublishStallFloors). Must precede Start();
+  /// `producer_count` >= 1.
+  Status EnableMultiProducer(size_t producer_count);
+
+  /// Number of ingest lanes (0 in default single-lane mode).
+  size_t producer_lane_count() const { return lanes_.size(); }
+
+  /// Pins the worker thread to `core` at startup (no-op when negative or
+  /// unsupported on this platform). Must precede Start().
+  void SetAffinityCore(int core) { affinity_core_ = core; }
+
   /// Wires this shard into one more exchange fabric (one lane-group). When
   /// `forward_raw_events` is set the worker emits every processed event
   /// through this emitter (the plain cross-subject path); otherwise this
@@ -168,9 +196,52 @@ class Shard {
   Status PushN(Event* events, size_t count, size_t* accepted = nullptr);
 
   /// Pre-stamped bulk enqueue (the sharded engine's path). Sequence numbers
-  /// must be strictly increasing across all pushes to this shard.
+  /// must be strictly increasing across all pushes to this shard. Single-
+  /// lane mode only — FailedPrecondition after EnableMultiProducer.
   Status PushStampedN(StampedEvent* events, size_t count,
                       size_t* accepted = nullptr);
+
+  /// Stall hook for PushStampedLaneN: invoked with `ctx` and the sequence
+  /// number of the next unpushed event each backoff step after the push
+  /// has exhausted its spin/yield budget on a full lane. The MPSC engine
+  /// uses it to publish stall floors (ParallelStreamingEngine::
+  /// PublishStallFloors): without them, a merge gated on a quiescent
+  /// peer's stale lane floor and a producer blocked on the resulting full
+  /// lane deadlock each other.
+  using StallFn = void (*)(void* ctx, uint64_t next_seq);
+
+  /// Multi-producer variant of PushStampedN: producer `producer` pushes
+  /// into its own lane. Exactly one thread per lane index; sequence
+  /// numbers must be strictly increasing within each lane. Blocking with
+  /// the same fail-fast-on-stop semantics as PushStampedN; `stall` (if
+  /// non-null) fires periodically while the lane stays full.
+  Status PushStampedLaneN(size_t producer, StampedEvent* events,
+                          size_t count, size_t* accepted = nullptr,
+                          StallFn stall = nullptr,
+                          void* stall_ctx = nullptr);
+
+  /// Per-producer floor (multi-producer mode): every event producer
+  /// `producer` will ever push to ANY shard with seq < `floor` has been
+  /// pushed already. The worker needs these to merge across an idle lane
+  /// (see MultiRunLoop) and to broadcast idle watermarks. Called by the
+  /// lane's producer thread and by the engine's drain barrier on behalf
+  /// of quiescent producers — the monotone CAS keeps the floor from ever
+  /// regressing whichever writer is slower. Rings the worker doorbell,
+  /// but only when the floor actually advanced: the stall-floor path
+  /// republishes the same bound every backoff step, and an unconditional
+  /// ring would wake parked workers on every repeat for nothing (a no-op
+  /// publish carries no information the park predicate could act on).
+  void NoteLaneFloor(size_t producer, uint64_t floor) {
+    uint64_t prev = lane_floors_[producer].load(std::memory_order_relaxed);
+    while (prev < floor) {
+      if (lane_floors_[producer].compare_exchange_weak(
+              prev, floor, std::memory_order_release,
+              std::memory_order_relaxed)) {
+        doorbell_.Ring();
+        return;
+      }
+    }
+  }
 
   /// Non-blocking variant: enqueues as many leading events as the queue
   /// has room for and returns that number (0 when full, stopped, or not
@@ -187,6 +258,7 @@ class Shard {
   /// downstream. Same caller as Push (the single ingest thread).
   void NoteProducerFloor(uint64_t floor) {
     producer_floor_.store(floor, std::memory_order_release);
+    doorbell_.Ring();
   }
 
   /// Blocks until every event pushed so far has been processed. The worker
@@ -235,8 +307,24 @@ class Shard {
 
   /// Instantaneous queue occupancy / capacity — safe from any thread
   /// (SPSC indices are atomics); used for queue-depth gauges and health.
-  size_t queue_depth() const { return queue_.ApproxSize(); }
-  size_t queue_capacity() const { return queue_.capacity(); }
+  /// In multi-producer mode these aggregate over all ingest lanes.
+  size_t queue_depth() const {
+    if (lanes_.empty()) return queue_.ApproxSize();
+    size_t depth = 0;
+    for (const auto& lane : lanes_) depth += lane->ApproxSize();
+    return depth;
+  }
+  size_t queue_capacity() const {
+    if (lanes_.empty()) return queue_.capacity();
+    size_t cap = 0;
+    for (const auto& lane : lanes_) cap += lane->capacity();
+    return cap;
+  }
+
+  /// Doorbell park/wake counts (always tracked, even un-instrumented);
+  /// used by stats() and the parking-liveness tests.
+  uint64_t parks() const { return doorbell_.parks(); }
+  uint64_t wakes() const { return doorbell_.wakes(); }
 
   /// Attached exchange lane-groups, in AddExchange order (which is the
   /// orchestrator's group order). Emitter stats/depth reads are
@@ -276,11 +364,21 @@ class Shard {
   std::vector<ExchangeHookRef> SnapshotHooks() const PLDP_EXCLUDES(reg_mu_);
 
   void RunLoop() PLDP_REQUIRES(worker_role_);
+  /// Multi-producer worker loop: merges the P ingest lanes back into
+  /// global sequence order. A lane's head may only be released once every
+  /// other lane either shows a head (so the minimum is known) or has a
+  /// published floor above the candidate — the same watermark-style gate
+  /// the exchange merge uses.
+  void MultiRunLoop() PLDP_REQUIRES(worker_role_);
   /// Delivers one event to the engine, the sink, and every exchange hook —
   /// the per-event section of the worker loop (also used by Stop's
-  /// post-join leftover absorption, under the role handoff).
+  /// post-join leftover absorption, under the role handoff). When
+  /// `engine_relevant` is false the engine call is skipped (the batch
+  /// prefilter proved no pattern references this event's type); the sink,
+  /// raw forwards, and ordering bookkeeping are unconditional.
   PLDP_HOT void ProcessOne(const StampedEvent& stamped,
-                           const std::vector<ExchangeHookRef>& hooks)
+                           const std::vector<ExchangeHookRef>& hooks,
+                           bool engine_relevant = true)
       PLDP_REQUIRES(worker_role_);
   void ExecuteCommand(const std::vector<ExchangeHookRef>& hooks)
       PLDP_REQUIRES(worker_role_);
@@ -289,6 +387,18 @@ class Shard {
 
   const size_t index_;
   SpscQueue<StampedEvent> queue_;
+  /// Multi-producer ingest lanes (empty in single-lane mode). Frozen by
+  /// EnableMultiProducer before Start; unique_ptr keeps SpscQueue stable
+  /// (it is neither movable nor copyable).
+  std::vector<std::unique_ptr<SpscQueue<StampedEvent>>> lanes_;
+  /// Per-lane producer floors (multi-producer mode), released by each
+  /// producer and acquired by the merging worker.
+  std::unique_ptr<std::atomic<uint64_t>[]> lane_floors_;
+  /// Wake-on-work doorbell the idle worker parks on; rung by every queue
+  /// push (SetWaker), floor publication, posted command, and stop.
+  Doorbell doorbell_;
+  /// Worker thread CPU affinity (-1 = unpinned).
+  int affinity_core_ = -1;
   StreamingCepEngine engine_;
   Rng rng_;
   std::unique_ptr<ShardEventSink> sink_;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "runtime/backoff.h"
 
 namespace pldp {
 
@@ -73,6 +74,7 @@ class SpscQueue {
     }
     slots_[tail & mask_] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
+    if (waker_ != nullptr) waker_->Ring();
     return true;
   }
 
@@ -97,7 +99,10 @@ class SpscQueue {
     for (size_t i = 0; i < n; ++i) {
       slots_[(tail + i) & mask_] = std::move(items[i]);
     }
-    if (n > 0) tail_.store(tail + n, std::memory_order_release);
+    if (n > 0) {
+      tail_.store(tail + n, std::memory_order_release);
+      if (waker_ != nullptr) waker_->Ring();
+    }
     return n;
   }
 
@@ -140,6 +145,11 @@ class SpscQueue {
 
   bool ApproxEmpty() const { return ApproxSize() == 0; }
 
+  /// Attaches a doorbell rung after every successful push, so a consumer
+  /// parked on it (runtime/backoff.h) wakes when work arrives. Must be set
+  /// before the producer starts pushing; the queue does not own the bell.
+  void SetWaker(Doorbell* waker) { waker_ = waker; }
+
  private:
   static constexpr size_t kCacheLine = 64;
 
@@ -149,6 +159,7 @@ class SpscQueue {
   // Producer-owned line: its index plus a cache of the consumer's.
   alignas(kCacheLine) std::atomic<size_t> tail_{0};
   size_t cached_head_ = 0;
+  Doorbell* waker_ = nullptr;
 
   // Consumer-owned line.
   alignas(kCacheLine) std::atomic<size_t> head_{0};

@@ -19,26 +19,8 @@
 
 namespace pldp {
 
-/// Non-owning view of a contiguous run of events (C++17 stand-in for
-/// std::span<const Event>). The batched ingest path hands these out so
-/// bulk delivery never copies.
-class EventSpan {
- public:
-  constexpr EventSpan() = default;
-  constexpr EventSpan(const Event* data, size_t size)
-      : data_(data), size_(size) {}
-
-  const Event* data() const { return data_; }
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  const Event& operator[](size_t i) const { return data_[i]; }
-  const Event* begin() const { return data_; }
-  const Event* end() const { return data_ + size_; }
-
- private:
-  const Event* data_ = nullptr;
-  size_t size_ = 0;
-};
+// EventSpan moved to event/event.h (the predicate layer's batch evaluation
+// consumes it too); re-exported here via the include chain.
 
 /// Receives replayed events. Implementations: the CEP engine, stream-DP
 /// baseline mechanisms, statistics collectors.

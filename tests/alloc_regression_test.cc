@@ -185,6 +185,94 @@ TEST(AllocRegressionTest, MetricsEnabledSteadyStateIsAllocationFree) {
   ASSERT_TRUE(engine.Stop().ok());
 }
 
+/// Cross-subject variant of MakeStream for the exchange pipeline: the
+/// type is drawn from a per-group alphabet while the subject is drawn
+/// independently, and every event carries the group as an inline int
+/// attribute (`grp`) — the exchange correlation key. Prefix-only
+/// measurement streams draw only the first two types of each group, so
+/// the registered sequences never complete and detection vectors stay
+/// quiet.
+EventStream MakeCrossStream(size_t num_events, bool full_alphabet,
+                            Timestamp ts_base, uint64_t seed) {
+  const AttrId grp = AttrNames().Intern("grp");
+  Rng rng(seed);
+  EventStream stream;
+  stream.Reserve(num_events);
+  const size_t alphabet = full_alphabet ? kTypesPerSubject
+                                        : kTypesPerSubject - 1;
+  for (size_t i = 0; i < num_events; ++i) {
+    const auto group = rng.UniformUint64(kSubjects);
+    const auto type = static_cast<EventTypeId>(
+        group * kTypesPerSubject + rng.UniformUint64(alphabet));
+    const auto subject = static_cast<StreamId>(rng.UniformUint64(kSubjects));
+    Event e(type, ts_base + static_cast<Timestamp>(i / 8), subject);
+    e.SetAttribute(grp, Value(static_cast<int64_t>(group)));
+    stream.AppendUnchecked(std::move(e));
+  }
+  return stream;
+}
+
+// The two-stage exchange pipeline must hold the same steady-state
+// contract as the plain pipeline: after warmup, batched ingest through a
+// 2x2 topology (2 stage-1 shards emitting over the lane matrix into 2
+// watermark-gated merge shards) stays allocation-free up to a small
+// drain-barrier allowance. This pins the merge-shard reorder-ring
+// pre-sizing: before the rings were pre-sized from the per-lane credit
+// budget, every reorder past the initial capacity grew a heap ring —
+// a per-event cost this assertion would catch immediately.
+TEST(AllocRegressionTest, ExchangePipelineSteadyStateIsAllocationFree) {
+  if (!bench::kAllocHookActive) {
+    GTEST_SKIP() << "allocation hook inactive under sanitizers";
+  }
+
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 4096;
+  options.exchange.enabled = true;
+  options.exchange.shard_count = 2;
+  options.exchange.lane_capacity = 1024;
+  options.exchange.key = CorrelationKeySpec::ByAttribute("grp");
+  ParallelStreamingEngine engine(options);
+  for (size_t k = 0; k < kSubjects; ++k) {
+    const auto base = static_cast<EventTypeId>(k * kTypesPerSubject);
+    auto pattern = Pattern::Create("seq", {base, base + 1, base + 2},
+                                   DetectionMode::kSequence);
+    ASSERT_TRUE(pattern.ok());
+    ASSERT_TRUE(
+        engine.AddCrossQuery(std::move(pattern).value(), kWindow).ok());
+  }
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Warmup: completions occur; queues, staging buffers, exchange lanes,
+  // and the merge reorder rings all reach steady-state capacity.
+  const EventStream warmup = MakeCrossStream(40000, /*full_alphabet=*/true,
+                                             /*ts_base=*/0, /*seed=*/17);
+  ASSERT_TRUE(IngestBatched(engine, warmup).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+
+  const Timestamp warm_end = 40000 / 8 + 1;
+  const EventStream batched =
+      MakeCrossStream(50000, /*full_alphabet=*/false, warm_end, /*seed=*/19);
+
+  bench::ResetAllocCounters();
+  bench::SetAllocCounting(true);
+  ASSERT_TRUE(IngestBatched(engine, batched).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  bench::SetAllocCounting(false);
+
+  const bench::AllocCounters counters = bench::GetAllocCounters();
+  // The drain barrier's watermark round-trip may allocate O(shards) small
+  // bookkeeping nodes; per-EVENT costs would blow through this bound by
+  // three orders of magnitude (0.007 allocs/event over 50k events = 350).
+  const double per_event = static_cast<double>(counters.allocs) /
+                           static_cast<double>(batched.size());
+  EXPECT_LE(per_event, 0.007)
+      << "exchange steady state allocated " << counters.allocs << " times ("
+      << counters.bytes << " bytes) across " << batched.size() << " events";
+
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
 TEST(AllocRegressionTest, EventCopyWithInlineInternedAttrsIsAllocationFree) {
   if (!bench::kAllocHookActive) {
     GTEST_SKIP() << "allocation hook inactive under sanitizers";

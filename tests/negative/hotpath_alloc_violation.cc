@@ -8,6 +8,9 @@
 //
 // This file is NOT part of any build target; it only exists to be linted.
 
+#include <cstddef>
+#include <cstdint>
+
 #include "common/thread_annotations.h"
 
 namespace pldp {
@@ -15,6 +18,26 @@ namespace {
 
 PLDP_HOT int* HotButAllocates() {
   return new int(42);  // the violation the lint must flag
+}
+
+/// Shaped like Predicate::EvalBatch / the shard's batched pop loop: a
+/// PLDP_HOT bulk kernel over a span writing a result bitmask. The lint
+/// must flag allocation inside such bodies too — the batch path is the
+/// highest-traffic code in the runtime, and a per-batch scratch vector is
+/// precisely the regression the zero-allocation contract exists to stop.
+PLDP_HOT size_t HotBatchKernelButAllocates(const uint16_t* types, size_t n,
+                                           uint64_t* mask_out) {
+  auto* scratch = new uint16_t[n];  // per-batch heap scratch: must be flagged
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    scratch[i] = types[i];
+    if (types[i] == 7) {
+      mask_out[i / 64] |= uint64_t{1} << (i % 64);
+      ++hits;
+    }
+  }
+  delete[] scratch;
+  return hits;
 }
 
 }  // namespace

@@ -1,0 +1,320 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Tests for the MPSC ingest front-end (ParallelEngineOptions::
+// ingest_producers / ParallelStreamingEngine::producer): P concurrent
+// producer handles over per-producer × per-shard SPSC lanes.
+//
+// The central property: producer p of P stamps the arithmetic progression
+// p, p+P, p+2P, ..., so a stream partitioned ROUND-ROBIN over the handles
+// (event i driven by producer i % P, each handle in order) reproduces the
+// single-producer sequence stamping bit-for-bit — and therefore the exact
+// same per-query detection sequences, for every producer count × shard
+// count, per-event and batched. Fixed seeds make every run of this file
+// compare identical streams.
+//
+// Also pinned here: the engine-level OnEvent/OnEventBatch refusal at
+// P > 1, the Drain barrier with idle producers (quiescent lanes must not
+// gate the shard merges), the shedding-policy incompatibility, and the
+// builder-level WithIngestProducers surface (api/pipeline_builder.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "api/pipeline_builder.h"
+#include "cep/streaming_engine.h"
+#include "common/random.h"
+#include "runtime/parallel_engine.h"
+#include "stream/event_stream.h"
+#include "stream/replay.h"
+
+namespace pldp {
+namespace {
+
+constexpr size_t kTypesPerSubject = 3;
+constexpr size_t kSubjects = 16;
+constexpr Timestamp kWindow = 6;
+
+Pattern MakePattern(const char* name, std::vector<EventTypeId> elems,
+                    DetectionMode mode) {
+  return Pattern::Create(name, std::move(elems), mode).value();
+}
+
+/// Keyed synthetic stream (same shape as runtime_engine_test.cc): subject
+/// k only emits types from its private alphabet, so matches are
+/// subject-local by construction.
+EventStream KeyedStream(size_t num_events, uint64_t seed) {
+  Rng rng(seed);
+  EventStream stream;
+  stream.Reserve(num_events);
+  for (size_t i = 0; i < num_events; ++i) {
+    const auto subject = static_cast<StreamId>(rng.UniformUint64(kSubjects));
+    const auto type = static_cast<EventTypeId>(
+        subject * kTypesPerSubject + rng.UniformUint64(kTypesPerSubject));
+    stream.AppendUnchecked(
+        Event(type, static_cast<Timestamp>(i / 4), subject));
+  }
+  return stream;
+}
+
+template <typename EngineT>
+void RegisterKeyedQueries(EngineT& engine) {
+  for (size_t k = 0; k < kSubjects; ++k) {
+    const auto base = static_cast<EventTypeId>(k * kTypesPerSubject);
+    ASSERT_TRUE(engine
+                    .AddQuery(MakePattern("seq", {base, base + 1, base + 2},
+                                          DetectionMode::kSequence),
+                              kWindow)
+                    .ok());
+    ASSERT_TRUE(engine
+                    .AddQuery(MakePattern("conj", {base + 2, base},
+                                          DetectionMode::kConjunction),
+                              kWindow)
+                    .ok());
+  }
+}
+
+/// Round-robin partition of `stream` for producer `p` of `producers`:
+/// events p, p + P, p + 2P, ... in stream order, copied contiguous so the
+/// batched driver can feed spans.
+std::vector<Event> PartitionOf(const EventStream& stream, size_t p,
+                               size_t producers) {
+  std::vector<Event> part;
+  part.reserve(stream.size() / producers + 1);
+  for (size_t i = p; i < stream.size(); i += producers) {
+    part.push_back(stream.events()[i]);
+  }
+  return part;
+}
+
+enum class DriveMode { kPerEvent, kBatched };
+
+/// Drives `stream` through `engine` with P concurrent round-robin
+/// producer threads; returns false on any ingest error.
+bool DriveRoundRobin(ParallelStreamingEngine& engine,
+                     const EventStream& stream, DriveMode mode) {
+  const size_t producers = engine.producer_count();
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&engine, &stream, &failed, p, producers, mode] {
+      IngestProducer* handle = engine.producer(p);
+      const std::vector<Event> part = PartitionOf(stream, p, producers);
+      if (mode == DriveMode::kPerEvent) {
+        for (const Event& e : part) {
+          if (!handle->OnEvent(e).ok()) {
+            failed.store(true);
+            return;
+          }
+        }
+        // An idle lane's stale floor gates the shard merges; a handle
+        // that stops ingesting publishes its floor (the Drain barrier
+        // would also do this, but the explicit call is the documented
+        // contract for handles that go quiet while others continue).
+        handle->PublishFloor();
+      } else {
+        constexpr size_t kBatch = 512;
+        for (size_t i = 0; i < part.size(); i += kBatch) {
+          const size_t n = std::min(kBatch, part.size() - i);
+          if (!handle->OnEventBatch(EventSpan(part.data() + i, n)).ok()) {
+            failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return !failed.load();
+}
+
+TEST(MpscIngestTest, RoundRobinPartitioningEqualsSingleProducer) {
+  const EventStream stream = KeyedStream(20000, /*seed=*/7);
+
+  // Sequential ground truth.
+  StreamingCepEngine reference;
+  RegisterKeyedQueries(reference);
+  for (const Event& e : stream) ASSERT_TRUE(reference.OnEvent(e).ok());
+  ASSERT_GT(reference.total_detections(), 0u)
+      << "degenerate test: the reference detected nothing";
+
+  for (size_t shards : {1u, 2u, 4u}) {
+    for (size_t producers : {1u, 2u, 4u}) {
+      for (DriveMode mode : {DriveMode::kPerEvent, DriveMode::kBatched}) {
+        ParallelEngineOptions options;
+        options.shard_count = shards;
+        options.queue_capacity = 256;  // small: exercise lane backpressure
+        options.ingest_producers = producers;
+        ParallelStreamingEngine engine(options);
+        RegisterKeyedQueries(engine);
+        ASSERT_TRUE(engine.Start().ok());
+        ASSERT_EQ(engine.producer_count(), producers);
+
+        ASSERT_TRUE(DriveRoundRobin(engine, stream, mode))
+            << "shards=" << shards << " producers=" << producers;
+        ASSERT_TRUE(engine.Drain().ok());
+
+        EXPECT_EQ(engine.events_processed(), stream.size())
+            << "shards=" << shards << " producers=" << producers;
+        EXPECT_EQ(engine.total_detections(), reference.total_detections())
+            << "shards=" << shards << " producers=" << producers;
+        // Positional equality per query: round-robin partitioning over the
+        // strided handles reproduces the single-producer (= global ingest
+        // order) stamping exactly, so the detection sequences match
+        // bit-for-bit, not just as multisets.
+        for (size_t q = 0; q < engine.query_count(); ++q) {
+          EXPECT_EQ(engine.DetectionsOf(q).value(),
+                    reference.DetectionsOf(q).value())
+              << "shards=" << shards << " producers=" << producers
+              << " query=" << q;
+        }
+        ASSERT_TRUE(engine.Stop().ok());
+      }
+    }
+  }
+}
+
+TEST(MpscIngestTest, EngineLevelIngestRefusedWithMultipleProducers) {
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.ingest_producers = 2;
+  ParallelStreamingEngine engine(options);
+  RegisterKeyedQueries(engine);
+  ASSERT_TRUE(engine.Start().ok());
+
+  // The engine-level StreamSubscriber entry points cannot participate in
+  // the per-producer stamping contract; with P > 1 they are refused and
+  // the caller must drive producer(i).
+  EXPECT_FALSE(engine.OnEvent(Event(0, 0, 0)).ok());
+  const Event one(0, 0, 0);
+  EXPECT_FALSE(engine.OnEventBatch(EventSpan(&one, 1)).ok());
+  EXPECT_TRUE(engine.producer(0)->OnEvent(one).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  EXPECT_EQ(engine.events_processed(), 1u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+// An idle producer must not wedge the pipeline — during INGEST, not just
+// at the barrier. The stream here overflows the per-lane capacity many
+// times over while handles 1..3 never ingest: without stall floors
+// (ParallelStreamingEngine::PublishStallFloors) the shard merges stay
+// gated on the idle lanes' floor-0, producer 0 blocks forever on its
+// full lane, and the Drain that would refresh the floors is never
+// reached. Drain itself then publishes the frontier bound on the idle
+// handles' behalf so the lane merges run fully dry.
+TEST(MpscIngestTest, DrainCompletesWithIdleProducers) {
+  const EventStream stream = KeyedStream(10000, /*seed=*/13);
+
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 256;
+  options.ingest_producers = 4;
+  ParallelStreamingEngine engine(options);
+  RegisterKeyedQueries(engine);
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Only producer 0 ingests; handles 1..3 stay completely idle.
+  IngestProducer* handle = engine.producer(0);
+  for (const Event& e : stream) ASSERT_TRUE(handle->OnEvent(e).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  EXPECT_EQ(engine.events_processed(), stream.size());
+
+  // And ingestion still works after the barrier (the congruence-preserving
+  // resync keeps post-barrier stamps above the flushed bound).
+  for (const Event& e : stream) ASSERT_TRUE(handle->OnEvent(e).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  EXPECT_EQ(engine.events_processed(), 2 * stream.size());
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(MpscIngestTest, RequiresBlockingOverloadPolicy) {
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.ingest_producers = 2;
+  options.overload.policy = OverloadPolicy::kShedOldest;
+  ParallelStreamingEngine engine(options);
+  RegisterKeyedQueries(engine);
+  // The admission layer is single-producer; construction latches the
+  // error and Start surfaces it.
+  EXPECT_FALSE(engine.Start().ok());
+}
+
+TEST(MpscIngestTest, BuilderSurfaceEqualsSingleProducer) {
+  const EventStream stream = KeyedStream(20000, /*seed=*/21);
+
+  // Single-producer pipeline as the reference.
+  size_t reference_detections = 0;
+  {
+    PipelineBuilder builder;
+    for (size_t k = 0; k < kSubjects; ++k) {
+      const auto base = static_cast<EventTypeId>(k * kTypesPerSubject);
+      (void)builder.AddQuery(MakePattern("seq", {base, base + 1, base + 2},
+                                         DetectionMode::kSequence),
+                             kWindow);
+    }
+    auto pipeline_or = builder.WithShards(2).Build();
+    ASSERT_TRUE(pipeline_or.ok());
+    Pipeline& pipeline = *pipeline_or.value();
+    for (const Event& e : stream) ASSERT_TRUE(pipeline.OnEvent(e).ok());
+    auto finished = pipeline.Finish();
+    ASSERT_TRUE(finished.ok());
+    reference_detections = finished.value().total_detections();
+    ASSERT_TRUE(pipeline.Stop().ok());
+  }
+  ASSERT_GT(reference_detections, 0u);
+
+  PipelineBuilder builder;
+  for (size_t k = 0; k < kSubjects; ++k) {
+    const auto base = static_cast<EventTypeId>(k * kTypesPerSubject);
+    (void)builder.AddQuery(MakePattern("seq", {base, base + 1, base + 2},
+                                       DetectionMode::kSequence),
+                           kWindow);
+  }
+  auto pipeline_or =
+      builder.WithShards(2).WithIngestProducers(2).WithCoreAffinity().Build();
+  ASSERT_TRUE(pipeline_or.ok());
+  Pipeline& pipeline = *pipeline_or.value();
+  ASSERT_EQ(pipeline.producer_count(), 2u);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < 2; ++p) {
+    threads.emplace_back([&pipeline, &stream, &failed, p] {
+      PipelineProducer* handle = pipeline.producer(p);
+      for (size_t i = p; i < stream.size(); i += 2) {
+        if (!handle->OnEvent(stream.events()[i]).ok()) {
+          failed.store(true);
+          return;
+        }
+      }
+      handle->PublishFloor();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(failed.load());
+
+  auto finished = pipeline.Finish();
+  ASSERT_TRUE(finished.ok());
+  EXPECT_EQ(finished.value().total_detections(), reference_detections);
+  ASSERT_TRUE(pipeline.Stop().ok());
+}
+
+TEST(MpscIngestTest, BuilderRejectsIncompatiblePlans) {
+  // MPSC + load shedding: the admission layer is single-producer.
+  {
+    PipelineBuilder builder;
+    (void)builder.AddQuery(MakePattern("p", {0, 1}, DetectionMode::kSequence),
+                           kWindow);
+    auto result = builder.WithShards(2)
+                      .WithIngestProducers(2)
+                      .WithOverloadPolicy(OverloadPolicy::kShedOldest)
+                      .Build();
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+}  // namespace
+}  // namespace pldp

@@ -1,0 +1,219 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Liveness tests for the adaptive backoff → parking layer
+// (runtime/backoff.h): idle workers escalate spin → yield → park on a
+// Doorbell, and every work publication (SPSC push, producer floor,
+// flush-watermark command, terminal seal) rings the consumer's bell. The
+// properties pinned here:
+//
+//   * a parked worker wakes on the next push — no lost wakeup, including
+//     under the rapid park/ring interleavings of the stress test (the CI
+//     TSan job runs this file too, checking the fence protocol's memory
+//     ordering, not just its logic);
+//   * drain barriers and Finish complete from a fully parked pipeline —
+//     the barrier paths ring the bells they gate on;
+//   * parks/wakes surface through ShardStats and the
+//     pldp_shard_parks_total / pldp_shard_wakes_total counters.
+//
+// Timing discipline: tests assert "eventually parked / eventually woke"
+// by polling with a generous deadline, never by asserting exact counts —
+// parking is a performance escalation, not a scheduling guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "runtime/backoff.h"
+#include "runtime/parallel_engine.h"
+#include "stream/event_stream.h"
+
+namespace pldp {
+namespace {
+
+constexpr auto kDeadline = std::chrono::seconds(20);
+
+/// Polls `pred` until it holds or the deadline passes.
+template <typename Pred>
+bool Eventually(Pred&& pred) {
+  const auto start = std::chrono::steady_clock::now();
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() - start > kDeadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+size_t TotalParks(const ParallelStreamingEngine& engine) {
+  size_t parks = 0;
+  for (const ShardStats& s : engine.ShardStatsSnapshot()) parks += s.parks;
+  return parks;
+}
+
+TEST(DoorbellTest, ParkedConsumerWakesOnRing) {
+  Doorbell bell;
+  std::atomic<bool> work{false};
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    // No work yet: this must actually park...
+    const bool parked =
+        bell.ParkUnless([&] { return work.load(std::memory_order_acquire); });
+    if (parked) woke.store(true);
+  });
+  ASSERT_TRUE(Eventually([&] { return bell.parks() == 1; }));
+  work.store(true, std::memory_order_release);
+  bell.Ring();  // ...and this must wake it.
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_GE(bell.wakes(), 1u);
+}
+
+TEST(DoorbellTest, PublishedWorkPreemptsThePark) {
+  Doorbell bell;
+  std::atomic<bool> work{true};
+  // Work already visible: ParkUnless must return without blocking.
+  EXPECT_FALSE(
+      bell.ParkUnless([&] { return work.load(std::memory_order_acquire); }));
+  EXPECT_EQ(bell.parks(), 0u);
+}
+
+// The lost-wakeup stress: a producer publishes items and rings while the
+// consumer oscillates between draining and parking. If any ring landing
+// between the consumer's empty check and its cv wait were lost, the
+// consumer would park forever with work pending and the test would hang
+// (and fail the deadline assert). Under the TSan job this also verifies
+// the fence pairing, not just the logic.
+TEST(DoorbellTest, NoLostWakeupUnderStress) {
+  constexpr uint64_t kItems = 200000;
+  Doorbell bell;
+  std::atomic<uint64_t> published{0};
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<bool> done{false};
+
+  std::thread consumer([&] {
+    while (true) {
+      if (consumed.load(std::memory_order_relaxed) <
+          published.load(std::memory_order_acquire)) {
+        consumed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (done.load(std::memory_order_acquire) &&
+          consumed.load(std::memory_order_relaxed) ==
+              published.load(std::memory_order_acquire)) {
+        return;
+      }
+      bell.ParkUnless([&] {
+        return consumed.load(std::memory_order_relaxed) <
+                   published.load(std::memory_order_acquire) ||
+               done.load(std::memory_order_acquire);
+      });
+    }
+  });
+
+  for (uint64_t i = 0; i < kItems; ++i) {
+    published.fetch_add(1, std::memory_order_release);
+    bell.Ring();
+  }
+  done.store(true, std::memory_order_release);
+  bell.Ring();
+  consumer.join();
+  EXPECT_EQ(consumed.load(), kItems);
+}
+
+TEST(ParkingTest, IdleWorkersParkAndWakeOnPush) {
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 256;
+  ParallelStreamingEngine engine(options);
+  auto pattern = Pattern::Create("p", {0, 1}, DetectionMode::kSequence);
+  ASSERT_TRUE(pattern.ok());
+  ASSERT_TRUE(engine.AddQuery(std::move(pattern).value(), 10).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Idle pipeline: every worker exhausts its spin/yield budget and parks.
+  ASSERT_TRUE(Eventually([&] { return TotalParks(engine) >= 2; }))
+      << "idle workers never parked";
+
+  // A push into a parked pipeline must ring the worker awake; Drain then
+  // proves the event was actually processed (a lost wakeup would leave
+  // pushed > processed and Drain would hang past the ctest timeout).
+  ASSERT_TRUE(engine.OnEvent(Event(0, 0, 7)).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  EXPECT_EQ(engine.events_processed(), 1u);
+
+  // Park again, wake again — the escalation must re-arm after work.
+  const size_t parks_before = TotalParks(engine);
+  ASSERT_TRUE(Eventually([&] { return TotalParks(engine) > parks_before; }))
+      << "workers never re-parked after the first wake";
+  ASSERT_TRUE(engine.OnEvent(Event(1, 1, 7)).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  EXPECT_EQ(engine.events_processed(), 2u);
+
+  // Finish from a parked pipeline: the terminal seal rings every bell.
+  ASSERT_TRUE(engine.Finish().ok());
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+// Same liveness through the two-stage exchange pipeline: stage-2 merge
+// workers park on their own doorbells (gated on lanes AND watermark
+// floors), and the drain barrier's flush-watermark command must wake
+// them. A missing ring on the command path would hang the first Drain.
+TEST(ParkingTest, ExchangePipelineBarriersCompleteFromParkedState) {
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 256;
+  options.exchange.enabled = true;
+  options.exchange.shard_count = 2;
+  options.exchange.lane_capacity = 64;
+  options.exchange.key = CorrelationKeySpec::ByEventType();
+  ParallelStreamingEngine engine(options);
+  auto pattern = Pattern::Create("p", {0, 1}, DetectionMode::kSequence);
+  ASSERT_TRUE(pattern.ok());
+  ASSERT_TRUE(engine.AddCrossQuery(std::move(pattern).value(), 10).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Let both stages go fully idle (parked), then run the barrier.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(engine.Drain().ok());
+
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(engine.OnEvent(Event(static_cast<EventTypeId>(i % 2),
+                                       static_cast<Timestamp>(i), 3))
+                      .ok());
+    }
+    ASSERT_TRUE(engine.Drain().ok());
+  }
+  EXPECT_EQ(engine.events_processed(), 300u);
+  ASSERT_TRUE(engine.Finish().ok());
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(ParkingTest, ParkAndWakeCountersSurfaceThroughMetrics) {
+  ParallelEngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 256;
+  ParallelStreamingEngine engine(options);
+  auto pattern = Pattern::Create("p", {0, 1}, DetectionMode::kSequence);
+  ASSERT_TRUE(pattern.ok());
+  ASSERT_TRUE(engine.AddQuery(std::move(pattern).value(), 10).ok());
+  obs::MetricsRegistry registry;
+  ASSERT_TRUE(engine.EnableMetrics(&registry, "plain").ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  ASSERT_TRUE(Eventually([&] { return TotalParks(engine) >= 2; }));
+  ASSERT_TRUE(engine.OnEvent(Event(0, 0, 7)).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_GT(obs::SumSamples(snapshot.Find("pldp_shard_parks_total")), 0.0);
+  EXPECT_GT(obs::SumSamples(snapshot.Find("pldp_shard_wakes_total")), 0.0);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+}  // namespace
+}  // namespace pldp
