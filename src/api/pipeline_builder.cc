@@ -138,6 +138,7 @@ std::string PipelinePlan::Describe() const {
 // PipelineBuilder
 
 PipelineBuilder::PipelineBuilder()
+    // order: relaxed; only uniqueness of the ticket matters.
     : uid_(g_next_builder_uid.fetch_add(1, std::memory_order_relaxed)) {}
 
 PipelineBuilder& PipelineBuilder::WithShards(size_t shard_budget) {
@@ -682,6 +683,7 @@ Status Pipeline::OnEvent(const Event& event) {
   if (private_engine_ != nullptr) {
     PLDP_RETURN_IF_ERROR(private_engine_->OnEvent(event));
   }
+  // order: relaxed; standalone telemetry counter, readers tolerate lag.
   events_ingested_.fetch_add(1, std::memory_order_relaxed);
   if (ingest_counter_ != nullptr) ingest_counter_->Inc();
   return Status::OK();
@@ -721,6 +723,7 @@ Status Pipeline::OnEventBatch(EventSpan events) {
   if (private_engine_ != nullptr) {
     PLDP_RETURN_IF_ERROR(private_engine_->OnEventBatch(events));
   }
+  // order: relaxed; standalone telemetry counter, readers tolerate lag.
   events_ingested_.fetch_add(events.size(), std::memory_order_relaxed);
   if (ingest_counter_ != nullptr) ingest_counter_->Inc(events.size());
   return Status::OK();
@@ -769,6 +772,7 @@ Status Pipeline::Stop() {
 }
 
 size_t Pipeline::events_processed() const {
+  // order: relaxed; telemetry read, exactness not required mid-run.
   return static_cast<size_t>(
       events_ingested_.load(std::memory_order_relaxed));
 }
@@ -783,6 +787,7 @@ uint64_t Pipeline::events_shed() const {
 SheddingStats Pipeline::shedding_stats() const {
   SheddingStats s;
   s.shed = events_shed();
+  // order: relaxed; telemetry read, exactness not required mid-run.
   const uint64_t seen = events_ingested_.load(std::memory_order_relaxed);
   // events_ingested_ counts OnEvent acceptances (offered events); admitted
   // is what actually survived the overload policy.
@@ -837,6 +842,7 @@ std::vector<ShardStats> Pipeline::CrossShardStatsSnapshot() const {
 
 Status PipelineProducer::OnEvent(const Event& event) {
   PLDP_RETURN_IF_ERROR(producer_->OnEvent(event));
+  // order: relaxed; standalone telemetry counter, readers tolerate lag.
   pipeline_->events_ingested_.fetch_add(1, std::memory_order_relaxed);
   if (pipeline_->ingest_counter_ != nullptr) {
     pipeline_->ingest_counter_->Inc();
@@ -846,6 +852,7 @@ Status PipelineProducer::OnEvent(const Event& event) {
 
 Status PipelineProducer::OnEventBatch(EventSpan events) {
   PLDP_RETURN_IF_ERROR(producer_->OnEventBatch(events));
+  // order: relaxed; standalone telemetry counter, readers tolerate lag.
   pipeline_->events_ingested_.fetch_add(events.size(),
                                         std::memory_order_relaxed);
   if (pipeline_->ingest_counter_ != nullptr) {

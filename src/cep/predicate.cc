@@ -47,7 +47,7 @@ void Predicate::EvalBatch(EventSpan events, uint64_t* mask) const {
 
 namespace {
 
-bool CompareDoubles(double lhs, CompareOp op, double rhs) {
+PLDP_HOT bool CompareDoubles(double lhs, CompareOp op, double rhs) {
   switch (op) {
     case CompareOp::kEq:
       return lhs == rhs;

@@ -68,10 +68,13 @@ const char* Basename(const char* path) {
 }
 }  // namespace
 
+// order: relaxed; the level is an isolated filter knob — a straggling
+// log line during a level change is harmless, nothing is published.
 void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+// order: relaxed; see SetLogLevel().
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
@@ -79,6 +82,7 @@ LogLevel GetLogLevel() {
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    // order: relaxed; see SetLogLevel().
     : enabled_(static_cast<int>(level) >=
                g_min_level.load(std::memory_order_relaxed)),
       level_(level) {

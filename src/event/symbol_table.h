@@ -90,6 +90,7 @@ class InternTable {
   void SetBudget(size_t max_entries) PLDP_EXCLUDES(mu_);
 
   /// The active cap on interned entries.
+  // order: relaxed; isolated knob, see SetBudget.
   size_t budget() const { return budget_.load(std::memory_order_relaxed); }
 
   /// Id of `name`, or kInvalidInternId when it was never interned. Unlike
@@ -102,6 +103,7 @@ class InternTable {
   PLDP_HOT std::string_view NameOf(uint32_t id) const;
 
   /// Number of interned entries. Ids are exactly [0, size()).
+  // order: acquire pairs with Intern's release publication of size_.
   size_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Hard capacity: 4096 blocks x 1024 entries.

@@ -67,6 +67,8 @@ TextEndpoint::~TextEndpoint() { Stop(); }
 
 Status TextEndpoint::Start(uint16_t port) {
   lifecycle_role_.Assert();
+  // order: acquire pairs with Stop()'s exchange, so a restart observes
+  // the previous teardown's writes (closed fd, cleared port).
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("endpoint already running");
   }
@@ -100,16 +102,25 @@ Status TextEndpoint::Start(uint16_t port) {
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
       0) {
+    // order: release publishes the bound port to port() acquire readers.
     port_.store(ntohs(addr.sin_port), std::memory_order_release);
   }
+  // order: release publishes listen_fd_/routes_ setup to Serve()'s
+  // acquire load (the thread ctor already sequences this handoff; the
+  // release also covers concurrent port()/Stop() observers).
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread(&TextEndpoint::Serve, this);
-  PLDP_LOG(Info) << "metrics endpoint listening on port " << port_.load();
+  // order: relaxed; same-thread log of the value stored above.
+  PLDP_LOG(Info) << "metrics endpoint listening on port "
+                 << port_.load(std::memory_order_relaxed);
   return Status::OK();
 }
 
 void TextEndpoint::Stop() {
   lifecycle_role_.Assert();
+  // order: acq_rel — acquire pairs with Start()'s release so we tear
+  // down the fd that run published; release hands the flip (plus any
+  // prior writes) to Serve()'s acquire loads and a later Start().
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   // shutdown() unblocks the accept() call so the thread can observe the
   // running_ flip and exit. The fd is closed only AFTER the join: closing
@@ -122,13 +133,17 @@ void TextEndpoint::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  // order: release publishes the cleared port to port() acquire readers.
   port_.store(0, std::memory_order_release);
 }
 
 void TextEndpoint::Serve() {
+  // order: acquire pairs with Stop()'s acq_rel exchange — observing the
+  // flip must also order the shutdown() before our next accept().
   while (running_.load(std::memory_order_acquire)) {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) {
+      // order: acquire; same pairing as the loop condition above.
       if (!running_.load(std::memory_order_acquire)) break;
       continue;
     }

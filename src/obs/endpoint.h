@@ -54,6 +54,7 @@ class TextEndpoint {
   void Stop();
 
   /// The bound port; 0 before Start.
+  // order: acquire pairs with Start()'s release store of the bound port.
   uint16_t port() const { return port_.load(std::memory_order_acquire); }
 
  private:

@@ -51,9 +51,12 @@ enum class MetricType { kCounter, kGauge, kHistogram };
 /// incrementing their own counters never false-share.
 class alignas(64) Counter {
  public:
+  // order: relaxed; standalone monotonic telemetry counter — it never
+  // publishes other memory, and scrape-time readers tolerate skew.
   PLDP_HOT void Inc(uint64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
+  // order: relaxed; see Inc().
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -65,13 +68,19 @@ class alignas(64) Counter {
 /// snapshot-time refresh), not meant for per-event paths.
 class alignas(64) Gauge {
  public:
+  // order: relaxed; a gauge is one standalone value with no ordering
+  // relationship to other memory.
   PLDP_HOT void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   void Add(double delta) {
+    // order: relaxed on the read and on both CAS orders; the loop only
+    // needs RMW atomicity, not publication.
     double cur = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed,
                                          std::memory_order_relaxed)) {
     }
   }
+  // order: relaxed; see Set().
   double Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -86,16 +95,21 @@ class alignas(64) Histogram {
   /// 38 finite power-of-two bounds (2^0 .. 2^37 ns ~ 2.3 min) + overflow.
   static constexpr size_t kBuckets = 39;
 
+  // A scrape may see count/sum/bins mid-update — accepted, documented
+  // in the exposition layer — so no release pairing is needed.
+  // order: relaxed; the three adds are independent telemetry counters.
   PLDP_HOT void Record(uint64_t value) {
     bins_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
   }
 
+  // order: relaxed; scrape-time reads of the counters above.
   uint64_t TotalCount() const {
     return count_.load(std::memory_order_relaxed);
   }
   uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // order: relaxed; see TotalCount().
   uint64_t BinCount(size_t i) const {
     return bins_[i].load(std::memory_order_relaxed);
   }
@@ -104,14 +118,14 @@ class alignas(64) Histogram {
   /// bound.
   static uint64_t UpperBound(size_t i) { return uint64_t{1} << i; }
 
-  static size_t BucketOf(uint64_t value) {
+  PLDP_HOT static size_t BucketOf(uint64_t value) {
     if (value <= 1) return 0;
     const size_t bits = 64 - static_cast<size_t>(CountLeadingZeros(value - 1));
     return bits < kBuckets - 1 ? bits : kBuckets - 1;
   }
 
  private:
-  static int CountLeadingZeros(uint64_t v) {
+  PLDP_HOT static int CountLeadingZeros(uint64_t v) {
 #if defined(__GNUC__) || defined(__clang__)
     return __builtin_clzll(v);
 #else

@@ -38,6 +38,8 @@ bool AdmissionQueue::FlushShard(PerShard& ps) {
       break;
     }
     ps.pending.pop_front();
+    // order: relaxed; both counters are written only by the ingest
+    // thread (ingest_role_) and read elsewhere as telemetry hints.
     pending_total_.fetch_sub(1, std::memory_order_relaxed);
     if (pushed_counter_ != nullptr) {
       pushed_counter_->fetch_add(1, std::memory_order_relaxed);
@@ -48,12 +50,15 @@ bool AdmissionQueue::FlushShard(PerShard& ps) {
 }
 
 void AdmissionQueue::NoteShed(PerShard& ps, size_t count) {
+  // order: relaxed; shed tallies are standalone telemetry counters.
   ps.shed.fetch_add(count, std::memory_order_relaxed);
   shed_total_.fetch_add(count, std::memory_order_relaxed);
   if (ps.shed_counter != nullptr) ps.shed_counter->Inc(count);
 }
 
 void AdmissionQueue::SyncPendingSeq(PerShard& ps) {
+  // order: relaxed; a cross-thread ClampFloor reader needs only an
+  // eventually-current hint — the queue push itself publishes events.
   ps.oldest_pending_seq.store(
       ps.pending.empty() ? ~uint64_t{0} : ps.pending.front().seq,
       std::memory_order_relaxed);
@@ -62,6 +67,7 @@ void AdmissionQueue::SyncPendingSeq(PerShard& ps) {
 void AdmissionQueue::MaybeClearShedSet() {
   if (options_.policy != OverloadPolicy::kShedBySubject) return;
   if (shed_subjects_.empty()) return;
+  // order: relaxed; same-thread read of an ingest-thread-owned counter.
   if (pending_total_.load(std::memory_order_relaxed) == 0) {
     // Episode over: every parked event landed, the queues have room again.
     shed_subjects_.clear();
@@ -75,6 +81,7 @@ bool AdmissionQueue::Offer(size_t shard_index, StampedEvent stamped) {
   if (FlushShard(ps)) {
     if (ps.shard->TryPushStampedN(&stamped, 1) == 1) {
       if (pushed_counter_ != nullptr) {
+        // order: relaxed; standalone telemetry counter.
         pushed_counter_->fetch_add(1, std::memory_order_relaxed);
       }
       MaybeClearShedSet();
@@ -87,6 +94,7 @@ bool AdmissionQueue::Offer(size_t shard_index, StampedEvent stamped) {
       case OverloadPolicy::kShedOldest:
         // Freshness wins: the oldest parked event makes room for this one.
         ps.pending.pop_front();
+        // order: relaxed; ingest-thread-owned counter (telemetry hint).
         pending_total_.fetch_sub(1, std::memory_order_relaxed);
         NoteShed(ps, 1);
         break;
@@ -103,6 +111,7 @@ bool AdmissionQueue::Offer(size_t shard_index, StampedEvent stamped) {
     }
   }
   ps.pending.push_back(std::move(stamped));
+  // order: relaxed; ingest-thread-owned counter (telemetry hint).
   pending_total_.fetch_add(1, std::memory_order_relaxed);
   SyncPendingSeq(ps);
   return true;
@@ -110,6 +119,7 @@ bool AdmissionQueue::Offer(size_t shard_index, StampedEvent stamped) {
 
 void AdmissionQueue::Pump() {
   ingest_role_.Assert();
+  // order: relaxed; same-thread read of an ingest-thread-owned counter.
   if (pending_total_.load(std::memory_order_relaxed) == 0) return;
   for (PerShard& ps : state_) FlushShard(ps);
   MaybeClearShedSet();
@@ -121,6 +131,7 @@ Status AdmissionQueue::FlushBlocking() {
     while (!ps.pending.empty()) {
       PLDP_RETURN_IF_ERROR(ps.shard->PushStampedN(&ps.pending.front(), 1));
       ps.pending.pop_front();
+      // order: relaxed; ingest-thread-owned counters (telemetry hints).
       pending_total_.fetch_sub(1, std::memory_order_relaxed);
       if (pushed_counter_ != nullptr) {
         pushed_counter_->fetch_add(1, std::memory_order_relaxed);
@@ -135,6 +146,8 @@ Status AdmissionQueue::FlushBlocking() {
 uint64_t AdmissionQueue::ClampFloor(uint64_t floor) const {
   uint64_t clamped = floor;
   for (const PerShard& ps : state_) {
+    // order: relaxed; a stale hint only makes the clamp conservative —
+    // the floor never overtakes events still parked here.
     const uint64_t oldest =
         ps.oldest_pending_seq.load(std::memory_order_relaxed);
     if (oldest < clamped) clamped = oldest;
@@ -151,6 +164,7 @@ std::vector<uint64_t> AdmissionQueue::ShedPerShard() const {
   std::vector<uint64_t> out;
   out.reserve(state_.size());
   for (const PerShard& ps : state_) {
+    // order: relaxed; telemetry read.
     out.push_back(ps.shed.load(std::memory_order_relaxed));
   }
   return out;

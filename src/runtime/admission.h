@@ -95,12 +95,14 @@ class AdmissionQueue {
   void SetShedInstrument(size_t shard_index, obs::Counter* counter);
 
   /// Events parked across all shards right now (atomic; any thread).
+  // order: relaxed; telemetry reads of ingest-thread-owned counters.
   size_t pending_total() const {
     return static_cast<size_t>(
         pending_total_.load(std::memory_order_relaxed));
   }
 
   /// Events deliberately dropped so far (atomic; any thread).
+  // order: relaxed; see pending_total().
   uint64_t shed_total() const {
     return shed_total_.load(std::memory_order_relaxed);
   }

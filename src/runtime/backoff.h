@@ -11,25 +11,38 @@
 // predicate under the doorbell's protocol and blocks until a producer
 // rings. Producers never park — their wait is always bounded by a live
 // consumer draining the queue.
+//
+// Under PLDP_MODEL_CHECK a Backoff::Wait is a model-scheduler yield and
+// the budgets collapse to one iteration, so spin loops become explicit
+// schedule points instead of wall-clock burns. The Doorbell protocol is
+// machine-checked by tests/check/check_doorbell_test.cc (the lost-wakeup
+// argument below, explored exhaustively).
 
 #ifndef PLDP_RUNTIME_BACKOFF_H_
 #define PLDP_RUNTIME_BACKOFF_H_
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <thread>
 
+#include "common/atomic.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
+
+#ifdef PLDP_MODEL_CHECK
+#include "check/model.h"
+#endif
 
 namespace pldp {
 
 class Backoff {
  public:
   void Wait() {
+#ifdef PLDP_MODEL_CHECK
+    ++spins_;
+    check::ModelYieldSpin();
+#else
     if (spins_ < kSpinLimit) {
       ++spins_;
     } else if (spins_ < kSpinLimit + kYieldLimit) {
@@ -38,6 +51,7 @@ class Backoff {
     } else {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
+#endif
   }
 
   /// True once the spin and yield budgets are exhausted — the point where a
@@ -47,8 +61,15 @@ class Backoff {
   void Reset() { spins_ = 0; }
 
  private:
+#ifdef PLDP_MODEL_CHECK
+  // One model yield is a full "budget": parks and stall hooks become
+  // reachable within a handful of schedule points instead of 128.
+  static constexpr int kSpinLimit = 1;
+  static constexpr int kYieldLimit = 0;
+#else
   static constexpr int kSpinLimit = 64;
   static constexpr int kYieldLimit = 64;
+#endif
   int spins_ = 0;
 };
 
@@ -84,18 +105,32 @@ class Backoff {
 ///   3. A bump from an unrelated ring at worst causes a spurious return;
 ///      the consumer re-polls its queues, which is always correct.
 ///
-/// The mutex is a plain std::mutex (not the annotated wrapper) because the
-/// condition variable needs it; nothing else is guarded by it — epoch_ is
-/// bumped under it purely to order the bump against the wait predicate.
+/// Both halves of the argument are machine-checked: the model suite
+/// tests/check/check_doorbell_test.cc explores every schedule of
+/// park-vs-ring within the preemption bound, and its negative twin
+/// (PLDP_CHECK_NEGATIVE_DOORBELL, which deletes the Ring fence below)
+/// proves the checker sees the resulting lost wakeup as a deadlock.
+///
+/// The mutex is pldp::SyncMutex (std::mutex in normal builds, the model
+/// mutex under PLDP_MODEL_CHECK) because the condition variable needs it;
+/// nothing else is guarded by it — epoch_ is bumped under it purely to
+/// order the bump against the wait predicate.
 class Doorbell {
  public:
   /// Producer side: call after publishing work with at least one atomic
   /// release store (queue tail, command generation, stop flag, floor).
   /// Nearly free when no one is parked.
   PLDP_HOT void Ring() {
-    // Pairs with the fence in ParkUnless (see the file comment, point 1).
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (waiters_.load(std::memory_order_relaxed) != 0) RingSlow();
+#ifndef PLDP_CHECK_NEGATIVE_DOORBELL
+    // order: seq_cst fence pairs with the one in ParkUnless — the Dekker
+    // pair of the lost-wakeup argument (file comment, point 1).
+    AtomicFence(std::memory_order_seq_cst);
+#endif
+    // order: relaxed is enough — the fence above orders this load after
+    // the caller's work publication in the SC order.
+    if (waiters_.load(std::memory_order_relaxed) != 0) {
+      RingSlow();  // hotpath-allow: cold half — runs only with a parked consumer
+    }
   }
 
   /// Consumer side: parks until the next Ring unless `has_work` already
@@ -107,21 +142,30 @@ class Doorbell {
   /// At most one thread may park on a doorbell at a time.
   template <typename HasWork>
   bool ParkUnless(HasWork&& has_work) {
+    // order: acquire so the epoch observed here is no older than any ring
+    // whose work publication we have already seen (file comment, point 2).
     const uint64_t observed = epoch_.load(std::memory_order_acquire);
+    // order: relaxed; ordering against has_work() comes from the fence.
     waiters_.fetch_add(1, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // order: seq_cst fence pairs with the one in Ring (point 1).
+    AtomicFence(std::memory_order_seq_cst);
     if (has_work()) {
+      // order: relaxed; no payload is published by de-advertising.
       waiters_.fetch_sub(1, std::memory_order_relaxed);
       return false;
     }
+    // order: relaxed; telemetry only.
     parks_.fetch_add(1, std::memory_order_relaxed);
     if (park_counter_ != nullptr) park_counter_->Inc();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<SyncMutex> lock(mu_);
       cv_.wait(lock, [&] {
+        // order: relaxed; the mutex orders this read against RingSlow's
+        // bump (point 2).
         return epoch_.load(std::memory_order_relaxed) != observed;
       });
     }
+    // order: relaxed; no payload is published by de-advertising.
     waiters_.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
@@ -134,29 +178,38 @@ class Doorbell {
     wake_counter_ = wakes;
   }
 
-  uint64_t parks() const { return parks_.load(std::memory_order_relaxed); }
-  uint64_t wakes() const { return wakes_.load(std::memory_order_relaxed); }
+  uint64_t parks() const {
+    // order: relaxed; monotonic telemetry counter.
+    return parks_.load(std::memory_order_relaxed);
+  }
+  uint64_t wakes() const {
+    // order: relaxed; monotonic telemetry counter.
+    return wakes_.load(std::memory_order_relaxed);
+  }
 
  private:
   void RingSlow() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<SyncMutex> lock(mu_);
+      // order: relaxed; bumped under mu_ so the cv predicate orders
+      // against it without further fences (file comment, point 2).
       epoch_.fetch_add(1, std::memory_order_relaxed);
     }
     cv_.notify_all();
+    // order: relaxed; telemetry only.
     wakes_.fetch_add(1, std::memory_order_relaxed);
     if (wake_counter_ != nullptr) wake_counter_->Inc();
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  SyncMutex mu_;
+  SyncCondVar cv_;
   /// Number of threads past the park decision (0 or 1 in practice).
-  std::atomic<int> waiters_{0};
+  Atomic<int> waiters_{0};
   /// Ring generation; bumped under mu_ so the cv predicate orders against
   /// it without further fences.
-  std::atomic<uint64_t> epoch_{0};
-  std::atomic<uint64_t> parks_{0};
-  std::atomic<uint64_t> wakes_{0};
+  Atomic<uint64_t> epoch_{0};
+  Atomic<uint64_t> parks_{0};
+  Atomic<uint64_t> wakes_{0};
   obs::Counter* park_counter_ = nullptr;
   obs::Counter* wake_counter_ = nullptr;
 };

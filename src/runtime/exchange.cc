@@ -55,6 +55,7 @@ Status ExchangeEmitter::PushToLane(size_t consumer, ExchangeItem item) {
     backoff.Wait();
   }
   if (waited) {
+    // order: relaxed; telemetry only.
     backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
     if (obs_.backpressure_waits) obs_.backpressure_waits->Inc();
   }
@@ -63,6 +64,7 @@ Status ExchangeEmitter::PushToLane(size_t consumer, ExchangeItem item) {
 
 Status ExchangeEmitter::AcquireCreditSlow(ExchangeLane& lane) {
   // One count per wait episode (mirrors the backpressure-wait accounting).
+  // order: relaxed; telemetry only.
   credit_exhausted_waits_.fetch_add(1, std::memory_order_relaxed);
   if (obs_.credit_exhausted_waits) obs_.credit_exhausted_waits->Inc();
   // Publish the exact frontier before blocking: every future item of this
@@ -73,6 +75,8 @@ Status ExchangeEmitter::AcquireCreditSlow(ExchangeLane& lane) {
   // each other's unreleased items would deadlock the merge.
   PLDP_RETURN_IF_ERROR(BroadcastKey(ExchangeKey{trigger_, sub_next_}));
   Backoff backoff;
+  // order: acquire pairs with the consumer's release credit return — the
+  // buffer slot it freed must be visible before we fill it again.
   while (lane.credits.load(std::memory_order_acquire) == 0) {
     if (fabric_->aborted()) {
       return Status::FailedPrecondition("exchange fabric aborted");
@@ -91,11 +95,16 @@ Status ExchangeEmitter::Emit(const Event& event) {
   ExchangeLane& lane = *row_[consumer];
   // One credit per event. Only this thread decrements (single producer
   // per lane), so a non-zero read cannot underflow on the fetch_sub.
+  // order: acquire pairs with the consumer's release credit return.
   if (lane.credits.load(std::memory_order_acquire) == 0) {
     PLDP_RETURN_IF_ERROR(AcquireCreditSlow(lane));
   }
+  // order: acq_rel; the RMW joins the release sequence on the counter so
+  // the consumer's next return composes with ours, and the acquire half
+  // covers a consume that raced past the load above.
   lane.credits.fetch_sub(1, std::memory_order_acq_rel);
   PLDP_RETURN_IF_ERROR(PushToLane(consumer, std::move(item)));
+  // order: relaxed; telemetry only.
   forwarded_.fetch_add(1, std::memory_order_relaxed);
   if (obs_.forwarded) obs_.forwarded->Inc();
   return Status::OK();
@@ -111,6 +120,7 @@ Status ExchangeEmitter::BroadcastKey(ExchangeKey bound) {
   }
   last_broadcast_ = bound;
   broadcast_any_ = true;
+  // order: relaxed; telemetry only.
   watermarks_.fetch_add(1, std::memory_order_relaxed);
   if (obs_.watermarks) obs_.watermarks->Inc();
   return Status::OK();
@@ -123,10 +133,12 @@ Status ExchangeEmitter::Broadcast(uint64_t bound) {
 
 ExchangeEmitterStats ExchangeEmitter::stats() const {
   ExchangeEmitterStats s;
+  // order: relaxed on all four; independent monotonic telemetry counters.
   s.forwarded =
       static_cast<size_t>(forwarded_.load(std::memory_order_relaxed));
   s.watermarks =
       static_cast<size_t>(watermarks_.load(std::memory_order_relaxed));
+  // order: relaxed; see above.
   s.backpressure_waits = static_cast<size_t>(
       backpressure_waits_.load(std::memory_order_relaxed));
   s.credit_exhausted_waits = static_cast<size_t>(

@@ -45,15 +45,22 @@
 // merge release everything below it and return credits — the liveness
 // argument is spelled out in docs/ARCHITECTURE.md ("Credit-based flow
 // control").
+//
+// The credit protocol (consume on Emit, return on release, buffer never
+// exceeding the budget) is machine-checked by
+// tests/check/check_credits_test.cc; its negative twin
+// (PLDP_CHECK_NEGATIVE_CREDITS in merge_shard.cc, which returns the
+// credit at receipt instead of at release) trips the reorder buffer's
+// capacity assert under the model checker.
 
 #ifndef PLDP_RUNTIME_EXCHANGE_H_
 #define PLDP_RUNTIME_EXCHANGE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/atomic.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "event/event.h"
@@ -109,7 +116,7 @@ struct ExchangeLane {
   /// Remaining credits. Decremented by the producer (one per Emit),
   /// incremented by the consumer (one per event released to its engine).
   /// Watermarks bypass it entirely.
-  std::atomic<uint64_t> credits;
+  Atomic<uint64_t> credits;
 };
 
 /// The N1×N2 lane matrix. Constructed before the shards on either side and
@@ -138,14 +145,21 @@ class ExchangeFabric {
 
   /// Emergency brake: makes every blocked or future Emit fail fast instead
   /// of spinning on a lane nobody will ever drain (torn-down consumers).
-  void Abort() { abort_.store(true, std::memory_order_release); }
-  bool aborted() const { return abort_.load(std::memory_order_acquire); }
+  void Abort() {
+    // order: release so whatever state motivated the abort is visible to
+    // an emitter that observes it and bails out.
+    abort_.store(true, std::memory_order_release);
+  }
+  bool aborted() const {
+    // order: acquire pairs with Abort's release store.
+    return abort_.load(std::memory_order_acquire);
+  }
 
  private:
   size_t producers_;
   size_t consumers_;
   std::vector<std::unique_ptr<ExchangeLane>> lanes_;
-  std::atomic<bool> abort_{false};
+  Atomic<bool> abort_{false};
 };
 
 /// Counters one emitter exposes (readable from any thread).
@@ -249,10 +263,10 @@ class ExchangeEmitter {
   bool broadcast_any_ PLDP_GUARDED_BY(driver_role_) = false;
 
   // Stats written by the worker (relaxed), read from any thread.
-  std::atomic<uint64_t> forwarded_{0};
-  std::atomic<uint64_t> watermarks_{0};
-  std::atomic<uint64_t> backpressure_waits_{0};
-  std::atomic<uint64_t> credit_exhausted_waits_{0};
+  Atomic<uint64_t> forwarded_{0};
+  Atomic<uint64_t> watermarks_{0};
+  Atomic<uint64_t> backpressure_waits_{0};
+  Atomic<uint64_t> credit_exhausted_waits_{0};
 
   // Telemetry bundle (null fields = un-instrumented), fixed before Start.
   obs::ExchangeInstruments obs_;

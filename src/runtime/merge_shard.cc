@@ -45,6 +45,7 @@ MergeShard::MergeShard(size_t index, std::vector<ExchangeLane*> inputs)
     lane->queue.SetWaker(&doorbell_);
   }
   engine_.SetCallback([this](const StreamingDetection& d) {
+    // order: relaxed; telemetry only.
     detections_.fetch_add(1, std::memory_order_relaxed);
     if (user_callback_) user_callback_(d);
   });
@@ -53,7 +54,8 @@ MergeShard::MergeShard(size_t index, std::vector<ExchangeLane*> inputs)
 MergeShard::~MergeShard() { (void)Stop(); }
 
 StatusOr<size_t> MergeShard::AddQuery(Pattern pattern, Timestamp window) {
-  if (running_) {
+  // order: relaxed; pre-start guard, orchestrator-serialized.
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "MergeShard::AddQuery must precede Start()");
   }
@@ -61,7 +63,8 @@ StatusOr<size_t> MergeShard::AddQuery(Pattern pattern, Timestamp window) {
 }
 
 Status MergeShard::SetInstruments(const obs::MergeInstruments& instruments) {
-  if (running_) {
+  // order: relaxed; pre-start guard, orchestrator-serialized.
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "MergeShard::SetInstruments must precede Start()");
   }
@@ -70,7 +73,8 @@ Status MergeShard::SetInstruments(const obs::MergeInstruments& instruments) {
 }
 
 Status MergeShard::SetDetectionCallback(DetectionCallback callback) {
-  if (running_) {
+  // order: relaxed; pre-start guard, orchestrator-serialized.
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "MergeShard::SetDetectionCallback must precede Start()");
   }
@@ -79,7 +83,8 @@ Status MergeShard::SetDetectionCallback(DetectionCallback callback) {
 }
 
 Status MergeShard::Start() {
-  if (running_) {
+  // order: relaxed; orchestrator-serialized (one thread calls Start/Stop).
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("merge shard already running");
   }
   // Pre-launch the orchestrator owns the worker role; it hands it over by
@@ -90,6 +95,7 @@ Status MergeShard::Start() {
   if (no_lanes) {
     return Status::FailedPrecondition("merge shard has no input lanes");
   }
+  // order: relaxed; the thread launch below is the synchronization edge.
   stop_requested_.store(false, std::memory_order_relaxed);
   doorbell_.SetCounters(obs_.parks, obs_.wakes);
   worker_ = std::thread([this] {
@@ -98,12 +104,15 @@ Status MergeShard::Start() {
     RunLoop();
     worker_role_.Release();
   });
-  running_ = true;
+  // order: relaxed; advisory flag for running() observers.
+  running_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status MergeShard::WaitSafe(uint64_t bound) {
   Backoff backoff;
+  // order: acquire pairs with the worker's release publication (the
+  // caller reads the engine after this returns).
   while (safe_primary_.load(std::memory_order_acquire) < bound) {
     backoff.Wait();
   }
@@ -111,7 +120,10 @@ Status MergeShard::WaitSafe(uint64_t bound) {
 }
 
 Status MergeShard::Stop() {
-  if (!running_) return Status::OK();
+  // order: relaxed; orchestrator-serialized (one thread calls Start/Stop).
+  if (!running_.load(std::memory_order_relaxed)) return Status::OK();
+  // order: release so work published before the stop request is visible
+  // to the worker that observes it (acquire in RunLoop).
   stop_requested_.store(true, std::memory_order_release);
   doorbell_.Ring();  // A parked worker must observe the stop flag.
   if (worker_.joinable()) worker_.join();
@@ -123,16 +135,21 @@ Status MergeShard::Stop() {
   (void)ReceiveAvailable();
   (void)MergePass(/*force=*/true);
   worker_role_.Release();
+  // order: release publishes the absorbed leftovers to WaitSafe callers.
   safe_primary_.store(kExchangeSeqEnd, std::memory_order_release);
-  running_ = false;
+  // order: relaxed; advisory flag for running() observers.
+  running_.store(false, std::memory_order_relaxed);
   return Status::OK();
 }
 
 ShardStats MergeShard::stats() const {
   ShardStats s;
   s.shard_index = index_;
+  // order: acquire pairs with the worker's release in MergePass, so a
+  // reader that saw N processed also sees the engine effects of those N.
   s.events_processed =
       static_cast<size_t>(merged_.load(std::memory_order_acquire));
+  // order: relaxed; telemetry only.
   s.detections =
       static_cast<size_t>(detections_.load(std::memory_order_relaxed));
   s.parks = static_cast<size_t>(doorbell_.parks());
@@ -157,6 +174,16 @@ bool MergeShard::ReceiveAvailable() {
         } else {
           // Events bound the future strictly: later keys exceed this one.
           lane.bound = ExchangeKey{item.key.primary, item.key.sub + 1};
+#ifdef PLDP_CHECK_NEGATIVE_CREDITS
+          // Seeded mutation for the model checker's negative suite:
+          // returning the credit at *receipt* instead of at release lets
+          // the producer put a full budget back in flight while this
+          // buffer still holds the previous budget — push_back trips the
+          // ring's PLDP_PROTOCOL_ASSERT capacity cap.
+          // atomics-allow: seeded negative-build mutation, not a shipped
+          // ordering decision.
+          lane.lane->credits.fetch_add(1, std::memory_order_release);
+#endif
           lane.buffer.push_back(std::move(item));
           ++received;
         }
@@ -165,6 +192,7 @@ bool MergeShard::ReceiveAvailable() {
     }
   }
   if (received > 0) {
+    // order: relaxed; gauge only, scrape threads don't read the buffers.
     buffered_.fetch_add(received, std::memory_order_relaxed);
     if (obs_.events_received) obs_.events_received->Inc(received);
   }
@@ -202,9 +230,13 @@ bool MergeShard::MergePass(bool force) {
     // failing engine would latch the error for the drain barrier.
     (void)engine_.OnEvent(best->buffer.front().event);
     best->buffer.pop_front();
+#ifndef PLDP_CHECK_NEGATIVE_CREDITS
     // Return the flow-control credit: the event left the reorder buffer,
     // so its producer may put another one in flight on this lane.
+    // order: release pairs with the producer's acquire load — the freed
+    // buffer slot must be visible before it is refilled.
     best->lane->credits.fetch_add(1, std::memory_order_release);
+#endif
     ++released;
     if (obs_.merge_latency_ns) {
       const uint64_t t_now = obs::MonotonicNowNs();
@@ -213,7 +245,9 @@ bool MergeShard::MergePass(bool force) {
     }
   }
   if (released > 0) {
+    // order: release publishes the engine effects to stats() readers.
     merged_.fetch_add(released, std::memory_order_release);
+    // order: relaxed; gauge only.
     buffered_.fetch_sub(released, std::memory_order_relaxed);
     if (obs_.events_merged) obs_.events_merged->Inc(released);
   }
@@ -228,7 +262,10 @@ void MergeShard::PublishSafeBound() {
                                        : lane.buffer.front().key.primary;
     if (lane_frontier < frontier) frontier = lane_frontier;
   }
+  // order: relaxed; this thread is the only writer, so its own last
+  // store is always visible to it.
   if (frontier > safe_primary_.load(std::memory_order_relaxed)) {
+    // order: release publishes the merged engine state to WaitSafe.
     safe_primary_.store(frontier, std::memory_order_release);
   }
 }
@@ -250,6 +287,7 @@ void MergeShard::RunLoop() {
       backoff.Reset();
       continue;
     }
+    // order: acquire pairs with Stop()'s release store.
     if (stop_requested_.load(std::memory_order_acquire)) return;
     if (backoff.ShouldPark()) {
       // Every wake source rings this doorbell: lane pushes (events and
@@ -261,6 +299,7 @@ void MergeShard::RunLoop() {
         for (SpscQueue<ExchangeItem>* queue : lane_queues) {
           if (!queue->ApproxEmpty()) return true;
         }
+        // order: acquire (same pairing as the loop check above).
         return stop_requested_.load(std::memory_order_acquire);
       });
       backoff.Reset();

@@ -30,7 +30,12 @@
 // publishes a producer floor for exactly that case). When this shard
 // stalls, the exhausted credits backpressure the producers (and
 // transitively the ingest thread) instead of growing the buffers; the
-// buffers carry a debug-assert capacity cap documenting that bound.
+// buffers carry a protocol-assert capacity cap documenting that bound.
+//
+// The consume/return credit cycle and the capacity cap are machine-checked
+// by tests/check/check_credits_test.cc (model seams below); the negative
+// twin PLDP_CHECK_NEGATIVE_CREDITS (merge_shard.cc) returns credits at
+// receipt instead of at release and trips the cap under the checker.
 //
 // Threading contract: AddQuery before Start; exactly one orchestrator
 // thread calls Start/Stop; WaitSafe/stats may be called from any thread.
@@ -41,12 +46,12 @@
 #ifndef PLDP_RUNTIME_MERGE_SHARD_H_
 #define PLDP_RUNTIME_MERGE_SHARD_H_
 
-#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "cep/streaming_engine.h"
+#include "common/atomic.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "obs/instruments.h"
@@ -100,6 +105,8 @@ class MergeShard {
 
   /// The published merge frontier (acquire; see file comment).
   uint64_t safe_primary() const {
+    // order: acquire pairs with the worker's release publication — engine
+    // reads gated on the frontier must see the absorbed events.
     return safe_primary_.load(std::memory_order_acquire);
   }
 
@@ -107,7 +114,10 @@ class MergeShard {
   /// key order (there are none after a proper drain barrier). Idempotent.
   Status Stop();
 
-  bool running() const { return running_.load(std::memory_order_relaxed); }
+  bool running() const {
+    // order: relaxed; advisory flag, carries no payload.
+    return running_.load(std::memory_order_relaxed);
+  }
 
   /// The partition-local engine. Read-only for the orchestrator; valid
   /// after WaitSafe's bound covers the reads, or after Stop().
@@ -122,6 +132,7 @@ class MergeShard {
   /// any thread (dedicated atomic; the ring buffers themselves are
   /// worker-local). Gauge/health source.
   size_t reorder_buffered() const {
+    // order: relaxed; instantaneous gauge, no payload to acquire.
     return static_cast<size_t>(buffered_.load(std::memory_order_relaxed));
   }
 
@@ -129,6 +140,32 @@ class MergeShard {
   /// budgets) — the denominator of reorder saturation in health/metrics.
   /// Constant after construction; safe from any thread.
   size_t reorder_capacity() const { return reorder_capacity_; }
+
+#ifdef PLDP_MODEL_CHECK
+  /// Model-check seams (tests/check/check_credits_test.cc): run the worker
+  /// loop on a model thread instead of a real std::thread, and request
+  /// stop without joining. Start()/Stop() are never called in a model
+  /// harness — std::thread would escape the cooperative scheduler.
+  void ModelRunWorker() {
+    worker_role_.Acquire();
+    RunLoop();
+    worker_role_.Release();
+  }
+  void ModelRequestStop() {
+    // order: release mirrors Stop(); the worker's acquire load pairs.
+    stop_requested_.store(true, std::memory_order_release);
+    doorbell_.Ring();
+  }
+  /// Post-join leftover absorption, mirroring the tail of Stop(): the
+  /// worker may observe the stop request in the same iteration that its
+  /// receive pass ran dry, leaving late pushes in the lanes.
+  void ModelFinalize() {
+    worker_role_.Acquire();
+    (void)ReceiveAvailable();
+    (void)MergePass(/*force=*/true);
+    worker_role_.Release();
+  }
+#endif
 
  private:
   struct LaneState {
@@ -171,18 +208,18 @@ class MergeShard {
   int affinity_core_ = -1;
   StreamingCepEngine engine_;
   std::thread worker_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_requested_{false};
+  Atomic<bool> running_{false};
+  Atomic<bool> stop_requested_{false};
 
   /// Merge frontier: everything with primary < safe_primary_ is done.
   /// Published with release after the engine absorbed the events.
-  std::atomic<uint64_t> safe_primary_{0};
-  std::atomic<uint64_t> merged_{0};
-  std::atomic<uint64_t> detections_{0};
+  Atomic<uint64_t> safe_primary_{0};
+  Atomic<uint64_t> merged_{0};
+  Atomic<uint64_t> detections_{0};
   /// Events sitting in reorder buffers (receive increments, release
   /// decrements) — kept as an atomic so scrape threads never touch the
   /// worker-local ring buffers.
-  std::atomic<uint64_t> buffered_{0};
+  Atomic<uint64_t> buffered_{0};
 
   // Telemetry bundle and optional user callback, fixed before Start.
   obs::MergeInstruments obs_;

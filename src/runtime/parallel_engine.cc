@@ -74,6 +74,7 @@ ParallelStreamingEngine::ParallelStreamingEngine(ParallelEngineOptions options)
       }
     }
   }
+  stall_floors_.Configure(producer_count);
   producers_.reserve(producer_count);
   for (size_t p = 0; p < producer_count; ++p) {
     producers_.push_back(std::unique_ptr<IngestProducer>(
@@ -538,6 +539,9 @@ Status ParallelStreamingEngine::Start() {
     Status s = shard->Start();
     if (!s.ok()) return s;
   }
+  // order: relaxed; the finished_ latch is only touched on the
+  // externally-serialized orchestration/ingest roles (role asserts) —
+  // the atomic guards torn reads from stats paths, not a handoff.
   finished_.store(false, std::memory_order_relaxed);
   running_ = true;
   return Status::OK();
@@ -585,9 +589,11 @@ Status ParallelStreamingEngine::Finish() {
   // One-shot: a failed finish leaves the pipeline in an undefined terminal
   // state, so the first outcome — success or error — latches and is
   // re-returned forever instead of a retry silently reporting OK.
+  // order: relaxed; see the Start() rationale on the finished_ latch.
   if (finished_.load(std::memory_order_relaxed)) return finish_status_;
   // Close the ingest gate before any worker finalizes: OnEvent after this
   // point is refused, so finalize-time output is really last.
+  // order: relaxed; see the Start() rationale on the finished_ latch.
   finished_.store(true, std::memory_order_relaxed);
   finish_status_ = FinishInternal();
   return finish_status_;
@@ -633,6 +639,7 @@ Status ParallelStreamingEngine::Stop() {
     Status s = admission_->FlushBlocking();
     if (result.ok() && !s.ok()) result = s;
   }
+  // order: relaxed; see the Start() rationale on the finished_ latch.
   if (!groups_.empty() && !finished_.load(std::memory_order_relaxed)) {
     // Make sure stage-2 holds everything before the producers go away.
     result = Drain();
@@ -665,6 +672,7 @@ Status ParallelStreamingEngine::OnEvent(const Event& event) {
     return Status::FailedPrecondition(
         "ParallelStreamingEngine::OnEvent before Start()");
   }
+  // order: relaxed; see the Start() rationale on the finished_ latch.
   if (finished_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("ingestion after Finish()");
   }
@@ -676,6 +684,8 @@ Status ParallelStreamingEngine::OnEvent(const Event& event) {
     return Status::OK();
   }
   StampedEvent stamped;
+  // order: relaxed; only ticket uniqueness matters — the event itself is
+  // published by the queue push, and floors ride their own releases.
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   stamped.seq = seq;
   stamped.event = event;
@@ -685,6 +695,7 @@ Status ParallelStreamingEngine::OnEvent(const Event& event) {
     (void)admission_->Offer(target, std::move(stamped));
   } else {
     PLDP_RETURN_IF_ERROR(shards_[target]->PushStampedN(&stamped, 1));
+    // order: relaxed; standalone telemetry counter.
     events_ingested_.fetch_add(1, std::memory_order_relaxed);
   }
   // Periodically tell every shard how far the stream has advanced, so
@@ -707,6 +718,7 @@ Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
     return Status::FailedPrecondition(
         "ParallelStreamingEngine::OnEventBatch before Start()");
   }
+  // order: relaxed; see the Start() rationale on the finished_ latch.
   if (finished_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("ingestion after Finish()");
   }
@@ -718,17 +730,21 @@ Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
       const size_t target = router_.ShardOf(e);
       if (admission_->ShouldShedBeforeStamp(target, e)) continue;
       StampedEvent stamped;
+      // order: relaxed; ticket uniqueness only (see OnEvent).
       stamped.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
       stamped.event = e;
       (void)admission_->Offer(target, std::move(stamped));
     }
     admission_->Pump();
+    // order: relaxed; same-thread read of our own fetch_adds, and the
+    // floor publication below carries its own release semantics.
     PublishProducerFloor(next_seq_.load(std::memory_order_relaxed));
     return Status::OK();
   }
   for (auto& buf : staging_) buf.clear();
   for (const Event& e : events) {
     StampedEvent stamped;
+    // order: relaxed; ticket uniqueness only (see OnEvent).
     stamped.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     stamped.event = e;
     staging_[router_.ShardOf(e)].push_back(std::move(stamped));
@@ -741,10 +757,12 @@ Status ParallelStreamingEngine::OnEventBatch(EventSpan events) {
     size_t accepted = 0;
     const Status s = shards_[i]->PushStampedN(staging_[i].data(),
                                               staging_[i].size(), &accepted);
+    // order: relaxed; standalone telemetry counter.
     events_ingested_.fetch_add(accepted, std::memory_order_relaxed);
     PLDP_RETURN_IF_ERROR(s);
   }
   // Every staged event is now pushed; the whole batch is a safe floor.
+  // order: relaxed; same-thread read (see the single-event path).
   PublishProducerFloor(next_seq_.load(std::memory_order_relaxed));
   return Status::OK();
 }
@@ -839,6 +857,8 @@ std::vector<ShardStats> ParallelStreamingEngine::ShardStatsSnapshot() const {
 
 uint64_t ParallelStreamingEngine::IngestFrontier() const {
   if (producers_.size() <= 1) {
+    // order: relaxed; a frontier snapshot may lag — callers treat it as
+    // a monotonic hint, and queue pushes publish the events themselves.
     return next_seq_.load(std::memory_order_relaxed);
   }
   uint64_t frontier = 0;
@@ -850,19 +870,15 @@ uint64_t ParallelStreamingEngine::IngestFrontier() const {
 
 uint64_t ParallelStreamingEngine::PrepareIngestBarrier() {
   if (producers_.size() <= 1) {
+    // order: relaxed; single-producer mode, the caller is that producer.
     return next_seq_.load(std::memory_order_relaxed);
   }
   const uint64_t bound = IngestFrontier();
   // Arm the producer-side resync first: a producer ingesting again after
   // this barrier must stamp at or above `bound`, or its events would fall
-  // below the watermark the barrier is about to flush (monotone CAS — a
+  // below the watermark the barrier is about to flush (monotone — a
   // concurrent barrier with a larger bound must win).
-  uint64_t prev = resync_floor_.load(std::memory_order_relaxed);
-  while (prev < bound &&
-         !resync_floor_.compare_exchange_weak(prev, bound,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed)) {
-  }
+  stall_floors_.ArmResyncFloor(bound);
   // Publish `bound` as every producer's floor on every shard: quiescent
   // producers' lanes are then provably past every pending candidate, so
   // the lane merges can run dry during the shard drains that follow.
@@ -881,24 +897,19 @@ void ParallelStreamingEngine::PublishStallFloors(size_t stalled,
   for (auto& shard : shards_) shard->NoteLaneFloor(stalled, own_floor);
   // Quiescent peers: lift their lane floors to the ingest frontier so a
   // merge gated on an idle peer cannot hold this push full forever. Arm
-  // the resync floor BEFORE proving quiescence: with the seq_cst fence
-  // below pairing against the one in CallScope, a peer whose in_call_
-  // reads false here either never enters a stamping call again or enters
-  // one whose MaybeResync observes the armed bound — both keep every
-  // future stamp of that peer at or above the floor published for it.
-  // A peer seen in-call is skipped: its own pushes, periodic floors, and
-  // (should it stall too) its own stall hook keep its lanes live.
+  // the resync floor BEFORE proving quiescence: the coordinator's Dekker
+  // handshake (runtime/stall_floor.h) guarantees a peer whose in-call
+  // flag reads false here either never enters a stamping call again or
+  // enters one whose MaybeResync observes the armed bound — both keep
+  // every future stamp of that peer at or above the floor published for
+  // it. A peer seen in-call is skipped: its own pushes, periodic floors,
+  // and (should it stall too) its own stall hook keep its lanes live.
   const uint64_t bound = IngestFrontier();
-  uint64_t prev = resync_floor_.load(std::memory_order_relaxed);
-  while (prev < bound &&
-         !resync_floor_.compare_exchange_weak(prev, bound,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed)) {
-  }
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  stall_floors_.ArmResyncFloor(bound);
+  stall_floors_.QuiescenceFence();
   for (size_t p = 0; p < producers_.size(); ++p) {
     if (p == stalled) continue;
-    if (producers_[p]->in_call_.load(std::memory_order_relaxed)) continue;
+    if (stall_floors_.InCall(p)) continue;
     for (auto& shard : shards_) shard->NoteLaneFloor(p, bound);
   }
 }
@@ -925,11 +936,17 @@ IngestProducer::IngestProducer(ParallelStreamingEngine* engine, size_t index,
   }
 }
 
+StallFloorCoordinator& IngestProducer::Coordinator() {
+  return engine_->stall_floors_;
+}
+
 void IngestProducer::MaybeResync() {
-  // Callers enter through CallScope, whose seq_cst fence precedes this
-  // load: paired with the fence in PublishStallFloors it guarantees that
-  // a handle proven out-of-call there cannot miss a bound armed there.
-  const uint64_t rf = engine_->resync_floor_.load(std::memory_order_acquire);
+  // Callers enter through CallScope, whose EnterCall fence precedes this
+  // load: paired with the stall side's QuiescenceFence it guarantees
+  // that a handle proven out-of-call there cannot miss a bound armed
+  // there (the Dekker argument in runtime/stall_floor.h).
+  const uint64_t rf = engine_->stall_floors_.AcquireResyncFloor();
+  // order: relaxed; this thread is seq_next_'s only writer.
   const uint64_t next = seq_next_.load(std::memory_order_relaxed);
   if (next >= rf) return;
   // Smallest value >= rf that keeps this producer's residue (mod stride).
@@ -940,6 +957,7 @@ void IngestProducer::MaybeResync() {
 void IngestProducer::PublishFloor() {
   role_.Assert();
   if (stride_ == 1) return;  // single-producer floors ride the engine path
+  // order: relaxed; same-thread read of our own store below OnEvent.
   const uint64_t floor = seq_next_.load(std::memory_order_relaxed);
   for (auto& shard : engine_->shards_) shard->NoteLaneFloor(index_, floor);
   since_floor_ = 0;
@@ -956,23 +974,28 @@ Status IngestProducer::OnEvent(const Event& event) {
     return Status::FailedPrecondition(
         "IngestProducer::OnEvent before Start()");
   }
+  // order: relaxed; see the Start() rationale on the finished_ latch.
   if (engine_->finished_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("ingestion after Finish()");
   }
   CallScope in_call(this);
   MaybeResync();
   StampedEvent stamped;
+  // order: relaxed; seq_next_ is written only by this producer thread.
   const uint64_t seq = seq_next_.load(std::memory_order_relaxed);
   stamped.seq = seq;
   stamped.event = event;
   // Frontier semantics ("every handed-out seq is strictly below it")
   // require the advance before the possibly-blocking push.
+  // order: release pairs with seq_frontier()'s acquire, so a stall
+  // claimant that reads the frontier also sees everything stamped below.
   seq_next_.store(seq + stride_, std::memory_order_release);
   const size_t target = engine_->router_.ShardOf(event);
   StallContext stall{engine_, index_,
                      std::numeric_limits<uint64_t>::max()};
   PLDP_RETURN_IF_ERROR(engine_->shards_[target]->PushStampedLaneN(
       index_, &stamped, 1, nullptr, &IngestProducer::OnLaneStall, &stall));
+  // order: relaxed; standalone telemetry counter.
   engine_->events_ingested_.fetch_add(1, std::memory_order_relaxed);
   if (ingest_counter_ != nullptr) ingest_counter_->Inc(1);
   if (++since_floor_ >= kProducerFloorPeriod) PublishFloor();
@@ -992,6 +1015,7 @@ Status IngestProducer::OnEventBatch(EventSpan events) {
     return Status::FailedPrecondition(
         "IngestProducer::OnEventBatch before Start()");
   }
+  // order: relaxed; see the Start() rationale on the finished_ latch.
   if (engine_->finished_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("ingestion after Finish()");
   }
@@ -999,6 +1023,7 @@ Status IngestProducer::OnEventBatch(EventSpan events) {
   CallScope in_call(this);
   MaybeResync();
   for (auto& buf : staging_) buf.clear();
+  // order: relaxed; seq_next_ is written only by this producer thread.
   uint64_t seq = seq_next_.load(std::memory_order_relaxed);
   for (const Event& e : events) {
     StampedEvent stamped;
@@ -1007,6 +1032,7 @@ Status IngestProducer::OnEventBatch(EventSpan events) {
     stamped.event = e;
     staging_[engine_->router_.ShardOf(e)].push_back(std::move(stamped));
   }
+  // order: release pairs with seq_frontier()'s acquire (see OnEvent).
   seq_next_.store(seq, std::memory_order_release);
   for (size_t i = 0; i < staging_.size(); ++i) {
     if (staging_[i].empty()) continue;
@@ -1026,6 +1052,7 @@ Status IngestProducer::OnEventBatch(EventSpan events) {
     const Status s = engine_->shards_[i]->PushStampedLaneN(
         index_, staging_[i].data(), staging_[i].size(), &accepted,
         &IngestProducer::OnLaneStall, &stall);
+    // order: relaxed; standalone telemetry counter.
     engine_->events_ingested_.fetch_add(accepted,
                                         std::memory_order_relaxed);
     if (ingest_counter_ != nullptr) ingest_counter_->Inc(accepted);

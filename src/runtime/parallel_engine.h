@@ -74,6 +74,7 @@
 #include "runtime/overload.h"
 #include "runtime/router.h"
 #include "runtime/shard.h"
+#include "runtime/stall_floor.h"
 #include "stream/replay.h"
 
 namespace pldp {
@@ -251,6 +252,8 @@ class ParallelStreamingEngine : public StreamSubscriber {
   /// Drains and joins all workers. Idempotent; called by the destructor.
   Status Stop();
 
+  // order: relaxed; status poll — lifecycle handoffs are synchronized
+  // by Start/Stop themselves, not by this flag.
   bool running() const { return running_.load(std::memory_order_relaxed); }
 
   // StreamSubscriber — the ingest path (single producer thread). With
@@ -287,6 +290,7 @@ class ParallelStreamingEngine : public StreamSubscriber {
   size_t total_cross_detections() const;
 
   /// Events ingested (== sum of per-shard events_processed after Drain).
+  // order: relaxed; telemetry read, exact after external quiescence.
   size_t events_processed() const {
     return events_ingested_.load(std::memory_order_relaxed);
   }
@@ -306,6 +310,7 @@ class ParallelStreamingEngine : public StreamSubscriber {
   /// bit-identical to the blocking policy's. Safe from any thread.
   SheddingStats shedding_stats() const {
     SheddingStats s;
+    // order: relaxed; telemetry read (see events_processed).
     s.admitted = events_ingested_.load(std::memory_order_relaxed);
     s.shed = events_shed();
     return s;
@@ -383,12 +388,15 @@ class ParallelStreamingEngine : public StreamSubscriber {
   /// Ingest producer handles (see producer()); sized at construction,
   /// never resized after. Always at least one.
   std::vector<std::unique_ptr<IngestProducer>> producers_;
-  /// Barrier-published resync floor (MPSC mode): every producer bumps its
-  /// next sequence number to at least this value (congruence-preserving)
-  /// before stamping again, so events ingested after a Drain/Finish
-  /// barrier can never fall below the watermark bound that barrier
-  /// flushed. Written by the barrier, acquire-read at producer entry.
-  std::atomic<uint64_t> resync_floor_{0};
+  /// The resync floor + per-producer in-call flags and their Dekker
+  /// fence protocol (runtime/stall_floor.h): barriers and stalled
+  /// producers arm the floor, every producer bumps its next sequence
+  /// number to at least it (congruence-preserving, see
+  /// IngestProducer::MaybeResync) before stamping again — so events
+  /// ingested after a Drain/Finish barrier can never fall below the
+  /// watermark bound that barrier flushed, and a stalled producer can
+  /// soundly lift a quiescent peer's lane floors on its behalf.
+  StallFloorCoordinator stall_floors_;
   /// Ingest sequence numbers handed out (single ingest thread increments;
   /// drain barriers read from any thread).
   std::atomic<uint64_t> next_seq_{0};
@@ -427,19 +435,20 @@ class ParallelStreamingEngine : public StreamSubscriber {
   uint64_t IngestFrontier() const;
   /// Pre-barrier ingest fence (Drain/FinishInternal): computes the
   /// frontier bound, publishes it as every producer's lane floor on every
-  /// shard (so the lane merges can run dry), and arms resync_floor_ so
+  /// shard (so the lane merges can run dry), and arms the resync floor so
   /// post-barrier ingestion stamps above the bound. Returns the bound.
   uint64_t PrepareIngestBarrier();
   /// Anti-deadlock floor publication while producer `stalled` blocks on a
   /// full lane (Shard::StallFn). Publishes `own_floor` (the stalled
   /// producer's smallest not-yet-pushed sequence — sound mid-push) as its
   /// lane floor everywhere, then lifts every provably-quiescent peer's
-  /// lane floors to the ingest frontier. Quiescence proof: arm
-  /// resync_floor_ at the frontier, seq_cst fence, read the peer's
-  /// in_call_ flag — the Dekker pair with the producer entry sequence
-  /// (store in_call_, seq_cst fence, load resync_floor_) guarantees a
-  /// peer observed out-of-call will stamp at or above the armed bound on
-  /// its next call, so its lane may claim the bound now. Without this, a
+  /// lane floors to the ingest frontier. The quiescence proof is the
+  /// StallFloorCoordinator's Dekker handshake (runtime/stall_floor.h):
+  /// arm the floor at the frontier, fence, read the peer's in-call flag
+  /// — a peer observed out-of-call will stamp at or above the armed
+  /// bound on its next call, so its lane may claim the bound now.
+  /// Machine-checked by tests/check/check_stall_floor_test.cc. Without
+  /// this, a
   /// merge gated on an idle peer's stale floor and a producer blocked on
   /// the resulting full lane deadlock: the barrier that would refresh the
   /// floor can never run while the push blocks.
@@ -482,6 +491,8 @@ class IngestProducer {
 
   /// This producer's stamping frontier: every sequence number it handed
   /// out is strictly below this. Safe from any thread.
+  // order: acquire pairs with the producer's release advance, so a
+  // frontier observation also covers every event stamped below it.
   uint64_t seq_frontier() const {
     return seq_next_.load(std::memory_order_acquire);
   }
@@ -492,29 +503,29 @@ class IngestProducer {
                  size_t stride);
 
   /// Applies a pending barrier resync: bumps seq_next_ to the smallest
-  /// value >= resync_floor_ that keeps the (mod stride) congruence.
+  /// value >= the armed resync floor that keeps the (mod stride)
+  /// congruence.
   void MaybeResync() PLDP_REQUIRES(role_);
 
-  /// Scoped in-call marker: entry stores in_call_ then issues the seq_cst
-  /// fence MaybeResync's resync-floor load rides on — the producer half
-  /// of PublishStallFloors' Dekker pair. Must enclose every stamping
-  /// call (OnEvent/OnEventBatch in MPSC mode) from before MaybeResync to
-  /// after the last push.
+  /// Scoped in-call marker: entry runs StallFloorCoordinator::EnterCall
+  /// (flag store + the seq_cst fence MaybeResync's resync-floor load
+  /// rides on — the producer half of the stall-floor Dekker pair). Must
+  /// enclose every stamping call (OnEvent/OnEventBatch in MPSC mode)
+  /// from before MaybeResync to after the last push.
   class CallScope {
    public:
     explicit CallScope(IngestProducer* producer) : producer_(producer) {
-      producer_->in_call_.store(true, std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_seq_cst);
+      producer_->Coordinator().EnterCall(producer_->index_);
     }
-    ~CallScope() {
-      producer_->in_call_.store(false, std::memory_order_release);
-    }
+    ~CallScope() { producer_->Coordinator().ExitCall(producer_->index_); }
     CallScope(const CallScope&) = delete;
     CallScope& operator=(const CallScope&) = delete;
 
    private:
     IngestProducer* const producer_;
   };
+
+  StallFloorCoordinator& Coordinator();
 
   /// Context threaded through Shard::PushStampedLaneN's stall hook.
   /// `rest_min` is the smallest sequence staged for a not-yet-pushed
@@ -541,10 +552,6 @@ class IngestProducer {
   std::atomic<uint64_t> seq_next_;
   /// Events stamped since the last floor publication.
   uint64_t since_floor_ PLDP_GUARDED_BY(role_) = 0;
-  /// True while this handle is inside a stamping call (CallScope); read
-  /// by PublishStallFloors to prove a peer quiescent before lifting its
-  /// lane floors on its behalf.
-  std::atomic<bool> in_call_{false};
   /// Per-shard staging for OnEventBatch (MPSC mode only; empty in
   /// delegate mode). Capacity is retained across batches.
   std::vector<std::vector<StampedEvent>> staging_ PLDP_GUARDED_BY(role_);

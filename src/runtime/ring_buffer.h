@@ -14,10 +14,11 @@
 #ifndef PLDP_RUNTIME_RING_BUFFER_H_
 #define PLDP_RUNTIME_RING_BUFFER_H_
 
-#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
+
+#include "common/atomic.h"
 
 namespace pldp {
 
@@ -33,10 +34,14 @@ class RingBuffer {
   size_t capacity() const { return slots_.size(); }
 
   /// Optional hard occupancy cap (0 = unlimited, the default). Exceeding
-  /// it is a caller bug, checked by assert in debug builds: the merge
+  /// it is a caller bug, checked by PLDP_PROTOCOL_ASSERT: the merge
   /// shards set it to their lane's credit budget, under which the producer
   /// can never have more items in flight than the limit — the assert is
-  /// the defense-in-depth proof that the credit accounting holds.
+  /// the defense-in-depth proof that the credit accounting holds. Under
+  /// PLDP_MODEL_CHECK the model checker explores every consume/return
+  /// interleaving against it (tests/check/check_credits_test.cc); its
+  /// negative twin (PLDP_CHECK_NEGATIVE_CREDITS, which returns the credit
+  /// at receipt instead of at release) trips exactly this assert.
   void set_capacity_limit(size_t limit) { capacity_limit_ = limit; }
   size_t capacity_limit() const { return capacity_limit_; }
 
@@ -45,7 +50,7 @@ class RingBuffer {
   const T& front() const { return slots_[head_ & mask_]; }
 
   void push_back(T value) {
-    assert(capacity_limit_ == 0 || size() < capacity_limit_);
+    PLDP_PROTOCOL_ASSERT(capacity_limit_ == 0 || size() < capacity_limit_);
     if (size() == slots_.size()) Grow();
     slots_[tail_ & mask_] = std::move(value);
     ++tail_;

@@ -26,6 +26,7 @@ Shard::Shard(size_t index, size_t queue_capacity, uint64_t seed)
       rng_(SplitMix64(seed ^ (0xdecaf000ULL + index)).Next()) {
   queue_.SetWaker(&doorbell_);
   engine_.SetCallback([this](const StreamingDetection& d) {
+    // order: relaxed; telemetry only.
     detections_.fetch_add(1, std::memory_order_relaxed);
     if (user_callback_) user_callback_(d);
   });
@@ -34,7 +35,8 @@ Shard::Shard(size_t index, size_t queue_capacity, uint64_t seed)
 Shard::~Shard() { (void)Stop(); }
 
 StatusOr<size_t> Shard::AddQuery(Pattern pattern, Timestamp window) {
-  if (running_) {
+  // order: relaxed; pre-start guard, orchestrator-serialized.
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "Shard::AddQuery must precede Start()");
   }
@@ -42,7 +44,8 @@ StatusOr<size_t> Shard::AddQuery(Pattern pattern, Timestamp window) {
 }
 
 Status Shard::SetEventSink(std::unique_ptr<ShardEventSink> sink) {
-  if (running_) {
+  // order: relaxed; pre-start guard, orchestrator-serialized.
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "Shard::SetEventSink must precede Start()");
   }
@@ -58,7 +61,8 @@ Status Shard::SetEventSink(std::unique_ptr<ShardEventSink> sink) {
 }
 
 Status Shard::SetInstruments(const obs::ShardInstruments& instruments) {
-  if (running_) {
+  // order: relaxed; pre-start guard, orchestrator-serialized.
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "Shard::SetInstruments must precede Start()");
   }
@@ -67,7 +71,8 @@ Status Shard::SetInstruments(const obs::ShardInstruments& instruments) {
 }
 
 Status Shard::SetDetectionCallback(DetectionCallback callback) {
-  if (running_) {
+  // order: relaxed; pre-start guard, orchestrator-serialized.
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "Shard::SetDetectionCallback must precede Start()");
   }
@@ -76,7 +81,8 @@ Status Shard::SetDetectionCallback(DetectionCallback callback) {
 }
 
 Status Shard::EnableMultiProducer(size_t producer_count) {
-  if (running_) {
+  // order: relaxed; pre-start guard, orchestrator-serialized.
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "Shard::EnableMultiProducer must precede Start()");
   }
@@ -92,8 +98,9 @@ Status Shard::EnableMultiProducer(size_t producer_count) {
         queue_.capacity()));
     lanes_.back()->SetWaker(&doorbell_);
   }
-  lane_floors_ = std::make_unique<std::atomic<uint64_t>[]>(producer_count);
+  lane_floors_ = std::make_unique<Atomic<uint64_t>[]>(producer_count);
   for (size_t p = 0; p < producer_count; ++p) {
+    // order: relaxed; pre-start initialization, Start() synchronizes.
     lane_floors_[p].store(0, std::memory_order_relaxed);
   }
   return Status::OK();
@@ -101,7 +108,8 @@ Status Shard::EnableMultiProducer(size_t producer_count) {
 
 Status Shard::AddExchange(std::unique_ptr<ExchangeEmitter> emitter,
                           bool forward_raw_events) {
-  if (running_) {
+  // order: relaxed; pre-start guard, orchestrator-serialized.
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "Shard::AddExchange must precede Start()");
   }
@@ -134,9 +142,11 @@ std::vector<Shard::ExchangeHookRef> Shard::SnapshotHooks() const {
 }
 
 Status Shard::Start() {
-  if (running_) {
+  // order: relaxed; orchestrator-serialized (one thread calls Start/Stop).
+  if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("shard already running");
   }
+  // order: relaxed; the thread launch below is the synchronization edge.
   stop_requested_.store(false, std::memory_order_relaxed);
   doorbell_.SetCounters(obs_.parks, obs_.wakes);
   worker_ = std::thread([this] {
@@ -149,7 +159,8 @@ Status Shard::Start() {
     }
     worker_role_.Release();
   });
-  running_ = true;
+  // order: relaxed; advisory flag for running() observers.
+  running_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -177,7 +188,9 @@ Status Shard::PushN(Event* events, size_t count, size_t* accepted) {
 Status Shard::PushStampedN(StampedEvent* events, size_t count,
                            size_t* accepted) {
   if (accepted != nullptr) *accepted = 0;
-  if (!running_) {
+  // order: relaxed; advisory guard — a racing Stop is caught by the
+  // fail-fast stop_requested_ check inside the push loop.
+  if (!running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("shard not running");
   }
   if (!lanes_.empty()) {
@@ -193,7 +206,10 @@ Status Shard::PushStampedN(StampedEvent* events, size_t count,
     // Events enqueued before the cutoff still count as pushed; Stop()
     // processes any queue leftovers after joining the worker, so Drain
     // stays consistent even if the worker missed them.
+    // order: relaxed; fail-fast hint — Stop()'s post-join leftover pass
+    // makes the cutoff exact regardless of what this load observes.
     if (stop_requested_.load(std::memory_order_relaxed)) {
+      // order: relaxed; Drain reads pushed_ from the producer thread.
       if (done > 0) pushed_.fetch_add(done, std::memory_order_relaxed);
       if (accepted != nullptr) *accepted = done;
       PLDP_LOG(Warning) << "shard " << index_ << ": push after stop, "
@@ -211,20 +227,27 @@ Status Shard::PushStampedN(StampedEvent* events, size_t count,
     }
   }
   if (waited) {
+    // order: relaxed; telemetry only.
     backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
     if (obs_.backpressure_waits) obs_.backpressure_waits->Inc();
   }
+  // order: relaxed; Drain reads it from the producer thread itself (or
+  // under an external happens-before), and the queue push above already
+  // published the events with release.
   pushed_.fetch_add(count, std::memory_order_relaxed);
   if (accepted != nullptr) *accepted = count;
   return Status::OK();
 }
 
 size_t Shard::TryPushStampedN(StampedEvent* events, size_t count) {
-  if (!running_ || !lanes_.empty() ||
+  // order: relaxed on both flags; advisory fail-fast guards (see
+  // PushStampedN).
+  if (!running_.load(std::memory_order_relaxed) || !lanes_.empty() ||
       stop_requested_.load(std::memory_order_relaxed)) {
     return 0;
   }
   const size_t n = queue_.TryPushN(events, count);
+  // order: relaxed; same contract as PushStampedN's pushed_ update.
   if (n > 0) pushed_.fetch_add(n, std::memory_order_relaxed);
   return n;
 }
@@ -236,7 +259,8 @@ Status Shard::PushStampedLaneN(size_t producer, StampedEvent* events,
   if (producer >= lanes_.size()) {
     return Status::InvalidArgument("producer lane index out of range");
   }
-  if (!running_) {
+  // order: relaxed; advisory guard (see PushStampedN).
+  if (!running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("shard not running");
   }
   SpscQueue<StampedEvent>& lane = *lanes_[producer];
@@ -245,7 +269,9 @@ Status Shard::PushStampedLaneN(size_t producer, StampedEvent* events,
   size_t done = 0;
   while (done < count) {
     // Same fail-fast-on-stop contract as PushStampedN.
+    // order: relaxed; fail-fast hint (see PushStampedN).
     if (stop_requested_.load(std::memory_order_relaxed)) {
+      // order: relaxed; see PushStampedN.
       if (done > 0) pushed_.fetch_add(done, std::memory_order_relaxed);
       if (accepted != nullptr) *accepted = done;
       PLDP_LOG(Warning) << "shard " << index_ << ": lane " << producer
@@ -272,18 +298,25 @@ Status Shard::PushStampedLaneN(size_t producer, StampedEvent* events,
     }
   }
   if (waited) {
+    // order: relaxed; telemetry only.
     backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
     if (obs_.backpressure_waits) obs_.backpressure_waits->Inc();
   }
+  // order: relaxed; see PushStampedN's pushed_ update.
   pushed_.fetch_add(count, std::memory_order_relaxed);
   if (accepted != nullptr) *accepted = count;
   return Status::OK();
 }
 
 Status Shard::Drain() {
-  if (!running_) return Status::OK();
+  // order: relaxed; advisory guard.
+  if (!running_.load(std::memory_order_relaxed)) return Status::OK();
+  // order: relaxed; best-effort snapshot of the push count (see the
+  // threading contract in the header).
   const uint64_t target = pushed_.load(std::memory_order_relaxed);
   Backoff backoff;
+  // order: acquire pairs with the worker's release — once the count
+  // covers the target, the engine/sink effects are visible too.
   while (processed_.load(std::memory_order_acquire) < target) {
     backoff.Wait();
   }
@@ -291,11 +324,15 @@ Status Shard::Drain() {
 }
 
 StatusOr<uint64_t> Shard::PostCommand(uint32_t kind, uint64_t payload) {
-  if (!running_) {
+  // order: relaxed; advisory guard (WaitCommandAck fails fast on stop).
+  if (!running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("shard not running");
   }
+  // order: relaxed on both; the generation bump below publishes them.
   cmd_payload_.store(payload, std::memory_order_relaxed);
   cmd_kind_.store(kind, std::memory_order_relaxed);
+  // order: release publishes payload/kind to the worker's acquire of
+  // cmd_gen_.
   const uint64_t token = cmd_gen_.fetch_add(1, std::memory_order_release) + 1;
   doorbell_.Ring();
   return token;
@@ -303,7 +340,10 @@ StatusOr<uint64_t> Shard::PostCommand(uint32_t kind, uint64_t payload) {
 
 Status Shard::WaitCommandAck(uint64_t token) {
   Backoff backoff;
+  // order: acquire pairs with the worker's release ack — command side
+  // effects (watermarks, finish emissions) are visible once acked.
   while (cmd_ack_.load(std::memory_order_acquire) < token) {
+    // order: relaxed; fail-fast hint only.
     if (stop_requested_.load(std::memory_order_relaxed)) {
       return Status::FailedPrecondition("shard stopping before command ran");
     }
@@ -330,8 +370,11 @@ StatusOr<uint64_t> Shard::PostFinish(uint64_t finish_seq) {
 }
 
 Status Shard::Stop() {
-  if (!running_) return Status::OK();
+  // order: relaxed; orchestrator-serialized (one thread calls Start/Stop).
+  if (!running_.load(std::memory_order_relaxed)) return Status::OK();
   Status drained = Drain();
+  // order: release so work published before the stop request is visible
+  // to the worker that observes it (acquire in the run loops).
   stop_requested_.store(true, std::memory_order_release);
   doorbell_.Ring();  // A parked worker must observe the stop flag.
   if (worker_.joinable()) worker_.join();
@@ -349,6 +392,7 @@ Status Shard::Stop() {
       if (obs_.events) obs_.events->Inc();
       if (obs_.batch_size) obs_.batch_size->Record(1);
       if (obs_.process_latency_ns) obs_.process_latency_ns->Record(0);
+      // order: release; releases a concurrent Drain (see header contract).
       processed_.fetch_add(1, std::memory_order_release);
     }
   } else {
@@ -371,20 +415,24 @@ Status Shard::Stop() {
       if (obs_.events) obs_.events->Inc();
       if (obs_.batch_size) obs_.batch_size->Record(1);
       if (obs_.process_latency_ns) obs_.process_latency_ns->Record(0);
+      // order: release; releases a concurrent Drain (see header contract).
       processed_.fetch_add(1, std::memory_order_release);
       valid[min_p] = 0;
     }
   }
   worker_role_.Release();
-  running_ = false;
+  // order: relaxed; advisory flag for running() observers.
+  running_.store(false, std::memory_order_relaxed);
   return drained;
 }
 
 ShardStats Shard::stats() const {
   ShardStats s;
   s.shard_index = index_;
+  // order: acquire pairs with the worker's release publication.
   s.events_processed =
       static_cast<size_t>(processed_.load(std::memory_order_acquire));
+  // order: relaxed; telemetry only (both counters below too).
   s.detections =
       static_cast<size_t>(detections_.load(std::memory_order_relaxed));
   s.backpressure_waits = static_cast<size_t>(
@@ -401,8 +449,12 @@ ShardStats Shard::stats() const {
 }
 
 void Shard::ExecuteCommand(const std::vector<ExchangeHookRef>& hooks) {
+  // order: acquire pairs with PostCommand's release bump, covering the
+  // payload/kind stores before it.
   const uint64_t gen = cmd_gen_.load(std::memory_order_acquire);
+  // order: relaxed; this thread is cmd_ack_'s only writer.
   if (gen == cmd_ack_.load(std::memory_order_relaxed)) return;
+  // order: relaxed on both; published by the acquired generation bump.
   const uint32_t kind = cmd_kind_.load(std::memory_order_relaxed);
   const uint64_t payload = cmd_payload_.load(std::memory_order_relaxed);
   switch (kind) {
@@ -424,6 +476,8 @@ void Shard::ExecuteCommand(const std::vector<ExchangeHookRef>& hooks) {
     default:
       break;
   }
+  // order: release publishes the command's side effects to
+  // WaitCommandAck's acquire.
   cmd_ack_.store(gen, std::memory_order_release);
 }
 
@@ -489,6 +543,7 @@ void Shard::RunLoop() {
       }
       if (obs_.events) obs_.events->Inc(n);
       // One release store per burst: the publication point Drain acquires.
+      // order: release (see comment above).
       processed_.fetch_add(n, std::memory_order_release);
       // Commands are handled on burst boundaries too, so a saturating
       // producer cannot starve a drain barrier.
@@ -496,6 +551,7 @@ void Shard::RunLoop() {
       continue;
     }
     ExecuteCommand(hooks);
+    // order: acquire pairs with Stop()'s release store.
     if (stop_requested_.load(std::memory_order_acquire) &&
         queue_.ApproxEmpty()) {
       return;
@@ -507,6 +563,8 @@ void Shard::RunLoop() {
     // Broadcast dedups repeat bounds, so the steady idle loop stays free.
     if (!hooks.empty()) {
       uint64_t bound = processed_any_ ? last_seq_ + 1 : 0;
+      // order: acquire pairs with NoteProducerFloor's release (the empty
+      // check below relies on the covered pushes being visible).
       const uint64_t floor =
           producer_floor_.load(std::memory_order_acquire);
       // The floor's pushes happened before its release store, so an empty
@@ -531,11 +589,14 @@ void Shard::RunLoop() {
       const uint64_t idle_bound = last_idle_bound;
       (void)doorbell_.ParkUnless([this, watch_floor, idle_bound] {
         if (!queue_.ApproxEmpty()) return true;
+        // order: acquire/relaxed, same pairing as ExecuteCommand.
         if (cmd_gen_.load(std::memory_order_acquire) !=
             cmd_ack_.load(std::memory_order_relaxed)) {
           return true;
         }
+        // order: acquire pairs with Stop()'s release store.
         if (stop_requested_.load(std::memory_order_acquire)) return true;
+        // order: acquire pairs with NoteProducerFloor's release.
         return watch_floor &&
                producer_floor_.load(std::memory_order_acquire) > idle_bound;
       });
@@ -564,6 +625,8 @@ void Shard::MultiRunLoop() {
     // stores its floor after the pushes it covers, so a floor acquired
     // BEFORE an empty TryPop proves the lane holds nothing below it.
     for (size_t p = 0; p < lane_count; ++p) {
+      // order: acquire pairs with NoteLaneFloor's release CAS — the floor
+      // only proves emptiness if the covered pushes are visible first.
       floors[p] = lane_floors_[p].load(std::memory_order_acquire);
       if (!valid[p]) valid[p] = lanes_[p]->TryPop(heads[p]) ? 1 : 0;
     }
@@ -606,11 +669,13 @@ void Shard::MultiRunLoop() {
         }
       }
       if (obs_.events) obs_.events->Inc(n);
+      // order: release; the publication point Drain acquires.
       processed_.fetch_add(n, std::memory_order_release);
       ExecuteCommand(hooks);
       continue;
     }
     ExecuteCommand(hooks);
+    // order: acquire pairs with Stop()'s release store.
     if (stop_requested_.load(std::memory_order_acquire)) {
       // Ingest is over: force-merge every remaining head and lane
       // leftover in sequence order, ignoring the (possibly stale) floors
@@ -630,6 +695,7 @@ void Shard::MultiRunLoop() {
         if (obs_.events) obs_.events->Inc();
         if (obs_.batch_size) obs_.batch_size->Record(1);
         if (obs_.process_latency_ns) obs_.process_latency_ns->Record(0);
+        // order: release; the publication point Drain acquires.
         processed_.fetch_add(1, std::memory_order_release);
         valid[min_p] = 0;
       }
@@ -666,14 +732,17 @@ void Shard::MultiRunLoop() {
                                   idle_bound] {
         for (size_t p = 0; p < lane_count; ++p) {
           if (!lanes_[p]->ApproxEmpty()) return true;
+          // order: acquire; same pairing as the refill loop's floor read.
           const uint64_t f = lane_floors_[p].load(std::memory_order_acquire);
           if (f != floors[p]) return true;
           if (watch_floor && f > idle_bound) return true;
         }
+        // order: acquire/relaxed, same pairing as ExecuteCommand.
         if (cmd_gen_.load(std::memory_order_acquire) !=
             cmd_ack_.load(std::memory_order_relaxed)) {
           return true;
         }
+        // order: acquire pairs with Stop()'s release store.
         return stop_requested_.load(std::memory_order_acquire);
       });
       backoff.Reset();

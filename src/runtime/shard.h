@@ -44,17 +44,24 @@
 //     release store that Drain observes with an acquire load, which orders
 //     all engine/sink mutations before the caller's reads. Command
 //     acknowledgements publish the same way.
+//
+// The multi-producer lane-floor handshake (NoteLaneFloor vs the merging
+// worker, including the stall-floor path that keeps an idle peer from
+// wedging a full lane) is machine-checked by
+// tests/check/check_stall_floor_test.cc; the negative twin
+// PLDP_CHECK_NEGATIVE_STALL (runtime/stall_floor.cc) re-introduces the
+// idle-peer deadlock and proves the checker reports it.
 
 #ifndef PLDP_RUNTIME_SHARD_H_
 #define PLDP_RUNTIME_SHARD_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "cep/streaming_engine.h"
+#include "common/atomic.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -232,8 +239,13 @@ class Shard {
   /// ring would wake parked workers on every repeat for nothing (a no-op
   /// publish carries no information the park predicate could act on).
   void NoteLaneFloor(size_t producer, uint64_t floor) {
+    // order: relaxed; the CAS below re-validates, a stale read only costs
+    // one extra loop iteration.
     uint64_t prev = lane_floors_[producer].load(std::memory_order_relaxed);
     while (prev < floor) {
+      // order: release on success so every event pushed before this floor
+      // claim is visible to the worker's acquire of the floor; relaxed on
+      // failure — the reloaded value is only compared, not dereferenced.
       if (lane_floors_[producer].compare_exchange_weak(
               prev, floor, std::memory_order_release,
               std::memory_order_relaxed)) {
@@ -257,6 +269,8 @@ class Shard {
   /// next drain barrier — without it, skewed routings buffer everything
   /// downstream. Same caller as Push (the single ingest thread).
   void NoteProducerFloor(uint64_t floor) {
+    // order: release so everything pushed before the floor claim is
+    // visible to the worker's acquire load.
     producer_floor_.store(floor, std::memory_order_release);
     doorbell_.Ring();
   }
@@ -291,7 +305,10 @@ class Shard {
   /// Drains, stops, and joins the worker. Idempotent.
   Status Stop();
 
-  bool running() const { return running_.load(std::memory_order_relaxed); }
+  bool running() const {
+    // order: relaxed; advisory flag, carries no payload.
+    return running_.load(std::memory_order_relaxed);
+  }
 
   /// The shard-local engine. Read-only access for the orchestrator; only
   /// valid when the shard is stopped or drained (see threading contract).
@@ -393,7 +410,7 @@ class Shard {
   std::vector<std::unique_ptr<SpscQueue<StampedEvent>>> lanes_;
   /// Per-lane producer floors (multi-producer mode), released by each
   /// producer and acquired by the merging worker.
-  std::unique_ptr<std::atomic<uint64_t>[]> lane_floors_;
+  std::unique_ptr<Atomic<uint64_t>[]> lane_floors_;
   /// Wake-on-work doorbell the idle worker parks on; rung by every queue
   /// push (SetWaker), floor publication, posted command, and stop.
   Doorbell doorbell_;
@@ -414,7 +431,7 @@ class Shard {
   std::thread worker_;
   // Written only by Start/Stop; atomic so Drain/stats from other threads
   // read it race-free.
-  std::atomic<bool> running_{false};
+  Atomic<bool> running_{false};
 
   /// Confinement tokens (zero-size, zero-cost — see thread_annotations.h):
   /// worker_role_ is held by the worker thread (and by Stop after the
@@ -426,27 +443,27 @@ class Shard {
   // Producer-side state. The counters are written by the producer thread
   // only (relaxed) but read from arbitrary threads by Drain()/stats(),
   // hence atomic; auto_seq_/scratch_ are producer-private.
-  std::atomic<uint64_t> pushed_{0};
-  std::atomic<uint64_t> backpressure_waits_{0};
-  std::atomic<uint64_t> producer_floor_{0};
+  Atomic<uint64_t> pushed_{0};
+  Atomic<uint64_t> backpressure_waits_{0};
+  Atomic<uint64_t> producer_floor_{0};
   uint64_t auto_seq_ PLDP_GUARDED_BY(producer_role_) = 0;
   std::vector<StampedEvent> scratch_ PLDP_GUARDED_BY(producer_role_);
 
   // Orchestrator → worker command channel: payload/kind are published by
   // the generation counter (release) and acknowledged by the worker
   // (release on cmd_ack_).
-  std::atomic<uint64_t> cmd_gen_{0};
-  std::atomic<uint64_t> cmd_ack_{0};
-  std::atomic<uint64_t> cmd_payload_{0};
-  std::atomic<uint32_t> cmd_kind_{kCmdNone};
+  Atomic<uint64_t> cmd_gen_{0};
+  Atomic<uint64_t> cmd_ack_{0};
+  Atomic<uint64_t> cmd_payload_{0};
+  Atomic<uint32_t> cmd_kind_{kCmdNone};
 
   // Worker → producer publication point: incremented (release) after the
   // engine has absorbed a batch; Drain spins on it (acquire).
-  std::atomic<uint64_t> processed_{0};
+  Atomic<uint64_t> processed_{0};
   // Worker-side detection counter (fed by the engine callback) so stats()
   // never has to touch the non-atomic engine internals.
-  std::atomic<uint64_t> detections_{0};
-  std::atomic<bool> stop_requested_{false};
+  Atomic<uint64_t> detections_{0};
+  Atomic<bool> stop_requested_{false};
 
   // Worker-local: sequence of the last processed event, for idle-time
   // progress watermarks.

@@ -14,15 +14,21 @@
 // `head_` when freeing a slot. Each side additionally caches the other
 // side's index so the common fast path touches only its own cache line
 // (the classic Lamport queue + cached-index refinement).
+//
+// The index handoff (push/pop vs pop-empty/push-full races, including the
+// slot payload's visibility through the release/acquire pair) is
+// machine-checked by tests/check/check_spsc_test.cc; its negative twin
+// (PLDP_CHECK_NEGATIVE_SPSC, which weakens the tail publication below to
+// relaxed) proves the checker sees the resulting payload race.
 
 #ifndef PLDP_RUNTIME_SPSC_QUEUE_H_
 #define PLDP_RUNTIME_SPSC_QUEUE_H_
 
-#include <atomic>
 #include <cstddef>
 #include <utility>
 #include <vector>
 
+#include "common/atomic.h"
 #include "common/thread_annotations.h"
 #include "runtime/backoff.h"
 
@@ -62,18 +68,23 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
-  size_t capacity() const { return mask_ + 1; }
+  PLDP_HOT size_t capacity() const { return mask_ + 1; }
 
   /// Producer side. Returns false when the queue is full.
   PLDP_HOT bool TryPush(T&& value) {
+    // order: relaxed; tail_ is producer-owned, only this thread writes it.
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ > mask_) {
       // Looks full; refresh the consumer index and re-check.
+      // order: acquire pairs with the consumer's release store of head_ —
+      // the slot it freed must be visible before we overwrite it.
       cached_head_ = head_.load(std::memory_order_acquire);
       if (tail - cached_head_ > mask_) return false;
     }
     slots_[tail & mask_] = std::move(value);
-    tail_.store(tail + 1, std::memory_order_release);
+    // order: release publishes the slot write above to the consumer's
+    // acquire load of tail_.
+    tail_.store(tail + 1, kTailPublishOrder);
     if (waker_ != nullptr) waker_->Ring();
     return true;
   }
@@ -89,9 +100,11 @@ class SpscQueue {
   /// Returns the number pushed; 0 when full. Items beyond the return value
   /// are left untouched.
   PLDP_HOT size_t TryPushN(T* items, size_t count) {
+    // order: relaxed; tail_ is producer-owned, only this thread writes it.
     const size_t tail = tail_.load(std::memory_order_relaxed);
     size_t free = capacity() - (tail - cached_head_);
     if (free < count) {
+      // order: acquire pairs with the consumer's release store of head_.
       cached_head_ = head_.load(std::memory_order_acquire);
       free = capacity() - (tail - cached_head_);
     }
@@ -100,7 +113,8 @@ class SpscQueue {
       slots_[(tail + i) & mask_] = std::move(items[i]);
     }
     if (n > 0) {
-      tail_.store(tail + n, std::memory_order_release);
+      // order: release publishes the whole burst of slot writes at once.
+      tail_.store(tail + n, kTailPublishOrder);
       if (waker_ != nullptr) waker_->Ring();
     }
     return n;
@@ -108,12 +122,17 @@ class SpscQueue {
 
   /// Consumer side. Returns false when the queue is empty.
   PLDP_HOT bool TryPop(T& out) {
+    // order: relaxed; head_ is consumer-owned, only this thread writes it.
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {
+      // order: acquire pairs with the producer's release store of tail_ —
+      // the slot contents must be visible before we move them out.
       cached_tail_ = tail_.load(std::memory_order_acquire);
       if (head == cached_tail_) return false;
     }
-    out = std::move(slots_[head & mask_]);
+    out = RaceCellMove(slots_[head & mask_]);
+    // order: release frees the slot to the producer's acquire load of
+    // head_ — our move-out must complete before it reuses the slot.
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -122,23 +141,30 @@ class SpscQueue {
   /// all of their slots with a single release store. Returns the number
   /// popped; 0 when empty.
   PLDP_HOT size_t TryPopN(T* out, size_t max_count) {
+    // order: relaxed; head_ is consumer-owned, only this thread writes it.
     const size_t head = head_.load(std::memory_order_relaxed);
     size_t avail = cached_tail_ - head;
     if (avail < max_count) {
+      // order: acquire pairs with the producer's release store of tail_.
       cached_tail_ = tail_.load(std::memory_order_acquire);
       avail = cached_tail_ - head;
     }
     const size_t n = max_count < avail ? max_count : avail;
     for (size_t i = 0; i < n; ++i) {
-      out[i] = std::move(slots_[(head + i) & mask_]);
+      out[i] = RaceCellMove(slots_[(head + i) & mask_]);
     }
+    // order: release frees the whole burst of slots at once.
     if (n > 0) head_.store(head + n, std::memory_order_release);
     return n;
   }
 
   /// Racy size estimate — exact only when both sides are quiescent.
   size_t ApproxSize() const {
+    // order: acquire on both indices — callers use the estimate to decide
+    // "nothing below X is pending", which must not run ahead of the
+    // publication the index advance covered.
     const size_t tail = tail_.load(std::memory_order_acquire);
+    // order: acquire (see above).
     const size_t head = head_.load(std::memory_order_acquire);
     return tail - head;
   }
@@ -153,16 +179,30 @@ class SpscQueue {
  private:
   static constexpr size_t kCacheLine = 64;
 
+#ifdef PLDP_CHECK_NEGATIVE_SPSC
+  // Seeded mutation for the model checker's negative suite: publishing
+  // the tail with relaxed ordering lets the consumer observe the new
+  // index before the slot contents — the payload race the release store
+  // exists to prevent.
+  static constexpr std::memory_order kTailPublishOrder =
+      std::memory_order_relaxed;
+#else
+  static constexpr std::memory_order kTailPublishOrder =
+      std::memory_order_release;
+#endif
+
   const size_t mask_;
-  std::vector<T> slots_;
+  // RaceCell is plain T in normal builds; under PLDP_MODEL_CHECK every
+  // slot access is vector-clock checked against the chosen schedule.
+  std::vector<RaceCell<T>> slots_;
 
   // Producer-owned line: its index plus a cache of the consumer's.
-  alignas(kCacheLine) std::atomic<size_t> tail_{0};
+  alignas(kCacheLine) Atomic<size_t> tail_{0};
   size_t cached_head_ = 0;
   Doorbell* waker_ = nullptr;
 
   // Consumer-owned line.
-  alignas(kCacheLine) std::atomic<size_t> head_{0};
+  alignas(kCacheLine) Atomic<size_t> head_{0};
   size_t cached_tail_ = 0;
 };
 

@@ -1,0 +1,83 @@
+// Copyright 2026 The PLDP Authors.
+
+#include "runtime/stall_floor.h"
+
+namespace pldp {
+
+void StallFloorCoordinator::Configure(size_t producer_count) {
+  producer_count_ = producer_count;
+  in_call_ = std::make_unique<Atomic<bool>[]>(producer_count);
+  for (size_t p = 0; p < producer_count; ++p) {
+    // order: relaxed; pre-start initialization, the producer thread
+    // launches (or is handed the role) after Configure returns.
+    in_call_[p].store(false, std::memory_order_relaxed);
+  }
+}
+
+void StallFloorCoordinator::EnterCall(size_t p) {
+  // order: relaxed; the fence below is what orders this store against
+  // the resync-floor load (the producer half of the Dekker pair — see
+  // the header's protocol comment).
+  in_call_[p].store(true, std::memory_order_relaxed);
+  AtomicFence(std::memory_order_seq_cst);
+}
+
+void StallFloorCoordinator::ExitCall(size_t p) {
+  // order: release so every push of this call is visible to a stall side
+  // that observes the flag cleared and claims a floor for this producer.
+  in_call_[p].store(false, std::memory_order_release);
+}
+
+uint64_t StallFloorCoordinator::AcquireResyncFloor() const {
+  // order: acquire — the armed bound may carry barrier state published
+  // before it; EnterCall's fence is what makes the read current.
+  return resync_floor_.load(std::memory_order_acquire);
+}
+
+uint64_t StallFloorCoordinator::ArmResyncFloor(uint64_t bound) {
+  // order: relaxed; the CAS below re-validates, a stale read only costs
+  // one extra loop iteration.
+  uint64_t prev = resync_floor_.load(std::memory_order_relaxed);
+  while (prev < bound) {
+    // order: release on success so state published before the arm rides
+    // the floor to AcquireResyncFloor; relaxed on failure — the reloaded
+    // value is only compared.
+    if (resync_floor_.compare_exchange_weak(prev, bound,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+      return bound;
+    }
+  }
+  return prev;
+}
+
+void StallFloorCoordinator::QuiescenceFence() {
+#ifndef PLDP_CHECK_NEGATIVE_STALL
+  // order: seq_cst fence pairs with the one in EnterCall — the stall half
+  // of the Dekker pair (header comment). Without it a peer's in-call
+  // store and this side's in-call load can both miss each other: the
+  // peer is "proven" quiescent while mid-call with a pre-arm floor, and
+  // its next stamp lands below the floor just claimed for it — the
+  // idle-peer deadlock's root cause, re-introduced by the
+  // PLDP_CHECK_NEGATIVE_STALL mutation so the model checker can
+  // demonstrate it catches this bug class.
+  AtomicFence(std::memory_order_seq_cst);
+#endif
+}
+
+bool StallFloorCoordinator::InCall(size_t p) const {
+  // order: acquire, and it matters beyond the Dekker pair: when this read
+  // observes ExitCall's release store, it pulls the peer's completed
+  // pushes into the caller's happens-before past, so the caller's
+  // subsequent release publication of the claimed floor hands those
+  // pushes to the merge worker along with the floor. A relaxed read would
+  // let the merge see "floor lifted, lane empty" while the peer's last
+  // pre-exit push is still in flight — exactly the out-of-order release
+  // the model harness in tests/check/check_stall_floor_test.cc
+  // (ClaimAfterExitCarriesPushes) demonstrates. QuiescenceFence
+  // (sequenced before this read) separately gives a false read its
+  // mid-call meaning — see the header contract.
+  return in_call_[p].load(std::memory_order_acquire);
+}
+
+}  // namespace pldp

@@ -1,0 +1,116 @@
+// Copyright 2026 The PLDP Authors.
+//
+// The stall-floor handshake of the MPSC ingest front-end, extracted into
+// its own protocol object so the Dekker argument below is stated — and
+// machine-checked — in one place instead of being smeared across
+// ParallelStreamingEngine and IngestProducer.
+//
+// Problem (PR 9's idle-peer deadlock): shard lane merges are gated on
+// every producer's lane floor. A producer P1 blocked on a full lane
+// cannot run the drain barrier that would normally refresh a quiescent
+// peer P0's stale floor — so the merge stays gated on P0, the lane stays
+// full, and P1 spins forever. The fix lets the *stalled* producer lift
+// quiescent peers' floors to the ingest frontier on their behalf, which
+// is only sound if a peer proven "quiescent" can never again stamp a
+// sequence number below the lifted floor.
+//
+// The quiescence proof is a classic Dekker / store-buffering pair:
+//
+//   producer entry (EnterCall):        stall side (ArmResyncFloor +
+//     store in_call_[p] = true           QuiescenceFence):
+//     seq_cst fence                      store resync_floor_ = bound
+//     load resync_floor_                 seq_cst fence
+//     (AcquireResyncFloor)               load in_call_[p]  (InCall)
+//
+// In the single total order of seq_cst fences one side's fence is first.
+// If the producer's fence is first, the stall side's in_call_ load sees
+// true and the peer is skipped — no floor is claimed for it. If the
+// stall side's fence is first, the producer's resync-floor load is
+// guaranteed to observe the armed bound, so its next stamp lands at or
+// above it — the claimed floor holds. Either way a peer observed
+// out-of-call cannot stamp below the bound armed before the proof.
+//
+// Both halves are machine-checked by tests/check/check_stall_floor_test.cc
+// under the model checker (every interleaving within the preemption
+// bound); the negative twin PLDP_CHECK_NEGATIVE_STALL (stall_floor.cc)
+// deletes the stall-side fence and the checker reports the resulting
+// stale-floor stamp — the bug class this object exists to exclude.
+//
+// Threading: EnterCall/ExitCall/AcquireResyncFloor are per-producer (one
+// thread per index at a time, the IngestProducer role contract);
+// ArmResyncFloor/QuiescenceFence/InCall may run on any thread (a stalled
+// producer's push loop, a drain barrier).
+
+#ifndef PLDP_RUNTIME_STALL_FLOOR_H_
+#define PLDP_RUNTIME_STALL_FLOOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/atomic.h"
+
+namespace pldp {
+
+/// The resync floor + per-producer in-call flags, with the fence protocol
+/// that makes "this peer is quiescent" a sound claim.
+class StallFloorCoordinator {
+ public:
+  /// Constructed unconfigured (producer_count() == 0); Configure() is
+  /// called once, before any producer runs.
+  StallFloorCoordinator() = default;
+  StallFloorCoordinator(const StallFloorCoordinator&) = delete;
+  StallFloorCoordinator& operator=(const StallFloorCoordinator&) = delete;
+
+  /// Sizes the flag array. Must precede all other calls; not thread-safe.
+  void Configure(size_t producer_count);
+
+  size_t producer_count() const { return producer_count_; }
+
+  // ---- Producer half (one thread per index; the IngestProducer role) ----
+
+  /// Marks producer `p` inside a stamping call and issues the producer
+  /// half of the Dekker fence pair. Must precede AcquireResyncFloor.
+  void EnterCall(size_t p);
+
+  /// Clears the in-call mark after the producer's last push of the call.
+  void ExitCall(size_t p);
+
+  /// The armed resync floor: the producer must stamp at or above it.
+  /// Sound only between EnterCall and ExitCall (the entry fence is what
+  /// guarantees an armed bound cannot be missed).
+  uint64_t AcquireResyncFloor() const;
+
+  // ---- Stall/barrier half (any thread) ----
+
+  /// Monotonically raises the resync floor to `bound` (release; a
+  /// concurrent arm with a larger bound wins). Returns the floor after
+  /// the raise (>= bound).
+  uint64_t ArmResyncFloor(uint64_t bound);
+
+  /// The stall half of the Dekker fence pair. Must run after
+  /// ArmResyncFloor and before the InCall reads it licenses.
+  void QuiescenceFence();
+
+  /// Whether producer `p` is inside a stamping call. A `false` read is a
+  /// quiescence proof ONLY when sequenced after ArmResyncFloor(bound) +
+  /// QuiescenceFence(); it then licenses claiming `bound` as p's floor.
+  /// The read is acquire: observing ExitCall's release store pulls the
+  /// peer's completed pushes into the caller's past, so a floor claimed
+  /// and release-published afterwards hands those pushes to the merge
+  /// worker together with the floor (see InCall's definition).
+  bool InCall(size_t p) const;
+
+ private:
+  size_t producer_count_ = 0;
+  /// Barrier/stall-published resync floor: every producer bumps its next
+  /// sequence number to at least this value before stamping again.
+  Atomic<uint64_t> resync_floor_{0};
+  /// Per-producer in-call flags (heap array: Atomic is not movable and
+  /// the count is runtime-configured).
+  std::unique_ptr<Atomic<bool>[]> in_call_;
+};
+
+}  // namespace pldp
+
+#endif  // PLDP_RUNTIME_STALL_FLOOR_H_

@@ -1,0 +1,157 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Model-checks the Doorbell park/ring protocol (src/runtime/backoff.h)
+// through the real Ring()/ParkUnless() code: a consumer escalating
+// through Backoff into a park races a producer publishing work and
+// ringing. Every interleaving within the preemption bound is explored —
+// including ring-before-park, ring-inside-the-predicate-window, and
+// ring-after-park — so a clean run machine-checks the lost-wakeup
+// argument written out in backoff.h (the Dekker fence pair plus the
+// epoch re-check under the mutex).
+//
+// The PLDP_CHECK_NEGATIVE_DOORBELL twin deletes Ring's seq_cst fence:
+// the producer's waiters_ load can then miss the consumer's increment
+// while the consumer's predicate missed the published work — the
+// consumer parks forever and the checker must report the deadlock.
+
+#include <cstdint>
+#include <memory>
+
+#include "check/model.h"
+#include "gtest/gtest.h"
+#include "runtime/backoff.h"
+
+namespace pldp {
+namespace {
+
+using check::ModelConfig;
+using check::ModelJoin;
+using check::ModelResult;
+using check::ModelSpawn;
+using check::RunModel;
+
+// One consumer draining a one-shot work flag, one producer publishing it.
+// The consumer uses the exact escalation shape of the shard worker loop:
+// spin via Backoff, then ParkUnless with a predicate reading the same
+// atomics the producer releases.
+ModelResult RunParkVsRingHarness(ModelConfig cfg) {
+  return RunModel(cfg, [] {
+    auto bell = std::make_unique<Doorbell>();
+    auto work = std::make_unique<Atomic<int>>(0);
+    auto consumed = std::make_unique<bool>(false);
+
+    int consumer = ModelSpawn("consumer", [&] {
+      Backoff backoff;
+      // order: acquire pairs with the producer's release publication.
+      while (work->load(std::memory_order_acquire) == 0) {
+        if (backoff.ShouldPark()) {
+          bell->ParkUnless([&] {
+            // order: acquire — the predicate must observe the newest
+            // publication the ring's fence ordered before it.
+            return work->load(std::memory_order_acquire) != 0;
+          });
+          backoff.Reset();
+        } else {
+          backoff.Wait();
+        }
+      }
+      *consumed = true;
+    });
+
+    int producer = ModelSpawn("producer", [&] {
+      // order: release — the publication Ring's contract requires before
+      // the ring itself.
+      work->store(1, std::memory_order_release);
+      bell->Ring();
+    });
+
+    ModelJoin(consumer);
+    ModelJoin(producer);
+    PLDP_MODEL_ASSERT(*consumed);
+  });
+}
+
+#ifndef PLDP_CHECK_NEGATIVE_DOORBELL
+
+TEST(DoorbellModel, ParkVsRingExhaustsClean) {
+  ModelConfig cfg;
+  cfg.name = "doorbell";
+  cfg.preemption_bound = 3;
+  ModelResult r = RunParkVsRingHarness(cfg);
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+// Two rings (one possibly stale, one carrying the work) against one
+// parking consumer: exercises the epoch re-check under the mutex — an
+// early ring may only cause a spurious wake, never a strand.
+TEST(DoorbellModel, EarlyRingIsSpuriousNotLost) {
+  ModelConfig cfg;
+  cfg.name = "doorbell-early-ring";
+  cfg.preemption_bound = 2;
+  ModelResult r = RunModel(cfg, [] {
+    auto bell = std::make_unique<Doorbell>();
+    auto work = std::make_unique<Atomic<int>>(0);
+
+    int consumer = ModelSpawn("consumer", [&] {
+      Backoff backoff;
+      // order: acquire pairs with the producer's release publication.
+      while (work->load(std::memory_order_acquire) == 0) {
+        if (backoff.ShouldPark()) {
+          bell->ParkUnless([&] {
+            // order: acquire — see RunParkVsRingHarness.
+            return work->load(std::memory_order_acquire) != 0;
+          });
+          backoff.Reset();
+        } else {
+          backoff.Wait();
+        }
+      }
+    });
+
+    int producer = ModelSpawn("producer", [&] {
+      bell->Ring();  // empty ring: no work published yet
+      // order: release — the real publication.
+      work->store(1, std::memory_order_release);
+      bell->Ring();
+    });
+
+    ModelJoin(consumer);
+    ModelJoin(producer);
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+// Random-walk soak past the DFS bound (CI deepens via
+// PLDP_MODEL_RANDOM_ITERS).
+TEST(DoorbellModel, RandomWalkClean) {
+  ModelConfig cfg;
+  cfg.name = "doorbell-random";
+  cfg.random = true;
+  cfg.random_iterations = 400;
+  cfg.seed = 3;
+  ModelResult r = RunParkVsRingHarness(cfg);
+  EXPECT_FALSE(r.failed) << r.report;
+}
+
+#else  // PLDP_CHECK_NEGATIVE_DOORBELL
+
+// Without Ring's fence the Dekker pair is broken: there is a schedule
+// where the consumer's predicate misses the work AND the producer's
+// waiters_ load misses the consumer — a lost wakeup, reported by the
+// checker as a deadlock with the consumer parked on the doorbell.
+TEST(DoorbellModelNegative, CheckerCatchesMissingRingFence) {
+  ModelConfig cfg;
+  cfg.name = "doorbell-unfenced";
+  cfg.preemption_bound = 3;
+  ModelResult r = RunParkVsRingHarness(cfg);
+  EXPECT_TRUE(r.failed)
+      << "seeded fence deletion was NOT caught by the checker";
+  EXPECT_FALSE(r.replay.empty());
+}
+
+#endif  // PLDP_CHECK_NEGATIVE_DOORBELL
+
+}  // namespace
+}  // namespace pldp

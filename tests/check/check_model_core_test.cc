@@ -1,0 +1,244 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Litmus tests for the model checker itself (src/check/model.cc): known
+// C++11 memory-model outcomes the checker must find, and known-clean
+// protocols it must exhaust without findings. These pin the checker's
+// soundness before the protocol suites (check_spsc_test.cc and friends)
+// lean on it — a checker that cannot reproduce store buffering or a lost
+// wakeup proves nothing about a queue.
+
+#include <cstdlib>
+#include <memory>
+
+#include "check/model.h"
+#include "check/shadow.h"
+#include "gtest/gtest.h"
+
+namespace pldp {
+namespace check {
+namespace {
+
+// Store buffering, relaxed: both threads may read 0 — the checker must
+// find the outcome (it is the weak-memory behavior everything else here
+// builds on).
+TEST(ModelCore, StoreBufferingRelaxedFindsBothZero) {
+  ModelConfig cfg;
+  cfg.name = "sb-relaxed";
+  cfg.preemption_bound = 2;
+  ModelResult r = RunModel(cfg, [] {
+    auto x = std::make_unique<ShadowAtomic<int>>(0);
+    auto y = std::make_unique<ShadowAtomic<int>>(0);
+    auto r1 = std::make_unique<int>(-1);
+    auto r2 = std::make_unique<int>(-1);
+    int t1 = ModelSpawn("a", [&] {
+      x->store(1, std::memory_order_relaxed);
+      *r1 = y->load(std::memory_order_relaxed);
+    });
+    int t2 = ModelSpawn("b", [&] {
+      y->store(1, std::memory_order_relaxed);
+      *r2 = x->load(std::memory_order_relaxed);
+    });
+    ModelJoin(t1);
+    ModelJoin(t2);
+    PLDP_MODEL_ASSERT(*r1 == 1 || *r2 == 1);  // reachable: both 0
+  });
+  EXPECT_TRUE(r.failed) << "both-zero outcome not found";
+}
+
+// Store buffering with seq_cst fences (the Doorbell's Dekker pair shape):
+// both-zero must be impossible, and the space must be exhausted.
+TEST(ModelCore, StoreBufferingFencedExhaustsClean) {
+  ModelConfig cfg;
+  cfg.name = "sb-fenced";
+  cfg.preemption_bound = 3;
+  ModelResult r = RunModel(cfg, [] {
+    auto x = std::make_unique<ShadowAtomic<int>>(0);
+    auto y = std::make_unique<ShadowAtomic<int>>(0);
+    auto r1 = std::make_unique<int>(-1);
+    auto r2 = std::make_unique<int>(-1);
+    int t1 = ModelSpawn("a", [&] {
+      x->store(1, std::memory_order_relaxed);
+      ShadowFence(std::memory_order_seq_cst);
+      *r1 = y->load(std::memory_order_relaxed);
+    });
+    int t2 = ModelSpawn("b", [&] {
+      y->store(1, std::memory_order_relaxed);
+      ShadowFence(std::memory_order_seq_cst);
+      *r2 = x->load(std::memory_order_relaxed);
+    });
+    ModelJoin(t1);
+    ModelJoin(t2);
+    PLDP_MODEL_ASSERT(*r1 == 1 || *r2 == 1);
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+// Message passing with a relaxed flag: the payload read races (the bug
+// class the SPSC negative suite seeds deliberately).
+TEST(ModelCore, MessagePassingRelaxedFlagFindsRace) {
+  ModelConfig cfg;
+  cfg.name = "mp-relaxed";
+  ModelResult r = RunModel(cfg, [] {
+    auto cell = std::make_unique<ShadowRaceCell<int>>(0);
+    auto flag = std::make_unique<ShadowAtomic<int>>(0);
+    int t1 = ModelSpawn("w", [&] {
+      *cell = 42;
+      flag->store(1, std::memory_order_relaxed);  // bug: should be release
+    });
+    int t2 = ModelSpawn("r", [&] {
+      if (flag->load(std::memory_order_acquire) == 1) {
+        int v = *cell;
+        (void)v;
+      }
+    });
+    ModelJoin(t1);
+    ModelJoin(t2);
+  });
+  EXPECT_TRUE(r.failed) << "payload race not found";
+}
+
+// Message passing done right: clean and exhausted.
+TEST(ModelCore, MessagePassingReleaseAcquireClean) {
+  ModelConfig cfg;
+  cfg.name = "mp-rel-acq";
+  ModelResult r = RunModel(cfg, [] {
+    auto cell = std::make_unique<ShadowRaceCell<int>>(0);
+    auto flag = std::make_unique<ShadowAtomic<int>>(0);
+    int t1 = ModelSpawn("w", [&] {
+      *cell = 42;
+      flag->store(1, std::memory_order_release);
+    });
+    int t2 = ModelSpawn("r", [&] {
+      if (flag->load(std::memory_order_acquire) == 1) {
+        int v = *cell;
+        (void)v;
+      }
+    });
+    ModelJoin(t1);
+    ModelJoin(t2);
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+// Flag check outside the lock, unconditional wait: the notify can land in
+// the window and the waiter parks forever — reported as a deadlock with a
+// lost-wakeup note.
+TEST(ModelCore, LostWakeupFindsDeadlock) {
+  ModelConfig cfg;
+  cfg.name = "lost-wakeup";
+  ModelResult r = RunModel(cfg, [] {
+    auto mu = std::make_unique<ModelMutex>();
+    auto cv = std::make_unique<ModelCondVar>();
+    auto flag = std::make_unique<ShadowAtomic<int>>(0);
+    int t1 = ModelSpawn("waiter", [&] {
+      if (flag->load(std::memory_order_acquire) == 0) {
+        std::unique_lock<ModelMutex> lk(*mu);
+        cv->wait(lk);  // bug: no predicate re-check under the lock
+      }
+    });
+    int t2 = ModelSpawn("poster", [&] {
+      flag->store(1, std::memory_order_release);
+      std::unique_lock<ModelMutex> lk(*mu);
+      cv->notify_all();
+    });
+    ModelJoin(t1);
+    ModelJoin(t2);
+  });
+  EXPECT_TRUE(r.failed) << "lost wakeup not found";
+}
+
+// A spin loop whose flag IS eventually set must terminate (the eventual-
+// visibility rule: a promoted stale reader reads the newest value).
+TEST(ModelCore, SpinOnEventuallySetFlagTerminates) {
+  ModelConfig cfg;
+  cfg.name = "spin-ok";
+  ModelResult r = RunModel(cfg, [] {
+    auto flag = std::make_unique<ShadowAtomic<int>>(0);
+    int t1 = ModelSpawn("spin", [&] {
+      while (flag->load(std::memory_order_acquire) == 0) ModelYieldSpin();
+    });
+    flag->store(1, std::memory_order_release);
+    ModelJoin(t1);
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+}
+
+// A spin loop nobody will ever satisfy is a livelock, not an infinite
+// test run.
+TEST(ModelCore, SpinOnNeverSetFlagFindsLivelock) {
+  ModelConfig cfg;
+  cfg.name = "spin-stuck";
+  ModelResult r = RunModel(cfg, [] {
+    auto flag = std::make_unique<ShadowAtomic<int>>(0);
+    int t1 = ModelSpawn("spin", [&] {
+      while (flag->load(std::memory_order_acquire) == 0) ModelYieldSpin();
+    });
+    ModelJoin(t1);
+  });
+  EXPECT_TRUE(r.failed) << "livelock not found";
+}
+
+// Seeded random walk: the mode the CI model-check job scales up via
+// PLDP_MODEL_RANDOM_ITERS (see .github/workflows/ci.yml).
+TEST(ModelCore, RandomWalkRunsCleanIterations) {
+  ModelConfig cfg;
+  cfg.name = "random-rmw";
+  cfg.random = true;
+  cfg.random_iterations = 200;
+  ModelResult r = RunModel(cfg, [] {
+    auto x = std::make_unique<ShadowAtomic<int>>(0);
+    int t1 = ModelSpawn("a", [&] {
+      x->fetch_add(1, std::memory_order_acq_rel);
+    });
+    int t2 = ModelSpawn("b", [&] {
+      x->fetch_add(1, std::memory_order_acq_rel);
+    });
+    ModelJoin(t1);
+    ModelJoin(t2);
+    PLDP_MODEL_ASSERT(x->load(std::memory_order_acquire) == 2);
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_GE(r.executions, 200u);
+}
+
+// Replay round trip: a failing run's replay string, fed back through
+// PLDP_MODEL_REPLAY-style forcing, reproduces the same failure — the
+// mechanism OPERATIONS.md documents for debugging findings.
+TEST(ModelCore, ReplayReproducesFailure) {
+  auto body = [] {
+    auto x = std::make_unique<ShadowAtomic<int>>(0);
+    auto y = std::make_unique<ShadowAtomic<int>>(0);
+    auto r1 = std::make_unique<int>(-1);
+    auto r2 = std::make_unique<int>(-1);
+    int t1 = ModelSpawn("a", [&] {
+      x->store(1, std::memory_order_relaxed);
+      *r1 = y->load(std::memory_order_relaxed);
+    });
+    int t2 = ModelSpawn("b", [&] {
+      y->store(1, std::memory_order_relaxed);
+      *r2 = x->load(std::memory_order_relaxed);
+    });
+    ModelJoin(t1);
+    ModelJoin(t2);
+    PLDP_MODEL_ASSERT(*r1 == 1 || *r2 == 1);
+  };
+  ModelConfig cfg;
+  cfg.name = "replay-find";
+  ModelResult first = RunModel(cfg, body);
+  ASSERT_TRUE(first.failed);
+  ASSERT_FALSE(first.replay.empty());
+
+  ::setenv("PLDP_MODEL_REPLAY", first.replay.c_str(), 1);
+  ModelConfig replay_cfg;
+  replay_cfg.name = "replay-rerun";
+  ModelResult again = RunModel(replay_cfg, body);
+  ::unsetenv("PLDP_MODEL_REPLAY");
+  EXPECT_TRUE(again.failed) << "replay did not reproduce the failure";
+  EXPECT_EQ(again.executions, 1u);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace pldp

@@ -1,0 +1,105 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Re-derives the registry-shaped locking bug class under the model
+// checker (the ModelMutex / ModelCondVar layer): a registration path
+// appending to a guarded container while an exposition path snapshots
+// it. obs::MetricsRegistry guards `entries_` with a mutex on BOTH sides
+// (Register* and Snapshot — see src/obs/metrics.h); the suite shows the
+// checker proving that shape clean and, in the same binary, catching the
+// historical bug shape — snapshotting outside the lock — as a data race.
+// No build-time mutation is needed: the buggy shape is a separate
+// harness, not a seeded edit to shipped code.
+
+#include <memory>
+
+#include "check/model.h"
+#include "check/shadow.h"
+#include "gtest/gtest.h"
+
+namespace pldp {
+namespace check {
+namespace {
+
+// The registry's container, reduced to its race surface: one cell whose
+// writes model push_back's vector mutation (size bump + element write).
+struct ModelRegistry {
+  ModelMutex mu;
+  ShadowRaceCell<int> entries{0};
+};
+
+// Both sides locked — the shipped MetricsRegistry shape. Must exhaust
+// with zero findings.
+TEST(RegistryMutexModel, LockedRegisterAndSnapshotClean) {
+  ModelConfig cfg;
+  cfg.name = "registry-locked";
+  cfg.preemption_bound = 3;
+  ModelResult r = RunModel(cfg, [] {
+    auto reg = std::make_unique<ModelRegistry>();
+    int writer = ModelSpawn("register", [&] {
+      std::lock_guard<ModelMutex> lock(reg->mu);
+      reg->entries = 1;
+    });
+    int reader = ModelSpawn("snapshot", [&] {
+      std::lock_guard<ModelMutex> lock(reg->mu);
+      const int& n = reg->entries;
+      PLDP_MODEL_ASSERT(n == 0 || n == 1);
+    });
+    ModelJoin(writer);
+    ModelJoin(reader);
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+// The bug shape: Snapshot() reading the container without taking the
+// mutex. The checker must report the data race (not merely a wrong
+// value — the access itself is unordered).
+TEST(RegistryMutexModel, CheckerCatchesSnapshotOutsideMutex) {
+  ModelConfig cfg;
+  cfg.name = "registry-unlocked-read";
+  cfg.preemption_bound = 3;
+  ModelResult r = RunModel(cfg, [] {
+    auto reg = std::make_unique<ModelRegistry>();
+    int writer = ModelSpawn("register", [&] {
+      std::lock_guard<ModelMutex> lock(reg->mu);
+      reg->entries = 1;
+    });
+    int reader = ModelSpawn("snapshot", [&] {
+      const int& n = reg->entries;  // bug: no lock
+      (void)n;
+    });
+    ModelJoin(writer);
+    ModelJoin(reader);
+  });
+  EXPECT_TRUE(r.failed) << "unlocked snapshot race not found";
+}
+
+// Mutex handoff carries visibility: a plain cell written before an
+// unlock is safely read by the next lock holder — the property every
+// PLDP_GUARDED_BY annotation in the runtime leans on.
+TEST(RegistryMutexModel, MutexTransfersHappensBefore) {
+  ModelConfig cfg;
+  cfg.name = "registry-handoff";
+  cfg.preemption_bound = 3;
+  ModelResult r = RunModel(cfg, [] {
+    auto reg = std::make_unique<ModelRegistry>();
+    auto seen = std::make_unique<int>(-1);
+    int writer = ModelSpawn("register", [&] {
+      std::lock_guard<ModelMutex> lock(reg->mu);
+      reg->entries = 7;
+    });
+    int reader = ModelSpawn("snapshot", [&] {
+      std::lock_guard<ModelMutex> lock(reg->mu);
+      *seen = reg->entries;
+    });
+    ModelJoin(writer);
+    ModelJoin(reader);
+    PLDP_MODEL_ASSERT(*seen == 0 || *seen == 7);
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace pldp

@@ -1,0 +1,206 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Model-checks the stall-floor quiescence handshake
+// (src/runtime/stall_floor.{h,cc}) — the protocol that resolved PR 9's
+// idle-peer deadlock by letting a stalled producer lift a quiescent
+// peer's lane floor on its behalf.
+//
+// The harness is the protocol's full three-party shape, with the lane
+// reduced to a single modeled slot:
+//
+//   peer      — runs one real stamping call: EnterCall, read the armed
+//               resync floor, stamp at/above it, release-publish the
+//               stamp into its lane, ExitCall. (IngestProducer::CallScope
+//               + MaybeResync in the engine.)
+//   staller   — the stalled producer: arms the resync floor at the
+//               ingest frontier, runs QuiescenceFence, and claims the
+//               floor for the peer iff InCall reads false.
+//               (ParallelStreamingEngine::PublishStallFloors.)
+//   merge     — the shard worker's gate, in MultiRunLoop's floor-first
+//               order: acquire the claimed floor, then the lane head,
+//               and release a rival candidate below the floor iff the
+//               lane looks empty.
+//
+// Safety property: the merge must never release a rival candidate that
+// the peer's stamp should have preceded. Two ways to get this wrong, and
+// the checker covers both:
+//   - drop the stall-side fence (PLDP_CHECK_NEGATIVE_STALL): the peer can
+//     be "proven" quiescent mid-call and stamp below the claimed floor;
+//   - weaken InCall to relaxed: a peer that already exited had its push
+//     stripped from the quiescence proof, so the merge sees the lifted
+//     floor but not the push (ClaimAfterExitCarriesPushes below is the
+//     machine-checked reason InCall is an acquire load).
+
+#include <cstdint>
+#include <memory>
+
+#include "check/model.h"
+#include "runtime/stall_floor.h"
+
+#include "gtest/gtest.h"
+
+namespace pldp {
+namespace {
+
+using check::ModelConfig;
+using check::ModelJoin;
+using check::ModelResult;
+using check::ModelSpawn;
+using check::RunModel;
+
+constexpr uint64_t kNoHead = ~uint64_t{0};  // modeled lane: empty slot
+constexpr uint64_t kFrontier = 10;          // bound the staller arms
+constexpr uint64_t kRival = 5;              // rival candidate's sequence
+
+struct Outcome {
+  uint64_t peer_stamp = kNoHead;  // what the peer stamped (if it ran)
+  uint64_t merge_floor = 0;       // floor the merge observed
+  uint64_t merge_head = kNoHead;  // lane head the merge observed
+  bool released_rival = false;    // merge released the kRival candidate
+};
+
+ModelResult RunHandshakeHarness(ModelConfig cfg) {
+  return RunModel(cfg, [] {
+    auto coord = std::make_unique<StallFloorCoordinator>();
+    coord->Configure(2);  // producer 0 = staller, producer 1 = peer
+    auto lane = std::make_unique<Atomic<uint64_t>>(kNoHead);
+    auto floor = std::make_unique<Atomic<uint64_t>>(0);
+    auto out = std::make_unique<Outcome>();
+
+    int peer = ModelSpawn("peer", [&] {
+      coord->EnterCall(1);
+      const uint64_t rf = coord->AcquireResyncFloor();
+      const uint64_t stamp = rf > 1 ? rf : 1;
+      out->peer_stamp = stamp;
+      // order: release — the push is published before the in-call flag
+      // clears, exactly like an SpscQueue tail store inside a call.
+      lane->store(stamp, std::memory_order_release);
+      coord->ExitCall(1);
+    });
+
+    int staller = ModelSpawn("staller", [&] {
+      coord->ArmResyncFloor(kFrontier);
+      coord->QuiescenceFence();
+      if (!coord->InCall(1)) {
+        // order: release — the claimed floor must carry everything the
+        // quiescence proof saw (NoteLaneFloor in the real engine).
+        floor->store(kFrontier, std::memory_order_release);
+      }
+    });
+
+    int merge = ModelSpawn("merge", [&] {
+      // MultiRunLoop's refill order: floor first, head second.
+      // order: acquire pairs with the staller's claim store.
+      out->merge_floor = floor->load(std::memory_order_acquire);
+      // order: acquire pairs with the peer's push store.
+      out->merge_head = lane->load(std::memory_order_acquire);
+      if (out->merge_head == kNoHead && out->merge_floor > kRival) {
+        out->released_rival = true;
+      }
+    });
+
+    ModelJoin(peer);
+    ModelJoin(staller);
+    ModelJoin(merge);
+
+    // The violation PR 9's fix must exclude: the merge released the rival
+    // on the strength of the claimed floor while the peer's stamp — which
+    // orders before the rival — was neither visible nor excluded.
+    PLDP_MODEL_ASSERT(!(out->released_rival && out->peer_stamp < kRival));
+  });
+}
+
+#ifndef PLDP_CHECK_NEGATIVE_STALL
+
+// Every interleaving of peer-call vs floor-claim vs merge-gate within the
+// bound: the claimed floor is sound. Covers both Dekker outcomes (fence
+// order decides: peer sees the armed bound, or staller sees the in-call
+// flag) and the exit race (ClaimAfterExitCarriesPushes's subject): a peer
+// proven quiescent AFTER exiting has its pre-exit push carried to the
+// merge by InCall's acquire + the floor's release chain.
+TEST(StallFloorModel, HandshakeExhaustsClean) {
+  ModelConfig cfg;
+  cfg.name = "stall-floor";
+  cfg.preemption_bound = 3;
+  ModelResult r = RunHandshakeHarness(cfg);
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+// The exit race in isolation, driven to a deterministic schedule point:
+// peer completes its whole call first, then the staller proves it
+// quiescent, then the merge evaluates the gate. The peer's stamp is 1
+// (it never saw the floor), so the merge must see the push — this is the
+// case that fails if InCall is weakened to a relaxed load.
+TEST(StallFloorModel, ClaimAfterExitCarriesPushes) {
+  ModelConfig cfg;
+  cfg.name = "stall-floor-exit";
+  cfg.preemption_bound = 2;
+  ModelResult r = RunModel(cfg, [] {
+    auto coord = std::make_unique<StallFloorCoordinator>();
+    coord->Configure(2);
+    auto lane = std::make_unique<Atomic<uint64_t>>(kNoHead);
+    auto floor = std::make_unique<Atomic<uint64_t>>(0);
+
+    // Peer's call runs to completion on the body thread: stamp 1, push,
+    // exit. No concurrency yet — the race under test starts at the claim.
+    coord->EnterCall(1);
+    const uint64_t rf = coord->AcquireResyncFloor();
+    lane->store(rf > 1 ? rf : 1, std::memory_order_release);
+    coord->ExitCall(1);
+
+    int staller = ModelSpawn("staller", [&] {
+      coord->ArmResyncFloor(kFrontier);
+      coord->QuiescenceFence();
+      if (!coord->InCall(1)) {
+        floor->store(kFrontier, std::memory_order_release);
+      }
+    });
+    int merge = ModelSpawn("merge", [&] {
+      const uint64_t f = floor->load(std::memory_order_acquire);
+      const uint64_t head = lane->load(std::memory_order_acquire);
+      if (f > kRival) {
+        // Floor observed ⇒ the quiescence proof observed the exit ⇒ the
+        // pre-exit push must be visible: the lane may not look empty.
+        PLDP_MODEL_ASSERT(head != kNoHead);
+      }
+    });
+    ModelJoin(staller);
+    ModelJoin(merge);
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+// Random-walk soak past the DFS bound (CI deepens via
+// PLDP_MODEL_RANDOM_ITERS).
+TEST(StallFloorModel, RandomWalkClean) {
+  ModelConfig cfg;
+  cfg.name = "stall-floor-random";
+  cfg.random = true;
+  cfg.random_iterations = 400;
+  cfg.seed = 11;
+  ModelResult r = RunHandshakeHarness(cfg);
+  EXPECT_FALSE(r.failed) << r.report;
+}
+
+#else  // PLDP_CHECK_NEGATIVE_STALL
+
+// With QuiescenceFence deleted, the Dekker pair is broken: the staller
+// can read a stale "out of call" while the mid-call peer reads a stale
+// pre-arm floor — the peer stamps 1 under a claimed floor of 10, and the
+// merge releases the rival ahead of it. The checker must find it.
+TEST(StallFloorModelNegative, CheckerCatchesMissingQuiescenceFence) {
+  ModelConfig cfg;
+  cfg.name = "stall-floor-unfenced";
+  cfg.preemption_bound = 3;
+  ModelResult r = RunHandshakeHarness(cfg);
+  EXPECT_TRUE(r.failed)
+      << "seeded fence deletion was NOT caught by the checker";
+  EXPECT_FALSE(r.replay.empty());
+}
+
+#endif  // PLDP_CHECK_NEGATIVE_STALL
+
+}  // namespace
+}  // namespace pldp

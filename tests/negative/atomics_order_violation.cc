@@ -1,0 +1,58 @@
+// Copyright 2026 The PLDP Authors.
+//
+// Negative fixture for tools/lint_atomics.py: the `atomics_lint_negative`
+// ctest case runs the lint over this file alone and asserts (via
+// WILL_FAIL) that it exits non-zero — proving the lint catches both
+// violation classes it claims to, not just that it exits 0 on clean
+// trees. Two seeded violations:
+//
+//   1. An atomic op relying on the implicit seq_cst default instead of
+//      naming a std::memory_order (DefaultedOrderStore).
+//   2. An op that names its order but carries no adjacent `// order:`
+//      rationale comment (UndocumentedOrderLoad / the CAS, which also
+//      omits its failure order).
+//
+// The Documented* functions at the bottom are compliance controls: they
+// must NOT be flagged, so a regression that makes the lint flag
+// everything shows up as a diff in its finding count, and the
+// atomics-allow escape stays covered.
+//
+// This file is NOT part of any build target; it only exists to be linted.
+
+#include <atomic>
+#include <cstdint>
+
+namespace pldp {
+namespace {
+
+std::atomic<uint64_t> g_counter{0};
+std::atomic<bool> g_flag{false};
+
+// Violation 1: no explicit order — the silent seq_cst default the lint
+// exists to forbid.
+void DefaultedOrderStore() { g_flag.store(true); }
+
+// Violation 2: explicit memory order, but no rationale comment nearby.
+uint64_t UndocumentedOrderLoad() {
+  return g_counter.load(std::memory_order_acquire);
+}
+
+// Violations 1 and 2 at once: a CAS naming only its success order and
+// carrying no rationale.
+bool UndocumentedCas(uint64_t expected) {
+  return g_counter.compare_exchange_weak(expected, expected + 1,
+                                         std::memory_order_acq_rel);
+}
+
+// Control: explicit order + adjacent rationale — must pass.
+// order: relaxed; standalone counter used only by this fixture.
+uint64_t DocumentedLoad() {
+  return g_counter.load(std::memory_order_relaxed);
+}
+
+// Control: the documented escape hatch — must pass.
+// atomics-allow: fixture exercising the opt-out path.
+void AllowedStore() { g_flag.store(false); }
+
+}  // namespace
+}  // namespace pldp

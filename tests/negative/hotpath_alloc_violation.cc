@@ -40,5 +40,23 @@ PLDP_HOT size_t HotBatchKernelButAllocates(const uint16_t* types, size_t n,
   return hits;
 }
 
+/// The indirect shape the one-level call-graph check exists for: the hot
+/// body is spotless, but it calls an unannotated helper (defined right
+/// here in the scanned set) that allocates one hop away. The lint must
+/// flag the CALL — `ColdScratchHelper` is neither PLDP_HOT nor on the
+/// allowlist — without needing to prove the helper allocates.
+int* ColdScratchHelper(size_t n) { return new int[n]; }
+
+PLDP_HOT size_t HotButCallsColdHelper(const uint16_t* types, size_t n) {
+  int* scratch = ColdScratchHelper(n);  // the call the lint must flag
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    scratch[i] = types[i];
+    if (types[i] == 7) ++hits;
+  }
+  delete[] scratch;
+  return hits;
+}
+
 }  // namespace
 }  // namespace pldp

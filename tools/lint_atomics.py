@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+# Copyright 2026 The PLDP Authors.
+"""Memory-ordering discipline lint for the runtime's atomics.
+
+Every atomic operation in protocol code must (a) name an EXPLICIT
+std::memory_order — never the seq_cst default — and (b) carry an adjacent
+`// order:` comment giving the pairing rationale ("release pairs with the
+consumer's acquire in ...", "relaxed; telemetry only"). The discipline
+keeps each ordering decision reviewable in place, feeds the model checker
+(`pldp::Atomic` under PLDP_MODEL_CHECK has no defaulted-order overloads,
+so a missing order fails to compile there), and makes a weakened order a
+visible diff instead of a silent default.
+
+Checked operations: member `.load/.store/.exchange/.fetch_*/
+.compare_exchange_{weak,strong}` calls and the `AtomicFence` /
+`std::atomic_thread_fence` free functions. compare_exchange must name
+BOTH the success and failure order. An order is "explicit" when the
+argument list names a `std::memory_order_*` constant or a project-level
+`k...Order` constant (the idiom the negative-build mutations hook, e.g.
+`kTailPublishOrder` in spsc_queue.h).
+
+The `// order:` comment may sit on any line of the call expression or
+within the four lines above it (the runtime's idiom is the line directly
+above); when those lines land inside a longer contiguous `//` comment
+block, the whole block counts, so a multi-line pairing argument keeps
+its `order:` lead line. A site can opt out with `// atomics-allow:
+<reason>` in the same window — the reason is mandatory and shows up in
+review.
+
+Scope and limitations (lexical, like lint_hotpath.py — no compiler):
+function DEFINITIONS whose parameter list mentions std::memory_order
+(wrappers like pldp::AtomicFence itself) are skipped by a followed-by-
+`{`/`const` heuristic; the shadow-atomics layer (src/check/) is excluded
+by the ctest invocation because the checker's internals serialize on a
+global mutex and carry no ordering protocol of their own.
+
+Exit status: 0 when clean, 1 with findings (one `file:line: message` per
+finding), 2 on usage errors.
+
+Usage: lint_atomics.py <dir-or-file> [...] [--exclude <substring>]...
+"""
+
+import os
+import re
+import sys
+
+OP_RE = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_or|"
+    r"fetch_and|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\(|\b(AtomicFence|std::atomic_thread_fence)\s*\(")
+
+ORDER_COMMENT_RE = re.compile(r"//\s*order:\s*\S")
+ALLOW_RE = re.compile(r"//\s*atomics-allow:\s*\S")
+# After a definition's parameter list: body or qualifiers, not expression
+# context.
+DEFINITION_TAIL_RE = re.compile(r"\s*(\{|const\b|noexcept\b|override\b)")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+# Lines of context above the call where the rationale may live.
+COMMENT_WINDOW = 4
+# An explicit order argument: a std:: constant or a named project
+# constant of the k...Order form (the hook point for seeded mutations).
+EXPLICIT_ORDER_RE = re.compile(r"std::memory_order_\w+|\bk\w*Order\b")
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            chunk = text[i:j + 2]
+            out.append(re.sub(r"[^\n]", " ", chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            chunk = text[i:j + 1]
+            out.append(quote + re.sub(r"[^\n]", " ", chunk[1:-1]) + quote
+                       if len(chunk) >= 2 else chunk)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def matching_paren(text, open_pos):
+    """Offset of the `)` closing the `(` at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def scan_file(path, raw_lines, stripped, findings):
+    sites = 0
+    for m in OP_RE.finditer(stripped):
+        op = m.group(1) or m.group(2)
+        open_pos = stripped.index("(", m.end() - 1)
+        close_pos = matching_paren(stripped, open_pos)
+        if close_pos < 0:
+            continue
+        if DEFINITION_TAIL_RE.match(stripped, close_pos + 1):
+            continue  # definition/declaration, not a call
+        sites += 1
+        args = stripped[open_pos + 1:close_pos]
+        start_line = line_of(stripped, m.start())
+        end_line = line_of(stripped, close_pos)
+        lo = max(0, start_line - 1 - COMMENT_WINDOW)
+        # A comment block that reaches into the window counts in full, so
+        # multi-line rationales keep their `order:` lead line.
+        while lo > 0 and raw_lines[lo].lstrip().startswith("//"):
+            lo -= 1
+        window = raw_lines[lo:end_line]
+        if any(ALLOW_RE.search(line) for line in window):
+            continue
+        required = 2 if op.startswith("compare_exchange") else 1
+        named = len(EXPLICIT_ORDER_RE.findall(args))
+        if named < required:
+            findings.append(
+                f"{path}:{start_line}: `{op}` names {named} explicit "
+                f"std::memory_order argument(s), needs {required}")
+        if not any(ORDER_COMMENT_RE.search(line) for line in window):
+            findings.append(
+                f"{path}:{start_line}: `{op}` has no adjacent `// order:` "
+                "rationale comment (within the call or the "
+                f"{COMMENT_WINDOW} lines above)")
+    return sites
+
+
+def collect_files(paths, excludes):
+    files = []
+    for arg in paths:
+        if os.path.isfile(arg):
+            files.append(arg)
+        elif os.path.isdir(arg):
+            for root, _, names in os.walk(arg):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"lint_atomics: no such path: {arg}", file=sys.stderr)
+            sys.exit(2)
+    return [f for f in files
+            if not any(sub in f.replace(os.sep, "/") for sub in excludes)]
+
+
+def main(argv):
+    paths, excludes = [], []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--exclude":
+            if i + 1 >= len(argv):
+                print(__doc__, file=sys.stderr)
+                return 2
+            excludes.append(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    files = collect_files(paths, excludes)
+    findings = []
+    sites = 0
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        sites += scan_file(path, raw.split("\n"),
+                           strip_comments_and_strings(raw), findings)
+
+    if findings:
+        for f in findings:
+            print(f)
+        print(f"lint_atomics: {len(findings)} finding(s) across "
+              f"{sites} atomic-op site(s)", file=sys.stderr)
+        return 1
+    print(f"lint_atomics: OK ({sites} atomic-op site(s), "
+          f"{len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

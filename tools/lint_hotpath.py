@@ -18,14 +18,29 @@ deliberately NOT banned here — the runtime's allocation-counting bench
 (bench/runtime_throughput, the CI allocation gate) owns that boundary; this
 lint catches the categorical mistakes a reviewer can miss in a diff.
 
+On top of the direct-body scan, the lint is one level call-graph aware:
+a call from a PLDP_HOT body to a function DEFINED in the scanned files
+that is neither PLDP_HOT itself nor on the small allowlist below is
+flagged. A hot wrapper can no longer hide an allocation one hop away in
+a cold helper — the helper must be marked PLDP_HOT (putting its body
+under this lint), allowlisted here with a comment, or excused at the
+call site. Calls into code outside the scanned set (std::, libc) stay
+out of scope: no compiler, no headers, no way to see their bodies.
+
 Scope and limitations (kept deliberately simple — no compiler needed):
 
-  * Only the direct body of a PLDP_HOT function is checked; callees are
-    not followed. Marking a wrapper hot does not transitively check what
-    it calls — mark the callee too (the runtime does).
+  * The direct body of a PLDP_HOT function is checked, plus the one-level
+    callee discipline above; deeper chains are covered inductively (each
+    PLDP_HOT callee gets its own body + callee check).
   * Functions declared PLDP_HOT without an inline body are matched to
     their out-of-line definitions by `Qualified::Name(` lookup across the
     scanned files.
+  * Callee resolution is by bare name, and only UNQUALIFIED call shapes
+    are judged (`Helper(x)`, including implicit-this member calls) —
+    `obj.method(...)`, `ptr->method(...)` and `Qualified::Fn(...)` are
+    skipped, since bare-name matching across classes (every `size()`,
+    `load()`, `value()`) would drown the signal. The unqualified shape is
+    exactly the cold-helper-one-hop-away pattern this check exists for.
   * A finding can be suppressed on its line with
     `// hotpath-allow: <reason>` — the reason is mandatory and shows up
     in review.
@@ -57,6 +72,35 @@ BANNED = [
 ALLOW_RE = re.compile(r"//\s*hotpath-allow:\s*\S")
 HOT_RE = re.compile(r"\bPLDP_HOT\b")
 SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+# --- one-level call-graph awareness ---------------------------------------
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+# Identifier-followed-by-( shapes that are not function calls.
+CALL_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "decltype", "catch", "assert", "static_assert", "defined", "noexcept",
+    "new", "delete", "throw", "case", "do", "else", "operator",
+    "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast",
+})
+# Project functions a hot body may call without a PLDP_HOT marker of their
+# own. Keep this SMALL and justified; everything else needs the marker or
+# a per-line hotpath-allow.
+CALL_ALLOWLIST = frozenset({
+    # Terminal paths: once these run the hot path is over (crash/abort or
+    # an error return that ends the streaming call) — their cost is
+    # irrelevant and they intentionally allocate for diagnostics.
+    "ProtocolAssertFail",
+    # ThreadRole debug-token bookkeeping: compiled to no-ops in release
+    # builds, checked by the thread-safety suite rather than this lint.
+    "Assert", "Acquire", "Release",
+    # Zero-cost aliases from src/common/atomic.h: in normal builds
+    # AtomicFence forwards to std::atomic_thread_fence and RaceCellMove is
+    # std::move; only the PLDP_MODEL_CHECK shadow build (where speed is
+    # irrelevant) gives them bodies worth the name.
+    "AtomicFence", "RaceCellMove",
+})
+# After a call's close paren a definition shows its body or qualifiers.
+DEF_TAIL_RE = re.compile(r"\s*(\{|const\b|noexcept\b|override\b|final\b)")
 
 
 def strip_comments_and_strings(text):
@@ -137,6 +181,41 @@ def find_body(text, start):
     return n, n, False
 
 
+def matching_paren(text, open_pos):
+    """Offset of the `)` closing the `(` at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def collect_definitions(stripped):
+    """Bare names of functions DEFINED (with a body) in this file.
+
+    A definition is `name(params)` followed — after optional cv/noexcept/
+    override qualifiers — by `{`. Constructors with init lists and
+    `= default` members are missed; that only shrinks the checked set,
+    never adds false findings.
+    """
+    names = set()
+    for m in CALL_RE.finditer(stripped):
+        name = m.group(1)
+        if name in CALL_KEYWORDS:
+            continue
+        open_pos = stripped.index("(", m.end() - 1)
+        close_pos = matching_paren(stripped, open_pos)
+        if close_pos < 0:
+            continue
+        if DEF_TAIL_RE.match(stripped, close_pos + 1):
+            names.add(name)
+    return names
+
+
 def hot_function_name(text, hot_end):
     """Name of the function a PLDP_HOT marker annotates: the identifier
     immediately before the first `(` after the marker."""
@@ -144,7 +223,8 @@ def hot_function_name(text, hot_end):
     return m.group(1) if m else None
 
 
-def scan_body(path, raw_lines, stripped, body_start, body_end, func, findings):
+def scan_body(path, raw_lines, stripped, body_start, body_end, func, findings,
+              hot_names=frozenset(), defined_names=frozenset()):
     body = stripped[body_start:body_end]
     base_line = line_of(stripped, body_start)
     for rel, line in enumerate(body.split("\n")):
@@ -156,6 +236,21 @@ def scan_body(path, raw_lines, stripped, body_start, body_end, func, findings):
             if pattern.search(line):
                 findings.append(
                     f"{path}:{lineno}: in PLDP_HOT `{func}`: {message}")
+        # One-level call-graph check: unqualified calls to scanned-set
+        # functions that are neither hot nor allowlisted.
+        for call in CALL_RE.finditer(line):
+            name = call.group(1)
+            if (name in CALL_KEYWORDS or name in CALL_ALLOWLIST
+                    or name in hot_names or name == func
+                    or name not in defined_names):
+                continue
+            prefix = line[:call.start()].rstrip()
+            if prefix.endswith((".", "->", "::", "&")):
+                continue  # qualified / member / address-of — out of scope
+            findings.append(
+                f"{path}:{lineno}: in PLDP_HOT `{func}`: calls non-PLDP_HOT "
+                f"`{name}` defined in the scanned set — mark the callee "
+                "PLDP_HOT, allowlist it, or hotpath-allow this line")
 
 
 def collect_files(args):
@@ -185,6 +280,22 @@ def main(argv):
             raw = f.read()
         contents[path] = (raw, raw.split("\n"), strip_comments_and_strings(raw))
 
+    # Pre-pass for the call-graph check: every function name annotated
+    # PLDP_HOT anywhere, and every function name defined in the scanned
+    # set (only calls to the latter are judged — external callees are
+    # invisible to a build-free lint).
+    hot_names = set()
+    defined_names = set()
+    for path, (raw, raw_lines, stripped) in contents.items():
+        defined_names |= collect_definitions(stripped)
+        for m in HOT_RE.finditer(stripped):
+            line_start = stripped.rfind("\n", 0, m.start()) + 1
+            if stripped[line_start:m.start()].lstrip().startswith("#"):
+                continue
+            name = hot_function_name(stripped, m.end())
+            if name is not None:
+                hot_names.add(name)
+
     findings = []
     # Hot functions whose marker had no inline body: name -> marker site.
     pending = {}
@@ -206,7 +317,7 @@ def main(argv):
             body_start, body_end, had_body = find_body(stripped, m.end())
             if had_body:
                 scan_body(path, raw_lines, stripped, body_start, body_end,
-                          name, findings)
+                          name, findings, hot_names, defined_names)
             else:
                 pending.setdefault(name, []).append(
                     f"{path}:{line_of(stripped, m.start())}")
@@ -223,7 +334,7 @@ def main(argv):
                     continue
                 defined = True
                 scan_body(path, raw_lines, stripped, body_start, body_end,
-                          name, findings)
+                          name, findings, hot_names, defined_names)
         if not defined:
             # Pure-virtual hot interfaces (e.g. Predicate::Eval) are fine as
             # long as at least one override was scanned somewhere; a name
